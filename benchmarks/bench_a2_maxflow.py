@@ -1,0 +1,69 @@
+"""A2 — ablation: max-flow solver choice in the reliability inner loop.
+
+The paper charges O(|V||E|) per configuration; in practice the solver's
+per-call constant on tiny graphs decides everything.  This bench runs
+the full naive computation on the Fig. 4 graph under each solver and a
+raw solver shoot-out on a larger layered network."""
+
+import pytest
+
+from repro.bench.harness import time_call
+from repro.core import FlowDemand, naive_reliability
+from repro.flow import available_solvers, max_flow_value
+from repro.graph import fujita_fig4, layered_network
+
+SOLVERS = ("dinic", "edmonds_karp", "push_relabel", "capacity_scaling")
+
+
+def test_a2_reliability_inner_loop(benchmark, show):
+    net = fujita_fig4()
+    demand = FlowDemand("s", "t", 2)
+
+    def sweep():
+        rows = []
+        reference = None
+        for solver in SOLVERS:
+            timed = time_call(naive_reliability, net, demand, solver=solver, repeats=1)
+            if reference is None:
+                reference = timed.value.value
+            assert timed.value.value == pytest.approx(reference, abs=1e-12)
+            rows.append([solver, f"{timed.seconds * 1e3:.2f}", timed.value.flow_calls])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show(
+        ["solver", "naive total ms", "flow calls"],
+        rows,
+        title="A2: solver choice inside the naive loop (Fig. 4, d=2)",
+    )
+
+
+def test_a2_raw_shootout(benchmark, show):
+    net = layered_network([6, 8, 8, 6], seed=0, max_capacity=5)
+
+    def sweep():
+        rows = []
+        reference = None
+        for solver in SOLVERS:
+            timed = time_call(max_flow_value, net, "s", "t", solver=solver)
+            if reference is None:
+                reference = timed.value
+            assert timed.value == reference
+            rows.append([solver, f"{timed.seconds * 1e3:.3f}", timed.value])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show(
+        ["solver", "ms", "max flow"],
+        rows,
+        title=f"A2: one solve on layered 6-8-8-6 ({net.num_links} links)",
+    )
+    assert set(SOLVERS) <= set(available_solvers())
+
+
+@pytest.mark.parametrize("solver", SOLVERS)
+def test_a2_solver_benchmarks(benchmark, solver):
+    net = fujita_fig4()
+    demand = FlowDemand("s", "t", 2)
+    result = benchmark(naive_reliability, net, demand, solver=solver)
+    assert 0 < result.value < 1

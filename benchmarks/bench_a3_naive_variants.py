@@ -1,0 +1,77 @@
+"""A3 — ablation: naive-algorithm engineering.
+
+Two levers, both exact: (1) monotone pruning of the configuration scan,
+(2) vectorized configuration probabilities (the doubling table) vs the
+scalar per-configuration product."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import time_call
+from repro.bench.workloads import scaling_workload
+from repro.core import FlowDemand, naive_reliability
+from repro.probability import configuration_probabilities, configuration_probability
+
+
+def _pruning_rows():
+    rows = []
+    for size in (8, 10, 12):
+        workload = scaling_workload(size, demand=2, k=2, seed=5)
+        net, demand = workload.network, workload.demand
+        pruned = time_call(naive_reliability, net, demand, prune=True, repeats=1)
+        plain = time_call(naive_reliability, net, demand, prune=False, repeats=1)
+        assert pruned.value.value == pytest.approx(plain.value.value, abs=1e-12)
+        rows.append(
+            [
+                net.num_links,
+                plain.value.flow_calls,
+                pruned.value.flow_calls,
+                f"{plain.seconds * 1e3:.1f}",
+                f"{pruned.seconds * 1e3:.1f}",
+                f"{plain.value.flow_calls / pruned.value.flow_calls:.1f}x",
+            ]
+        )
+    return rows
+
+
+def test_a3_pruning_table(benchmark, show):
+    rows = benchmark.pedantic(_pruning_rows, rounds=1, iterations=1)
+    show(
+        ["|E|", "calls (plain)", "calls (pruned)", "plain ms", "pruned ms", "call savings"],
+        rows,
+        title="A3: monotone pruning of the naive scan",
+    )
+
+
+def test_a3_probability_vectorization(benchmark, show):
+    probs = list(np.random.default_rng(0).uniform(0.05, 0.4, size=16))
+    vectorized = benchmark.pedantic(
+        lambda: time_call(configuration_probabilities, probs), rounds=1, iterations=1
+    )
+
+    def scalar_all():
+        return [configuration_probability(probs, mask) for mask in range(1 << 16)]
+
+    scalar = time_call(scalar_all, repeats=1)
+    assert np.allclose(vectorized.value, scalar.value)
+    show(
+        ["variant", "ms for 2^16 configs"],
+        [
+            ["numpy doubling table", f"{vectorized.seconds * 1e3:.2f}"],
+            ["scalar product loop", f"{scalar.seconds * 1e3:.2f}"],
+        ],
+        title="A3: configuration-probability construction",
+    )
+    assert vectorized.seconds < scalar.seconds
+
+
+def test_a3_pruned_naive(benchmark):
+    workload = scaling_workload(10, demand=2, k=2, seed=5)
+    result = benchmark(naive_reliability, workload.network, workload.demand, prune=True)
+    assert 0 < result.value < 1
+
+
+def test_a3_unpruned_naive(benchmark):
+    workload = scaling_workload(10, demand=2, k=2, seed=5)
+    result = benchmark(naive_reliability, workload.network, workload.demand, prune=False)
+    assert 0 < result.value < 1

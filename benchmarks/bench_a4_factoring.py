@@ -1,0 +1,75 @@
+"""A4 — extension baseline: factoring (conditioning) vs naive vs
+bottleneck.
+
+Factoring is exact on any network; the table shows where the structure-
+aware bottleneck algorithm pays off and how much the flow-guided
+branching heuristic matters."""
+
+import pytest
+
+from repro.bench.harness import time_call
+from repro.bench.workloads import scaling_workload
+from repro.core import bottleneck_reliability, factoring_reliability, naive_reliability
+
+
+def _method_rows():
+    rows = []
+    for size in (10, 12, 14):
+        workload = scaling_workload(size, demand=2, k=2, seed=7)
+        net, demand = workload.network, workload.demand
+        naive = time_call(naive_reliability, net, demand, repeats=1)
+        fact = time_call(factoring_reliability, net, demand, repeats=1)
+        bneck = time_call(bottleneck_reliability, net, demand, cut=[0, 1], repeats=1)
+        assert fact.value.value == pytest.approx(naive.value.value, abs=1e-9)
+        assert bneck.value.value == pytest.approx(naive.value.value, abs=1e-9)
+        rows.append(
+            [
+                net.num_links,
+                f"{naive.seconds * 1e3:.1f}",
+                f"{fact.seconds * 1e3:.1f}",
+                f"{bneck.seconds * 1e3:.1f}",
+                naive.value.flow_calls,
+                fact.value.flow_calls,
+                bneck.value.flow_calls,
+            ]
+        )
+    return rows
+
+
+def test_a4_method_table(benchmark, show):
+    rows = benchmark.pedantic(_method_rows, rounds=1, iterations=1)
+    show(
+        ["|E|", "naive ms", "factoring ms", "bneck ms",
+         "naive calls", "factoring calls", "bneck calls"],
+        rows,
+        title="A4: exact methods on bottlenecked networks",
+    )
+
+
+def test_a4_branching_heuristic(benchmark, show):
+    workload = scaling_workload(12, demand=2, k=2, seed=8)
+    net, demand = workload.network, workload.demand
+    def sweep():
+        smart = time_call(factoring_reliability, net, demand, use_flow_heuristic=True, repeats=1)
+        dumb = time_call(factoring_reliability, net, demand, use_flow_heuristic=False, repeats=1)
+        return smart, dumb
+
+    smart, dumb = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert smart.value.value == pytest.approx(dumb.value.value, abs=1e-10)
+    show(
+        ["branching rule", "branch nodes", "flow calls", "ms"],
+        [
+            ["flow-guided", smart.value.details["branch_nodes"], smart.value.flow_calls,
+             f"{smart.seconds * 1e3:.1f}"],
+            ["lowest-index", dumb.value.details["branch_nodes"], dumb.value.flow_calls,
+             f"{dumb.seconds * 1e3:.1f}"],
+        ],
+        title="A4: factoring branching heuristic",
+    )
+    assert smart.value.details["branch_nodes"] <= dumb.value.details["branch_nodes"]
+
+
+def test_a4_factoring_benchmark(benchmark):
+    workload = scaling_workload(12, demand=2, k=2, seed=7)
+    result = benchmark(factoring_reliability, workload.network, workload.demand)
+    assert 0 < result.value < 1

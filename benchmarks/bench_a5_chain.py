@@ -1,0 +1,53 @@
+"""A5 — extension: chain decomposition (multi-cut series composition).
+
+The single-cut bottleneck algorithm's exponent is the larger side; a
+series of r cuts drops it to the largest *segment*.  The table shows
+flow-call counts as segments are added at (roughly) constant total
+size — the chain's cost stays near-flat while naive explodes."""
+
+import pytest
+
+from repro.bench.harness import time_call
+from repro.bench.workloads import chain_workload
+from repro.core import chain_reliability, naive_reliability
+
+
+def _chain_rows():
+    rows = []
+    for segments in (2, 3, 4):
+        workload = chain_workload(segments, 4, demand=1, cut_size=2, seed=9)
+        net, demand = workload.network, workload.demand
+        cuts = net._chain_cut_indices
+        chain = time_call(chain_reliability, net, demand, cuts, repeats=1)
+        naive = time_call(naive_reliability, net, demand, repeats=1)
+        assert chain.value.value == pytest.approx(naive.value.value, abs=1e-9)
+        rows.append(
+            [
+                segments,
+                net.num_links,
+                len(cuts),
+                chain.value.flow_calls,
+                naive.value.flow_calls,
+                f"{chain.seconds * 1e3:.1f}",
+                f"{naive.seconds * 1e3:.1f}",
+            ]
+        )
+    return rows
+
+
+def test_a5_chain_table(benchmark, show):
+    rows = benchmark.pedantic(_chain_rows, rounds=1, iterations=1)
+    show(
+        ["segments", "|E|", "cuts", "chain calls", "naive calls", "chain ms", "naive ms"],
+        rows,
+        title="A5: chain decomposition vs naive (segment size 4, cut size 2)",
+    )
+    # Shape: naive call count explodes with |E| while chain's stays far below.
+    assert rows[-1][3] < rows[-1][4] / 10
+
+
+def test_a5_chain_benchmark(benchmark):
+    workload = chain_workload(3, 4, demand=1, cut_size=2, seed=9)
+    cuts = workload.network._chain_cut_indices
+    result = benchmark(chain_reliability, workload.network, workload.demand, cuts)
+    assert 0 <= result.value <= 1

@@ -1,0 +1,80 @@
+"""E10 — the §II motivation, quantified: overlay families under churn.
+
+Regenerates: exact reliability, Monte-Carlo estimate and correlated
+peer-level simulation for single-tree / multi-tree / mesh overlays, for
+the deepest subscriber.  Shape to reproduce: multi-tree > single-tree
+at equal stripe count (the SplitStream argument the paper cites)."""
+
+from repro.core import FlowDemand, compute_reliability
+from repro.p2p import (
+    ChildChurnModel,
+    MEDIA_SERVER,
+    build_overlay,
+    make_peers,
+    peer_level_reliability,
+    run_scenario,
+    to_flow_network,
+)
+
+FAMILIES = ("single-tree", "multi-tree", "mesh")
+
+
+def _family_rows():
+    rows = []
+    values = {}
+    for family in FAMILIES:
+        scenario = run_scenario(
+            family,
+            num_peers=8,
+            num_stripes=2,
+            mean_session=300,
+            mean_offline=60,
+            upload_capacity=6,
+            num_samples=8_000,
+            peer_level_trials=3_000,
+            seed=0,
+        )
+        values[family] = scenario.exact_reliability
+        rows.append(
+            [
+                family,
+                scenario.exact_reliability,
+                scenario.estimate,
+                scenario.peer_level,
+                scenario.max_depth,
+                scenario.exact_method,
+            ]
+        )
+    return rows, values
+
+
+def test_e10_overlay_family_table(benchmark, show):
+    rows, values = benchmark.pedantic(_family_rows, rounds=1, iterations=1)
+    show(
+        ["overlay", "exact R", "monte-carlo", "peer-level", "depth", "method"],
+        rows,
+        title="E10: overlay reliability for the deepest subscriber",
+    )
+    # The paper's SII shape: striped interior-disjoint trees beat one tree.
+    assert values["multi-tree"] > values["single-tree"]
+    # Estimates track the exact values.
+    for row in rows:
+        assert abs(row[1] - row[2]) < 0.03
+
+
+def test_e10_exact_computation(benchmark):
+    peers = make_peers(8, upload_capacity=6, mean_session=300, mean_offline=60)
+    overlay = build_overlay("multi-tree", peers, num_stripes=2)
+    net = to_flow_network(overlay, ChildChurnModel())
+    demand = FlowDemand(MEDIA_SERVER, "p7", 2)
+    result = benchmark(compute_reliability, net, demand=demand)
+    assert 0 < result.value < 1
+
+
+def test_e10_peer_level_simulation(benchmark):
+    peers = make_peers(8, upload_capacity=6, mean_session=300, mean_offline=60)
+    overlay = build_overlay("multi-tree", peers, num_stripes=2)
+    value = benchmark(
+        peer_level_reliability, overlay, "p7", 2, num_trials=500, seed=0
+    )
+    assert 0 <= value <= 1

@@ -1,0 +1,50 @@
+"""E3/E5 — Examples 1 and 5: assignment enumeration and support
+classification.
+
+Regenerates: the 12-tuple assignment set of Example 1 and the
+subset classification of Example 5, plus the |D| growth table that
+underlies the paper's d^k constant."""
+
+from repro.core import classify_by_support, count_assignments, enumerate_assignments
+from repro.graph import fujita_fig4  # noqa: F401  (documents the source graph family)
+
+EXAMPLE1 = [
+    (0, 2, 3), (0, 3, 2), (1, 1, 3), (1, 2, 2), (1, 3, 1), (2, 0, 3),
+    (2, 1, 2), (2, 2, 1), (2, 3, 0), (3, 0, 2), (3, 1, 1), (3, 2, 0),
+]
+
+
+def test_e3_example1_enumeration(benchmark, show):
+    assignments = benchmark(enumerate_assignments, [3, 3, 3], 5)
+    show(
+        ["d", "k", "caps", "|D|"],
+        [[5, 3, "(3,3,3)", len(assignments)]],
+        title="E3: Example 1 assignment set",
+    )
+    assert assignments == EXAMPLE1
+
+
+def test_e5_example5_classification(benchmark, show):
+    assignments = [(1, 2, 0), (2, 1, 0), (1, 1, 1), (0, 2, 1), (2, 0, 1)]
+    table = benchmark(classify_by_support, assignments, 3)
+    rows = [
+        [f"{mask:03b}", len(idxs), [assignments[i] for i in idxs]]
+        for mask, idxs in sorted(table.items(), reverse=True)
+    ]
+    show(["subset E'", "|D_E'|", "members"], rows, title="E5: Example 5 classification")
+    assert len(table[0b111]) == 5
+    assert [assignments[i] for i in table[0b011]] == [(1, 2, 0), (2, 1, 0)]
+
+
+def test_e3_cardinality_growth(benchmark, show):
+    def sweep():
+        rows = []
+        for d in (1, 2, 3, 4, 5):
+            for k in (1, 2, 3):
+                rows.append([d, k, count_assignments([d] * k, d), (d + 1) ** k])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show(["d", "k", "|D|", "(d+1)^k bound"], rows, title="E3: |D| growth in d and k")
+    for d, k, count, bound in rows:
+        assert count <= bound

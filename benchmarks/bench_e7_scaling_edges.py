@@ -1,0 +1,65 @@
+"""E7 — the headline complexity claim: O(2^{|E|}) vs O(2^{α|E|}).
+
+Regenerates: the runtime/flow-call scaling series for growing |E| at a
+balanced split (α ≈ 1/2, k = 2, d = 2).  The absolute times are
+machine-dependent; the *shape* — naive cost doubling per link, the
+bottleneck cost doubling per two links, hence the speedup doubling per
+side-link pair — is the paper's theorem."""
+
+from repro.bench.harness import time_call
+from repro.bench.workloads import scaling_workload
+from repro.core import bottleneck_reliability, naive_reliability
+
+SIZES = (8, 10, 12, 14)
+
+
+def test_e7_scaling_series(benchmark, show):
+    def sweep():
+        rows = []
+        series = []
+        for size in SIZES:
+            workload = scaling_workload(size, demand=2, k=2, seed=1)
+            net, demand = workload.network, workload.demand
+            naive = time_call(naive_reliability, net, demand, repeats=1)
+            bneck = time_call(bottleneck_reliability, net, demand, cut=[0, 1], repeats=1)
+            assert abs(naive.value.value - bneck.value.value) < 1e-9
+            speedup_calls = naive.value.flow_calls / max(1, bneck.value.flow_calls)
+            series.append(speedup_calls)
+            rows.append(
+                [
+                    net.num_links,
+                    f"{naive.seconds * 1e3:.2f}",
+                    naive.value.flow_calls,
+                    f"{bneck.seconds * 1e3:.2f}",
+                    bneck.value.flow_calls,
+                    f"{speedup_calls:.1f}x",
+                ]
+            )
+        return rows, series
+
+    rows, series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show(
+        ["|E|", "naive ms", "naive calls", "bneck ms", "bneck calls", "call ratio"],
+        rows,
+        title="E7: naive vs bottleneck scaling (alpha ~ 1/2, k=2, d=2)",
+    )
+    # Shape check: the call-count advantage grows monotonically and by
+    # at least 2x per two added side links towards the end of the series.
+    assert all(b > a for a, b in zip(series, series[1:]))
+    assert series[-1] / series[-2] > 1.8
+
+
+def test_e7_bottleneck_largest(benchmark):
+    workload = scaling_workload(SIZES[-1], demand=2, k=2, seed=1)
+    result = benchmark(
+        bottleneck_reliability, workload.network, workload.demand, cut=[0, 1]
+    )
+    assert 0 < result.value < 1
+
+
+def test_e7_naive_largest(benchmark):
+    workload = scaling_workload(SIZES[-1], demand=2, k=2, seed=1)
+    result = benchmark.pedantic(
+        naive_reliability, args=(workload.network, workload.demand), rounds=2, iterations=1
+    )
+    assert 0 < result.value < 1

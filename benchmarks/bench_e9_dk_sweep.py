@@ -1,0 +1,79 @@
+"""E9 — the constant factors: cost growth in d and k.
+
+Regenerates: the |D| = O(d^k) assignment count and the resulting
+per-side solve counts (|D| · 2^{|E_side|}), plus the Monte-Carlo
+convergence cross-check used throughout the paper reproduction."""
+
+from repro.bench.harness import time_call
+from repro.bench.workloads import dk_workload
+from repro.core import (
+    bottleneck_reliability,
+    montecarlo_reliability,
+    naive_reliability,
+)
+
+
+def _dk_rows():
+    rows = []
+    for d in (1, 2, 3):
+        for k in (1, 2, 3):
+            workload = dk_workload(d, k, side_links=5, seed=3)
+            net, demand = workload.network, workload.demand
+            timed = time_call(
+                bottleneck_reliability, net, demand, cut=list(range(k)), repeats=1
+            )
+            result = timed.value
+            rows.append(
+                [
+                    d,
+                    k,
+                    result.details["num_assignments"],
+                    result.flow_calls,
+                    f"{timed.seconds * 1e3:.2f}",
+                    result.value,
+                ]
+            )
+    return rows
+
+
+def test_e9_dk_series(benchmark, show):
+    rows = benchmark.pedantic(_dk_rows, rounds=1, iterations=1)
+    show(
+        ["d", "k", "|D|", "flow calls", "ms", "R"],
+        rows,
+        title="E9: cost growth in demand d and bottleneck count k",
+    )
+    # |D| grows with both d and k (holding the other fixed)
+    by = {(r[0], r[1]): r[2] for r in rows}
+    assert by[(1, 2)] < by[(2, 2)] < by[(3, 2)]
+    assert by[(2, 1)] < by[(2, 2)] < by[(2, 3)]
+
+
+def test_e9_montecarlo_convergence(benchmark, show):
+    workload = dk_workload(2, 2, side_links=5, seed=3)
+    net, demand = workload.network, workload.demand
+    exact = naive_reliability(net, demand).value
+
+    def sweep():
+        rows = []
+        for samples in (500, 5_000, 50_000):
+            est = montecarlo_reliability(net, demand, num_samples=samples, seed=0)
+            rows.append([samples, est.value, abs(est.value - exact), est.half_width])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show(
+        ["samples", "estimate", "abs error", "CI half-width"],
+        rows,
+        title=f"E9: Monte-Carlo convergence to exact R = {exact:.6f}",
+    )
+    assert rows[-1][3] < rows[0][3]
+    assert rows[-1][2] < 0.02
+
+
+def test_e9_headline_case(benchmark):
+    workload = dk_workload(3, 3, side_links=5, seed=3)
+    result = benchmark(
+        bottleneck_reliability, workload.network, workload.demand, cut=[0, 1, 2]
+    )
+    assert 0 <= result.value <= 1

@@ -1,0 +1,93 @@
+"""X1 — extension: series-parallel reductions for d = 1.
+
+Polynomial-time exact reliability on SP networks, and a preprocessor
+shrinking everything else.  The table shows the reduction factor and
+the agreement with exponential methods."""
+
+import pytest
+
+from repro.bench.harness import time_call
+from repro.core import (
+    FlowDemand,
+    naive_reliability,
+    reduce_for_unit_demand,
+    series_parallel_reliability,
+)
+from repro.graph import diamond, parallel_links, series_chain
+from repro.graph.network import FlowNetwork
+
+
+def ladder(sections: int, p: float = 0.1) -> FlowNetwork:
+    """A long series of parallel pairs — SP, so closed-form solvable."""
+    net = FlowNetwork(name=f"ladder-{sections}")
+    nodes = ["s"] + [f"m{i}" for i in range(sections - 1)] + ["t"]
+    for a, b in zip(nodes, nodes[1:]):
+        net.add_link(a, b, 1, p)
+        net.add_link(a, b, 1, p)
+    return net
+
+
+def test_x1_sp_vs_naive(benchmark, show):
+    def sweep():
+        rows = []
+        for name, net in (
+            ("chain-6", series_chain(6, 1, 0.1)),
+            ("parallel-6", parallel_links(6, 1, 0.1)),
+            ("diamond", diamond()),
+            ("ladder-8", ladder(8)),
+        ):
+            demand = FlowDemand("s", "t", 1)
+            sp = time_call(series_parallel_reliability, net, demand)
+            naive = time_call(naive_reliability, net, demand, repeats=1)
+            assert sp.value.value == pytest.approx(naive.value.value, abs=1e-12)
+            rows.append(
+                [
+                    name,
+                    net.num_links,
+                    sp.value.value,
+                    f"{sp.seconds * 1e3:.3f}",
+                    f"{naive.seconds * 1e3:.3f}",
+                    naive.value.flow_calls,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show(
+        ["network", "|E|", "R", "SP ms", "naive ms", "naive calls"],
+        rows,
+        title="X1: polynomial SP reduction vs exponential naive (d=1)",
+    )
+
+
+def test_x1_ladder_beyond_naive_budget(benchmark, show):
+    """A 40-link ladder: hopeless for enumeration (2^40), trivial for SP."""
+    net = ladder(20)
+    demand = FlowDemand("s", "t", 1)
+    result = benchmark(series_parallel_reliability, net, demand)
+    pair = 1 - 0.1**2
+    show(
+        ["|E|", "R (SP)", "closed form (1-p^2)^20"],
+        [[net.num_links, result.value, pair**20]],
+        title="X1: SP solves sizes enumeration cannot touch",
+    )
+    assert result.value == pytest.approx(pair**20, abs=1e-12)
+
+
+def test_x1_reduction_as_preprocessor(benchmark, show):
+    """Non-SP network: reduce first, then enumerate the smaller core."""
+    net = diamond(cross_link=True)  # Wheatstone bridge, not SP
+    net.add_link("t", "u1", 1, 0.1)
+    net.add_link("u1", "u2", 1, 0.1)
+    net.add_link("u2", "tt", 1, 0.1)
+    demand = FlowDemand("s", "tt", 1)
+    report = benchmark(reduce_for_unit_demand, net, demand)
+    full = naive_reliability(net, demand).value
+    reduced_value = naive_reliability(report.network, demand).value
+    show(
+        ["original |E|", "reduced |E|", "R (original)", "R (reduced)"],
+        [[net.num_links, report.network.num_links, full, reduced_value]],
+        title="X1: reduction as a preprocessor on a non-SP network",
+    )
+    assert reduced_value == pytest.approx(full, abs=1e-12)
+    assert report.network.num_links < net.num_links

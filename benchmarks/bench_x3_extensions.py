@@ -1,0 +1,103 @@
+"""X3 — extensions: flow-value distribution, broadcast reliability,
+stratified Monte-Carlo.
+
+The operator-facing quantities built on the paper's machinery: the PMF
+of the deliverable rate (reliability at every demand at once), the
+multi-subscriber simultaneous-delivery probability, and the
+variance-reduced estimator."""
+
+import pytest
+
+from repro.bench.harness import time_call
+from repro.core import (
+    FlowDemand,
+    broadcast_reliability,
+    coverage_curve,
+    flow_value_distribution,
+    montecarlo_reliability,
+    naive_reliability,
+    stratified_montecarlo_reliability,
+)
+from repro.graph import fujita_fig4, parallel_links
+from repro.p2p import ChildChurnModel, MEDIA_SERVER, make_peers, multi_tree, to_flow_network
+
+
+def test_x3_flow_value_distribution(benchmark, show):
+    net = fujita_fig4()
+    dist = benchmark(flow_value_distribution, net, "s", "t")
+    rows = [
+        [v, dist.pmf[v], dist.reliability(v)] for v in range(len(dist.pmf))
+    ]
+    show(
+        ["rate", "P(maxflow = rate)", "P(maxflow >= rate)"],
+        rows,
+        title=f"X3: deliverable-rate PMF on Fig. 4 (E[rate] = {dist.expected_value:.4f})",
+    )
+    for rate in (1, 2, 3):
+        expected = naive_reliability(net, FlowDemand("s", "t", rate)).value
+        assert dist.reliability(rate) == pytest.approx(expected, abs=1e-12)
+
+
+def test_x3_broadcast_coverage(benchmark, show):
+    peers = make_peers(6, mean_session=300, mean_offline=60, upload_capacity=6)
+    overlay = multi_tree(peers, num_stripes=2)
+    net = to_flow_network(overlay, ChildChurnModel())
+    subscribers = ["p4", "p5"]
+
+    report = benchmark.pedantic(
+        coverage_curve, args=(net, MEDIA_SERVER, subscribers, 1), rounds=1, iterations=1
+    )
+    rows = [
+        [sub, value] for sub, value in zip(report.subscribers, report.individual)
+    ]
+    rows.append(["broadcast (simultaneous)", report.broadcast])
+    rows.append(["expected coverage", report.expected_coverage])
+    show(["quantity", "probability"], rows, title="X3: multi-subscriber delivery")
+    assert report.broadcast <= min(report.individual) + 1e-12
+
+
+def test_x3_stratified_vs_plain(benchmark, show):
+    net = parallel_links(6, 1, 0.02)  # extreme-reliability regime
+    demand = FlowDemand("s", "t", 2)
+    exact = naive_reliability(net, demand).value
+
+    def sweep():
+        rows = []
+        for seed in range(3):
+            plain = montecarlo_reliability(net, demand, num_samples=400, seed=seed)
+            strat = stratified_montecarlo_reliability(
+                net, demand, num_samples=400, seed=seed
+            )
+            rows.append(
+                [seed, abs(plain.value - exact), abs(strat.value - exact)]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show(
+        ["seed", "plain MC abs error", "stratified abs error"],
+        rows,
+        title=f"X3: estimators at 400 samples, exact R = {exact:.8f}",
+    )
+    assert sum(r[2] for r in rows) <= sum(r[1] for r in rows) + 1e-9
+
+
+def test_x3_reliability_polynomial(benchmark, show):
+    """The reliability-vs-p curve of the Fig. 4 graph — the classic
+    figure, exactly, from one enumeration."""
+    from repro.core import reliability_polynomial
+
+    net = fujita_fig4()
+    demand = FlowDemand("s", "t", 2)
+    poly = benchmark(reliability_polynomial, net, demand)
+    grid = [0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9]
+    rows = [[p, poly(p)] for p in grid]
+    show(
+        ["p (all links)", "R(p)"],
+        rows,
+        title=f"X3: reliability polynomial of Fig. 4, d = 2 "
+        f"(N = {poly.counts}, min feasible links = {poly.min_feasible_links})",
+    )
+    assert poly(0.1) == pytest.approx(0.842635791, abs=1e-9)
+    values = [poly(p) for p in grid]
+    assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))

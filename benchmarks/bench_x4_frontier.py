@@ -1,0 +1,125 @@
+"""X4 — extension: frontier-sweep exact reliability.
+
+The third exact paradigm: cost parameterized by frontier width, not
+link count.  The table sweeps ladder length — enumeration cost would be
+2^|E| while the frontier cost stays linear in |E| at constant width."""
+
+import pytest
+
+from repro.bench.harness import time_call
+from repro.core import FlowDemand, frontier_reliability, naive_reliability
+from repro.core.frontier import bfs_link_order, frontier_width
+from repro.graph.network import FlowNetwork
+
+
+def undirected_ladder(sections: int, p: float = 0.1) -> FlowNetwork:
+    net = FlowNetwork(name=f"uladder-{sections}")
+    nodes = ["s"] + [f"m{i}" for i in range(sections - 1)] + ["t"]
+    for a, b in zip(nodes, nodes[1:]):
+        net.add_link(a, b, 1, p, directed=False)
+        net.add_link(a, b, 1, p, directed=False)
+    return net
+
+
+def undirected_grid(rows: int, cols: int, p: float = 0.1) -> FlowNetwork:
+    """Undirected grid with corner terminals — frontier width = rows + 1."""
+    net = FlowNetwork(name=f"ugrid-{rows}x{cols}")
+    name = lambda r, c: "s" if (r, c) == (0, 0) else ("t" if (r, c) == (rows - 1, cols - 1) else f"n{r}_{c}")  # noqa: E731
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                net.add_link(name(r, c), name(r, c + 1), 1, p, directed=False)
+            if r + 1 < rows:
+                net.add_link(name(r, c), name(r + 1, c), 1, p, directed=False)
+    return net
+
+
+def test_x4_ladder_scaling(benchmark, show):
+    def sweep():
+        rows = []
+        for sections in (6, 25, 100, 400):
+            net = undirected_ladder(sections)
+            demand = FlowDemand("s", "t", 1)
+            timed = time_call(frontier_reliability, net, demand, repeats=1)
+            closed_form = (1 - 0.01) ** sections
+            assert timed.value.value == pytest.approx(closed_form, abs=1e-9)
+            rows.append(
+                [
+                    net.num_links,
+                    f"{timed.seconds * 1e3:.2f}",
+                    timed.value.details["peak_states"],
+                    timed.value.value,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show(
+        ["|E|", "ms", "peak states", "R"],
+        rows,
+        title="X4: frontier sweep on ladders (naive would need 2^|E| solves)",
+    )
+    # Shape: cost grows ~linearly in |E| — under 40x for a 67x size jump.
+    assert float(rows[-1][1]) < float(rows[0][1]) * 400
+
+
+def test_x4_matches_naive_on_grid(benchmark, show):
+    net = undirected_grid(3, 4)
+    demand = FlowDemand("s", "t", 1)
+    result = benchmark(frontier_reliability, net, demand)
+    expected = naive_reliability(net, demand).value
+    order = bfs_link_order(net, "s")
+    show(
+        ["graph", "|E|", "frontier width", "peak states", "R (frontier)", "R (naive)"],
+        [
+            [
+                net.name,
+                net.num_links,
+                frontier_width(net, order),
+                result.details["peak_states"],
+                result.value,
+                expected,
+            ]
+        ],
+        title="X4: 3x4 grid cross-check",
+    )
+    assert result.value == pytest.approx(expected, abs=1e-10)
+
+
+def test_x4_wide_grid_beyond_enumeration(benchmark, show):
+    net = undirected_grid(4, 12)  # 80 links
+    demand = FlowDemand("s", "t", 1)
+    result = benchmark.pedantic(
+        frontier_reliability, args=(net, demand), rounds=1, iterations=1
+    )
+    show(
+        ["graph", "|E|", "peak states", "R"],
+        [[net.name, net.num_links, result.details["peak_states"], result.value]],
+        title="X4: 4x12 grid (2^80 configurations for naive)",
+    )
+    assert 0 < result.value < 1
+
+
+def test_x4_directed_diamond_chain(benchmark, show):
+    """The directed variant on a deep relay chain of diamonds."""
+    from repro.core import directed_frontier_reliability
+
+    net = FlowNetwork(name="directed-diamonds")
+    prev = "s"
+    sections = 60
+    for i in range(sections):
+        nxt = f"c{i}" if i < sections - 1 else "t"
+        net.add_link(prev, f"a{i}", 1, 0.1)
+        net.add_link(prev, f"b{i}", 1, 0.1)
+        net.add_link(f"a{i}", nxt, 1, 0.1)
+        net.add_link(f"b{i}", nxt, 1, 0.1)
+        prev = nxt
+    demand = FlowDemand("s", "t", 1)
+    result = benchmark(directed_frontier_reliability, net, demand)
+    closed = (1 - (1 - 0.81) ** 2) ** sections
+    show(
+        ["graph", "|E|", "peak states", "R", "closed form"],
+        [[net.name, net.num_links, result.details["peak_states"], result.value, closed]],
+        title="X4: directed frontier on a 240-link relay chain",
+    )
+    assert result.value == pytest.approx(closed, abs=1e-10)

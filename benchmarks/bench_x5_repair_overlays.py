@@ -1,0 +1,84 @@
+"""X5 — extension: overlay repair and hybrid overlays.
+
+§II notes that several systems re-route after detecting faults; this
+bench quantifies how much repair buys per overlay family, and where the
+mtreebone-style hybrid sits between pure trees and mesh."""
+
+from repro.bench.harness import time_call
+from repro.core import FlowDemand, compute_reliability
+from repro.p2p import (
+    ChildChurnModel,
+    MEDIA_SERVER,
+    build_overlay,
+    make_peers,
+    peer_level_reliability,
+    repaired_reliability,
+    to_flow_network,
+)
+
+FAMILIES = ("single-tree", "multi-tree", "treebone", "mesh")
+
+
+def test_x5_repair_gain(benchmark, show):
+    """Two regimes.  With ample aggregate upload capacity, *ideal* repair
+    always restores delivery (post-repair probability 1.0 — churn's real
+    cost is then the transient chunk loss the DES measures).  With a
+    leech-heavy population (most peers contribute no upload), repair is
+    capacity-limited and the gain is partial."""
+    from repro.p2p import Peer
+
+    rich = make_peers(8, mean_session=60, mean_offline=60, upload_capacity=3)
+    poor = [
+        Peer(f"p{i}", upload_capacity=3 if i < 2 else 0, mean_session=60, mean_offline=60)
+        for i in range(8)
+    ]
+
+    def sweep():
+        rows = []
+        for label, peers in (("capacity-rich", rich), ("leech-heavy", poor)):
+            for family in ("single-tree", "mesh"):
+                overlay = build_overlay(family, peers, num_stripes=1, seed=0)
+                static = peer_level_reliability(overlay, "p7", 1, num_trials=1200, seed=1)
+                repaired = repaired_reliability(overlay, "p7", 1, num_trials=1200, seed=1)
+                rows.append([label, family, static, repaired, repaired - static])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show(
+        ["population", "overlay", "no repair", "with repair", "gain"],
+        rows,
+        title="X5: route repair gain (peer-level simulation, deepest subscriber)",
+    )
+    for row in rows:
+        assert row[3] >= row[2] - 0.03  # repair never hurts (noise margin)
+    # rich population: ideal repair restores delivery outright
+    assert all(row[3] == 1.0 for row in rows if row[0] == "capacity-rich")
+    # leech-heavy population: repair is capacity-limited
+    assert any(row[3] < 1.0 for row in rows if row[0] == "leech-heavy")
+
+
+def test_x5_hybrid_position(benchmark, show):
+    peers = make_peers(8, mean_session=300, mean_offline=60, upload_capacity=8)
+
+    def sweep():
+        rows = []
+        values = {}
+        for family in FAMILIES:
+            overlay = build_overlay(family, peers, num_stripes=1, seed=0)
+            net = to_flow_network(overlay, ChildChurnModel())
+            demand = FlowDemand(MEDIA_SERVER, "p7", 1)
+            timed = time_call(compute_reliability, net, demand=demand, repeats=1)
+            values[family] = timed.value.value
+            rows.append(
+                [family, net.num_links, timed.value.value, timed.value.method]
+            )
+        return rows, values
+
+    rows, values = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show(
+        ["overlay", "links", "exact R (d=1)", "method"],
+        rows,
+        title="X5: exact unit-rate reliability per overlay family",
+    )
+    # the hybrid's auxiliary links must beat the plain single tree
+    assert values["treebone"] > values["single-tree"]

@@ -1,0 +1,62 @@
+"""X6 — extension: exact peer-level reliability via node splitting.
+
+The independent-link model the paper computes vs the correlated
+peer-level truth, both now exact: the node-splitting transformation
+turns peer failures into link failures without approximation, so the
+correlation gap E10 could only sample becomes a closed-form column."""
+
+import pytest
+
+from repro.bench.harness import time_call
+from repro.core import FlowDemand, compute_reliability
+from repro.p2p import (
+    ChildChurnModel,
+    MEDIA_SERVER,
+    build_overlay,
+    exact_peer_level_reliability,
+    make_peers,
+    peer_level_reliability,
+    to_flow_network,
+)
+
+FAMILIES = ("single-tree", "multi-tree", "mesh", "treebone")
+
+
+def test_x6_correlation_gap(benchmark, show):
+    peers = make_peers(8, mean_session=300, mean_offline=100, upload_capacity=8)
+
+    def sweep():
+        rows = []
+        for family in FAMILIES:
+            overlay = build_overlay(family, peers, num_stripes=2, seed=0)
+            independent = compute_reliability(
+                to_flow_network(overlay, ChildChurnModel()),
+                demand=FlowDemand(MEDIA_SERVER, "p7", 2),
+            ).value
+            correlated = exact_peer_level_reliability(overlay, "p7", 2).value
+            sampled = peer_level_reliability(overlay, "p7", 2, num_trials=4000, seed=1)
+            assert sampled == pytest.approx(correlated, abs=0.025)
+            rows.append(
+                [family, independent, correlated, correlated - independent, sampled]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show(
+        ["overlay", "independent links", "peer-level exact", "gap", "peer-level sampled"],
+        rows,
+        title="X6: independent-link model vs exact correlated peer churn (d = 2)",
+    )
+    # Correlation helps when stripes share peers (trees stack stripes on
+    # the same nodes), so the gap is positive for the tree families.
+    tree_rows = [r for r in rows if r[0] in ("single-tree", "multi-tree")]
+    assert all(r[3] > 0 for r in tree_rows)
+
+
+def test_x6_exact_computation(benchmark):
+    peers = make_peers(8, mean_session=300, mean_offline=100, upload_capacity=8)
+    overlay = build_overlay("multi-tree", peers, num_stripes=2, seed=0)
+    result = benchmark.pedantic(
+        exact_peer_level_reliability, args=(overlay, "p7", 2), rounds=2, iterations=1
+    )
+    assert 0 < result.value < 1

@@ -1,0 +1,62 @@
+"""X7 — extension: link importance measures.
+
+Which link should the operator upgrade?  The table ranks the quickstart
+network's links by Birnbaum importance; the bottleneck links dominate —
+the quantitative version of the paper's premise that bottleneck links
+are where reliability is decided."""
+
+import pytest
+
+from repro.core import FlowDemand, link_importances, most_important_link
+from repro.graph import FlowNetwork
+
+
+def quickstart_network() -> FlowNetwork:
+    net = FlowNetwork(name="quickstart")
+    net.add_link("a", "c", 2, 0.05)  # 0: bottleneck
+    net.add_link("b", "d", 2, 0.05)  # 1: bottleneck
+    net.add_link("s", "a", 2, 0.10)
+    net.add_link("s", "b", 2, 0.10)
+    net.add_link("s", "a", 1, 0.20)
+    net.add_link("a", "b", 1, 0.15)
+    net.add_link("c", "t", 2, 0.10)
+    net.add_link("d", "t", 2, 0.10)
+    net.add_link("c", "d", 1, 0.15)
+    net.add_link("d", "t", 1, 0.20)
+    return net
+
+
+def test_x7_importance_ranking(benchmark, show):
+    net = quickstart_network()
+    demand = FlowDemand("s", "t", 2)
+    table = benchmark.pedantic(
+        link_importances, args=(net, demand), rounds=1, iterations=1
+    )
+    ranked = sorted(table, key=lambda imp: -imp.birnbaum)
+    rows = [
+        [
+            f"e{imp.link_index}",
+            imp.birnbaum,
+            imp.improvement_potential,
+            imp.risk_achievement_worth,
+            imp.fussell_vesely,
+        ]
+        for imp in ranked
+    ]
+    show(
+        ["link", "Birnbaum", "improvement", "RAW", "Fussell-Vesely"],
+        rows,
+        title="X7: link importance on the quickstart network (d = 2)",
+    )
+    # the two bottleneck links must top the Birnbaum ranking
+    assert {ranked[0].link_index, ranked[1].link_index} == {0, 1}
+
+
+def test_x7_most_important(benchmark):
+    net = quickstart_network()
+    demand = FlowDemand("s", "t", 2)
+    best = benchmark.pedantic(
+        most_important_link, args=(net, demand), rounds=1, iterations=1
+    )
+    assert best.link_index in (0, 1)
+    assert best.birnbaum > 0

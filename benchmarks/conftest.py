@@ -1,0 +1,26 @@
+"""Benchmark-suite configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each module regenerates one row of the experiment index in DESIGN.md:
+the pytest-benchmark fixture times the headline operation, and the
+module prints the paper-shaped table (add ``-s`` to see them inline;
+they are also asserted, so a silent run still validates the shapes).
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def show():
+    """Print helper that works under captured output too."""
+    from repro.bench.reporting import format_table
+
+    def _show(headers, rows, title=None):
+        table = format_table(headers, rows, title=title)
+        print("\n" + table + "\n")
+        return table
+
+    return _show

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Overlay study: single tree vs SplitStream-style multi-tree vs mesh.
+
+For each overlay family the script computes the exact delivery
+reliability for the deepest subscriber (the paper's flow-reliability
+question), a Monte-Carlo estimate, the correlated peer-level simulation,
+and a chunk-level streaming continuity index — the full pipeline behind
+experiment E10.
+
+Run:  python examples/p2p_overlay_study.py
+"""
+
+from repro.bench.reporting import print_table
+from repro.p2p import (
+    StreamingSimulator,
+    build_overlay,
+    make_peers,
+    run_scenario,
+)
+
+
+def continuity(family: str, num_peers: int, num_stripes: int, seed: int) -> float:
+    peers = make_peers(
+        num_peers, upload_capacity=2 * num_stripes + 2, mean_session=120, mean_offline=30
+    )
+    overlay = build_overlay(family, peers, num_stripes=num_stripes, seed=seed)
+    outs = [
+        StreamingSimulator(overlay)
+        .run(peers[-1].peer_id, horizon=300, seed=s)
+        .continuity_index
+        for s in range(3)
+    ]
+    return sum(outs) / len(outs)
+
+
+def main() -> None:
+    rows = []
+    for family in ("single-tree", "multi-tree", "mesh"):
+        scenario = run_scenario(
+            family,
+            num_peers=8,
+            num_stripes=2,
+            mean_session=300,
+            mean_offline=60,
+            upload_capacity=6,
+            num_samples=20_000,
+            peer_level_trials=5_000,
+            seed=0,
+        )
+        rows.append(
+            [
+                family,
+                scenario.exact_reliability,
+                scenario.estimate,
+                scenario.peer_level,
+                continuity(family, 8, 2, 0),
+                scenario.max_depth,
+                scenario.exact_method,
+            ]
+        )
+    print_table(
+        [
+            "overlay",
+            "exact R",
+            "monte-carlo",
+            "peer-level sim",
+            "continuity",
+            "depth",
+            "method",
+        ],
+        rows,
+        title="Delivery reliability of the deepest subscriber (8 peers, 2 stripes)",
+    )
+    print(
+        "Reading the table: multi-tree striping beats a single tree at equal\n"
+        "stripe count (the paper's SII motivation); the peer-level simulation\n"
+        "shows the correlation the independent-link model abstracts away; the\n"
+        "continuity index is the time-domain counterpart of the same quantity."
+    )
+
+
+if __name__ == "__main__":
+    main()

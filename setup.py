@@ -1,0 +1,9 @@
+"""Shim for legacy editable installs in offline environments.
+
+``pip install -e . --no-build-isolation --no-use-pep517`` works without
+the ``wheel`` package; all real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""Shared benchmark harness: workloads, timing, table reporting."""
+
+from repro.bench.harness import TimedResult, time_call
+from repro.bench.reporting import format_table, print_table
+from repro.bench.workloads import (
+    Workload,
+    alpha_workload,
+    chain_workload,
+    dk_workload,
+    scaling_workload,
+)
+
+__all__ = [
+    "TimedResult",
+    "time_call",
+    "format_table",
+    "print_table",
+    "Workload",
+    "alpha_workload",
+    "chain_workload",
+    "dk_workload",
+    "scaling_workload",
+]

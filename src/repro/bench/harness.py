@@ -1,0 +1,47 @@
+"""Timing helpers for the experiment benches.
+
+pytest-benchmark times a single target well; the experiment tables need
+*sweeps* of quick measurements (one per parameter point) inside one
+bench.  :func:`time_call` provides a small best-of-N timer for those
+interior points, keeping the pytest-benchmark fixture for the headline
+measurement of each bench.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+__all__ = ["time_call", "TimedResult"]
+
+
+class TimedResult:
+    """Value plus wall-clock seconds of the best repetition."""
+
+    __slots__ = ("value", "seconds")
+
+    def __init__(self, value: Any, seconds: float) -> None:
+        self.value = value
+        self.seconds = seconds
+
+
+def time_call(
+    fn: Callable[..., Any],
+    *args: Any,
+    repeats: int = 3,
+    **kwargs: Any,
+) -> TimedResult:
+    """Best-of-``repeats`` wall-clock timing of ``fn(*args, **kwargs)``.
+
+    Returns the last call's value and the minimum elapsed time (the
+    standard way to suppress scheduling noise for short calls).
+    """
+    best = float("inf")
+    value: Any = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        value = fn(*args, **kwargs)
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return TimedResult(value, best)

@@ -1,0 +1,57 @@
+"""Plain-text tables for benchmark output.
+
+pytest-benchmark reports raw timings; the experiment benches also print
+the *paper-shaped* rows (who wins, by what factor) through these
+helpers so `pytest benchmarks/ --benchmark-only -s` regenerates every
+table of EXPERIMENTS.md verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "print_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned fixed-width table."""
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> None:
+    """Print :func:`format_table` with surrounding blank lines."""
+    print()
+    print(format_table(headers, rows, title=title))
+    print()

@@ -1,0 +1,119 @@
+"""Benchmark workload construction.
+
+Thin, named wrappers over :mod:`repro.graph.generators` that fix the
+knobs each experiment sweeps, so benchmark modules read like the
+experiment table in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.demand import FlowDemand
+from repro.graph.generators import bottlenecked_network, chained_network
+from repro.graph.network import FlowNetwork
+
+__all__ = ["Workload", "scaling_workload", "alpha_workload", "dk_workload", "chain_workload"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A network plus its demand, labelled for reporting."""
+
+    label: str
+    network: FlowNetwork
+    demand: FlowDemand
+    params: dict
+
+    @property
+    def num_links(self) -> int:
+        return self.network.num_links
+
+
+def scaling_workload(total_links: int, *, demand: int = 2, k: int = 2, seed: int = 0) -> Workload:
+    """E7: grow ``|E|`` with a balanced split (α ≈ 1/2).
+
+    ``total_links`` counts the side links; the ``k`` bottleneck links
+    come on top.
+    """
+    half = total_links // 2
+    net = bottlenecked_network(
+        source_side_links=half,
+        sink_side_links=total_links - half,
+        num_bottlenecks=k,
+        demand=demand,
+        seed=seed,
+    )
+    return Workload(
+        label=f"E={total_links + k}",
+        network=net,
+        demand=FlowDemand("s", "t", demand),
+        params={"total_links": total_links, "k": k, "demand": demand, "seed": seed},
+    )
+
+
+def alpha_workload(
+    total_links: int, alpha: float, *, demand: int = 2, k: int = 2, seed: int = 0
+) -> Workload:
+    """E8: fixed ``|E|``, swept split ratio.
+
+    ``alpha`` is the fraction of side links on the bigger side.
+    """
+    if not 0.5 <= alpha < 1.0:
+        raise ValueError("alpha must be in [0.5, 1)")
+    big = max(k + 1, round(total_links * alpha))
+    small = max(k, total_links - big)
+    net = bottlenecked_network(
+        source_side_links=big,
+        sink_side_links=small,
+        num_bottlenecks=k,
+        demand=demand,
+        seed=seed,
+    )
+    return Workload(
+        label=f"alpha={alpha:.2f}",
+        network=net,
+        demand=FlowDemand("s", "t", demand),
+        params={"alpha": alpha, "total_links": total_links, "k": k, "seed": seed},
+    )
+
+
+def dk_workload(demand: int, k: int, *, side_links: int = 6, seed: int = 0) -> Workload:
+    """E9: fixed sides, swept ``d`` and ``k`` (the constant factors)."""
+    net = bottlenecked_network(
+        source_side_links=max(side_links, k),
+        sink_side_links=max(side_links, k),
+        num_bottlenecks=k,
+        demand=demand,
+        seed=seed,
+    )
+    return Workload(
+        label=f"d={demand},k={k}",
+        network=net,
+        demand=FlowDemand("s", "t", demand),
+        params={"demand": demand, "k": k, "side_links": side_links, "seed": seed},
+    )
+
+
+def chain_workload(
+    num_segments: int, segment_links: int, *, demand: int = 1, cut_size: int = 2, seed: int = 0
+) -> Workload:
+    """A5: series chains for the multi-cut extension."""
+    net = chained_network(
+        [segment_links] * num_segments,
+        cut_sizes=cut_size,
+        demand=demand,
+        seed=seed,
+    )
+    return Workload(
+        label=f"r={num_segments - 1}",
+        network=net,
+        demand=FlowDemand("s", "t", demand),
+        params={
+            "num_segments": num_segments,
+            "segment_links": segment_links,
+            "cut_size": cut_size,
+            "demand": demand,
+            "seed": seed,
+        },
+    )

@@ -1,0 +1,211 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro describe network.json
+    python -m repro compute network.json --source s --sink t --rate 2
+    python -m repro compute network.json -s s -t t -d 2 --method bottleneck
+    python -m repro distribution network.json -s s -t t
+    python -m repro bounds network.json -s s -t t -d 2
+    python -m repro sample-network --kind fig4 -o network.json
+
+Networks are the JSON documents produced by :mod:`repro.graph.io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro._version import __version__
+from repro.core.api import available_methods, compute_reliability
+from repro.core.bounds import reliability_bounds
+from repro.core.demand import FlowDemand
+from repro.core.distribution import flow_value_distribution
+from repro.exceptions import ReproError
+from repro.graph.builders import diamond, fujita_fig2_bridge, fujita_fig4
+from repro.graph.generators import bottlenecked_network
+from repro.graph.io import dumps as network_to_json
+from repro.graph.io import load
+
+__all__ = ["main", "build_parser"]
+
+_SAMPLES = {
+    "diamond": lambda: diamond(),
+    "fig2": lambda: fujita_fig2_bridge(),
+    "fig4": lambda: fujita_fig4(),
+    "bottlenecked": lambda: bottlenecked_network(
+        source_side_links=6, sink_side_links=6, num_bottlenecks=2, demand=2, seed=0
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Flow reliability of networks with bottleneck links "
+        "(Fujita, IPDPSW 2017).",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_demand_args(p: argparse.ArgumentParser, with_rate: bool = True) -> None:
+        p.add_argument("network", help="path to a network JSON file")
+        p.add_argument("--source", "-s", required=True, help="source node label")
+        p.add_argument("--sink", "-t", required=True, help="sink node label")
+        if with_rate:
+            p.add_argument("--rate", "-d", type=int, required=True, help="demand d")
+
+    describe = sub.add_parser("describe", help="print a network summary")
+    describe.add_argument("network")
+
+    compute = sub.add_parser("compute", help="compute the reliability")
+    add_demand_args(compute)
+    compute.add_argument(
+        "--method",
+        default="auto",
+        choices=available_methods(),
+        help="algorithm (default: auto)",
+    )
+    compute.add_argument(
+        "--samples",
+        type=int,
+        default=10_000,
+        help="sample count for --method montecarlo",
+    )
+    compute.add_argument("--json", action="store_true", help="machine-readable output")
+
+    bounds = sub.add_parser("bounds", help="cheap lower/upper bounds")
+    add_demand_args(bounds)
+
+    dist = sub.add_parser("distribution", help="full PMF of the surviving max-flow")
+    add_demand_args(dist, with_rate=False)
+
+    importance = sub.add_parser("importance", help="rank links by importance")
+    add_demand_args(importance)
+    importance.add_argument(
+        "--measure",
+        default="birnbaum",
+        choices=[
+            "birnbaum",
+            "improvement_potential",
+            "risk_achievement_worth",
+            "fussell_vesely",
+        ],
+        help="ranking measure (default: birnbaum)",
+    )
+
+    sample = sub.add_parser("sample-network", help="write a sample network JSON")
+    sample.add_argument(
+        "--kind", default="fig4", choices=sorted(_SAMPLES), help="which sample"
+    )
+    sample.add_argument("--output", "-o", default="-", help="output path ('-' = stdout)")
+    return parser
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    net = load(args.network)
+    print(net.describe())
+    return 0
+
+
+def _cmd_compute(args: argparse.Namespace) -> int:
+    net = load(args.network)
+    demand = FlowDemand(args.source, args.sink, args.rate)
+    options = {}
+    if args.method in ("montecarlo", "montecarlo-stratified"):
+        options["num_samples"] = args.samples
+    result = compute_reliability(net, demand=demand, method=args.method, **options)
+    if args.json:
+        payload = {
+            "reliability": result.value,
+            "method": result.method,
+            "source": args.source,
+            "sink": args.sink,
+            "rate": args.rate,
+        }
+        if hasattr(result, "low"):
+            payload["interval"] = [result.low, result.high]
+        if hasattr(result, "flow_calls"):
+            payload["flow_calls"] = result.flow_calls
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"reliability = {result.value:.10f}  (method: {result.method})")
+        if hasattr(result, "low"):
+            print(f"{result.confidence:.0%} interval: [{result.low:.6f}, {result.high:.6f}]")
+        elif result.flow_calls:
+            print(f"max-flow calls: {result.flow_calls}")
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    net = load(args.network)
+    demand = FlowDemand(args.source, args.sink, args.rate)
+    low, high = reliability_bounds(net, demand)
+    print(f"lower bound = {low:.10f}")
+    print(f"upper bound = {high:.10f}")
+    return 0
+
+
+def _cmd_distribution(args: argparse.Namespace) -> int:
+    net = load(args.network)
+    dist = flow_value_distribution(net, args.source, args.sink)
+    print("rate  P(maxflow == rate)  P(maxflow >= rate)")
+    for v, p in enumerate(dist.pmf):
+        print(f"{v:>4}  {p:>18.10f}  {dist.reliability(v):>18.10f}")
+    print(f"expected deliverable rate: {dist.expected_value:.6f}")
+    return 0
+
+
+def _cmd_importance(args: argparse.Namespace) -> int:
+    from repro.core.importance import link_importances
+
+    net = load(args.network)
+    demand = FlowDemand(args.source, args.sink, args.rate)
+    table = link_importances(net, demand)
+    ranked = sorted(table, key=lambda imp: -getattr(imp, args.measure))
+    print("link  birnbaum    improvement  RAW         fussell-vesely")
+    for imp in ranked:
+        link = net.link(imp.link_index)
+        print(
+            f"e{imp.link_index:<4} {imp.birnbaum:<11.6f} "
+            f"{imp.improvement_potential:<12.6f} {imp.risk_achievement_worth:<11.4f} "
+            f"{imp.fussell_vesely:<11.6f}  ({link.tail!r} -> {link.head!r})"
+        )
+    return 0
+
+
+def _cmd_sample_network(args: argparse.Namespace) -> int:
+    net = _SAMPLES[args.kind]()
+    text = network_to_json(net)
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+_COMMANDS = {
+    "describe": _cmd_describe,
+    "compute": _cmd_compute,
+    "bounds": _cmd_bounds,
+    "distribution": _cmd_distribution,
+    "importance": _cmd_importance,
+    "sample-network": _cmd_sample_network,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

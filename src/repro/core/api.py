@@ -1,0 +1,164 @@
+"""High-level entry point: :func:`compute_reliability`.
+
+Dispatches to the right algorithm:
+
+* ``method="auto"`` — discover a bottleneck cut; if one exists whose
+  sides are enumerable, run the paper's algorithm; otherwise fall back
+  to factoring (exact on any network), and to naive only for tiny
+  instances where it is just as cheap.
+* explicit ``method`` — any name from :func:`available_methods`:
+  the exact engines (``naive``, ``naive-parallel``, ``bottleneck``,
+  ``bridge``, ``chain``, ``factoring``, ``series-parallel``,
+  ``frontier``, ``frontier-directed``, ``minpaths``) and the
+  estimators (``montecarlo``, ``montecarlo-stratified``).
+
+All exact methods return a
+:class:`~repro.core.result.ReliabilityResult`; ``"montecarlo"`` returns
+an :class:`~repro.core.result.EstimateResult` (same ``float(...)``
+protocol).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.bridge import bridge_reliability
+from repro.core.bottleneck import bottleneck_reliability
+from repro.core.chain import chain_reliability
+from repro.core.demand import FlowDemand
+from repro.core.factoring import factoring_reliability
+from repro.core.montecarlo import montecarlo_reliability
+from repro.core.naive import MAX_NAIVE_BITS, naive_reliability
+from repro.core.result import EstimateResult, ReliabilityResult
+from repro.exceptions import DecompositionError, ReproError
+from repro.graph.cuts import find_bottleneck
+from repro.graph.network import FlowNetwork, Node
+
+__all__ = ["compute_reliability", "available_methods"]
+
+#: "auto" only picks naive below this many links (it is never *better*
+#: than factoring, just simpler to predict).
+_AUTO_NAIVE_BITS = 12
+#: "auto" only accepts a bottleneck split whose larger side stays below
+#: this many links.
+_AUTO_SIDE_BITS = 20
+
+
+def available_methods() -> list[str]:
+    """Names accepted by :func:`compute_reliability`."""
+    return [
+        "auto",
+        "naive",
+        "naive-parallel",
+        "bottleneck",
+        "bridge",
+        "factoring",
+        "chain",
+        "series-parallel",
+        "frontier",
+        "frontier-directed",
+        "minpaths",
+        "montecarlo",
+        "montecarlo-stratified",
+    ]
+
+
+def compute_reliability(
+    net: FlowNetwork,
+    source: Node | None = None,
+    sink: Node | None = None,
+    rate: int | None = None,
+    *,
+    demand: FlowDemand | None = None,
+    method: str = "auto",
+    **options: Any,
+) -> ReliabilityResult | EstimateResult:
+    """Compute (or estimate) the reliability of ``net`` for a demand.
+
+    The demand is given either as a :class:`FlowDemand` via ``demand=``
+    or as the positional triple ``source, sink, rate``.
+
+    ``options`` are forwarded to the chosen algorithm (e.g. ``solver=``,
+    ``cut=``, ``strategy=``, ``num_samples=``, ``cuts=`` for chain).
+
+    Examples
+    --------
+    >>> from repro.graph import diamond
+    >>> result = compute_reliability(diamond(), "s", "t", 1)
+    >>> 0.0 < result.value < 1.0
+    True
+    """
+    if demand is None:
+        if source is None or sink is None or rate is None:
+            raise ReproError(
+                "provide either demand= or the (source, sink, rate) triple"
+            )
+        demand = FlowDemand(source, sink, rate)
+    elif (source, sink, rate) != (None, None, None):
+        raise ReproError("pass demand= or the positional triple, not both")
+    demand.validate_against(net)
+
+    if method == "naive":
+        return naive_reliability(net, demand, **options)
+    if method == "naive-parallel":
+        from repro.core.parallel import parallel_naive_reliability
+
+        return parallel_naive_reliability(net, demand, **options)
+    if method == "bottleneck":
+        return bottleneck_reliability(net, demand, **options)
+    if method == "bridge":
+        return bridge_reliability(net, demand, **options)
+    if method == "factoring":
+        return factoring_reliability(net, demand, **options)
+    if method == "series-parallel":
+        from repro.core.reductions import series_parallel_reliability
+
+        return series_parallel_reliability(net, demand, **options)
+    if method == "frontier":
+        from repro.core.frontier import frontier_reliability
+
+        return frontier_reliability(net, demand, **options)
+    if method == "frontier-directed":
+        from repro.core.frontier import directed_frontier_reliability
+
+        return directed_frontier_reliability(net, demand, **options)
+    if method == "minpaths":
+        from repro.core.paths import minpath_reliability
+
+        return minpath_reliability(net, demand, **options)
+    if method == "montecarlo":
+        return montecarlo_reliability(net, demand, **options)
+    if method == "montecarlo-stratified":
+        from repro.core.stratified import stratified_montecarlo_reliability
+
+        return stratified_montecarlo_reliability(net, demand, **options)
+    if method == "chain":
+        cuts: Sequence[Sequence[int]] | None = options.pop("cuts", None)
+        if cuts is None:
+            raise ReproError("method='chain' requires cuts=[[...], ...]")
+        return chain_reliability(net, demand, cuts, **options)
+    if method != "auto":
+        raise ReproError(
+            f"unknown method {method!r}; available: {available_methods()}"
+        )
+
+    # --- auto dispatch -------------------------------------------------
+    solver = options.get("solver")
+    try:
+        split = find_bottleneck(
+            net, demand.source, demand.sink, max_size=options.get("max_cut_size", 3)
+        )
+    except Exception:
+        split = None
+    if split is not None:
+        side = max(len(split.source_side.link_map), len(split.sink_side.link_map))
+        if side <= _AUTO_SIDE_BITS:
+            try:
+                return bottleneck_reliability(
+                    net, demand, cut=split.cut, solver=solver
+                )
+            except DecompositionError:
+                pass
+    if net.num_links <= _AUTO_NAIVE_BITS:
+        return naive_reliability(net, demand, solver=solver)
+    return factoring_reliability(net, demand, solver=solver)

@@ -1,0 +1,187 @@
+"""Realization arrays (paper §III-C).
+
+For one side of the split (``G_s`` or ``G_t``), the data structure is an
+array of length ``2^{|E_side|}``: the entry for failure configuration
+``i`` is a ``|D|``-bit value whose ``j``-th bit says whether that
+configuration *realizes* assignment ``j`` — i.e. the alive subgraph of
+the side can route exactly ``a_l`` sub-streams to/from the ``l``-th
+bottleneck port for every ``l`` (Example 2's binary sequences).
+
+Realization of one assignment is a side-local max-flow question: attach
+a virtual terminal, give the port arc for bottleneck link ``l`` capacity
+``a_l``, and ask for a flow of value ``d``.  Since the port arcs sum to
+``d``, the flow reaches ``d`` iff every port arc is saturated — exactly
+"assignment realized".
+
+Cost: ``|D| * 2^{|E_side|}`` max-flow solves per side, as the paper
+counts.  Realization is monotone in the alive set for a fixed
+assignment, so the same monotone pruning as the naive algorithm applies
+per bit (enabled by default, reported in the result).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import SolverError
+from repro.flow.base import MaxFlowSolver, get_solver
+from repro.flow.residual import build_template
+from repro.graph.network import Node
+from repro.graph.transforms import SubnetworkView
+from repro.probability.bitset import popcount_array
+from repro.probability.enumeration import check_enumerable, configuration_probabilities
+
+__all__ = ["RealizationArray", "build_side_array"]
+
+_VIRTUAL = "__terminal__"
+
+
+@dataclass(frozen=True)
+class RealizationArray:
+    """The §III-C array for one side.
+
+    Attributes
+    ----------
+    masks:
+        ``uint64`` array of length ``2^{m}``; entry ``i`` has bit ``j``
+        set iff side configuration ``i`` realizes assignment ``j``.
+    probabilities:
+        Probability of each side configuration (sums to 1).
+    num_assignments:
+        ``|D|`` — how many bits of each mask are meaningful.
+    flow_calls:
+        Max-flow solves spent building the array.
+    """
+
+    masks: np.ndarray
+    probabilities: np.ndarray
+    num_assignments: int
+    flow_calls: int
+
+    def realizes(self, configuration: int, assignment_index: int) -> bool:
+        """Whether one configuration realizes one assignment."""
+        return bool((int(self.masks[configuration]) >> assignment_index) & 1)
+
+    def realized_indices(self, configuration: int) -> list[int]:
+        """Assignment indices realized by one configuration."""
+        mask = int(self.masks[configuration])
+        return [j for j in range(self.num_assignments) if (mask >> j) & 1]
+
+
+def build_side_array(
+    side: SubnetworkView,
+    *,
+    role: str,
+    terminal: Node,
+    ports: Sequence[Node],
+    assignments: Sequence[Sequence[int]],
+    demand: int,
+    solver: str | MaxFlowSolver | None = None,
+    prune: bool = True,
+) -> RealizationArray:
+    """Build the realization array for one side of the split.
+
+    Parameters
+    ----------
+    side:
+        ``G_s`` or ``G_t`` as produced by
+        :func:`repro.graph.transforms.split_on_cut`.
+    role:
+        ``"source"`` — flow runs ``terminal -> ports`` (the ``G_s``
+        case, terminal is ``s``, ports are the ``x_l``); or ``"sink"``
+        — flow runs ``ports -> terminal`` (``G_t``, ports are ``y_l``).
+    terminal:
+        The real terminal inside this side.
+    ports:
+        Side endpoint of each bottleneck link, aligned with assignment
+        components (repeats allowed when cut links share an endpoint).
+    assignments:
+        The assignment tuples; each must have ``len(ports)`` components
+        summing to ``demand``.
+    demand:
+        The paper's ``d``.
+    solver, prune:
+        Max-flow solver choice and monotone pruning toggle.
+    """
+    if role not in ("source", "sink"):
+        raise SolverError(f"role must be 'source' or 'sink', got {role!r}")
+    net = side.network
+    m = net.num_links
+    check_enumerable(m)
+    if len(assignments) > 63:
+        raise SolverError(
+            f"realization masks are uint64-packed; got {len(assignments)} assignments"
+        )
+    for a in assignments:
+        if len(a) != len(ports):
+            raise SolverError("assignment arity does not match the port count")
+        if sum(a) != demand:
+            raise SolverError(f"assignment {tuple(a)} does not sum to demand {demand}")
+
+    template = build_template(net, extra_nodes=[_VIRTUAL])
+    virtual = template.node_index[_VIRTUAL]
+    if terminal not in template.node_index:
+        raise SolverError(f"terminal {terminal!r} is not inside this side")
+    port_names: list[str] = []
+    for l, port in enumerate(ports):
+        if port not in template.node_index:
+            raise SolverError(f"port {port!r} is not inside this side")
+        p = template.node_index[port]
+        name = f"port{l}"
+        if role == "source":
+            template.add_virtual_arc(name, p, virtual, demand)
+        else:
+            template.add_virtual_arc(name, virtual, p, demand)
+        port_names.append(name)
+
+    if role == "source":
+        s_idx = template.node_index[terminal]
+        t_idx = virtual
+    else:
+        s_idx = virtual
+        t_idx = template.node_index[terminal]
+
+    engine = get_solver(solver)
+    size = 1 << m
+    num_assignments = len(assignments)
+    realized = np.zeros((size, num_assignments), dtype=bool)
+    flow_calls = 0
+
+    if prune and m > 0:
+        counts = popcount_array(m)
+        order = [int(x) for x in np.argsort(-counts.astype(np.int16), kind="stable")]
+    else:
+        order = list(range(size))
+
+    for j, assignment in enumerate(assignments):
+        caps = {name: int(a) for name, a in zip(port_names, assignment)}
+        column = realized[:, j]
+        for mask in order:
+            if prune:
+                doomed = False
+                bits = ~mask & (size - 1)
+                while bits:
+                    low = bits & -bits
+                    if not column[mask | low]:
+                        doomed = True
+                        break
+                    bits ^= low
+                if doomed:
+                    continue
+            graph = template.configure(alive=mask, virtual_capacities=caps)
+            flow_calls += 1
+            value = engine.solve_residual(graph, s_idx, t_idx, limit=demand)
+            column[mask] = value >= demand
+
+    weights = (np.uint64(1) << np.arange(num_assignments, dtype=np.uint64)).astype(np.uint64)
+    masks = (realized.astype(np.uint64) @ weights).astype(np.uint64)
+    probabilities = configuration_probabilities(net)
+    return RealizationArray(
+        masks=masks,
+        probabilities=probabilities,
+        num_assignments=num_assignments,
+        flow_calls=flow_calls,
+    )

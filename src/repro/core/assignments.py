@@ -1,0 +1,157 @@
+"""Sub-stream assignments over bottleneck links (paper §III-B).
+
+An *assignment* distributes the ``d`` unit-rate sub-streams over the
+``k`` bottleneck links: a tuple ``(a_1, ..., a_k)`` with
+``sum a_i = d`` and ``0 <= a_i <= min(c(e_i), d)``.  Example 1 lists the
+12 assignments for ``d = 5``, ``k = 3``, capacities ``(3, 3, 3)``.
+
+Definition 1 introduces *support*: a subset ``E'`` of the bottleneck
+links supports an assignment iff every positively-loaded link belongs
+to ``E'``.  When the bottleneck survival pattern is ``E'``, exactly the
+assignments supported by ``E'`` remain usable — the classification that
+drives Eq. (3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.exceptions import DemandError
+from repro.probability.bitset import indices_from_mask
+
+__all__ = [
+    "enumerate_assignments",
+    "count_assignments",
+    "support_mask",
+    "supports",
+    "supported_assignment_indices",
+    "classify_by_support",
+    "iter_support_classes",
+    "describe_assignment",
+]
+
+
+def enumerate_assignments(
+    capacities: Sequence[int], demand: int
+) -> list[tuple[int, ...]]:
+    """All assignments of ``demand`` sub-streams to links with the given
+    capacities, in ascending lexicographic order (the order Example 1
+    lists them in).
+
+    Each component is capped at ``min(capacity, demand)``.  Returns an
+    empty list when the total capped capacity cannot reach the demand.
+    """
+    if demand < 0:
+        raise DemandError(f"demand must be non-negative, got {demand}")
+    k = len(capacities)
+    caps = [min(int(c), demand) for c in capacities]
+    if any(c < 0 for c in caps):
+        raise DemandError("capacities must be non-negative")
+    results: list[tuple[int, ...]] = []
+    if k == 0:
+        return [()] if demand == 0 else []
+
+    suffix_max = [0] * (k + 1)
+    for i in range(k - 1, -1, -1):
+        suffix_max[i] = suffix_max[i + 1] + caps[i]
+
+    prefix: list[int] = []
+
+    def recurse(position: int, remaining: int) -> None:
+        if position == k:
+            if remaining == 0:
+                results.append(tuple(prefix))
+            return
+        if remaining > suffix_max[position]:
+            return  # cannot place the rest even at full load
+        low = 0
+        high = min(caps[position], remaining)
+        for value in range(low, high + 1):
+            prefix.append(value)
+            recurse(position + 1, remaining - value)
+            prefix.pop()
+
+    recurse(0, demand)
+    return results
+
+
+def count_assignments(capacities: Sequence[int], demand: int) -> int:
+    """``|D|`` without materialising the list (DP over links).
+
+    Equals ``len(enumerate_assignments(capacities, demand))``; the paper
+    bounds it by ``d^k``.
+    """
+    caps = [min(int(c), demand) for c in capacities]
+    counts = [0] * (demand + 1)
+    counts[0] = 1
+    for c in caps:
+        new = [0] * (demand + 1)
+        for total in range(demand + 1):
+            if counts[total] == 0:
+                continue
+            for value in range(0, min(c, demand - total) + 1):
+                new[total + value] += counts[total]
+        counts = new
+    return counts[demand]
+
+
+def support_mask(assignment: Sequence[int]) -> int:
+    """Bitmask of positively-loaded positions (the support of Def. 1)."""
+    mask = 0
+    for i, value in enumerate(assignment):
+        if value < 0:
+            raise DemandError(f"assignment components must be non-negative, got {value}")
+        if value > 0:
+            mask |= 1 << i
+    return mask
+
+
+def supports(subset_mask: int, assignment: Sequence[int]) -> bool:
+    """Whether the bottleneck subset ``subset_mask`` supports the
+    assignment (every positive component's link is in the subset)."""
+    return support_mask(assignment) & ~subset_mask == 0
+
+
+def supported_assignment_indices(
+    assignments: Sequence[Sequence[int]], subset_mask: int
+) -> list[int]:
+    """Indices of assignments supported by ``subset_mask`` — the class
+    ``D_{E'}`` of Example 5, as positions into ``assignments``."""
+    return [
+        j for j, assignment in enumerate(assignments) if supports(subset_mask, assignment)
+    ]
+
+
+def classify_by_support(
+    assignments: Sequence[Sequence[int]], num_links: int
+) -> dict[int, tuple[int, ...]]:
+    """``D_{E'}`` for every one of the ``2^k`` bottleneck subsets.
+
+    Keys are subset bitmasks; values are tuples of assignment indices.
+    Matches Example 5: the full set supports everything, subsets support
+    exactly the assignments whose positive components they cover, and
+    (in that example) every subset of size <= 1 supports nothing.
+    """
+    supports_of = [support_mask(a) for a in assignments]
+    table: dict[int, tuple[int, ...]] = {}
+    for subset in range(1 << num_links):
+        table[subset] = tuple(
+            j for j, s in enumerate(supports_of) if s & ~subset == 0
+        )
+    return table
+
+
+def iter_support_classes(
+    assignments: Sequence[Sequence[int]], num_links: int
+) -> Iterator[tuple[int, tuple[int, ...]]]:
+    """Yield ``(subset_mask, supported indices)`` pairs lazily."""
+    supports_of = [support_mask(a) for a in assignments]
+    for subset in range(1 << num_links):
+        yield subset, tuple(j for j, s in enumerate(supports_of) if s & ~subset == 0)
+
+
+def describe_assignment(assignment: Sequence[int]) -> str:
+    """Human-readable rendering, e.g. ``(1, 2, 0) over {e1, e2}``."""
+    support = indices_from_mask(support_mask(assignment))
+    links = ", ".join(f"e{i + 1}" for i in support) or "-"
+    return f"{tuple(assignment)} over {{{links}}}"

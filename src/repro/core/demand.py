@@ -1,0 +1,40 @@
+"""Flow demands — the paper's ``D = (s, t, d)`` triple."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import DemandError
+from repro.graph.network import FlowNetwork, Node
+
+__all__ = ["FlowDemand"]
+
+
+@dataclass(frozen=True)
+class FlowDemand:
+    """A request to deliver a stream of bit-rate ``rate`` from ``source``
+    to ``sink``; the stream divides into ``rate`` unit-rate sub-streams
+    that may travel different paths.
+
+    ``rate`` must be a positive integer (the paper's ``d``).
+    """
+
+    source: Node
+    sink: Node
+    rate: int
+
+    def __post_init__(self) -> None:
+        if int(self.rate) != self.rate or self.rate < 1:
+            raise DemandError(f"demand rate must be a positive integer, got {self.rate!r}")
+        if self.source == self.sink:
+            raise DemandError("demand source and sink must differ")
+
+    def validate_against(self, net: FlowNetwork) -> None:
+        """Raise :class:`DemandError` unless both terminals are in ``net``."""
+        if not net.has_node(self.source):
+            raise DemandError(f"demand source {self.source!r} is not in the network")
+        if not net.has_node(self.sink):
+            raise DemandError(f"demand sink {self.sink!r} is not in the network")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.source!r} -> {self.sink!r}, d={self.rate})"

@@ -1,0 +1,129 @@
+"""Link importance measures.
+
+Reliability tells the operator *how good* the system is; importance
+measures tell them *which link to fix first*.  All are derived from the
+two conditional reliabilities of each link ``e``:
+
+* ``R(1_e)`` — reliability given ``e`` up (its failure probability set
+  to 0);
+* ``R(0_e)`` — reliability given ``e`` down (``e`` removed).
+
+Implemented measures (standard definitions):
+
+* **Birnbaum** ``I_B(e) = R(1_e) − R(0_e)`` — the partial derivative of
+  system reliability with respect to the link's availability; the
+  probability that ``e`` is pivotal.
+* **Improvement potential** ``I_IP(e) = R(1_e) − R`` — the gain from
+  making ``e`` perfect; what a link upgrade actually buys.
+* **Risk achievement worth** ``RAW(e) = (1 − R(0_e)) / (1 − R)`` — how
+  much worse unreliability gets if ``e`` is lost for good.
+* **Fussell–Vesely** ``I_FV(e) = (R(1_e) − R) · p_e / (1 − R)`` — the
+  approximate fraction of system failures involving ``e``'s failure.
+
+Each link costs two exact computations on a (possibly smaller)
+network, so the total is ``2m`` reliability evaluations with the chosen
+method — still exponential inside, but embarrassingly parallel across
+links and far cheaper than naively differentiating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.api import compute_reliability
+from repro.core.demand import FlowDemand
+from repro.exceptions import ReproError
+from repro.graph.network import FlowNetwork
+from repro.graph.transforms import alive_subnetwork
+
+__all__ = ["LinkImportance", "link_importances", "most_important_link"]
+
+
+@dataclass(frozen=True)
+class LinkImportance:
+    """All importance measures for one link."""
+
+    link_index: int
+    reliability_if_up: float
+    reliability_if_down: float
+    birnbaum: float
+    improvement_potential: float
+    risk_achievement_worth: float
+    fussell_vesely: float
+
+
+def link_importances(
+    net: FlowNetwork,
+    demand: FlowDemand,
+    *,
+    method: str = "auto",
+    **options,
+) -> list[LinkImportance]:
+    """Importance measures for every link, in index order.
+
+    ``method``/``options`` select the underlying exact algorithm (an
+    estimator would make the differences noise-dominated, so
+    ``montecarlo`` methods are rejected).
+    """
+    if method.startswith("montecarlo"):
+        raise ReproError("importance measures need an exact method")
+    demand.validate_against(net)
+    base = float(compute_reliability(net, demand=demand, method=method, **options).value)
+    unreliability = 1.0 - base
+
+    results: list[LinkImportance] = []
+    all_indices = list(range(net.num_links))
+    for index in all_indices:
+        link = net.link(index)
+        up_net = net.with_failure_probabilities({index: 0.0})
+        r_up = float(
+            compute_reliability(up_net, demand=demand, method=method, **options).value
+        )
+        down_view = alive_subnetwork(net, [i for i in all_indices if i != index])
+        r_down = float(
+            compute_reliability(
+                down_view.network, demand=demand, method=method, **options
+            ).value
+        )
+        birnbaum = r_up - r_down
+        improvement = r_up - base
+        if unreliability > 1e-15:
+            raw = (1.0 - r_down) / unreliability
+            fv = (r_up - base) * link.failure_probability / unreliability
+        else:
+            raw = 1.0
+            fv = 0.0
+        results.append(
+            LinkImportance(
+                link_index=index,
+                reliability_if_up=r_up,
+                reliability_if_down=r_down,
+                birnbaum=birnbaum,
+                improvement_potential=improvement,
+                risk_achievement_worth=raw,
+                fussell_vesely=fv,
+            )
+        )
+    return results
+
+
+def most_important_link(
+    net: FlowNetwork,
+    demand: FlowDemand,
+    *,
+    measure: str = "birnbaum",
+    method: str = "auto",
+    **options,
+) -> LinkImportance:
+    """The link maximizing the chosen measure.
+
+    ``measure``: ``"birnbaum"``, ``"improvement_potential"``,
+    ``"risk_achievement_worth"`` or ``"fussell_vesely"``.
+    """
+    table = link_importances(net, demand, method=method, **options)
+    if not table:
+        raise ReproError("the network has no links")
+    try:
+        return max(table, key=lambda imp: getattr(imp, measure))
+    except AttributeError as exc:
+        raise ReproError(f"unknown importance measure {measure!r}") from exc

@@ -1,0 +1,111 @@
+"""Monte-Carlo reliability estimation.
+
+Samples failure configurations (vectorized, see
+:mod:`repro.probability.sampling`), checks each with the feasibility
+oracle, and reports the hit ratio with a Wilson score confidence
+interval.  Distinct sampled masks are deduplicated through a cache, so
+the number of max-flow solves is bounded by the number of *distinct*
+configurations seen — on small networks the estimator converges to the
+exact algorithms at a fraction of their cost, which is experiment E9's
+cross-validation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.demand import FlowDemand
+from repro.core.feasibility import FeasibilityOracle
+from repro.core.result import EstimateResult
+from repro.exceptions import EstimationError
+from repro.flow.base import MaxFlowSolver
+from repro.graph.generators import as_rng
+from repro.graph.network import FlowNetwork
+from repro.probability.sampling import sample_alive_masks
+
+__all__ = ["montecarlo_reliability", "wilson_interval"]
+
+# Two-sided z quantiles for the confidence levels we support without
+# scipy at runtime.
+_Z_TABLE = {
+    0.80: 1.2815515655446004,
+    0.90: 1.6448536269514722,
+    0.95: 1.959963984540054,
+    0.98: 2.3263478740408408,
+    0.99: 2.5758293035489004,
+}
+
+
+def wilson_interval(hits: int, n: int, confidence: float = 0.95) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Well-behaved at 0 and 1 (unlike the normal approximation), which
+    matters because streaming networks often have reliability ~1.
+    """
+    if n <= 0:
+        raise EstimationError("need at least one sample")
+    if not 0 <= hits <= n:
+        raise EstimationError(f"hits {hits} outside [0, {n}]")
+    try:
+        z = _Z_TABLE[round(confidence, 2)]
+    except KeyError as exc:
+        raise EstimationError(
+            f"unsupported confidence {confidence}; choose one of {sorted(_Z_TABLE)}"
+        ) from exc
+    phat = hits / n
+    denom = 1.0 + z * z / n
+    center = (phat + z * z / (2 * n)) / denom
+    margin = (z / denom) * math.sqrt(phat * (1 - phat) / n + z * z / (4 * n * n))
+    return (max(0.0, center - margin), min(1.0, center + margin))
+
+
+def montecarlo_reliability(
+    net: FlowNetwork,
+    demand: FlowDemand,
+    *,
+    num_samples: int = 10_000,
+    confidence: float = 0.95,
+    seed: int | None = 0,
+    solver: str | MaxFlowSolver | None = None,
+    batch_size: int = 4096,
+) -> EstimateResult:
+    """Estimate the reliability from ``num_samples`` random configurations.
+
+    Sampling is batched; each distinct alive-mask is solved once and
+    cached.  Deterministic for a fixed ``seed``.
+    """
+    demand.validate_against(net)
+    if num_samples < 1:
+        raise EstimationError("num_samples must be positive")
+    if batch_size < 1:
+        raise EstimationError("batch_size must be positive")
+    rng = as_rng(seed)
+    oracle = FeasibilityOracle(net, demand.source, demand.sink, demand.rate, solver=solver)
+    cache: dict[int, bool] = {}
+    hits = 0
+    drawn = 0
+    while drawn < num_samples:
+        batch = min(batch_size, num_samples - drawn)
+        masks = sample_alive_masks(net, batch, rng=rng)
+        for mask_np in masks:
+            mask = int(mask_np)
+            verdict = cache.get(mask)
+            if verdict is None:
+                verdict = oracle.feasible(mask)
+                cache[mask] = verdict
+            if verdict:
+                hits += 1
+        drawn += batch
+    low, high = wilson_interval(hits, num_samples, confidence)
+    return EstimateResult(
+        value=hits / num_samples,
+        low=low,
+        high=high,
+        confidence=confidence,
+        num_samples=num_samples,
+        hits=hits,
+        details={
+            "distinct_configurations": len(cache),
+            "flow_calls": oracle.calls,
+        },
+    )

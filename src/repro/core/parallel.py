@@ -1,0 +1,142 @@
+"""Process-parallel naive enumeration.
+
+The naive algorithm is embarrassingly parallel: the ``2^|E|``
+configuration space partitions into contiguous index ranges, each
+worker builds its own :class:`~repro.core.feasibility.FeasibilityOracle`
+(the residual template is cheap) and sums the probability of the
+feasible configurations in its range, and the partial sums add up.
+
+The split is by the **high bits** of the configuration mask, so every
+worker handles one subtree of the configuration lattice; monotone
+pruning works within a worker's own high-bit pattern (the low-bit
+lattice is complete inside each chunk).
+
+This is the classic HPC decomposition (owner-computes over a static
+block partition — the multiprocessing analogue of the mpi4py pattern
+in the domain guides); speedup is near-linear once per-configuration
+work dominates the fork overhead, which the X2 benchmark measures.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.core.demand import FlowDemand
+from repro.core.feasibility import FeasibilityOracle
+from repro.core.naive import MAX_NAIVE_BITS
+from repro.core.result import ReliabilityResult
+from repro.exceptions import EstimationError
+from repro.graph.io import from_dict, to_dict
+from repro.graph.network import FlowNetwork
+from repro.probability.bitset import popcount_array
+from repro.probability.enumeration import check_enumerable, configuration_probabilities
+
+__all__ = ["parallel_naive_reliability", "default_workers"]
+
+
+def default_workers() -> int:
+    """A sensible worker count: physical parallelism minus one, >= 1."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def _worker_sum(
+    net_data: dict,
+    source,
+    sink,
+    rate: int,
+    low_bits: int,
+    high_pattern: int,
+    prune: bool,
+) -> tuple[float, int]:
+    """Sum feasible-configuration probability over one high-bit chunk.
+
+    Runs in a separate process; receives the network as a plain dict
+    (cheap, avoids pickling library objects across versions).
+    """
+    net = from_dict(net_data)
+    oracle = FeasibilityOracle(net, source, sink, rate)
+    probabilities = configuration_probabilities(net)
+    size = 1 << low_bits
+    base = high_pattern << low_bits
+    total = 0.0
+    if not prune:
+        for low in range(size):
+            if oracle.feasible(base | low):
+                total += float(probabilities[base | low])
+        return total, oracle.calls
+
+    counts = popcount_array(low_bits)
+    order = np.argsort(-counts.astype(np.int16), kind="stable")
+    feasible = np.zeros(size, dtype=bool)
+    for low_np in order:
+        low = int(low_np)
+        doomed = False
+        bits = ~low & (size - 1)
+        while bits:
+            lowest = bits & -bits
+            if not feasible[low | lowest]:
+                doomed = True
+                break
+            bits ^= lowest
+        if doomed:
+            continue
+        if oracle.feasible(base | low):
+            feasible[low] = True
+            total += float(probabilities[base | low])
+    return total, oracle.calls
+
+
+def parallel_naive_reliability(
+    net: FlowNetwork,
+    demand: FlowDemand,
+    *,
+    workers: int | None = None,
+    prune: bool = True,
+) -> ReliabilityResult:
+    """Exact naive reliability computed across a process pool.
+
+    Identical value to :func:`repro.core.naive.naive_reliability`
+    (a test pins it).  The chunk count is the smallest power of two
+    >= ``workers``; each chunk fixes that many high bits of the
+    configuration mask.
+
+    Note: within-chunk pruning sees only same-chunk supersets, so the
+    total max-flow call count is somewhat higher than the serial
+    pruned scan — the price of independence between workers.
+    """
+    demand.validate_against(net)
+    m = net.num_links
+    check_enumerable(m, limit=MAX_NAIVE_BITS)
+    if workers is None:
+        workers = default_workers()
+    if workers < 1:
+        raise EstimationError("workers must be >= 1")
+
+    high_bits = 0
+    while (1 << high_bits) < workers and high_bits < m:
+        high_bits += 1
+    low_bits = m - high_bits
+    chunks = 1 << high_bits
+
+    net_data = to_dict(net)
+    args = [
+        (net_data, demand.source, demand.sink, demand.rate, low_bits, pattern, prune)
+        for pattern in range(chunks)
+    ]
+    if chunks == 1 or workers == 1:
+        results = [_worker_sum(*a) for a in args]
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, chunks)) as pool:
+            results = list(pool.map(_worker_sum, *zip(*args)))
+    value = float(sum(r[0] for r in results))
+    calls = int(sum(r[1] for r in results))
+    return ReliabilityResult(
+        value=value,
+        method="naive-parallel",
+        flow_calls=calls,
+        configurations=1 << m,
+        details={"workers": workers, "chunks": chunks, "pruned": bool(prune)},
+    )

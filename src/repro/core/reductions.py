@@ -1,0 +1,244 @@
+"""Series–parallel reductions for unit-rate demands.
+
+For ``d = 1`` the flow-reliability problem degenerates to classic
+two-terminal reliability, where three local reductions are exact:
+
+* **parallel**: links with the same endpoints and usable direction
+  merge into one link whose failure probability is the product
+  (either survivor carries the single sub-stream);
+* **series**: a non-terminal node whose only incidents are one usable
+  inbound and one usable outbound link contracts into a single link
+  whose availability is the product;
+* **prune**: self-loops, links into the source / out of the sink, and
+  dangling chains that cannot lie on any s-t path are deleted outright
+  (their state cannot affect delivery).
+
+Applied to exhaustion this solves series-parallel networks **in
+polynomial time** — no enumeration at all — and shrinks everything
+else before an exponential method runs.  The reductions are *not*
+valid for ``d >= 2`` (capacities add in parallel and bottleneck in
+series, so failure states are no longer 0/1 per merged link);
+:func:`reduce_for_unit_demand` therefore refuses demands above 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.demand import FlowDemand
+from repro.core.result import ReliabilityResult
+from repro.exceptions import ReproError
+from repro.graph.connectivity import directed_reachable_from
+from repro.graph.network import FlowNetwork, Node
+
+__all__ = ["ReductionReport", "reduce_for_unit_demand", "series_parallel_reliability"]
+
+
+@dataclass(frozen=True)
+class ReductionReport:
+    """Outcome of :func:`reduce_for_unit_demand`.
+
+    ``network`` is the reduced network (new link indices).  When it has
+    shrunk to a single s-t link, ``fully_reduced`` is true and the
+    reliability is just that link's availability.
+    """
+
+    network: FlowNetwork
+    source: Node
+    sink: Node
+    original_links: int
+    series_steps: int
+    parallel_steps: int
+    pruned_links: int
+
+    @property
+    def fully_reduced(self) -> bool:
+        """True when reduction reached a closed form: a single s-t link
+        (reliability = its availability) or no link at all
+        (reliability = 0).  The prune pass guarantees every surviving
+        link lies on an s-t path, so one link must join the terminals."""
+        return self.network.num_links <= 1
+
+
+@dataclass
+class _Edge:
+    """Mutable working edge: undirected iff ``directed`` is False."""
+
+    tail: Node
+    head: Node
+    availability: float
+    directed: bool
+
+
+def _prune_useless(edges: list[_Edge], source: Node, sink: Node) -> int:
+    """Drop edges that cannot lie on any s-t path (forward x backward
+    reachability on the current working graph)."""
+    net = FlowNetwork()
+    net.add_node(source)
+    net.add_node(sink)
+    for e in edges:
+        net.add_link(e.tail, e.head, 1, 0.0, directed=e.directed)
+    forward = directed_reachable_from(net, source)
+    # backward reachability: reverse every directed edge
+    rev = FlowNetwork()
+    rev.add_node(source)
+    rev.add_node(sink)
+    for e in edges:
+        rev.add_link(e.head, e.tail, 1, 0.0, directed=e.directed)
+    backward = directed_reachable_from(rev, sink)
+    kept = [
+        e
+        for e in edges
+        if e.tail != e.head
+        and (
+            (e.tail in forward and e.head in backward)
+            or (not e.directed and e.head in forward and e.tail in backward)
+        )
+    ]
+    dropped = len(edges) - len(kept)
+    edges[:] = kept
+    return dropped
+
+
+def reduce_for_unit_demand(
+    net: FlowNetwork, demand: FlowDemand
+) -> ReductionReport:
+    """Exhaustively apply prune / parallel / series reductions.
+
+    Only meaningful for ``demand.rate == 1``; anything else raises
+    :class:`ReproError`.  Zero-capacity links are treated as absent.
+    """
+    if demand.rate != 1:
+        raise ReproError("series-parallel reductions are only exact for d = 1")
+    demand.validate_against(net)
+    source, sink = demand.source, demand.sink
+    edges = [
+        _Edge(l.tail, l.head, l.availability, l.directed)
+        for l in net.links()
+        if l.capacity >= 1
+    ]
+    series_steps = 0
+    parallel_steps = 0
+    pruned = 0
+
+    changed = True
+    while changed:
+        changed = False
+        pruned += _prune_useless(edges, source, sink)
+
+        # Parallel merge: group by unordered endpoints + direction class.
+        groups: dict[tuple, list[int]] = {}
+        for i, e in enumerate(edges):
+            if e.directed:
+                key = ("d", e.tail, e.head)
+            else:
+                # Undirected parallels merge regardless of stored
+                # orientation; a directed/undirected mixed pair must NOT
+                # merge (the undirected one also covers the reverse
+                # direction), hence the distinct key class.
+                key = ("u", frozenset((e.tail, e.head)))
+            groups.setdefault(key, []).append(i)
+        to_delete: set[int] = set()
+        for key, members in groups.items():
+            if len(members) < 2:
+                continue
+            keep = members[0]
+            fail = 1.0
+            for i in members:
+                fail *= 1.0 - edges[i].availability
+            edges[keep].availability = 1.0 - fail
+            to_delete.update(members[1:])
+            parallel_steps += len(members) - 1
+            changed = True
+        if to_delete:
+            edges[:] = [e for i, e in enumerate(edges) if i not in to_delete]
+
+        # Series contraction: non-terminal node with exactly two incident
+        # edges forming a through-path.
+        incident: dict[Node, list[int]] = {}
+        for i, e in enumerate(edges):
+            incident.setdefault(e.tail, []).append(i)
+            if e.head != e.tail:
+                incident.setdefault(e.head, []).append(i)
+        for node, ids in incident.items():
+            if node in (source, sink) or len(ids) != 2:
+                continue
+            a, b = edges[ids[0]], edges[ids[1]]
+            x = a.tail if a.head == node else a.head
+            y = b.tail if b.head == node else b.head
+            if x == node or y == node:
+                continue  # self-loop remnants; the prune pass removes them
+            # Can traffic traverse x -> node via a, and node -> y via b?
+            a_fwd = (not a.directed) or (a.tail == x and a.head == node)
+            b_fwd = (not b.directed) or (b.tail == node and b.head == y)
+            # ... and the reverse direction y -> node -> x?
+            a_bwd = (not a.directed) or (a.tail == node and a.head == x)
+            b_bwd = (not b.directed) or (b.tail == y and b.head == node)
+            merged: _Edge | None = None
+            availability = a.availability * b.availability
+            if not a.directed and not b.directed:
+                merged = _Edge(x, y, availability, directed=False)
+            elif a_fwd and b_fwd:
+                merged = _Edge(x, y, availability, directed=True)
+            elif a_bwd and b_bwd:
+                merged = _Edge(y, x, availability, directed=True)
+            if merged is None:
+                continue  # in-in or out-out: dead through-node, prune handles it
+            remaining = [e for i, e in enumerate(edges) if i not in (ids[0], ids[1])]
+            remaining.append(merged)
+            edges[:] = remaining
+            series_steps += 1
+            changed = True
+            break  # incident map is stale; restart the pass
+
+    reduced = FlowNetwork(name=f"{net.name}|reduced")
+    reduced.add_node(source)
+    reduced.add_node(sink)
+    for e in edges:
+        p = min(max(1.0 - e.availability, 0.0), 1.0 - 1e-15)
+        reduced.add_link(e.tail, e.head, 1, p, directed=e.directed)
+    return ReductionReport(
+        network=reduced,
+        source=source,
+        sink=sink,
+        original_links=net.num_links,
+        series_steps=series_steps,
+        parallel_steps=parallel_steps,
+        pruned_links=pruned,
+    )
+
+
+def series_parallel_reliability(
+    net: FlowNetwork, demand: FlowDemand
+) -> ReliabilityResult:
+    """Polynomial-time exact reliability for fully-reducible ``d = 1``
+    instances.
+
+    Raises :class:`ReproError` when the reductions leave more than one
+    link (the network is not series-parallel between the terminals) —
+    use a general method then, ideally on the reduced network.
+    """
+    report = reduce_for_unit_demand(net, demand)
+    reduced = report.network
+    if reduced.num_links == 0:
+        return ReliabilityResult(
+            value=0.0,
+            method="series-parallel",
+            details={"reason": "no s-t path survives the reductions"},
+        )
+    if reduced.num_links > 1:
+        raise ReproError(
+            f"network is not series-parallel between the terminals "
+            f"({reduced.num_links} links remain after reduction)"
+        )
+    link = reduced.link(0)
+    return ReliabilityResult(
+        value=link.availability,
+        method="series-parallel",
+        details={
+            "series_steps": report.series_steps,
+            "parallel_steps": report.parallel_steps,
+            "pruned_links": report.pruned_links,
+            "original_links": report.original_links,
+        },
+    )

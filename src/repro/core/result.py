@@ -1,0 +1,81 @@
+"""Result objects shared by every reliability algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ReliabilityResult", "EstimateResult"]
+
+
+@dataclass(frozen=True)
+class ReliabilityResult:
+    """Outcome of an exact reliability computation.
+
+    Attributes
+    ----------
+    value:
+        The reliability, a probability in ``[0, 1]``.
+    method:
+        Which algorithm produced it (``"naive"``, ``"bottleneck"``, ...).
+    flow_calls:
+        Number of max-flow solver invocations performed — the cost
+        measure the paper counts (``|D| 2^{|E_s|} + |D| 2^{|E_t|}`` for
+        the bottleneck algorithm vs ``2^{|E|}`` naive).
+    configurations:
+        Number of failure configurations whose probability entered the
+        sum.
+    details:
+        Algorithm-specific extras (chosen cut, achieved alpha,
+        assignment counts, pruning statistics, ...).
+    """
+
+    value: float
+    method: str
+    flow_calls: int = 0
+    configurations: int = 0
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Guard against accumulated floating error drifting outside
+        # [0, 1]; clamp tiny overshoots, reject real ones.
+        v = self.value
+        if -1e-9 <= v < 0.0:
+            object.__setattr__(self, "value", 0.0)
+        elif 1.0 < v <= 1.0 + 1e-9:
+            object.__setattr__(self, "value", 1.0)
+        elif not (0.0 <= v <= 1.0):
+            raise ValueError(f"reliability {v} outside [0, 1]")
+
+    def __float__(self) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class EstimateResult:
+    """Outcome of a Monte-Carlo reliability estimate.
+
+    ``low``/``high`` bound a confidence interval at the requested
+    ``confidence`` level (Wilson score interval on the hit ratio).
+    """
+
+    value: float
+    low: float
+    high: float
+    confidence: float
+    num_samples: int
+    hits: int
+    method: str = "montecarlo"
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def __float__(self) -> float:
+        return self.value
+
+    @property
+    def half_width(self) -> float:
+        """Half the confidence-interval width."""
+        return (self.high - self.low) / 2.0
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the confidence interval."""
+        return self.low <= value <= self.high

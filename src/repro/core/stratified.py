@@ -1,0 +1,179 @@
+"""Stratified Monte-Carlo estimation.
+
+Plain Monte-Carlo wastes samples re-confirming the overwhelmingly
+likely strata (few failures) while rarely visiting the strata where
+feasibility actually flips.  Stratifying by the *number of alive links*
+fixes both:
+
+* the stratum weights ``P(N = j)`` are computed **exactly** (the
+  Poisson–binomial distribution, by dynamic programming over links);
+* within stratum ``j``, configurations are drawn from the exact
+  conditional distribution by a sequential DP walk;
+* degenerate strata are free: ``j = m`` is the single all-alive
+  configuration, and any stratum whose total capacity cannot reach the
+  demand contributes exactly 0.
+
+The estimator is unbiased with variance never above plain MC at equal
+sample counts (law of total variance); the gain is largest when the
+reliability is extreme — the regime streaming systems live in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.demand import FlowDemand
+from repro.core.feasibility import FeasibilityOracle
+from repro.core.result import EstimateResult
+from repro.core.montecarlo import wilson_interval
+from repro.exceptions import EstimationError
+from repro.flow.base import MaxFlowSolver
+from repro.graph.generators import as_rng
+from repro.graph.network import FlowNetwork
+
+__all__ = ["poisson_binomial", "sample_with_alive_count", "stratified_montecarlo_reliability"]
+
+
+def poisson_binomial(failure_probabilities: list[float]) -> np.ndarray:
+    """Exact distribution of the number of *alive* links.
+
+    ``result[j] = P(exactly j of the m links are up)``; standard
+    ``O(m^2)`` convolution DP.
+    """
+    dist = np.array([1.0])
+    for p in failure_probabilities:
+        alive = 1.0 - p
+        new = np.zeros(len(dist) + 1)
+        new[: len(dist)] += dist * p
+        new[1:] += dist * alive
+        dist = new
+    return dist
+
+
+def _suffix_counts(failure_probabilities: list[float]) -> np.ndarray:
+    """``T[i, c] = P(exactly c alive among links i..m-1)``."""
+    m = len(failure_probabilities)
+    table = np.zeros((m + 1, m + 1))
+    table[m, 0] = 1.0
+    for i in range(m - 1, -1, -1):
+        p = failure_probabilities[i]
+        table[i, 0] = p * table[i + 1, 0]
+        for c in range(1, m - i + 1):
+            table[i, c] = p * table[i + 1, c] + (1.0 - p) * table[i + 1, c - 1]
+    return table
+
+
+def sample_with_alive_count(
+    failure_probabilities: list[float],
+    count: int,
+    rng: np.random.Generator,
+    *,
+    suffix: np.ndarray | None = None,
+) -> int:
+    """One alive-mask drawn from the exact conditional distribution
+    given that exactly ``count`` links are alive."""
+    m = len(failure_probabilities)
+    if not 0 <= count <= m:
+        raise EstimationError(f"count {count} outside [0, {m}]")
+    if suffix is None:
+        suffix = _suffix_counts(failure_probabilities)
+    if suffix[0, count] <= 0.0:
+        raise EstimationError(f"stratum {count} has probability zero")
+    mask = 0
+    remaining = count
+    for i in range(m):
+        if remaining == 0:
+            break
+        p = failure_probabilities[i]
+        p_alive_given = (1.0 - p) * suffix[i + 1, remaining - 1] / suffix[i, remaining]
+        if rng.random() < p_alive_given:
+            mask |= 1 << i
+            remaining -= 1
+    return mask
+
+
+def stratified_montecarlo_reliability(
+    net: FlowNetwork,
+    demand: FlowDemand,
+    *,
+    num_samples: int = 10_000,
+    confidence: float = 0.95,
+    seed: int | np.random.Generator | None = 0,
+    solver: str | MaxFlowSolver | None = None,
+) -> EstimateResult:
+    """Stratified estimate of the reliability.
+
+    Samples are allocated to alive-count strata proportionally to the
+    stratum probabilities (at least one each); degenerate strata are
+    resolved exactly.  The reported interval is a Wilson interval on
+    the effective hit ratio — slightly conservative for the stratified
+    estimator (its true variance is lower), so coverage only improves.
+    """
+    demand.validate_against(net)
+    if num_samples < 1:
+        raise EstimationError("num_samples must be positive")
+    rng = as_rng(seed)
+    probs = net.failure_probabilities()
+    m = net.num_links
+    weights = poisson_binomial(probs)
+    suffix = _suffix_counts(probs)
+    oracle = FeasibilityOracle(net, demand.source, demand.sink, demand.rate, solver=solver)
+
+    # Sort capacities once: stratum j is hopeless when even the j
+    # biggest links cannot carry the demand to begin with.
+    sorted_caps = sorted(net.capacities(), reverse=True)
+
+    value = 0.0
+    spent = 0
+    hits_effective = 0.0
+    cache: dict[int, bool] = {}
+    full_mask = (1 << m) - 1
+
+    for j in range(m, -1, -1):
+        weight = float(weights[j])
+        if weight <= 0.0:
+            continue
+        if sum(sorted_caps[:j]) < demand.rate:
+            continue  # contributes exactly 0
+        if j == m:
+            # single configuration: resolve exactly
+            feasible = oracle.feasible(full_mask)
+            value += weight * (1.0 if feasible else 0.0)
+            if feasible:
+                hits_effective += weight * num_samples
+            continue
+        allocation = max(1, round(num_samples * weight))
+        stratum_hits = 0
+        for _ in range(allocation):
+            mask = sample_with_alive_count(probs, j, rng, suffix=suffix)
+            verdict = cache.get(mask)
+            if verdict is None:
+                verdict = oracle.feasible(mask)
+                cache[mask] = verdict
+            if verdict:
+                stratum_hits += 1
+        spent += allocation
+        ratio = stratum_hits / allocation
+        value += weight * ratio
+        hits_effective += weight * ratio * num_samples
+
+    hits = int(round(min(num_samples, max(0.0, hits_effective))))
+    low, high = wilson_interval(hits, num_samples, confidence)
+    # Centre the interval on the stratified point estimate.
+    shift = value - hits / num_samples
+    low = min(1.0, max(0.0, low + shift))
+    high = min(1.0, max(0.0, high + shift))
+    return EstimateResult(
+        value=float(min(1.0, max(0.0, value))),
+        low=low,
+        high=high,
+        confidence=confidence,
+        num_samples=num_samples,
+        hits=hits,
+        method="montecarlo-stratified",
+        details={
+            "sampled_configurations": spent,
+            "flow_calls": oracle.calls,
+            "strata": int(np.count_nonzero(weights > 0)),
+        },
+    )

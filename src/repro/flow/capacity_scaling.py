@@ -1,0 +1,78 @@
+"""Capacity-scaling max flow.
+
+Augments only along paths with residual capacity at least ``Δ``,
+halving ``Δ`` from the largest power of two below the maximum arc
+capacity down to 1: ``O(E^2 log C)``.  Shines when capacities are
+large and uneven; on the unit-ish capacities of streaming networks it
+degenerates gracefully to Edmonds–Karp behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.flow.base import MaxFlowSolver, register_solver
+from repro.flow.residual import ResidualGraph
+
+__all__ = ["CapacityScalingSolver"]
+
+
+@register_solver("capacity_scaling")
+class CapacityScalingSolver(MaxFlowSolver):
+    """Scaling variant of augmenting-path max flow."""
+
+    def solve_residual(
+        self, graph: ResidualGraph, source: int, sink: int, limit: int | None = None
+    ) -> int:
+        cap = graph.cap
+        head = graph.head
+        adj = graph.adj
+        n = graph.num_nodes
+
+        max_cap = max((c for c in cap if c > 0), default=0)
+        if max_cap == 0:
+            return 0
+        delta = 1
+        while delta * 2 <= max_cap:
+            delta *= 2
+
+        total = 0
+        parent_arc = [-1] * n
+        while delta >= 1:
+            while limit is None or total < limit:
+                # BFS restricted to arcs with residual >= delta.
+                for i in range(n):
+                    parent_arc[i] = -1
+                parent_arc[source] = -2
+                queue = deque([source])
+                found = False
+                while queue and not found:
+                    v = queue.popleft()
+                    for a in adj[v]:
+                        w = head[a]
+                        if cap[a] >= delta and parent_arc[w] == -1:
+                            parent_arc[w] = a
+                            if w == sink:
+                                found = True
+                                break
+                            queue.append(w)
+                if not found:
+                    break
+                push = cap[parent_arc[sink]]
+                v = sink
+                while v != source:
+                    a = parent_arc[v]
+                    if cap[a] < push:
+                        push = cap[a]
+                    v = head[a ^ 1]
+                if limit is not None and total + push > limit:
+                    push = limit - total
+                v = sink
+                while v != source:
+                    a = parent_arc[v]
+                    cap[a] -= push
+                    cap[a ^ 1] += push
+                    v = head[a ^ 1]
+                total += push
+            delta //= 2
+        return total

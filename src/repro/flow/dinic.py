@@ -1,0 +1,90 @@
+"""Dinic's max-flow algorithm: BFS level graph + DFS blocking flow.
+
+``O(V^2 E)`` in general and ``O(E sqrt(V))`` on unit networks — and,
+more to the point here, the fastest of the pure-Python solvers on the
+small dense instances the reliability loops generate, which is why it
+is the registry default.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.flow.base import MaxFlowSolver, register_solver
+from repro.flow.residual import ResidualGraph
+
+__all__ = ["DinicSolver"]
+
+
+@register_solver("dinic")
+class DinicSolver(MaxFlowSolver):
+    """Blocking-flow max flow (Dinic, 1970)."""
+
+    def solve_residual(
+        self, graph: ResidualGraph, source: int, sink: int, limit: int | None = None
+    ) -> int:
+        cap = graph.cap
+        head = graph.head
+        adj = graph.adj
+        n = graph.num_nodes
+        total = 0
+        INF = float("inf")
+
+        while limit is None or total < limit:
+            # Phase 1: BFS levels on the residual graph.
+            level = [-1] * n
+            level[source] = 0
+            queue = deque([source])
+            while queue:
+                v = queue.popleft()
+                for a in adj[v]:
+                    w = head[a]
+                    if cap[a] > 0 and level[w] < 0:
+                        level[w] = level[v] + 1
+                        queue.append(w)
+            if level[sink] < 0:
+                break
+
+            # Phase 2: blocking flow by iterative DFS with arc cursors.
+            cursor = [0] * n
+            while limit is None or total < limit:
+                # Find one augmenting path within the level graph.
+                path: list[int] = []
+                v = source
+                while True:
+                    if v == sink:
+                        break
+                    advanced = False
+                    while cursor[v] < len(adj[v]):
+                        a = adj[v][cursor[v]]
+                        w = head[a]
+                        if cap[a] > 0 and level[w] == level[v] + 1:
+                            path.append(a)
+                            v = w
+                            advanced = True
+                            break
+                        cursor[v] += 1
+                    if advanced:
+                        continue
+                    # Dead end: retreat.
+                    if v == source:
+                        path = []
+                        break
+                    level[v] = -1  # prune the node for this phase
+                    a = path.pop()
+                    v = head[a ^ 1]
+                    cursor[v] += 1
+                if not path:
+                    break
+                push = min(cap[a] for a in path)
+                if limit is not None:
+                    remaining = limit - total
+                    if push > remaining:
+                        push = remaining
+                for a in path:
+                    cap[a] -= push
+                    cap[a ^ 1] += push
+                total += push
+                if limit is not None and total >= limit:
+                    return total
+        return total

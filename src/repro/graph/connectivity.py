@@ -1,0 +1,258 @@
+"""Connectivity primitives on :class:`~repro.graph.FlowNetwork`.
+
+All traversals here treat the network as *undirected for connectivity*
+purposes (a directed link still joins its endpoints into one component)
+unless a function explicitly says otherwise.  That matches the paper's
+usage: "connected components obtained by removing bottleneck links" is
+about the undirected structure, while flow feasibility respects link
+direction and is handled by :mod:`repro.flow`.
+
+Every function takes an optional ``alive`` set/sequence of link indices;
+links outside it are treated as failed and ignored.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Sequence
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.network import FlowNetwork, Node
+
+__all__ = [
+    "connected_components",
+    "component_of",
+    "is_connected",
+    "reachable_from",
+    "directed_reachable_from",
+    "has_path",
+    "has_directed_path",
+    "bridges",
+    "articulation_points",
+]
+
+
+def _alive_set(net: FlowNetwork, alive: Iterable[int] | None) -> set[int] | None:
+    if alive is None:
+        return None
+    return set(alive)
+
+
+def _undirected_adjacency(
+    net: FlowNetwork, alive: set[int] | None
+) -> dict[Node, list[tuple[Node, int]]]:
+    """Adjacency mapping node -> [(neighbor, link_index)] ignoring direction."""
+    adj: dict[Node, list[tuple[Node, int]]] = {node: [] for node in net.nodes()}
+    for link in net.links():
+        if alive is not None and link.index not in alive:
+            continue
+        if link.tail == link.head:
+            continue
+        adj[link.tail].append((link.head, link.index))
+        adj[link.head].append((link.tail, link.index))
+    return adj
+
+
+def connected_components(
+    net: FlowNetwork, alive: Iterable[int] | None = None
+) -> list[set[Node]]:
+    """Undirected connected components, as a list of node sets.
+
+    Components are returned in order of their first node's insertion
+    order, so the result is deterministic.
+    """
+    alive_set = _alive_set(net, alive)
+    adj = _undirected_adjacency(net, alive_set)
+    seen: set[Node] = set()
+    components: list[set[Node]] = []
+    for start in net.nodes():
+        if start in seen:
+            continue
+        comp: set[Node] = {start}
+        seen.add(start)
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for neighbor, _ in adj[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    comp.add(neighbor)
+                    queue.append(neighbor)
+        components.append(comp)
+    return components
+
+
+def component_of(
+    net: FlowNetwork, node: Node, alive: Iterable[int] | None = None
+) -> set[Node]:
+    """The undirected component containing ``node``."""
+    if not net.has_node(node):
+        raise NodeNotFoundError(node)
+    alive_set = _alive_set(net, alive)
+    adj = _undirected_adjacency(net, alive_set)
+    comp: set[Node] = {node}
+    queue = deque([node])
+    while queue:
+        current = queue.popleft()
+        for neighbor, _ in adj[current]:
+            if neighbor not in comp:
+                comp.add(neighbor)
+                queue.append(neighbor)
+    return comp
+
+
+def is_connected(net: FlowNetwork, alive: Iterable[int] | None = None) -> bool:
+    """Whether the whole network is one undirected component.
+
+    The empty network counts as connected.
+    """
+    if net.num_nodes == 0:
+        return True
+    return len(connected_components(net, alive)) == 1
+
+
+def reachable_from(
+    net: FlowNetwork, source: Node, alive: Iterable[int] | None = None
+) -> set[Node]:
+    """Nodes reachable from ``source`` ignoring link direction."""
+    return component_of(net, source, alive)
+
+
+def directed_reachable_from(
+    net: FlowNetwork, source: Node, alive: Iterable[int] | None = None
+) -> set[Node]:
+    """Nodes reachable from ``source`` respecting link direction.
+
+    Undirected links are traversable both ways; zero-capacity links are
+    still traversable (reachability is about topology, not rate).
+    """
+    if not net.has_node(source):
+        raise NodeNotFoundError(source)
+    alive_set = _alive_set(net, alive)
+    seen: set[Node] = {source}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for link in net.out_links(node):
+            if alive_set is not None and link.index not in alive_set:
+                continue
+            other = link.head if link.tail == node else link.tail
+            if other not in seen:
+                seen.add(other)
+                queue.append(other)
+    return seen
+
+
+def has_path(
+    net: FlowNetwork, source: Node, target: Node, alive: Iterable[int] | None = None
+) -> bool:
+    """Whether an undirected path joins ``source`` and ``target``."""
+    if not net.has_node(target):
+        raise NodeNotFoundError(target)
+    return target in component_of(net, source, alive)
+
+
+def has_directed_path(
+    net: FlowNetwork, source: Node, target: Node, alive: Iterable[int] | None = None
+) -> bool:
+    """Whether a direction-respecting path runs ``source`` to ``target``."""
+    if not net.has_node(target):
+        raise NodeNotFoundError(target)
+    return target in directed_reachable_from(net, source, alive)
+
+
+def bridges(net: FlowNetwork, alive: Iterable[int] | None = None) -> list[int]:
+    """All bridge links (undirected sense), by Tarjan's low-link DFS.
+
+    A bridge is a link whose removal increases the number of undirected
+    components.  Parallel links between the same pair of nodes are never
+    bridges; the implementation distinguishes parallel links by index,
+    not by endpoint pair, so this is handled correctly.
+
+    Returns link indices in ascending order.
+    """
+    alive_set = _alive_set(net, alive)
+    adj = _undirected_adjacency(net, alive_set)
+    index_of: dict[Node, int] = {}
+    low: dict[Node, int] = {}
+    result: list[int] = []
+    counter = 0
+
+    for root in net.nodes():
+        if root in index_of:
+            continue
+        # Iterative DFS to survive deep graphs.
+        stack: list[tuple[Node, int, int]] = [(root, -1, 0)]  # (node, via_link, child_pos)
+        order: list[tuple[Node, int]] = []
+        index_of[root] = counter
+        low[root] = counter
+        counter += 1
+        while stack:
+            node, via_link, pos = stack.pop()
+            if pos < len(adj[node]):
+                stack.append((node, via_link, pos + 1))
+                neighbor, link_index = adj[node][pos]
+                if link_index == via_link:
+                    continue
+                if neighbor in index_of:
+                    low[node] = min(low[node], index_of[neighbor])
+                else:
+                    index_of[neighbor] = counter
+                    low[neighbor] = counter
+                    counter += 1
+                    stack.append((neighbor, link_index, 0))
+                    order.append((neighbor, link_index))
+            else:
+                # Post-order: propagate low to parent and test bridge.
+                if via_link >= 0:
+                    parent = net.link(via_link).other_endpoint(node)
+                    low[parent] = min(low[parent], low[node])
+                    if low[node] > index_of[parent]:
+                        result.append(via_link)
+    return sorted(result)
+
+
+def articulation_points(net: FlowNetwork, alive: Iterable[int] | None = None) -> set[Node]:
+    """Nodes whose removal disconnects their undirected component."""
+    alive_set = _alive_set(net, alive)
+    adj = _undirected_adjacency(net, alive_set)
+    disc: dict[Node, int] = {}
+    low: dict[Node, int] = {}
+    parent: dict[Node, Node | None] = {}
+    points: set[Node] = set()
+    counter = 0
+
+    for root in net.nodes():
+        if root in disc:
+            continue
+        parent[root] = None
+        root_children = 0
+        # Stack entries: (node, link used to reach node or -1, child cursor).
+        stack: list[tuple[Node, int, int]] = [(root, -1, 0)]
+        disc[root] = low[root] = counter
+        counter += 1
+        while stack:
+            node, via_link, pos = stack.pop()
+            if pos < len(adj[node]):
+                stack.append((node, via_link, pos + 1))
+                neighbor, link_index = adj[node][pos]
+                if link_index == via_link:
+                    continue  # do not re-walk the tree edge (parallels are fine)
+                if neighbor not in disc:
+                    parent[neighbor] = node
+                    if node == root:
+                        root_children += 1
+                    disc[neighbor] = low[neighbor] = counter
+                    counter += 1
+                    stack.append((neighbor, link_index, 0))
+                else:
+                    low[node] = min(low[node], disc[neighbor])
+            else:
+                p = parent.get(node)
+                if p is not None:
+                    low[p] = min(low[p], low[node])
+                    if p != root and low[node] >= disc[p]:
+                        points.add(p)
+        if root_children >= 2:
+            points.add(root)
+    return points

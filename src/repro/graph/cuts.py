@@ -1,0 +1,230 @@
+"""Minimal s-t cut enumeration and α-bottleneck discovery.
+
+The paper assumes a set of *α-bottleneck links* is known: a minimal s-t
+disconnecting link set of constant size whose removal leaves exactly two
+connected components, each holding at most ``α|E|`` links.  This module
+finds such sets:
+
+* :func:`bridges_between` — the ``k = 1`` fast path via Tarjan bridges;
+* :func:`minimal_st_cuts` — exhaustive enumeration of minimal cuts up to
+  a size bound (combinatorial in the bound, fine for the constant ``k``
+  the paper assumes);
+* :func:`minimum_cardinality_cut` — one smallest cut via unit-capacity
+  max-flow (Menger), used to seed / lower-bound the search;
+* :func:`find_bottleneck` — picks the admissible cut minimising the
+  achieved α.
+
+Separation is *undirected*: the paper's components are connected
+components of the link-removal graph, independent of link direction.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from repro.exceptions import DecompositionError
+from repro.graph.connectivity import bridges, component_of, has_path
+from repro.graph.network import FlowNetwork, Node
+from repro.graph.transforms import SideSplit, split_on_cut
+
+__all__ = [
+    "is_disconnecting",
+    "is_minimal_cut",
+    "bridges_between",
+    "minimum_cardinality_cut",
+    "minimal_st_cuts",
+    "find_bottleneck",
+    "verify_bottleneck",
+]
+
+
+def is_disconnecting(
+    net: FlowNetwork, source: Node, sink: Node, cut: Iterable[int]
+) -> bool:
+    """Whether removing ``cut`` separates the terminals (undirected)."""
+    cut_set = set(cut)
+    alive = [link.index for link in net.links() if link.index not in cut_set]
+    return not has_path(net, source, sink, alive)
+
+
+def is_minimal_cut(
+    net: FlowNetwork, source: Node, sink: Node, cut: Sequence[int]
+) -> bool:
+    """Whether ``cut`` disconnects s and t and no proper subset does."""
+    cut_list = list(dict.fromkeys(cut))
+    if len(cut_list) != len(cut):
+        return False
+    if not is_disconnecting(net, source, sink, cut_list):
+        return False
+    for index in cut_list:
+        reduced = [c for c in cut_list if c != index]
+        if is_disconnecting(net, source, sink, reduced):
+            return False
+    return True
+
+
+def bridges_between(net: FlowNetwork, source: Node, sink: Node) -> list[int]:
+    """Bridge links that actually separate ``source`` from ``sink``.
+
+    A bridge separates its component into two; only bridges whose two
+    sides contain one terminal each are s-t cuts of size one.
+    """
+    result = []
+    for index in bridges(net):
+        if is_disconnecting(net, source, sink, [index]):
+            result.append(index)
+    return result
+
+
+def minimum_cardinality_cut(
+    net: FlowNetwork, source: Node, sink: Node
+) -> list[int] | None:
+    """One minimum-cardinality s-t *undirected* cut, via Menger/max-flow.
+
+    Every link is given unit capacity and made traversable both ways
+    (undirected separation); the min cut of that auxiliary problem is a
+    smallest link set whose removal disconnects the terminals.  Returns
+    ``None`` when the terminals are already disconnected, and the empty
+    impossibility is reported the same way.
+    """
+    # Local import: repro.flow depends on repro.graph, not vice versa.
+    from repro.flow.dinic import DinicSolver
+
+    if not has_path(net, source, sink):
+        return None
+    aux = FlowNetwork(name="unit-aux")
+    aux.add_nodes(net.nodes())
+    for link in net.links():
+        aux.add_link(link.tail, link.head, 1, 0.0, directed=False)
+    solver = DinicSolver()
+    result = solver.max_flow(aux, source, sink)
+    reachable = result.min_cut_source_side
+    cut = [
+        link.index
+        for link in net.links()
+        if (link.tail in reachable) != (link.head in reachable)
+    ]
+    # The crossing set of the max-flow bipartition is disconnecting; prune
+    # it down to a minimal subset (it usually already is minimal).
+    return _prune_to_minimal(net, source, sink, cut)
+
+
+def _prune_to_minimal(
+    net: FlowNetwork, source: Node, sink: Node, cut: Sequence[int]
+) -> list[int]:
+    current = list(cut)
+    changed = True
+    while changed:
+        changed = False
+        for index in list(current):
+            reduced = [c for c in current if c != index]
+            if is_disconnecting(net, source, sink, reduced):
+                current = reduced
+                changed = True
+    return sorted(current)
+
+
+def minimal_st_cuts(
+    net: FlowNetwork,
+    source: Node,
+    sink: Node,
+    max_size: int,
+    *,
+    limit: int | None = None,
+) -> list[tuple[int, ...]]:
+    """All minimal s-t cuts of size at most ``max_size``.
+
+    Enumerates size classes in increasing order and skips any candidate
+    containing an already-found smaller cut (supersets of cuts are never
+    minimal).  Cost is ``O(C(|E|, max_size))`` subsets, each checked in
+    ``O(|V| + |E|)`` — exactly the "constant k" regime of the paper.
+
+    ``limit`` truncates the result once that many cuts were found.
+    """
+    if max_size < 1:
+        return []
+    found: list[tuple[int, ...]] = []
+    found_sets: list[frozenset[int]] = []
+    indices = [link.index for link in net.links()]
+    for size in range(1, max_size + 1):
+        for candidate in combinations(indices, size):
+            cand_set = frozenset(candidate)
+            if any(smaller <= cand_set for smaller in found_sets if len(smaller) < size):
+                continue
+            if not is_disconnecting(net, source, sink, candidate):
+                continue
+            # Disconnecting and not a superset of a smaller cut => check
+            # strict minimality within its own size class.
+            if is_minimal_cut(net, source, sink, candidate):
+                found.append(candidate)
+                found_sets.append(cand_set)
+                if limit is not None and len(found) >= limit:
+                    return found
+    return found
+
+
+def verify_bottleneck(
+    net: FlowNetwork, source: Node, sink: Node, cut: Sequence[int]
+) -> SideSplit:
+    """Validate ``cut`` as an α-bottleneck link set and split on it.
+
+    Checks minimality (the paper's condition 1) and the exactly-two-
+    components condition (via :func:`split_on_cut`).  Returns the
+    :class:`~repro.graph.transforms.SideSplit`.
+    """
+    if not is_minimal_cut(net, source, sink, cut):
+        raise DecompositionError(
+            f"links {tuple(cut)} are not a minimal s-t disconnecting set"
+        )
+    return split_on_cut(net, source, sink, cut)
+
+
+def find_bottleneck(
+    net: FlowNetwork,
+    source: Node,
+    sink: Node,
+    *,
+    max_size: int = 3,
+    max_candidates: int = 256,
+) -> SideSplit | None:
+    """Find the admissible bottleneck cut with the best (smallest) α.
+
+    Strategy: collect bridge cuts (size 1), the minimum-cardinality cut,
+    and every minimal cut up to ``max_size`` (capped at
+    ``max_candidates``); keep the candidates whose split satisfies the
+    two-component condition; return the one minimising
+    ``max(|E_s|, |E_t|)``, breaking ties towards fewer cut links.
+    Returns ``None`` when no admissible cut of size <= ``max_size``
+    exists (e.g. the terminals are adjacent through many parallel
+    links).
+    """
+    candidates: list[tuple[int, ...]] = []
+    seen: set[frozenset[int]] = set()
+
+    def push(cut: Sequence[int]) -> None:
+        key = frozenset(cut)
+        if key and key not in seen and len(key) <= max_size:
+            seen.add(key)
+            candidates.append(tuple(sorted(key)))
+
+    for index in bridges_between(net, source, sink):
+        push([index])
+    smallest = minimum_cardinality_cut(net, source, sink)
+    if smallest is not None:
+        push(smallest)
+    for cut in minimal_st_cuts(net, source, sink, max_size, limit=max_candidates):
+        push(cut)
+
+    best: SideSplit | None = None
+    best_key: tuple[int, int] | None = None
+    for cut in candidates:
+        try:
+            split = split_on_cut(net, source, sink, cut)
+        except DecompositionError:
+            continue
+        side = max(len(split.source_side.link_map), len(split.sink_side.link_map))
+        key = (side, len(cut))
+        if best_key is None or key < best_key:
+            best, best_key = split, key
+    return best

@@ -1,0 +1,368 @@
+"""Random network generators.
+
+These produce the synthetic workloads for tests and benchmarks.  All of
+them take an explicit seed or :class:`numpy.random.Generator`; none
+touch global RNG state, so every generated instance is reproducible.
+
+The central generator is :func:`bottlenecked_network`: two random
+connected blobs joined by exactly ``k`` bottleneck links — the graph
+family whose parameters (``k``, split ratio ``alpha``, total link count)
+are precisely the quantities in the paper's ``O(2^{alpha |E|} |V||E|)``
+bound.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.graph.network import FlowNetwork, Node
+
+__all__ = [
+    "as_rng",
+    "random_connected_block",
+    "random_network",
+    "bottlenecked_network",
+    "chained_network",
+    "layered_network",
+]
+
+
+def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    ``None`` gives a generator seeded from OS entropy — callers that
+    need reproducibility must pass an int or a generator.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def _random_capacity(rng: np.random.Generator, max_capacity: int) -> int:
+    return int(rng.integers(1, max_capacity + 1))
+
+
+def _random_probability(
+    rng: np.random.Generator, p_range: tuple[float, float]
+) -> float:
+    lo, hi = p_range
+    if not (0.0 <= lo <= hi < 1.0):
+        raise ValidationError(f"failure-probability range must satisfy 0 <= lo <= hi < 1, got {p_range}")
+    return float(rng.uniform(lo, hi))
+
+
+def random_connected_block(
+    nodes: Sequence[Node],
+    num_links: int,
+    *,
+    rng: np.random.Generator,
+    max_capacity: int = 3,
+    p_range: tuple[float, float] = (0.05, 0.3),
+    net: FlowNetwork | None = None,
+) -> FlowNetwork:
+    """Add a connected random block over ``nodes`` to ``net``.
+
+    First a random spanning tree guarantees connectivity, then the
+    remaining ``num_links - (len(nodes) - 1)`` links are sampled
+    uniformly (parallel links allowed, self-loops excluded).  Links are
+    directed with a random orientation.
+
+    Raises :class:`ValidationError` if ``num_links`` is too small to
+    connect the nodes.
+    """
+    n = len(nodes)
+    if n >= 2 and num_links < n - 1:
+        raise ValidationError(
+            f"cannot connect {n} nodes with only {num_links} links"
+        )
+    if net is None:
+        net = FlowNetwork()
+    net.add_nodes(nodes)
+    remaining = num_links
+    if n >= 2:
+        order = list(rng.permutation(n))
+        for position in range(1, n):
+            tail_pos = int(rng.integers(0, position))
+            u, v = nodes[order[tail_pos]], nodes[order[position]]
+            if rng.random() < 0.5:
+                u, v = v, u
+            net.add_link(u, v, _random_capacity(rng, max_capacity), _random_probability(rng, p_range))
+            remaining -= 1
+    for _ in range(remaining):
+        i = int(rng.integers(0, n))
+        j = int(rng.integers(0, n - 1))
+        if j >= i:
+            j += 1
+        net.add_link(
+            nodes[i], nodes[j], _random_capacity(rng, max_capacity), _random_probability(rng, p_range)
+        )
+    return net
+
+
+def random_network(
+    num_nodes: int,
+    num_links: int,
+    *,
+    seed: int | np.random.Generator | None = 0,
+    max_capacity: int = 3,
+    p_range: tuple[float, float] = (0.05, 0.3),
+) -> FlowNetwork:
+    """A connected random network with terminals ``s`` and ``t``.
+
+    Nodes are ``s``, ``t`` and ``v0..v{num_nodes-3}``.  The network is
+    connected (undirected sense) but an s-t *directed* path is not
+    guaranteed for every capacity draw — reliability may legitimately
+    be 0.  Tests that need positive reliability should use
+    :func:`bottlenecked_network` or :func:`layered_network`.
+    """
+    if num_nodes < 2:
+        raise ValidationError("random_network needs at least the two terminals")
+    rng = as_rng(seed)
+    nodes: list[Node] = ["s", "t"] + [f"v{i}" for i in range(num_nodes - 2)]
+    net = random_connected_block(
+        nodes, num_links, rng=rng, max_capacity=max_capacity, p_range=p_range
+    )
+    net.name = f"random-{num_nodes}n-{num_links}m"
+    return net
+
+
+def bottlenecked_network(
+    *,
+    source_side_links: int,
+    sink_side_links: int,
+    num_bottlenecks: int = 2,
+    demand: int = 2,
+    seed: int | np.random.Generator | None = 0,
+    max_capacity: int = 3,
+    p_range: tuple[float, float] = (0.05, 0.3),
+    source_side_nodes: int | None = None,
+    sink_side_nodes: int | None = None,
+) -> FlowNetwork:
+    """A network with a designed set of ``num_bottlenecks`` bottleneck links.
+
+    Structure: a random connected source-side block over nodes
+    ``s, sv*, x0..x{k-1}``, a random connected sink-side block over
+    ``y0..y{k-1}, tv*, t``, and the bottleneck links ``x_i -> y_i``.
+    Extra guarantees so instances are interesting rather than trivially
+    infeasible:
+
+    * every ``x_i`` gets a direct link from ``s`` and every ``y_i`` a
+      direct link to ``t`` (counted inside the side budgets), each with
+      capacity >= ``demand`` — so with all links alive the demand is
+      feasible and *every* assignment is realizable;
+    * each bottleneck link has capacity ``demand`` so the assignment
+      set is the full composition set of ``demand`` into ``k`` parts.
+
+    The bottleneck links are the **first ``num_bottlenecks`` indices**
+    (0..k-1); source-side links follow, then sink-side links.  This
+    ordering is what :mod:`repro.core.bottleneck` discovers, and it also
+    lets benchmarks slice the sides directly.
+    """
+    k = num_bottlenecks
+    if k < 1:
+        raise ValidationError("need at least one bottleneck link")
+    if demand < 1:
+        raise ValidationError("demand must be >= 1")
+    rng = as_rng(seed)
+    if source_side_nodes is None:
+        source_side_nodes = max(k + 1, min(source_side_links, 2 + source_side_links // 2))
+    if sink_side_nodes is None:
+        sink_side_nodes = max(k + 1, min(sink_side_links, 2 + sink_side_links // 2))
+
+    xs = [f"x{i}" for i in range(k)]
+    ys = [f"y{i}" for i in range(k)]
+    s_extra = max(0, source_side_nodes - 1 - k)
+    t_extra = max(0, sink_side_nodes - 1 - k)
+    s_nodes: list[Node] = ["s"] + [f"sv{i}" for i in range(s_extra)] + xs
+    t_nodes: list[Node] = ys + [f"tv{i}" for i in range(t_extra)] + ["t"]
+
+    net = FlowNetwork(name=f"bottlenecked-k{k}-d{demand}")
+    # Bottleneck links first so their indices are 0..k-1.
+    for i in range(k):
+        net.add_link(xs[i], ys[i], demand, _random_probability(rng, p_range))
+
+    # Source side: guaranteed feeder links + random connected remainder.
+    feeders = [("s", x) for x in xs]
+    budget_s = source_side_links - len(feeders)
+    if budget_s < 0:
+        raise ValidationError(
+            f"source_side_links={source_side_links} too small for {k} feeder links"
+        )
+    for tail, head in feeders:
+        net.add_link(tail, head, max(demand, _random_capacity(rng, max_capacity)), _random_probability(rng, p_range))
+    if budget_s > 0 or len(s_nodes) > 1:
+        spanning = len(s_nodes) - 1
+        if budget_s < spanning:
+            # The feeders already connect s to every x_i; only the extra
+            # sv* nodes still need attaching.  Trim the node count when
+            # the budget cannot attach them all.
+            attachable = budget_s
+            s_nodes = ["s"] + [f"sv{i}" for i in range(min(s_extra, max(0, attachable)))] + xs
+        extra_nodes = [n for n in s_nodes if isinstance(n, str) and n.startswith("sv")]
+        for node in extra_nodes:
+            anchor = s_nodes[int(rng.integers(0, len(s_nodes)))]
+            while anchor == node:
+                anchor = s_nodes[int(rng.integers(0, len(s_nodes)))]
+            net.add_link(anchor, node, _random_capacity(rng, max_capacity), _random_probability(rng, p_range))
+            budget_s -= 1
+        for _ in range(budget_s):
+            i = int(rng.integers(0, len(s_nodes)))
+            j = int(rng.integers(0, len(s_nodes) - 1))
+            if j >= i:
+                j += 1
+            net.add_link(s_nodes[i], s_nodes[j], _random_capacity(rng, max_capacity), _random_probability(rng, p_range))
+
+    # Sink side, mirrored.
+    drains = [(y, "t") for y in ys]
+    budget_t = sink_side_links - len(drains)
+    if budget_t < 0:
+        raise ValidationError(
+            f"sink_side_links={sink_side_links} too small for {k} drain links"
+        )
+    for tail, head in drains:
+        net.add_link(tail, head, max(demand, _random_capacity(rng, max_capacity)), _random_probability(rng, p_range))
+    t_extra_nodes = [f"tv{i}" for i in range(min(t_extra, max(0, budget_t)))]
+    t_nodes = ys + t_extra_nodes + ["t"]
+    for node in t_extra_nodes:
+        anchor = t_nodes[int(rng.integers(0, len(t_nodes)))]
+        while anchor == node:
+            anchor = t_nodes[int(rng.integers(0, len(t_nodes)))]
+        net.add_link(node, anchor, _random_capacity(rng, max_capacity), _random_probability(rng, p_range))
+        budget_t -= 1
+    for _ in range(budget_t):
+        i = int(rng.integers(0, len(t_nodes)))
+        j = int(rng.integers(0, len(t_nodes) - 1))
+        if j >= i:
+            j += 1
+        net.add_link(t_nodes[i], t_nodes[j], _random_capacity(rng, max_capacity), _random_probability(rng, p_range))
+
+    return net
+
+
+def chained_network(
+    segment_links: Sequence[int],
+    *,
+    cut_sizes: Sequence[int] | int = 1,
+    demand: int = 1,
+    seed: int | np.random.Generator | None = 0,
+    max_capacity: int = 3,
+    p_range: tuple[float, float] = (0.05, 0.3),
+) -> FlowNetwork:
+    """A series of random blocks joined by bottleneck cuts.
+
+    ``segment_links[i]`` is the link budget of segment ``i``; between
+    consecutive segments runs a cut of ``cut_sizes[i]`` links (an int
+    applies to every interface).  Segment 0 contains ``s``; the last
+    segment contains ``t``.  Every interface node is fed/drained by a
+    guaranteed high-capacity link so the all-alive network admits the
+    demand.  This is the workload for the chain-decomposition extension.
+
+    The generated cut link indices are recorded on the returned network
+    as ``net._chain_cut_indices`` (a list of per-interface index lists),
+    ready to pass to :func:`repro.core.chain_reliability`.
+    """
+    r = len(segment_links)
+    if r < 2:
+        raise ValidationError("chained_network needs at least two segments")
+    if isinstance(cut_sizes, int):
+        cut_list = [cut_sizes] * (r - 1)
+    else:
+        cut_list = list(cut_sizes)
+    if len(cut_list) != r - 1:
+        raise ValidationError(
+            f"need {r - 1} cut sizes for {r} segments, got {len(cut_list)}"
+        )
+    rng = as_rng(seed)
+    net = FlowNetwork(name=f"chained-{r}seg")
+
+    # Interface nodes: cut j joins out-ports o{j}_{i} to in-ports n{j}_{i}.
+    cut_link_indices: list[list[int]] = []
+    for j, size in enumerate(cut_list):
+        indices = []
+        for i in range(size):
+            indices.append(
+                net.add_link(
+                    f"o{j}_{i}", f"n{j}_{i}", demand, _random_probability(rng, p_range)
+                )
+            )
+        cut_link_indices.append(indices)
+
+    for seg in range(r):
+        entry: list[Node]
+        exits: list[Node]
+        entry = ["s"] if seg == 0 else [f"n{seg - 1}_{i}" for i in range(cut_list[seg - 1])]
+        exits = ["t"] if seg == r - 1 else [f"o{seg}_{i}" for i in range(cut_list[seg])]
+        budget = segment_links[seg]
+        required = len(entry) * len(exits) if seg not in (0, r - 1) else len(entry) * len(exits)
+        # Guaranteed full bipartite wiring entry -> exits keeps every
+        # assignment chain realizable when everything is alive.
+        pairs = [(a, b) for a in entry for b in exits]
+        if budget < len(pairs):
+            raise ValidationError(
+                f"segment {seg} budget {budget} below required wiring {len(pairs)}"
+            )
+        for a, b in pairs:
+            net.add_link(a, b, demand, _random_probability(rng, p_range))
+        budget -= len(pairs)
+        seg_nodes: list[Node] = entry + exits
+        for extra in range(budget):
+            # Half the extras add internal relay nodes, half add parallels.
+            if extra % 2 == 0 and budget - extra >= 2:
+                relay = f"m{seg}_{extra}"
+                a = seg_nodes[int(rng.integers(0, len(seg_nodes)))]
+                b = seg_nodes[int(rng.integers(0, len(seg_nodes)))]
+                net.add_link(a, relay, _random_capacity(rng, max_capacity), _random_probability(rng, p_range))
+                # the pairing link is emitted on the next iteration
+                seg_nodes.append(relay)
+                continue
+            i = int(rng.integers(0, len(seg_nodes)))
+            j2 = int(rng.integers(0, max(1, len(seg_nodes) - 1)))
+            if len(seg_nodes) > 1 and j2 >= i:
+                j2 += 1
+            j2 = min(j2, len(seg_nodes) - 1)
+            if seg_nodes[i] == seg_nodes[j2]:
+                continue
+            net.add_link(seg_nodes[i], seg_nodes[j2], _random_capacity(rng, max_capacity), _random_probability(rng, p_range))
+    net._chain_cut_indices = cut_link_indices  # type: ignore[attr-defined]
+    return net
+
+
+def layered_network(
+    layer_sizes: Sequence[int],
+    *,
+    seed: int | np.random.Generator | None = 0,
+    max_capacity: int = 3,
+    p_range: tuple[float, float] = (0.05, 0.3),
+    density: float = 1.0,
+) -> FlowNetwork:
+    """A feed-forward layered network ``s -> L1 -> ... -> Lr -> t``.
+
+    Each node of layer ``i`` links to each node of layer ``i+1`` with
+    probability ``density`` (at least one outgoing and one incoming link
+    per node are forced so no node is dead weight).  The shape of choice
+    for max-flow stress tests.
+    """
+    if not layer_sizes:
+        raise ValidationError("need at least one layer")
+    rng = as_rng(seed)
+    net = FlowNetwork(name=f"layered-{'x'.join(map(str, layer_sizes))}")
+    layers: list[list[Node]] = [["s"]]
+    for i, size in enumerate(layer_sizes):
+        layers.append([f"l{i}_{j}" for j in range(size)])
+    layers.append(["t"])
+    for a_layer, b_layer in zip(layers, layers[1:]):
+        for a in a_layer:
+            chosen = [b for b in b_layer if rng.random() < density]
+            if not chosen:
+                chosen = [b_layer[int(rng.integers(0, len(b_layer)))]]
+            for b in chosen:
+                net.add_link(a, b, _random_capacity(rng, max_capacity), _random_probability(rng, p_range))
+        # force in-degree >= 1 for each b
+        for b in b_layer:
+            if not net.in_links(b):
+                a = a_layer[int(rng.integers(0, len(a_layer)))]
+                net.add_link(a, b, _random_capacity(rng, max_capacity), _random_probability(rng, p_range))
+    return net

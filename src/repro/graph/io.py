@@ -1,0 +1,107 @@
+"""Serialization of :class:`~repro.graph.FlowNetwork` to/from plain data.
+
+The on-disk format is deliberately boring JSON so that instances can be
+checked into a repo, diffed and loaded from any language:
+
+.. code-block:: json
+
+    {
+      "name": "diamond",
+      "nodes": ["s", "a", "b", "t"],
+      "links": [
+        {"tail": "s", "head": "a", "capacity": 1,
+         "failure_probability": 0.1, "directed": true}
+      ]
+    }
+
+Only JSON-representable node labels round-trip exactly; tuple labels
+(used by the grid builder) are encoded as lists and decoded back to
+tuples.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import ValidationError
+from repro.graph.network import FlowNetwork
+
+__all__ = ["to_dict", "from_dict", "dumps", "loads", "save", "load"]
+
+
+def _encode_node(node: Any) -> Any:
+    if isinstance(node, tuple):
+        return {"__tuple__": [_encode_node(x) for x in node]}
+    return node
+
+
+def _decode_node(data: Any) -> Any:
+    if isinstance(data, dict) and "__tuple__" in data:
+        return tuple(_decode_node(x) for x in data["__tuple__"])
+    if isinstance(data, list):
+        return tuple(_decode_node(x) for x in data)
+    return data
+
+
+def to_dict(net: FlowNetwork) -> dict[str, Any]:
+    """A JSON-ready dict capturing the full network."""
+    return {
+        "name": net.name,
+        "nodes": [_encode_node(node) for node in net.nodes()],
+        "links": [
+            {
+                "tail": _encode_node(link.tail),
+                "head": _encode_node(link.head),
+                "capacity": link.capacity,
+                "failure_probability": link.failure_probability,
+                "directed": link.directed,
+            }
+            for link in net.links()
+        ],
+    }
+
+
+def from_dict(data: dict[str, Any]) -> FlowNetwork:
+    """Rebuild a network from :func:`to_dict` output.
+
+    Link indices are preserved (links are re-added in order).
+    """
+    if "links" not in data:
+        raise ValidationError("network dict is missing the 'links' key")
+    net = FlowNetwork(name=data.get("name", ""))
+    for node in data.get("nodes", []):
+        net.add_node(_decode_node(node))
+    for entry in data["links"]:
+        try:
+            net.add_link(
+                _decode_node(entry["tail"]),
+                _decode_node(entry["head"]),
+                entry["capacity"],
+                entry.get("failure_probability", 0.0),
+                directed=entry.get("directed", True),
+            )
+        except KeyError as exc:
+            raise ValidationError(f"link entry missing required key: {exc}") from exc
+    return net
+
+
+def dumps(net: FlowNetwork, *, indent: int | None = 2) -> str:
+    """Serialize to a JSON string."""
+    return json.dumps(to_dict(net), indent=indent, sort_keys=False)
+
+
+def loads(text: str) -> FlowNetwork:
+    """Parse a network from a JSON string."""
+    return from_dict(json.loads(text))
+
+
+def save(net: FlowNetwork, path: str | Path) -> None:
+    """Write the network to ``path`` as JSON."""
+    Path(path).write_text(dumps(net), encoding="utf-8")
+
+
+def load(path: str | Path) -> FlowNetwork:
+    """Read a network from a JSON file."""
+    return loads(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,315 @@
+"""The :class:`FlowNetwork` data structure.
+
+A flow network in the sense of the paper: a graph whose links each carry
+an integer *capacity* ``c(e)`` (the bit-rate the link can sustain) and an
+independent *failure probability* ``p(e) in [0, 1)``.  Links may be
+directed (a one-way delivery hop, the common case for streaming) or
+undirected (capacity usable in either direction; the link still fails as
+a single unit).
+
+The structure is deliberately simple and index-based: links are stored in
+a list and identified by their integer index.  Every reliability
+algorithm in :mod:`repro.core` enumerates *failure configurations* as
+bitmasks over these indices, so stable integer identities are the one
+property everything else relies on.
+
+Example
+-------
+>>> net = FlowNetwork()
+>>> net.add_node("s"); net.add_node("t")
+'s'
+'t'
+>>> e = net.add_link("s", "t", capacity=3, failure_probability=0.1)
+>>> net.link(e).capacity
+3
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import LinkNotFoundError, NodeNotFoundError, ValidationError
+
+Node = Hashable
+
+__all__ = ["Link", "FlowNetwork", "Node"]
+
+
+@dataclass(frozen=True)
+class Link:
+    """One link of a :class:`FlowNetwork`.
+
+    Attributes
+    ----------
+    index:
+        Position of the link in the network's link list.  This is the
+        bit position used in failure-configuration bitmasks.
+    tail, head:
+        Endpoint nodes.  For directed links flow may only travel
+        ``tail -> head``; for undirected links the orientation is just a
+        canonical storage order.
+    capacity:
+        Non-negative integer bit-rate the link can carry.
+    failure_probability:
+        Probability in ``[0, 1)`` that the link is *down*, independent of
+        all other links.
+    directed:
+        Whether the link is one-way.
+    """
+
+    index: int
+    tail: Node
+    head: Node
+    capacity: int
+    failure_probability: float
+    directed: bool = True
+
+    @property
+    def availability(self) -> float:
+        """Probability the link is up: ``1 - failure_probability``."""
+        return 1.0 - self.failure_probability
+
+    @property
+    def endpoints(self) -> tuple[Node, Node]:
+        """The ``(tail, head)`` pair."""
+        return (self.tail, self.head)
+
+    def other_endpoint(self, node: Node) -> Node:
+        """Return the endpoint that is not ``node``.
+
+        Raises :class:`ValueError` if ``node`` is not an endpoint.  For
+        self-loops (``tail == head``) the node itself is returned.
+        """
+        if node == self.tail:
+            return self.head
+        if node == self.head:
+            return self.tail
+        raise ValueError(f"{node!r} is not an endpoint of link {self.index}")
+
+    def reversed(self) -> "Link":
+        """A copy of this link with tail and head swapped."""
+        return replace(self, tail=self.head, head=self.tail)
+
+
+@dataclass
+class FlowNetwork:
+    """A capacitated network with per-link failure probabilities.
+
+    Nodes may be any hashable value.  Links are created with
+    :meth:`add_link` and afterwards addressed by integer index.
+    Parallel links and antiparallel link pairs are allowed; self-loops
+    are allowed but contribute nothing to any s-t flow.
+    """
+
+    name: str = ""
+    _nodes: dict[Node, None] = field(default_factory=dict)  # insertion-ordered set
+    _links: list[Link] = field(default_factory=list)
+    _out: dict[Node, list[int]] = field(default_factory=dict)
+    _in: dict[Node, list[int]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> Node:
+        """Add ``node`` (idempotent) and return it."""
+        if node not in self._nodes:
+            self._nodes[node] = None
+            self._out[node] = []
+            self._in[node] = []
+        return node
+
+    def add_nodes(self, nodes: Iterable[Node]) -> None:
+        """Add every node in ``nodes``."""
+        for node in nodes:
+            self.add_node(node)
+
+    def add_link(
+        self,
+        tail: Node,
+        head: Node,
+        capacity: int,
+        failure_probability: float = 0.0,
+        *,
+        directed: bool = True,
+    ) -> int:
+        """Add a link and return its index.
+
+        Endpoints are added implicitly.  Capacity must be a non-negative
+        integer; the failure probability must lie in ``[0, 1)`` (a link
+        that fails surely would carry no information and is rejected to
+        keep probability bookkeeping honest — model it by omission).
+        """
+        if capacity < 0 or int(capacity) != capacity:
+            raise ValidationError(f"capacity must be a non-negative integer, got {capacity!r}")
+        if not (0.0 <= failure_probability < 1.0):
+            raise ValidationError(
+                f"failure probability must be in [0, 1), got {failure_probability!r}"
+            )
+        self.add_node(tail)
+        self.add_node(head)
+        index = len(self._links)
+        link = Link(
+            index=index,
+            tail=tail,
+            head=head,
+            capacity=int(capacity),
+            failure_probability=float(failure_probability),
+            directed=directed,
+        )
+        self._links.append(link)
+        self._out[tail].append(index)
+        self._in[head].append(index)
+        if not directed:
+            self._out[head].append(index)
+            self._in[tail].append(index)
+        return index
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``|V|``."""
+        return len(self._nodes)
+
+    @property
+    def num_links(self) -> int:
+        """Number of links ``|E|``."""
+        return len(self._links)
+
+    def nodes(self) -> list[Node]:
+        """All nodes in insertion order."""
+        return list(self._nodes)
+
+    def links(self) -> list[Link]:
+        """All links in index order (a copy of the list)."""
+        return list(self._links)
+
+    def link(self, index: int) -> Link:
+        """The link with the given index."""
+        try:
+            return self._links[index]
+        except (IndexError, TypeError) as exc:
+            raise LinkNotFoundError(index) from exc
+
+    def has_node(self, node: Node) -> bool:
+        """Whether ``node`` is in the network."""
+        return node in self._nodes
+
+    def __contains__(self, node: Node) -> bool:
+        return self.has_node(node)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+    def _require_node(self, node: Node) -> None:
+        if node not in self._nodes:
+            raise NodeNotFoundError(node)
+
+    # ------------------------------------------------------------------
+    # adjacency
+    # ------------------------------------------------------------------
+    def out_links(self, node: Node) -> list[Link]:
+        """Links usable *leaving* ``node`` (undirected links included)."""
+        self._require_node(node)
+        return [self._links[i] for i in self._out[node]]
+
+    def in_links(self, node: Node) -> list[Link]:
+        """Links usable *entering* ``node`` (undirected links included)."""
+        self._require_node(node)
+        return [self._links[i] for i in self._in[node]]
+
+    def incident_links(self, node: Node) -> list[Link]:
+        """All links with ``node`` as an endpoint, without duplicates."""
+        self._require_node(node)
+        seen: set[int] = set()
+        result: list[Link] = []
+        for i in self._out[node] + self._in[node]:
+            if i not in seen:
+                seen.add(i)
+                result.append(self._links[i])
+        return result
+
+    def neighbors(self, node: Node) -> list[Node]:
+        """Nodes reachable from ``node`` along a single usable link."""
+        self._require_node(node)
+        seen: set[Node] = set()
+        result: list[Node] = []
+        for i in self._out[node]:
+            link = self._links[i]
+            other = link.head if link.tail == node else link.tail
+            if other not in seen:
+                seen.add(other)
+                result.append(other)
+        return result
+
+    def degree(self, node: Node) -> int:
+        """Number of links incident to ``node``."""
+        return len(self.incident_links(node))
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    def capacities(self) -> list[int]:
+        """Capacity of each link, in index order."""
+        return [link.capacity for link in self._links]
+
+    def failure_probabilities(self) -> list[float]:
+        """Failure probability of each link, in index order."""
+        return [link.failure_probability for link in self._links]
+
+    def total_capacity(self, links: Iterable[int] | None = None) -> int:
+        """Total capacity of the given link indices (default: all links)."""
+        if links is None:
+            return sum(link.capacity for link in self._links)
+        return sum(self.link(i).capacity for i in links)
+
+    def with_failure_probabilities(self, probabilities: Mapping[int, float] | Sequence[float]) -> "FlowNetwork":
+        """A copy of this network with failure probabilities replaced.
+
+        ``probabilities`` is either a full sequence (one value per link,
+        in index order) or a mapping from link index to new value;
+        unmapped links keep their probability.
+        """
+        if isinstance(probabilities, Mapping):
+            table = {int(k): float(v) for k, v in probabilities.items()}
+        else:
+            if len(probabilities) != self.num_links:
+                raise ValidationError(
+                    f"expected {self.num_links} probabilities, got {len(probabilities)}"
+                )
+            table = {i: float(p) for i, p in enumerate(probabilities)}
+        clone = FlowNetwork(name=self.name)
+        clone.add_nodes(self._nodes)
+        for link in self._links:
+            clone.add_link(
+                link.tail,
+                link.head,
+                link.capacity,
+                table.get(link.index, link.failure_probability),
+                directed=link.directed,
+            )
+        return clone
+
+    def copy(self) -> "FlowNetwork":
+        """A structural copy (links keep their indices)."""
+        return self.with_failure_probabilities({})
+
+    # ------------------------------------------------------------------
+    # dunder / debugging
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return f"<FlowNetwork{label}: {self.num_nodes} nodes, {self.num_links} links>"
+
+    def describe(self) -> str:
+        """A multi-line human-readable description of the network."""
+        lines = [f"FlowNetwork {self.name!r}: |V|={self.num_nodes} |E|={self.num_links}"]
+        for link in self._links:
+            arrow = "->" if link.directed else "--"
+            lines.append(
+                f"  e{link.index}: {link.tail!r} {arrow} {link.head!r}"
+                f"  c={link.capacity}  p={link.failure_probability:.4g}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,156 @@
+"""Node failures via the node-splitting transformation.
+
+The paper's model only lets *links* fail, but the P2P reality is that
+*peers* fail — taking all their incident links down together, a
+correlation the independent-link mapping ignores.  The classic exact
+fix: split every fallible node ``v`` into ``v·in -> v·out`` joined by an
+internal link that carries ``v``'s failure probability; links into ``v``
+re-target ``v·in`` and links out of ``v`` re-source ``v·out``.  Link
+failures of the original network are kept as they are.  Flow through
+``v`` then exists iff ``v``'s internal link is alive — i.e. node
+failures become ordinary link failures, *exactly*.
+
+With this transformation every exact algorithm in :mod:`repro.core`
+computes correlated peer-level reliability — cross-validated against
+the :func:`repro.p2p.simulation.peer_level_reliability` sampler in the
+tests and benchmark X6.
+
+Only directed networks are supported: an undirected link would need its
+two directions to fail as a unit, which the per-link failure model
+cannot express after splitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.exceptions import ValidationError
+from repro.graph.network import FlowNetwork, Node
+
+__all__ = ["NodeSplit", "split_nodes"]
+
+
+@dataclass(frozen=True)
+class NodeSplit:
+    """Result of :func:`split_nodes`.
+
+    Attributes
+    ----------
+    network:
+        The transformed network (only link failures).
+    entry, exit:
+        Mappings from original nodes to their in/out representatives
+        (identity for nodes that were not split).
+    node_link:
+        Original node -> index of its internal link (only split nodes).
+    original_link_map:
+        Transformed link index -> original link index (internal links
+        are absent).
+    """
+
+    network: FlowNetwork
+    entry: dict[Node, Node]
+    exit: dict[Node, Node]
+    node_link: dict[Node, int]
+    original_link_map: dict[int, int]
+
+    def terminal(self, node: Node, *, role: str) -> Node:
+        """The transformed node to use as a terminal.
+
+        A split source must inject at its ``exit`` side (its own
+        survival still gates the flow through the internal link when
+        ``role='source_gated'`` is not wanted — see ``split_nodes``
+        notes); a split sink drains at its ``entry`` side.
+        """
+        if role == "source":
+            return self.exit[node]
+        if role == "sink":
+            return self.entry[node]
+        raise ValidationError(f"role must be 'source' or 'sink', got {role!r}")
+
+
+def split_nodes(
+    net: FlowNetwork,
+    failure_probabilities: Mapping[Node, float],
+    *,
+    internal_capacity: int | None = None,
+) -> NodeSplit:
+    """Transform node failures into link failures.
+
+    Parameters
+    ----------
+    net:
+        A directed network (undirected links are rejected).
+    failure_probabilities:
+        Per-node failure probability; nodes absent from the mapping (or
+        mapped to 0) are reliable and left unsplit.
+    internal_capacity:
+        Capacity of each internal link.  Default: the node's total
+        incident capacity (never a bottleneck beyond what the node
+        could carry anyway).
+
+    Terminal semantics: if the *source* or *sink* itself is fallible,
+    its internal link participates like any other — the demand then
+    requires the terminal to be up, matching
+    ``peer_level_reliability(..., require_subscriber_online=True)``.
+    Callers that want the subscriber's own churn excluded should simply
+    not list it in ``failure_probabilities``.
+    """
+    for link in net.links():
+        if not link.directed:
+            raise ValidationError(
+                "node splitting requires directed links "
+                f"(link {link.index} is undirected)"
+            )
+    for node, p in failure_probabilities.items():
+        if not net.has_node(node):
+            raise ValidationError(f"unknown node {node!r} in failure mapping")
+        if not (0.0 <= p < 1.0):
+            raise ValidationError(f"node failure probability {p} outside [0, 1)")
+
+    split = {
+        node: p for node, p in failure_probabilities.items() if p > 0.0
+    }
+    out = FlowNetwork(name=f"{net.name}|nodesplit")
+    entry: dict[Node, Node] = {}
+    exit_: dict[Node, Node] = {}
+    node_link: dict[Node, int] = {}
+
+    for node in net.nodes():
+        if node in split:
+            entry[node] = (node, "in")
+            exit_[node] = (node, "out")
+            out.add_node(entry[node])
+            out.add_node(exit_[node])
+        else:
+            entry[node] = node
+            exit_[node] = node
+            out.add_node(node)
+
+    # Internal links first so their indices are stable and documented.
+    for node, p in split.items():
+        if internal_capacity is None:
+            capacity = sum(l.capacity for l in net.incident_links(node))
+            capacity = max(capacity, 1)
+        else:
+            capacity = internal_capacity
+        node_link[node] = out.add_link(entry[node], exit_[node], capacity, p)
+
+    original_link_map: dict[int, int] = {}
+    for link in net.links():
+        new_index = out.add_link(
+            exit_[link.tail],
+            entry[link.head],
+            link.capacity,
+            link.failure_probability,
+        )
+        original_link_map[new_index] = link.index
+
+    return NodeSplit(
+        network=out,
+        entry=entry,
+        exit=exit_,
+        node_link=node_link,
+        original_link_map=original_link_map,
+    )

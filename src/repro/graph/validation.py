@@ -1,0 +1,66 @@
+"""Network validation helpers.
+
+:func:`validate_network` performs the structural checks every algorithm
+entry point relies on, producing a list of human-readable problems (or
+raising, via ``strict=True``).  Keeping validation separate from the
+data structure lets :class:`~repro.graph.FlowNetwork` stay permissive
+while algorithm entry points stay strict.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ValidationError
+from repro.graph.connectivity import has_directed_path, has_path
+from repro.graph.network import FlowNetwork, Node
+
+__all__ = ["validate_network", "validate_terminals"]
+
+
+def validate_network(net: FlowNetwork, *, strict: bool = False) -> list[str]:
+    """Check capacities, probabilities and basic sanity.
+
+    Returns the list of problems found (empty when valid).  With
+    ``strict=True`` raises :class:`ValidationError` on the first
+    problem instead.
+    """
+    problems: list[str] = []
+
+    def report(message: str) -> None:
+        if strict:
+            raise ValidationError(message)
+        problems.append(message)
+
+    for link in net.links():
+        if link.capacity < 0:
+            report(f"link {link.index} has negative capacity {link.capacity}")
+        if not (0.0 <= link.failure_probability < 1.0):
+            report(
+                f"link {link.index} has failure probability "
+                f"{link.failure_probability} outside [0, 1)"
+            )
+        if link.tail == link.head:
+            report(f"link {link.index} is a self-loop and can carry no s-t flow")
+        if link.capacity == 0:
+            report(f"link {link.index} has zero capacity (dead weight)")
+    return problems
+
+
+def validate_terminals(
+    net: FlowNetwork, source: Node, sink: Node, *, require_path: bool = False
+) -> None:
+    """Raise :class:`ValidationError` for unusable terminals.
+
+    ``require_path=True`` additionally demands a direction-respecting
+    s-t path in the all-alive network (otherwise reliability is
+    trivially zero, which some callers prefer to reject loudly).
+    """
+    if not net.has_node(source):
+        raise ValidationError(f"source {source!r} is not in the network")
+    if not net.has_node(sink):
+        raise ValidationError(f"sink {sink!r} is not in the network")
+    if source == sink:
+        raise ValidationError("source and sink must differ")
+    if require_path and not has_directed_path(net, source, sink):
+        raise ValidationError(
+            "no directed path joins the terminals even with all links alive"
+        )

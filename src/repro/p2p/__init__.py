@@ -1,0 +1,66 @@
+"""P2P streaming substrate: peers, churn, overlays, simulation.
+
+The paper's motivating domain.  Overlays (single-tree, SplitStream-
+style multi-tree, mesh) convert through a churn model into the
+:class:`~repro.graph.FlowNetwork` the reliability algorithms consume;
+the simulators provide independent ground truth.
+"""
+
+from repro.p2p.churn import (
+    ChildChurnModel,
+    ChurnModel,
+    EndpointChurnModel,
+    StaticChurnModel,
+)
+from repro.p2p.metrics import SeriesSummary, summarize
+from repro.p2p.overlay import Overlay, OverlayEdge, random_mesh, to_flow_network
+from repro.p2p.peer import MEDIA_SERVER, Peer, make_peers
+from repro.p2p.exact import exact_peer_level_reliability
+from repro.p2p.repair import repair_overlay, repaired_reliability
+from repro.p2p.scenario import ScenarioResult, build_overlay, run_scenario
+from repro.p2p.simulation import (
+    StreamingOutcome,
+    StreamingSimulator,
+    peer_level_reliability,
+)
+from repro.p2p.streaming import (
+    DeliveryPath,
+    ScheduleReport,
+    delivery_paths,
+    schedule_report,
+    stripe_depth,
+)
+from repro.p2p.trees import multi_tree, single_tree, treebone
+
+__all__ = [
+    "MEDIA_SERVER",
+    "Peer",
+    "make_peers",
+    "ChurnModel",
+    "ChildChurnModel",
+    "EndpointChurnModel",
+    "StaticChurnModel",
+    "Overlay",
+    "OverlayEdge",
+    "random_mesh",
+    "to_flow_network",
+    "single_tree",
+    "multi_tree",
+    "treebone",
+    "DeliveryPath",
+    "ScheduleReport",
+    "delivery_paths",
+    "schedule_report",
+    "stripe_depth",
+    "StreamingSimulator",
+    "StreamingOutcome",
+    "peer_level_reliability",
+    "exact_peer_level_reliability",
+    "repair_overlay",
+    "repaired_reliability",
+    "ScenarioResult",
+    "build_overlay",
+    "run_scenario",
+    "SeriesSummary",
+    "summarize",
+]

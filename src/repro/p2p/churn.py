@@ -1,0 +1,83 @@
+"""Churn models: peer session dynamics → link failure probabilities.
+
+The paper's model attaches an independent failure probability to every
+*link*; real P2P systems lose links because *peers* depart.  The models
+here bridge the two views:
+
+* :class:`ChildChurnModel` — a delivery link ``u -> v`` is considered
+  down iff its receiving peer ``v`` is offline.  For tree overlays,
+  where each peer has exactly one incoming link per stripe, this makes
+  link failures of a single stripe exactly as independent as peer
+  failures are, so the flow-reliability computation is *exact* for a
+  single tree.
+* :class:`EndpointChurnModel` — the link is down when either endpoint
+  is offline: ``p = 1 - a_u a_v``.  Closer to reality for mesh/multi-
+  tree overlays but introduces correlation between links sharing a
+  peer, which independent-link reliability ignores.  The static
+  peer-level simulator (:mod:`repro.p2p.simulation`) measures exactly
+  this approximation gap — experiment E10.
+
+The media server is always up.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.p2p.peer import MEDIA_SERVER, Peer
+
+__all__ = ["ChurnModel", "ChildChurnModel", "EndpointChurnModel", "StaticChurnModel"]
+
+
+class ChurnModel(ABC):
+    """Maps overlay link endpoints to a failure probability."""
+
+    @abstractmethod
+    def link_failure_probability(self, tail: Peer | None, head: Peer | None) -> float:
+        """Failure probability of a delivery link ``tail -> head``.
+
+        ``None`` stands for the media server (never fails).
+        """
+
+    def peer_failure_probability(self, peer: Peer | None) -> float:
+        """Offline probability of one peer (0 for the server)."""
+        if peer is None:
+            return 0.0
+        return peer.failure_probability
+
+
+@dataclass(frozen=True)
+class ChildChurnModel(ChurnModel):
+    """Link fails iff the receiving peer is offline."""
+
+    def link_failure_probability(self, tail: Peer | None, head: Peer | None) -> float:
+        return self.peer_failure_probability(head)
+
+
+@dataclass(frozen=True)
+class EndpointChurnModel(ChurnModel):
+    """Link fails when either endpoint is offline (independent peers)."""
+
+    def link_failure_probability(self, tail: Peer | None, head: Peer | None) -> float:
+        a_tail = 1.0 - self.peer_failure_probability(tail)
+        a_head = 1.0 - self.peer_failure_probability(head)
+        return 1.0 - a_tail * a_head
+
+
+@dataclass(frozen=True)
+class StaticChurnModel(ChurnModel):
+    """Every link gets the same fixed failure probability.
+
+    The control condition for experiments: removes peer heterogeneity
+    so differences between overlays are purely structural.
+    """
+
+    failure_probability: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.failure_probability < 1.0):
+            raise ValueError("failure probability must be in [0, 1)")
+
+    def link_failure_probability(self, tail: Peer | None, head: Peer | None) -> float:
+        return self.failure_probability

@@ -1,0 +1,46 @@
+"""Aggregate metrics over P2P experiments."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["summarize", "SeriesSummary"]
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Five-number-ish summary of a metric series."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        if self.count <= 1:
+            return 0.0
+        return self.std / math.sqrt(self.count)
+
+
+def summarize(values: Sequence[float]) -> SeriesSummary:
+    """Summary statistics of a non-empty series."""
+    if not values:
+        raise ValueError("cannot summarize an empty series")
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    else:
+        var = 0.0
+    return SeriesSummary(
+        count=n,
+        mean=mean,
+        std=math.sqrt(var),
+        minimum=min(values),
+        maximum=max(values),
+    )

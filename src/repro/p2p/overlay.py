@@ -1,0 +1,176 @@
+"""Overlay networks: the delivery topology on top of the peers.
+
+An :class:`Overlay` is a set of directed delivery edges, each belonging
+to a *stripe* (sub-stream index) and carrying one unit of bit-rate per
+stripe it serves.  Tree builders live in :mod:`repro.p2p.trees`; the
+random mesh builder is here.  :func:`to_flow_network` converts any
+overlay plus a churn model into the paper's
+:class:`~repro.graph.FlowNetwork`, at which point the whole
+:mod:`repro.core` toolbox applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import OverlayError
+from repro.graph.generators import as_rng
+from repro.graph.network import FlowNetwork
+from repro.p2p.churn import ChurnModel
+from repro.p2p.peer import MEDIA_SERVER, Peer
+
+__all__ = ["OverlayEdge", "Overlay", "random_mesh", "to_flow_network"]
+
+
+@dataclass(frozen=True)
+class OverlayEdge:
+    """One delivery relationship: ``tail`` forwards stripe ``stripe`` to
+    ``head`` at ``capacity`` sub-stream units (usually 1)."""
+
+    tail: str
+    head: str
+    stripe: int
+    capacity: int = 1
+
+
+@dataclass
+class Overlay:
+    """Peers plus directed striped delivery edges.
+
+    The media server is implicit (node id :data:`~repro.p2p.peer.MEDIA_SERVER`).
+    """
+
+    peers: list[Peer]
+    num_stripes: int
+    edges: list[OverlayEdge] = field(default_factory=list)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_stripes < 1:
+            raise OverlayError("an overlay needs at least one stripe")
+        ids = [p.peer_id for p in self.peers]
+        if len(set(ids)) != len(ids):
+            raise OverlayError("duplicate peer ids")
+        self._by_id = {p.peer_id: p for p in self.peers}
+
+    def peer(self, peer_id: str) -> Peer | None:
+        """The peer object, or ``None`` for the media server."""
+        if peer_id == MEDIA_SERVER:
+            return None
+        try:
+            return self._by_id[peer_id]
+        except KeyError as exc:
+            raise OverlayError(f"unknown peer {peer_id!r}") from exc
+
+    def add_edge(self, tail: str, head: str, stripe: int, capacity: int = 1) -> None:
+        """Append one delivery edge (validating endpoints and stripe)."""
+        if not (0 <= stripe < self.num_stripes):
+            raise OverlayError(f"stripe {stripe} outside [0, {self.num_stripes})")
+        self.peer(tail)
+        self.peer(head)
+        if head == MEDIA_SERVER:
+            raise OverlayError("the media server never receives a stripe")
+        self.edges.append(OverlayEdge(tail, head, stripe, capacity))
+
+    def out_degree(self, peer_id: str) -> int:
+        """Total sub-stream units the node currently forwards."""
+        return sum(e.capacity for e in self.edges if e.tail == peer_id)
+
+    def upload_violations(self) -> list[str]:
+        """Peers forwarding more than their upload capacity allows."""
+        violations = []
+        for peer in self.peers:
+            if self.out_degree(peer.peer_id) > peer.upload_capacity:
+                violations.append(peer.peer_id)
+        return violations
+
+    def interior_stripes(self, peer_id: str) -> set[int]:
+        """Stripes in which the peer has at least one child (is interior)."""
+        return {e.stripe for e in self.edges if e.tail == peer_id}
+
+    def stripe_edges(self, stripe: int) -> list[OverlayEdge]:
+        """All edges belonging to one stripe."""
+        return [e for e in self.edges if e.stripe == stripe]
+
+
+def random_mesh(
+    peers: Sequence[Peer],
+    *,
+    num_stripes: int = 2,
+    neighbors_per_peer: int = 3,
+    providers_per_stripe: int = 1,
+    server_fanout: int | None = None,
+    seed: int | np.random.Generator | None = 0,
+) -> Overlay:
+    """A mesh-based overlay (Bullet/PRIME/CoolStreaming style).
+
+    Each peer pulls every stripe from up to ``providers_per_stripe``
+    randomly chosen partners among ``neighbors_per_peer`` candidates
+    that joined earlier (plus the server for the first arrivals),
+    capped by the partners' remaining upload capacity.  With more than
+    one provider the subscriber survives any single provider's
+    departure — the redundancy that makes mesh systems robust to churn
+    (at the cost of upload budget), directly visible in the flow
+    reliability.  The server pushes all stripes to ``server_fanout``
+    seed peers (default: ``num_stripes``).
+
+    The construction is order-based (peers "arrive" in list order), so
+    the overlay is acyclic — delivery paths are well defined for the
+    primary (first) provider of each stripe.
+    """
+    if not peers:
+        raise OverlayError("a mesh needs at least one peer")
+    if providers_per_stripe < 1:
+        raise OverlayError("need at least one provider per stripe")
+    rng = as_rng(seed)
+    overlay = Overlay(peers=list(peers), num_stripes=num_stripes, name="mesh")
+    budget = {p.peer_id: p.upload_capacity for p in peers}
+    fanout = server_fanout if server_fanout is not None else num_stripes
+    seeds = list(peers[: max(1, fanout)])
+    for peer in seeds:
+        for stripe in range(num_stripes):
+            overlay.add_edge(MEDIA_SERVER, peer.peer_id, stripe)
+    for position, peer in enumerate(peers):
+        if peer in seeds:
+            continue
+        earlier = peers[:position]
+        for stripe in range(num_stripes):
+            candidates = [p for p in earlier if budget[p.peer_id] > 0]
+            if not candidates:
+                overlay.add_edge(MEDIA_SERVER, peer.peer_id, stripe)
+                continue
+            take = min(neighbors_per_peer, len(candidates))
+            chosen = rng.choice(len(candidates), size=take, replace=False)
+            providers = chosen[: min(providers_per_stripe, take)]
+            for pick in providers:
+                provider = candidates[int(pick)]
+                if budget[provider.peer_id] <= 0:
+                    continue
+                overlay.add_edge(provider.peer_id, peer.peer_id, stripe)
+                budget[provider.peer_id] -= 1
+    return overlay
+
+
+def to_flow_network(
+    overlay: Overlay,
+    churn: ChurnModel,
+    *,
+    name: str | None = None,
+) -> FlowNetwork:
+    """Convert an overlay into the paper's flow network.
+
+    Every overlay edge becomes a directed link with its capacity and a
+    failure probability from the churn model.  Link indices follow the
+    overlay's edge order, so callers can map results back.
+    """
+    net = FlowNetwork(name=name or f"overlay-{overlay.name}")
+    net.add_node(MEDIA_SERVER)
+    for peer in overlay.peers:
+        net.add_node(peer.peer_id)
+    for edge in overlay.edges:
+        p = churn.link_failure_probability(overlay.peer(edge.tail), overlay.peer(edge.head))
+        net.add_link(edge.tail, edge.head, edge.capacity, p)
+    return net

@@ -1,0 +1,82 @@
+"""Peer model.
+
+A peer contributes upload capacity (in sub-stream units) and exhibits
+churn: alternating online/offline periods.  Its long-run availability
+is what the churn models convert into link failure probabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import OverlayError
+
+__all__ = ["Peer", "MEDIA_SERVER"]
+
+#: Reserved identifier of the media server (the stream source).
+MEDIA_SERVER = "server"
+
+
+@dataclass(frozen=True)
+class Peer:
+    """One participant of the streaming system.
+
+    Attributes
+    ----------
+    peer_id:
+        Unique identifier (must not collide with :data:`MEDIA_SERVER`).
+    upload_capacity:
+        How many unit-rate sub-streams the peer can forward
+        simultaneously (its total upstream budget across all overlay
+        children).
+    mean_session:
+        Average online duration (seconds) between departures.
+    mean_offline:
+        Average offline duration before rejoining.
+    """
+
+    peer_id: str
+    upload_capacity: int = 2
+    mean_session: float = 300.0
+    mean_offline: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.peer_id == MEDIA_SERVER:
+            raise OverlayError(f"peer id {MEDIA_SERVER!r} is reserved for the server")
+        if self.upload_capacity < 0:
+            raise OverlayError("upload capacity must be non-negative")
+        if self.mean_session <= 0 or self.mean_offline < 0:
+            raise OverlayError("session/offline durations must be positive")
+
+    @property
+    def availability(self) -> float:
+        """Long-run fraction of time online:
+        ``mean_session / (mean_session + mean_offline)``."""
+        return self.mean_session / (self.mean_session + self.mean_offline)
+
+    @property
+    def failure_probability(self) -> float:
+        """``1 - availability`` — probability of being offline at a
+        uniformly random instant."""
+        return 1.0 - self.availability
+
+
+def make_peers(
+    count: int,
+    *,
+    upload_capacity: int = 2,
+    mean_session: float = 300.0,
+    mean_offline: float = 60.0,
+) -> list[Peer]:
+    """``count`` homogeneous peers named ``p0 .. p{count-1}``."""
+    if count < 0:
+        raise OverlayError("peer count must be non-negative")
+    return [
+        Peer(
+            peer_id=f"p{i}",
+            upload_capacity=upload_capacity,
+            mean_session=mean_session,
+            mean_offline=mean_offline,
+        )
+        for i in range(count)
+    ]

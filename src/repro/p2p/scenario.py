@@ -1,0 +1,130 @@
+"""End-to-end scenario driver: overlay → flow network → reliability.
+
+One call builds an overlay of the requested family, derives the flow
+network through a churn model, computes the exact reliability for a
+subscriber (choosing the method automatically), estimates it by
+Monte-Carlo, and optionally cross-checks against the peer-level
+(correlated-failure) simulator.  This is the pipeline behind
+experiment E10 and the ``p2p_overlay_study`` example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.api import compute_reliability
+from repro.core.demand import FlowDemand
+from repro.core.montecarlo import montecarlo_reliability
+from repro.exceptions import OverlayError
+from repro.graph.network import FlowNetwork
+from repro.p2p.churn import ChildChurnModel, ChurnModel
+from repro.p2p.overlay import Overlay, random_mesh, to_flow_network
+from repro.p2p.peer import MEDIA_SERVER, Peer, make_peers
+from repro.p2p.simulation import peer_level_reliability
+from repro.p2p.streaming import schedule_report
+from repro.p2p.trees import multi_tree, single_tree, treebone
+
+__all__ = ["ScenarioResult", "build_overlay", "run_scenario"]
+
+_FAMILIES = ("single-tree", "multi-tree", "mesh", "treebone")
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Everything one scenario run produced."""
+
+    family: str
+    num_peers: int
+    num_stripes: int
+    subscriber: str
+    exact_reliability: float
+    exact_method: str
+    estimate: float
+    estimate_interval: tuple[float, float]
+    peer_level: float | None
+    max_depth: int
+    details: dict[str, Any] = field(default_factory=dict)
+
+
+def build_overlay(
+    family: str,
+    peers: list[Peer],
+    *,
+    num_stripes: int = 2,
+    fanout: int = 2,
+    seed: int = 0,
+) -> Overlay:
+    """Build one of the three overlay families studied in §II."""
+    if family == "single-tree":
+        return single_tree(peers, fanout=fanout, num_stripes=num_stripes)
+    if family == "multi-tree":
+        return multi_tree(peers, num_stripes=num_stripes, fanout=fanout)
+    if family == "mesh":
+        return random_mesh(peers, num_stripes=num_stripes, seed=seed)
+    if family == "treebone":
+        return treebone(peers, num_stripes=num_stripes, fanout=fanout, seed=seed)
+    raise OverlayError(f"unknown overlay family {family!r}; choose from {_FAMILIES}")
+
+
+def run_scenario(
+    family: str,
+    *,
+    num_peers: int = 8,
+    num_stripes: int = 2,
+    fanout: int = 2,
+    subscriber: str | None = None,
+    churn: ChurnModel | None = None,
+    mean_session: float = 300.0,
+    mean_offline: float = 60.0,
+    upload_capacity: int = 4,
+    num_samples: int = 4000,
+    peer_level_trials: int | None = 2000,
+    seed: int = 0,
+) -> ScenarioResult:
+    """Run the full pipeline for one overlay family.
+
+    The demand rate equals ``num_stripes`` (the subscriber needs every
+    stripe).  The subscriber defaults to the last-joining peer — the
+    deepest, most failure-exposed position in tree overlays.
+    """
+    peers = make_peers(
+        num_peers,
+        upload_capacity=upload_capacity,
+        mean_session=mean_session,
+        mean_offline=mean_offline,
+    )
+    overlay = build_overlay(
+        family, peers, num_stripes=num_stripes, fanout=fanout, seed=seed
+    )
+    churn_model = churn if churn is not None else ChildChurnModel()
+    net: FlowNetwork = to_flow_network(overlay, churn_model)
+    chosen = subscriber if subscriber is not None else peers[-1].peer_id
+    demand = FlowDemand(MEDIA_SERVER, chosen, num_stripes)
+
+    exact = compute_reliability(net, demand=demand, method="auto")
+    estimate = montecarlo_reliability(net, demand, num_samples=num_samples, seed=seed)
+    peer_sim = None
+    if peer_level_trials:
+        peer_sim = peer_level_reliability(
+            overlay, chosen, num_stripes, num_trials=peer_level_trials, seed=seed
+        )
+    report = schedule_report(overlay)
+    return ScenarioResult(
+        family=family,
+        num_peers=num_peers,
+        num_stripes=num_stripes,
+        subscriber=chosen,
+        exact_reliability=exact.value,
+        exact_method=exact.method,
+        estimate=estimate.value,
+        estimate_interval=(estimate.low, estimate.high),
+        peer_level=peer_sim,
+        max_depth=report.max_depth,
+        details={
+            "num_links": net.num_links,
+            "upload_violations": report.upload_violations,
+            "unreached": report.unreached,
+            "flow_calls": getattr(exact, "flow_calls", 0),
+        },
+    )

@@ -1,0 +1,236 @@
+"""Simulators that validate the reliability computations.
+
+Two levels of fidelity:
+
+* :func:`peer_level_reliability` — *static snapshot* Monte Carlo at the
+  **peer** level: sample each peer online/offline by its availability,
+  mark overlay links dead when an endpoint is offline, and test flow
+  feasibility.  This is the ground truth the independent-link model
+  approximates; comparing it against the exact computation on the
+  churn-model network quantifies the approximation (experiment E10).
+
+* :class:`StreamingSimulator` — a chunk-level **discrete-event**
+  simulation: peers alternate exponential online/offline periods, the
+  server emits one chunk per stripe per interval, chunks propagate down
+  the stripe edges with a per-hop delay, and the subscriber's
+  *continuity index* (fraction of chunks received) is measured.  Under
+  fast repair assumptions the long-run continuity approaches the
+  snapshot availability model, which the E10 bench demonstrates.
+
+Both are deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.feasibility import FeasibilityOracle
+from repro.exceptions import EstimationError
+from repro.graph.generators import as_rng
+from repro.p2p.churn import ChurnModel, EndpointChurnModel
+from repro.p2p.overlay import Overlay, to_flow_network
+from repro.p2p.peer import MEDIA_SERVER
+
+__all__ = ["peer_level_reliability", "StreamingSimulator", "StreamingOutcome"]
+
+
+def peer_level_reliability(
+    overlay: Overlay,
+    subscriber: str,
+    demand_rate: int,
+    *,
+    num_trials: int = 2000,
+    seed: int | np.random.Generator | None = 0,
+    require_subscriber_online: bool = False,
+) -> float:
+    """Monte-Carlo delivery probability with *correlated* link failures.
+
+    Each trial samples every peer up/down independently by its
+    availability; a link is alive iff both endpoints are up (the server
+    is always up; the subscriber's own state is excluded unless
+    ``require_subscriber_online``).  Feasibility is then a max-flow
+    check on the overlay's links with those aliveness patterns.
+    """
+    if num_trials < 1:
+        raise EstimationError("num_trials must be positive")
+    rng = as_rng(seed)
+    # Capacities from the overlay; probabilities are irrelevant here
+    # (aliveness is decided at the peer level), so use a neutral model.
+    net = to_flow_network(overlay, EndpointChurnModel())
+    oracle = FeasibilityOracle(net, MEDIA_SERVER, subscriber, demand_rate)
+    peer_ids = [p.peer_id for p in overlay.peers]
+    availability = np.array([p.availability for p in overlay.peers])
+    cache: dict[int, bool] = {}
+    hits = 0
+    for _ in range(num_trials):
+        up = rng.random(len(peer_ids)) < availability
+        online = {pid for pid, flag in zip(peer_ids, up) if flag}
+        online.add(MEDIA_SERVER)
+        if not require_subscriber_online:
+            online.add(subscriber)
+        elif subscriber not in online:
+            continue
+        alive = 0
+        for index, edge in enumerate(overlay.edges):
+            if edge.tail in online and edge.head in online:
+                alive |= 1 << index
+        verdict = cache.get(alive)
+        if verdict is None:
+            verdict = oracle.feasible(alive)
+            cache[alive] = verdict
+        if verdict:
+            hits += 1
+    return hits / num_trials
+
+
+@dataclass(frozen=True)
+class StreamingOutcome:
+    """Result of one discrete-event streaming run."""
+
+    subscriber: str
+    chunks_expected: int
+    chunks_received: int
+    per_stripe_received: tuple[int, ...]
+    horizon: float
+    startup_delay: float | None = None
+    mean_delivery_delay: float | None = None
+
+    @property
+    def continuity_index(self) -> float:
+        """Fraction of expected chunks that arrived."""
+        if self.chunks_expected == 0:
+            return 1.0
+        return self.chunks_received / self.chunks_expected
+
+
+# Event kinds, ordered so that state changes at time t apply before
+# chunk hops at the same instant.
+_EV_PEER_DOWN = 0
+_EV_PEER_UP = 1
+_EV_CHUNK = 2
+
+
+@dataclass
+class StreamingSimulator:
+    """Chunk-level discrete-event streaming simulation.
+
+    Parameters
+    ----------
+    overlay:
+        The delivery topology.  Stripe edges form the forwarding rules:
+        when a peer holds a chunk of stripe ``k`` it forwards it to all
+        its stripe-``k`` children.
+    chunk_interval:
+        Seconds between consecutive chunks of each stripe.
+    hop_delay:
+        Forwarding latency per overlay hop.
+    """
+
+    overlay: Overlay
+    chunk_interval: float = 1.0
+    hop_delay: float = 0.05
+    _children: dict[tuple[str, int], list[str]] = field(init=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.chunk_interval <= 0 or self.hop_delay < 0:
+            raise EstimationError("chunk_interval must be > 0 and hop_delay >= 0")
+        for edge in self.overlay.edges:
+            self._children.setdefault((edge.tail, edge.stripe), []).append(edge.head)
+
+    def run(
+        self,
+        subscriber: str,
+        *,
+        horizon: float = 600.0,
+        seed: int | np.random.Generator | None = 0,
+    ) -> StreamingOutcome:
+        """Simulate ``horizon`` seconds and report the subscriber's
+        continuity.
+
+        Peers alternate exponential online/offline periods drawn from
+        their ``mean_session`` / ``mean_offline``; a chunk hop succeeds
+        only if the forwarding peer is online at send time and the
+        receiving peer is online at arrival time.  The subscriber is
+        pinned online (we measure delivery *to* it, not its own churn).
+        """
+        self.overlay.peer(subscriber)
+        rng = as_rng(seed)
+        online: dict[str, bool] = {MEDIA_SERVER: True}
+        events: list[tuple[float, int, int, tuple]] = []
+        counter = 0
+
+        def push(time: float, kind: int, payload: tuple) -> None:
+            nonlocal counter
+            heapq.heappush(events, (time, kind, counter, payload))
+            counter += 1
+
+        for peer in self.overlay.peers:
+            online[peer.peer_id] = True
+            if peer.peer_id == subscriber:
+                continue
+            push(float(rng.exponential(peer.mean_session)), _EV_PEER_DOWN, (peer.peer_id,))
+
+        num_stripes = self.overlay.num_stripes
+        expected_per_stripe = int(horizon // self.chunk_interval)
+        seen: set[tuple[int, int, str]] = set()  # (stripe, seq, peer)
+        received = [0] * num_stripes
+        first_arrival: float | None = None
+        delay_total = 0.0
+        delay_count = 0
+
+        t = 0.0
+        seq = 0
+        while t < horizon:
+            for stripe in range(num_stripes):
+                push(t, _EV_CHUNK, (MEDIA_SERVER, stripe, seq))
+            t += self.chunk_interval
+            seq += 1
+
+        peers_by_id = {p.peer_id: p for p in self.overlay.peers}
+        while events:
+            time, kind, _, payload = heapq.heappop(events)
+            if time > horizon:
+                break
+            if kind == _EV_PEER_DOWN:
+                (peer_id,) = payload
+                online[peer_id] = False
+                peer = peers_by_id[peer_id]
+                push(time + float(rng.exponential(peer.mean_offline)), _EV_PEER_UP, payload)
+            elif kind == _EV_PEER_UP:
+                (peer_id,) = payload
+                online[peer_id] = True
+                peer = peers_by_id[peer_id]
+                push(time + float(rng.exponential(peer.mean_session)), _EV_PEER_DOWN, payload)
+            else:
+                node, stripe, chunk_seq = payload
+                if node != MEDIA_SERVER and not online[node] and node != subscriber:
+                    continue  # chunk lost: receiver offline at arrival
+                key = (stripe, chunk_seq, node)
+                if key in seen:
+                    continue
+                seen.add(key)
+                if node == subscriber:
+                    if chunk_seq < expected_per_stripe:
+                        received[stripe] += 1
+                        emitted = chunk_seq * self.chunk_interval
+                        delay_total += time - emitted
+                        delay_count += 1
+                        if first_arrival is None:
+                            first_arrival = time
+                    continue
+                for child in self._children.get((node, stripe), []):
+                    push(time + self.hop_delay, _EV_CHUNK, (child, stripe, chunk_seq))
+        total_received = sum(received)
+        return StreamingOutcome(
+            subscriber=subscriber,
+            chunks_expected=expected_per_stripe * num_stripes,
+            chunks_received=total_received,
+            per_stripe_received=tuple(received),
+            horizon=horizon,
+            startup_delay=first_arrival,
+            mean_delivery_delay=(delay_total / delay_count) if delay_count else None,
+        )

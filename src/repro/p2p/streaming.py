@@ -1,0 +1,130 @@
+"""Sub-stream delivery paths and scheduling over an overlay.
+
+For tree-shaped and order-based mesh overlays every (stripe, peer) pair
+has a unique delivery path from the media server; this module extracts
+those paths, checks schedulability against upload capacities and
+reports structural quantities (depth, load) used by the experiments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.exceptions import OverlayError
+from repro.p2p.overlay import Overlay, OverlayEdge
+from repro.p2p.peer import MEDIA_SERVER
+
+__all__ = ["DeliveryPath", "delivery_paths", "stripe_depth", "schedule_report", "ScheduleReport"]
+
+
+@dataclass(frozen=True)
+class DeliveryPath:
+    """The hop sequence of one stripe from the server to one peer."""
+
+    stripe: int
+    subscriber: str
+    edges: tuple[OverlayEdge, ...]
+
+    @property
+    def hops(self) -> int:
+        return len(self.edges)
+
+    @property
+    def relay_peers(self) -> tuple[str, ...]:
+        """Intermediate peers (excludes server and subscriber)."""
+        return tuple(e.head for e in self.edges[:-1])
+
+
+def delivery_paths(overlay: Overlay, subscriber: str) -> dict[int, DeliveryPath]:
+    """One delivery path per stripe ending at ``subscriber``.
+
+    Walks parent links backwards per stripe.  Raises
+    :class:`OverlayError` if a stripe never reaches the subscriber or
+    if a peer has several providers for one stripe (ambiguous path —
+    the library's builders never produce that).
+    """
+    overlay.peer(subscriber)  # validates
+    paths: dict[int, DeliveryPath] = {}
+    for stripe in range(overlay.num_stripes):
+        providers: dict[str, OverlayEdge] = {}
+        for edge in overlay.stripe_edges(stripe):
+            if edge.head in providers:
+                raise OverlayError(
+                    f"peer {edge.head!r} has multiple providers for stripe {stripe}"
+                )
+            providers[edge.head] = edge
+        hops: list[OverlayEdge] = []
+        node = subscriber
+        seen = {node}
+        while node != MEDIA_SERVER:
+            edge = providers.get(node)
+            if edge is None:
+                raise OverlayError(
+                    f"stripe {stripe} never reaches {subscriber!r} (stuck at {node!r})"
+                )
+            hops.append(edge)
+            node = edge.tail
+            if node in seen:
+                raise OverlayError(f"stripe {stripe} contains a delivery cycle")
+            seen.add(node)
+        paths[stripe] = DeliveryPath(
+            stripe=stripe, subscriber=subscriber, edges=tuple(reversed(hops))
+        )
+    return paths
+
+
+def stripe_depth(overlay: Overlay, stripe: int) -> dict[str, int]:
+    """Hop distance of every reachable peer from the server in a stripe."""
+    children: dict[str, list[str]] = {}
+    for edge in overlay.stripe_edges(stripe):
+        children.setdefault(edge.tail, []).append(edge.head)
+    depth = {MEDIA_SERVER: 0}
+    queue = deque([MEDIA_SERVER])
+    while queue:
+        node = queue.popleft()
+        for child in children.get(node, []):
+            if child not in depth:
+                depth[child] = depth[node] + 1
+                queue.append(child)
+    depth.pop(MEDIA_SERVER)
+    return depth
+
+
+@dataclass(frozen=True)
+class ScheduleReport:
+    """Structural health check of an overlay's delivery schedule."""
+
+    num_peers: int
+    num_stripes: int
+    max_depth: int
+    mean_depth: float
+    upload_violations: tuple[str, ...]
+    unreached: tuple[tuple[int, str], ...]  # (stripe, peer) pairs
+
+    @property
+    def fully_schedulable(self) -> bool:
+        """No capacity violations and every peer gets every stripe."""
+        return not self.upload_violations and not self.unreached
+
+
+def schedule_report(overlay: Overlay) -> ScheduleReport:
+    """Audit an overlay: coverage, depth and upload feasibility."""
+    depths: list[int] = []
+    unreached: list[tuple[int, str]] = []
+    for stripe in range(overlay.num_stripes):
+        reach = stripe_depth(overlay, stripe)
+        for peer in overlay.peers:
+            d = reach.get(peer.peer_id)
+            if d is None:
+                unreached.append((stripe, peer.peer_id))
+            else:
+                depths.append(d)
+    return ScheduleReport(
+        num_peers=len(overlay.peers),
+        num_stripes=overlay.num_stripes,
+        max_depth=max(depths) if depths else 0,
+        mean_depth=(sum(depths) / len(depths)) if depths else 0.0,
+        upload_violations=tuple(overlay.upload_violations()),
+        unreached=tuple(unreached),
+    )

@@ -1,0 +1,162 @@
+"""Tree-structured overlays: single tree and SplitStream-style multi-tree.
+
+Single-tree systems (ESM, Scribe, NICE lineage) push the whole stream
+down one distribution tree: simple, but every interior peer is a single
+point of failure for its subtree and leaf upload capacity is wasted.
+
+Multi-tree systems (SplitStream, CoopNet, mtreebone) split the stream
+into ``k`` stripes delivered over ``k`` trees arranged so that **each
+peer is interior in exactly one tree** and a leaf in the others — the
+property the paper's §II highlights (citing [1], [3], [6]): one peer
+departure then damages at most one stripe's subtree, and every peer's
+upload capacity is used.
+
+Both builders produce deterministic overlays from the peer order.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import OverlayError
+from repro.graph.generators import as_rng
+from repro.p2p.overlay import Overlay
+from repro.p2p.peer import MEDIA_SERVER, Peer
+
+__all__ = ["single_tree", "multi_tree", "treebone"]
+
+
+def _tree_edges(order: Sequence[str], fanout: int) -> list[tuple[str, str]]:
+    """Edges of a complete ``fanout``-ary tree over ``order`` rooted at
+    the media server: node ``i`` is child of node ``(i - 1) // fanout``."""
+    edges = []
+    for i, node in enumerate(order):
+        if i == 0:
+            parent = MEDIA_SERVER
+        else:
+            parent = order[(i - 1) // fanout]
+        edges.append((parent, node))
+    return edges
+
+
+def single_tree(
+    peers: Sequence[Peer],
+    *,
+    fanout: int = 2,
+    num_stripes: int = 1,
+    name: str = "single-tree",
+) -> Overlay:
+    """One ``fanout``-ary tree carrying every stripe.
+
+    All ``num_stripes`` stripes follow the same edges, so each tree edge
+    appears once per stripe (each at capacity 1) — losing a peer loses
+    the whole stream for its subtree.
+    """
+    if fanout < 1:
+        raise OverlayError("fanout must be >= 1")
+    overlay = Overlay(peers=list(peers), num_stripes=num_stripes, name=name)
+    order = [p.peer_id for p in peers]
+    for parent, child in _tree_edges(order, fanout):
+        for stripe in range(num_stripes):
+            overlay.add_edge(parent, child, stripe)
+    return overlay
+
+
+def multi_tree(
+    peers: Sequence[Peer],
+    *,
+    num_stripes: int = 2,
+    fanout: int = 2,
+    name: str = "multi-tree",
+) -> Overlay:
+    """SplitStream-style striped trees with interior-disjoint peers.
+
+    Peers are partitioned round-robin into ``num_stripes`` groups; in
+    stripe ``i``'s tree the group-``i`` peers form the interior spine
+    (a ``fanout``-ary tree) and every other peer attaches as a leaf
+    below a spine peer.  Consequently each peer forwards data in
+    exactly one stripe — the defining multi-tree property, asserted by
+    the tests via :meth:`Overlay.interior_stripes`.
+    """
+    if num_stripes < 1:
+        raise OverlayError("need at least one stripe")
+    if fanout < 1:
+        raise OverlayError("fanout must be >= 1")
+    if len(peers) < num_stripes:
+        raise OverlayError("need at least one interior peer per stripe")
+    overlay = Overlay(peers=list(peers), num_stripes=num_stripes, name=name)
+    groups: list[list[str]] = [[] for _ in range(num_stripes)]
+    for i, peer in enumerate(peers):
+        groups[i % num_stripes].append(peer.peer_id)
+
+    for stripe in range(num_stripes):
+        spine = groups[stripe]
+        leaves = [p.peer_id for p in peers if p.peer_id not in spine]
+        # Spine: fanout-ary tree of the group, rooted at the server.
+        for parent, child in _tree_edges(spine, fanout):
+            overlay.add_edge(parent, child, stripe)
+        # Leaves: attach round-robin under spine peers.
+        for j, leaf in enumerate(leaves):
+            parent = spine[j % len(spine)]
+            overlay.add_edge(parent, leaf, stripe)
+    return overlay
+
+
+def treebone(
+    peers: Sequence[Peer],
+    *,
+    num_stripes: int = 1,
+    fanout: int = 2,
+    backbone_fraction: float = 0.4,
+    auxiliary_per_peer: int = 1,
+    seed: int | np.random.Generator | None = 0,
+    name: str = "treebone",
+) -> Overlay:
+    """An mtreebone-style hybrid: tree backbone plus mesh auxiliaries.
+
+    The first (most stable, by convention the longest-session)
+    ``backbone_fraction`` of the peers form a push tree per stripe;
+    every peer — backbone or not — additionally pulls each stripe from
+    ``auxiliary_per_peer`` random backbone members, so losing one
+    provider leaves an alternative route (the hybrid argument of Wang,
+    Xiong & Liu cited in the paper's SII).
+
+    Peers are sorted by descending ``mean_session`` before the split, so
+    the backbone really is the stable core when sessions differ.
+    """
+    if not peers:
+        raise OverlayError("treebone needs at least one peer")
+    if not 0.0 < backbone_fraction <= 1.0:
+        raise OverlayError("backbone_fraction must be in (0, 1]")
+    if fanout < 1:
+        raise OverlayError("fanout must be >= 1")
+    rng = as_rng(seed)
+    ordered = sorted(peers, key=lambda p: -p.mean_session)
+    core_size = max(1, round(len(ordered) * backbone_fraction))
+    backbone = [p.peer_id for p in ordered[:core_size]]
+    fringe = [p.peer_id for p in ordered[core_size:]]
+
+    overlay = Overlay(peers=list(peers), num_stripes=num_stripes, name=name)
+    for stripe in range(num_stripes):
+        # Backbone push tree.
+        for parent, child in _tree_edges(backbone, fanout):
+            overlay.add_edge(parent, child, stripe)
+        # Fringe peers attach below random backbone members.
+        for peer_id in fringe:
+            anchor = backbone[int(rng.integers(0, len(backbone)))]
+            overlay.add_edge(anchor, peer_id, stripe)
+        # Auxiliary pull links from additional distinct backbone members.
+        for peer_id in backbone + fringe:
+            existing = {
+                e.tail for e in overlay.stripe_edges(stripe) if e.head == peer_id
+            }
+            candidates = [b for b in backbone if b != peer_id and b not in existing]
+            take = min(auxiliary_per_peer, len(candidates))
+            if take <= 0:
+                continue
+            picks = rng.choice(len(candidates), size=take, replace=False)
+            for pick in picks:
+                overlay.add_edge(candidates[int(pick)], peer_id, stripe)
+    return overlay

@@ -1,0 +1,124 @@
+"""Bitmask utilities.
+
+Failure configurations, realized-assignment sets and supporting subsets
+are all represented as integer bitmasks; this module collects the bit
+tricks everything else uses.  Functions come in scalar (Python int) and
+vectorized (numpy ``uint64``) flavours.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = [
+    "mask_from_indices",
+    "indices_from_mask",
+    "popcount",
+    "popcount_array",
+    "iter_submasks",
+    "iter_supermasks",
+    "gray_code",
+    "gray_flip_position",
+    "parity_array",
+]
+
+
+def mask_from_indices(indices: Iterable[int]) -> int:
+    """Bitmask with the given bit positions set."""
+    mask = 0
+    for i in indices:
+        if i < 0:
+            raise ValueError(f"bit position must be non-negative, got {i}")
+        mask |= 1 << i
+    return mask
+
+
+def indices_from_mask(mask: int) -> list[int]:
+    """Ascending bit positions set in ``mask``."""
+    if mask < 0:
+        raise ValueError("mask must be non-negative")
+    result = []
+    position = 0
+    while mask:
+        if mask & 1:
+            result.append(position)
+        mask >>= 1
+        position += 1
+    return result
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits (arbitrary-precision ints supported)."""
+    return bin(mask).count("1") if mask >= 0 else _raise_negative(mask)
+
+
+def _raise_negative(mask: int) -> int:
+    raise ValueError(f"mask must be non-negative, got {mask}")
+
+
+def popcount_array(n_bits: int) -> np.ndarray:
+    """``uint8`` array ``a`` of length ``2**n_bits`` with ``a[m] = popcount(m)``.
+
+    Built by doubling: the second half of each prefix is the first half
+    plus one.  ``n_bits`` up to ~26 is practical.
+    """
+    if n_bits < 0:
+        raise ValueError("n_bits must be non-negative")
+    counts = np.zeros(1 << n_bits, dtype=np.uint8)
+    size = 1
+    for _ in range(n_bits):
+        counts[size : 2 * size] = counts[:size] + 1
+        size *= 2
+    return counts
+
+
+def parity_array(n_bits: int) -> np.ndarray:
+    """``int8`` array of ``(-1)**popcount(m)`` for every mask ``m``."""
+    counts = popcount_array(n_bits)
+    signs = np.where(counts & 1, -1, 1).astype(np.int8)
+    return signs
+
+
+def iter_submasks(mask: int, *, include_empty: bool = True) -> Iterator[int]:
+    """All submasks of ``mask``, in decreasing numeric order.
+
+    The classic ``sub = (sub - 1) & mask`` walk: 2^popcount(mask) values.
+    """
+    if mask < 0:
+        _raise_negative(mask)
+    sub = mask
+    while sub:
+        yield sub
+        sub = (sub - 1) & mask
+    if include_empty:
+        yield 0
+
+
+def iter_supermasks(mask: int, universe: int) -> Iterator[int]:
+    """All supermasks of ``mask`` within ``universe`` (ascending)."""
+    if mask & ~universe:
+        raise ValueError("mask must be a subset of the universe")
+    free = universe & ~mask
+    sub = 0
+    while True:
+        yield mask | sub
+        if sub == free:
+            return
+        sub = (sub - free) & free
+
+
+def gray_code(i: int) -> int:
+    """The ``i``-th reflected Gray code."""
+    return i ^ (i >> 1)
+
+
+def gray_flip_position(i: int) -> int:
+    """Bit flipped between Gray codes ``i-1`` and ``i`` (``i >= 1``).
+
+    Equals the number of trailing zeros of ``i``.
+    """
+    if i <= 0:
+        raise ValueError("gray_flip_position is defined for i >= 1")
+    return (i & -i).bit_length() - 1

@@ -1,0 +1,130 @@
+"""Vectorized enumeration of failure configurations.
+
+A failure configuration over ``m`` links is the bitmask of *alive*
+links (bit ``i`` set means link ``i`` is up).  The probability of
+configuration ``c`` is ``prod_{i alive} (1 - p_i) * prod_{i dead} p_i``
+(the paper's expression below Fig. 1, with ``E'`` the alive set).
+
+:func:`configuration_probabilities` materialises all ``2^m``
+probabilities with a numpy doubling construction — no Python loop over
+configurations — which is the single hottest primitive of the exact
+algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import IntractableError
+from repro.graph.network import FlowNetwork
+
+__all__ = [
+    "MAX_ENUM_BITS",
+    "check_enumerable",
+    "configuration_probabilities",
+    "configuration_probability",
+    "conditional_configuration_probabilities",
+]
+
+#: Refuse to materialise more than ``2**MAX_ENUM_BITS`` configurations
+#: (8 bytes each => 2 GiB of float64 at 28 bits).
+MAX_ENUM_BITS = 28
+
+
+def check_enumerable(n_bits: int, *, limit: int = MAX_ENUM_BITS) -> None:
+    """Raise :class:`IntractableError` when ``2**n_bits`` is over budget."""
+    if n_bits > limit:
+        raise IntractableError(
+            f"enumerating 2^{n_bits} configurations exceeds the budget of 2^{limit}",
+            required=n_bits,
+            limit=limit,
+        )
+
+
+def _as_failure_probs(source: FlowNetwork | Sequence[float]) -> np.ndarray:
+    if isinstance(source, FlowNetwork):
+        probs = np.asarray(source.failure_probabilities(), dtype=np.float64)
+    else:
+        probs = np.asarray(source, dtype=np.float64)
+    if probs.ndim != 1:
+        raise ValueError("failure probabilities must be one-dimensional")
+    if np.any((probs < 0.0) | (probs >= 1.0)):
+        raise ValueError("failure probabilities must lie in [0, 1)")
+    return probs
+
+
+def configuration_probabilities(
+    source: FlowNetwork | Sequence[float],
+) -> np.ndarray:
+    """Probability of every alive-bitmask configuration.
+
+    Returns a float64 array ``P`` of length ``2**m`` with
+    ``P[c] = prod_i (bit_i(c) ? 1 - p_i : p_i)``.  The array sums to 1.
+
+    Construction: start from ``[1.0]`` and for each link append the
+    alive-scaled copy after the dead-scaled copy, so that link ``i``
+    occupies bit ``i``.  ``O(2^m)`` time and memory.
+    """
+    probs = _as_failure_probs(source)
+    m = len(probs)
+    check_enumerable(m)
+    table = np.ones(1, dtype=np.float64)
+    for p in probs:
+        dead = table * p
+        alive = table * (1.0 - p)
+        table = np.concatenate([dead, alive])
+    return table
+
+
+def configuration_probability(
+    source: FlowNetwork | Sequence[float], mask: int
+) -> float:
+    """Probability of one configuration, without the full table."""
+    probs = _as_failure_probs(source)
+    value = 1.0
+    for i, p in enumerate(probs):
+        value *= (1.0 - p) if (mask >> i) & 1 else p
+    return float(value)
+
+
+def conditional_configuration_probabilities(
+    source: FlowNetwork | Sequence[float],
+    *,
+    forced_alive: Iterable[int] = (),
+    forced_dead: Iterable[int] = (),
+) -> np.ndarray:
+    """Configuration probabilities with some links conditioned.
+
+    Links in ``forced_alive`` are treated as up with probability 1 and
+    links in ``forced_dead`` as down with probability 1 — the
+    conditioning used by Eq. (3), where the bottleneck pattern ``E'`` is
+    fixed and the side configurations keep their own probabilities.
+    Configurations contradicting the conditioning get probability 0; the
+    table sums to 1.
+    """
+    probs = _as_failure_probs(source).copy()
+    alive_set = set(forced_alive)
+    dead_set = set(forced_dead)
+    overlap = alive_set & dead_set
+    if overlap:
+        raise ValueError(f"links {sorted(overlap)} forced both alive and dead")
+    for i in alive_set:
+        probs[i] = 0.0
+    for i in dead_set:
+        # p = 1 would be rejected by validation; emulate by splitting the
+        # doubling step manually below.
+        pass
+    m = len(probs)
+    check_enumerable(m)
+    table = np.ones(1, dtype=np.float64)
+    for i, p in enumerate(probs):
+        if i in dead_set:
+            dead = table.copy()
+            alive = np.zeros_like(table)
+        else:
+            dead = table * p
+            alive = table * (1.0 - p)
+        table = np.concatenate([dead, alive])
+    return table

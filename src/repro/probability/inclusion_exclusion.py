@@ -1,0 +1,64 @@
+"""Inclusion–exclusion over subset-indexed probability tables.
+
+The ACCUMULATION procedure (paper §IV-B) computes the probability that
+*at least one* assignment in a class is realized from the probabilities
+``p_X`` that *all* assignments in ``X`` are realized simultaneously:
+
+    P(union) = sum over nonempty X of (-1)^{|X|+1} p_X.
+
+:func:`union_probability_from_intersections` evaluates that signed sum
+vectorized; :func:`union_probability` is the classic event-mask variant
+used by tests as an independent oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.probability.bitset import parity_array, popcount
+
+__all__ = [
+    "union_probability_from_intersections",
+    "union_probability",
+]
+
+
+def union_probability_from_intersections(intersections: np.ndarray) -> float:
+    """Signed inclusion–exclusion sum over a subset-indexed table.
+
+    ``intersections[X]`` must be ``P(all events in X occur)`` for every
+    bitmask ``X`` over ``n`` events (``intersections[0]`` is ignored —
+    the empty intersection contributes nothing to the union).  Returns
+    ``P(at least one event occurs)``.
+    """
+    table = np.asarray(intersections, dtype=np.float64)
+    size = table.shape[0]
+    n = size.bit_length() - 1
+    if size != 1 << n:
+        raise ValueError(f"table length must be a power of two, got {size}")
+    if n == 0:
+        return 0.0
+    signs = -parity_array(n).astype(np.float64)  # (-1)^{|X|+1}
+    signs[0] = 0.0
+    return float(np.dot(signs, table))
+
+
+def union_probability(
+    event_masks: Sequence[int], probabilities: Sequence[float]
+) -> float:
+    """``P(outcome hits at least one event)`` by direct summation.
+
+    ``event_masks[j]`` is the bitmask of events realized by outcome
+    ``j`` and ``probabilities[j]`` its probability.  Outcomes realizing
+    no event (mask 0) contribute nothing.  This is the brute-force
+    reference the tests pit the transforms against.
+    """
+    if len(event_masks) != len(probabilities):
+        raise ValueError("event_masks and probabilities must have equal length")
+    total = 0.0
+    for mask, p in zip(event_masks, probabilities):
+        if mask:
+            total += p
+    return total

@@ -1,0 +1,56 @@
+"""Vectorized Bernoulli sampling of failure configurations.
+
+Monte-Carlo estimation draws whole batches of alive-bitmasks at once:
+one uniform matrix, one comparison, one packing pass — no Python loop
+over samples.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.graph.generators import as_rng
+from repro.graph.network import FlowNetwork
+
+__all__ = ["sample_alive_masks", "sample_alive_matrix"]
+
+
+def _failure_probs(source: FlowNetwork | Sequence[float]) -> np.ndarray:
+    if isinstance(source, FlowNetwork):
+        return np.asarray(source.failure_probabilities(), dtype=np.float64)
+    return np.asarray(source, dtype=np.float64)
+
+
+def sample_alive_matrix(
+    source: FlowNetwork | Sequence[float],
+    num_samples: int,
+    *,
+    rng: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Boolean matrix of shape ``(num_samples, m)``: entry true = alive."""
+    probs = _failure_probs(source)
+    generator = as_rng(rng)
+    uniforms = generator.random((num_samples, probs.shape[0]))
+    return uniforms >= probs  # alive with probability 1 - p
+
+
+def sample_alive_masks(
+    source: FlowNetwork | Sequence[float],
+    num_samples: int,
+    *,
+    rng: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Alive-bitmask samples as a ``uint64`` array of length ``num_samples``.
+
+    Requires ``m <= 63`` (bitmask width); the exact algorithms cap out
+    far below that anyway.
+    """
+    probs = _failure_probs(source)
+    m = probs.shape[0]
+    if m > 63:
+        raise ValueError(f"bitmask sampling supports at most 63 links, got {m}")
+    alive = sample_alive_matrix(source, num_samples, rng=rng)
+    weights = (np.uint64(1) << np.arange(m, dtype=np.uint64)).astype(np.uint64)
+    return (alive.astype(np.uint64) @ weights).astype(np.uint64)

@@ -1,0 +1,81 @@
+"""Subset-lattice transforms (zeta / Möbius) over numpy arrays.
+
+Given ``f`` indexed by bitmasks over ``n`` bits:
+
+* subset zeta:      ``F[S] = sum_{T subseteq S} f[T]``
+* superset zeta:    ``F[S] = sum_{T supseteq S} f[T]``
+
+and their Möbius inverses.  All four run in ``O(n 2^n)`` with the
+standard in-place butterfly, vectorized through reshaped views (no
+copies, per the HPC guide's views-not-copies rule).
+
+The ACCUMULATION step uses the superset zeta: aggregating side
+probabilities by realized-assignment mask and superset-summing yields
+``P_side(X) = P(realized set contains X)`` for every assignment subset
+``X`` simultaneously.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "subset_zeta",
+    "subset_moebius",
+    "superset_zeta",
+    "superset_moebius",
+]
+
+
+def _check(values: np.ndarray) -> int:
+    if values.ndim != 1:
+        raise ValueError("transform input must be one-dimensional")
+    size = values.shape[0]
+    n = size.bit_length() - 1
+    if size != 1 << n:
+        raise ValueError(f"length must be a power of two, got {size}")
+    return n
+
+
+def subset_zeta(values: np.ndarray, *, inplace: bool = False) -> np.ndarray:
+    """``F[S] = sum over subsets T of S of f[T]``."""
+    out = values if inplace else values.copy()
+    n = _check(out)
+    for i in range(n):
+        step = 1 << i
+        view = out.reshape(-1, 2, step)
+        view[:, 1, :] += view[:, 0, :]
+    return out
+
+
+def subset_moebius(values: np.ndarray, *, inplace: bool = False) -> np.ndarray:
+    """Inverse of :func:`subset_zeta`."""
+    out = values if inplace else values.copy()
+    n = _check(out)
+    for i in range(n):
+        step = 1 << i
+        view = out.reshape(-1, 2, step)
+        view[:, 1, :] -= view[:, 0, :]
+    return out
+
+
+def superset_zeta(values: np.ndarray, *, inplace: bool = False) -> np.ndarray:
+    """``F[S] = sum over supersets T of S of f[T]``."""
+    out = values if inplace else values.copy()
+    n = _check(out)
+    for i in range(n):
+        step = 1 << i
+        view = out.reshape(-1, 2, step)
+        view[:, 0, :] += view[:, 1, :]
+    return out
+
+
+def superset_moebius(values: np.ndarray, *, inplace: bool = False) -> np.ndarray:
+    """Inverse of :func:`superset_zeta`."""
+    out = values if inplace else values.copy()
+    n = _check(out)
+    for i in range(n):
+        step = 1 << i
+        view = out.reshape(-1, 2, step)
+        view[:, 0, :] -= view[:, 1, :]
+    return out

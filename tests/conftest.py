@@ -1,0 +1,147 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.demand import FlowDemand
+from repro.graph.builders import diamond, fujita_fig2_bridge, fujita_fig4, parallel_links
+from repro.graph.network import FlowNetwork
+
+# --------------------------------------------------------------------------
+# plain fixtures
+# --------------------------------------------------------------------------
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG for tests that need randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def diamond_net() -> FlowNetwork:
+    return diamond()
+
+
+@pytest.fixture
+def fig2_net() -> FlowNetwork:
+    return fujita_fig2_bridge()
+
+
+@pytest.fixture
+def fig4_net() -> FlowNetwork:
+    return fujita_fig4()
+
+
+@pytest.fixture
+def par3_net() -> FlowNetwork:
+    return parallel_links(3, 1, 0.1)
+
+
+@pytest.fixture
+def unit_demand() -> FlowDemand:
+    return FlowDemand("s", "t", 1)
+
+
+@pytest.fixture
+def two_demand() -> FlowDemand:
+    return FlowDemand("s", "t", 2)
+
+
+# --------------------------------------------------------------------------
+# network construction helpers (importable by tests via conftest fixtures)
+# --------------------------------------------------------------------------
+
+
+def build_network(links, *, undirected_indices=()):
+    """Construct a FlowNetwork from (tail, head, cap, p) tuples."""
+    net = FlowNetwork()
+    for i, (tail, head, cap, p) in enumerate(links):
+        net.add_link(tail, head, cap, p, directed=i not in set(undirected_indices))
+    return net
+
+
+@pytest.fixture
+def make_network():
+    return build_network
+
+
+def random_small_network(seed: int, *, max_links: int = 9, max_capacity: int = 3):
+    """A small random connected network for exhaustive cross-validation.
+
+    Unlike the library generators this one is intentionally scrappy:
+    arbitrary directions, parallel links, dead ends — the adversarial
+    shapes exact algorithms must all agree on.
+    """
+    rng = np.random.default_rng(seed)
+    num_nodes = int(rng.integers(3, 6))
+    nodes = ["s", "t"] + [f"v{i}" for i in range(num_nodes - 2)]
+    num_links = int(rng.integers(num_nodes - 1, max_links + 1))
+    net = FlowNetwork(name=f"rand{seed}")
+    net.add_nodes(nodes)
+    # spanning structure first so the graph is connected
+    order = list(rng.permutation(len(nodes)))
+    for pos in range(1, len(nodes)):
+        a = nodes[order[int(rng.integers(0, pos))]]
+        b = nodes[order[pos]]
+        if rng.random() < 0.5:
+            a, b = b, a
+        net.add_link(a, b, int(rng.integers(1, max_capacity + 1)), float(rng.uniform(0.05, 0.4)))
+    while net.num_links < num_links:
+        i = int(rng.integers(0, len(nodes)))
+        j = int(rng.integers(0, len(nodes) - 1))
+        if j >= i:
+            j += 1
+        net.add_link(
+            nodes[i], nodes[j], int(rng.integers(1, max_capacity + 1)), float(rng.uniform(0.05, 0.4))
+        )
+    return net
+
+
+@pytest.fixture
+def make_random_network():
+    return random_small_network
+
+
+# --------------------------------------------------------------------------
+# hypothesis strategies
+# --------------------------------------------------------------------------
+
+failure_probabilities = st.floats(
+    min_value=0.0, max_value=0.95, allow_nan=False, allow_infinity=False
+)
+capacities = st.integers(min_value=1, max_value=4)
+
+
+@st.composite
+def small_networks(draw, min_nodes=3, max_nodes=5, max_links=8):
+    """Hypothesis strategy: small connected random networks with s and t."""
+    num_nodes = draw(st.integers(min_nodes, max_nodes))
+    nodes = ["s", "t"] + [f"v{i}" for i in range(num_nodes - 2)]
+    net = FlowNetwork()
+    net.add_nodes(nodes)
+    # spanning tree over a drawn permutation
+    perm = draw(st.permutations(list(range(num_nodes))))
+    for pos in range(1, num_nodes):
+        parent_pos = draw(st.integers(0, pos - 1))
+        a, b = nodes[perm[parent_pos]], nodes[perm[pos]]
+        if draw(st.booleans()):
+            a, b = b, a
+        net.add_link(a, b, draw(capacities), draw(failure_probabilities))
+    extra = draw(st.integers(0, max_links - (num_nodes - 1)))
+    for _ in range(extra):
+        i = draw(st.integers(0, num_nodes - 1))
+        j = draw(st.integers(0, num_nodes - 1))
+        if i == j:
+            continue
+        net.add_link(nodes[i], nodes[j], draw(capacities), draw(failure_probabilities))
+    return net
+
+
+@st.composite
+def probability_vectors(draw, min_size=1, max_size=8):
+    size = draw(st.integers(min_size, max_size))
+    return [draw(failure_probabilities) for _ in range(size)]

@@ -1,0 +1,156 @@
+"""Unit tests for §III-B assignments — including the paper's Examples
+1, 4 and 5 verbatim."""
+
+import pytest
+
+from repro.core.assignments import (
+    classify_by_support,
+    count_assignments,
+    describe_assignment,
+    enumerate_assignments,
+    iter_support_classes,
+    support_mask,
+    supported_assignment_indices,
+    supports,
+)
+from repro.exceptions import DemandError
+
+
+class TestExample1:
+    """Paper Example 1: d=5, E* = {e1,e2,e3}, c = (3,3,3) -> 12 tuples."""
+
+    EXPECTED = [
+        (0, 2, 3),
+        (0, 3, 2),
+        (1, 1, 3),
+        (1, 2, 2),
+        (1, 3, 1),
+        (2, 0, 3),
+        (2, 1, 2),
+        (2, 2, 1),
+        (2, 3, 0),
+        (3, 0, 2),
+        (3, 1, 1),
+        (3, 2, 0),
+    ]
+
+    def test_exact_set_and_order(self):
+        assert enumerate_assignments([3, 3, 3], 5) == self.EXPECTED
+
+    def test_count_matches(self):
+        assert count_assignments([3, 3, 3], 5) == 12
+
+
+class TestEnumeration:
+    def test_single_link(self):
+        assert enumerate_assignments([5], 3) == [(3,)]
+
+    def test_insufficient_capacity(self):
+        assert enumerate_assignments([1, 1], 3) == []
+
+    def test_capacity_capped_at_demand(self):
+        # capacity above d contributes only d
+        assert enumerate_assignments([10, 10], 2) == [(0, 2), (1, 1), (2, 0)]
+
+    def test_zero_demand(self):
+        assert enumerate_assignments([2, 2], 0) == [(0, 0)]
+
+    def test_empty_links(self):
+        assert enumerate_assignments([], 0) == [()]
+        assert enumerate_assignments([], 1) == []
+
+    def test_zero_capacity_link(self):
+        assert enumerate_assignments([0, 2], 2) == [(0, 2)]
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(DemandError):
+            enumerate_assignments([1], -1)
+
+    def test_every_assignment_sums_to_demand(self):
+        for a in enumerate_assignments([2, 3, 1], 4):
+            assert sum(a) == 4
+
+    def test_every_assignment_respects_caps(self):
+        for a in enumerate_assignments([2, 3, 1], 4):
+            assert a[0] <= 2 and a[1] <= 3 and a[2] <= 1
+
+    def test_lexicographic_order(self):
+        result = enumerate_assignments([2, 2, 2], 3)
+        assert result == sorted(result)
+
+    @pytest.mark.parametrize("caps,d", [([2, 2], 3), ([1, 2, 3], 4), ([4], 2), ([2, 2, 2, 2], 5)])
+    def test_count_agrees_with_enumeration(self, caps, d):
+        assert count_assignments(caps, d) == len(enumerate_assignments(caps, d))
+
+    def test_paper_bound(self):
+        # |D| <= (d+1)^k always; the paper states d^k for its setting
+        for caps, d in [([3, 3, 3], 5), ([2, 2], 2)]:
+            assert count_assignments(caps, d) <= (d + 1) ** len(caps)
+
+
+class TestSupport:
+    def test_example4_supports(self):
+        """Paper Example 4: {e1,e3} supports (2,0,1) and (3,0,4) but not (1,1,0)."""
+        subset = 0b101  # {e1, e3}
+        assert supports(subset, (2, 0, 1))
+        assert supports(subset, (3, 0, 4))
+        assert not supports(subset, (1, 1, 0))
+
+    def test_support_mask(self):
+        assert support_mask((1, 0, 2)) == 0b101
+        assert support_mask((0, 0, 0)) == 0
+
+    def test_negative_component_rejected(self):
+        with pytest.raises(DemandError):
+            support_mask((1, -1))
+
+    def test_full_set_supports_everything(self):
+        assignments = enumerate_assignments([2, 2, 2], 3)
+        for a in assignments:
+            assert supports(0b111, a)
+
+    def test_empty_set_supports_nothing_positive(self):
+        assert not supports(0, (1, 0))
+        assert supports(0, (0, 0))
+
+
+class TestExample5:
+    """Paper Example 5: classification of a 5-assignment set."""
+
+    ASSIGNMENTS = [(1, 2, 0), (2, 1, 0), (1, 1, 1), (0, 2, 1), (2, 0, 1)]
+
+    def test_classification(self):
+        table = classify_by_support(self.ASSIGNMENTS, 3)
+        by_subset = {
+            mask: {self.ASSIGNMENTS[i] for i in idxs} for mask, idxs in table.items()
+        }
+        assert by_subset[0b111] == set(self.ASSIGNMENTS)
+        assert by_subset[0b011] == {(1, 2, 0), (2, 1, 0)}  # {e1, e2}
+        assert by_subset[0b110] == {(0, 2, 1)}  # {e2, e3}
+        assert by_subset[0b101] == {(2, 0, 1)}  # {e1, e3}
+        for size_one in (0b001, 0b010, 0b100, 0):
+            assert by_subset[size_one] == set()
+
+    def test_supported_indices_function(self):
+        idxs = supported_assignment_indices(self.ASSIGNMENTS, 0b011)
+        assert idxs == [0, 1]
+
+    def test_iter_matches_classify(self):
+        table = classify_by_support(self.ASSIGNMENTS, 3)
+        assert dict(iter_support_classes(self.ASSIGNMENTS, 3)) == table
+
+    def test_monotone_in_subset(self):
+        table = classify_by_support(self.ASSIGNMENTS, 3)
+        for mask, idxs in table.items():
+            for other, other_idxs in table.items():
+                if mask & ~other == 0:  # mask ⊆ other
+                    assert set(idxs) <= set(other_idxs)
+
+
+class TestDescribe:
+    def test_mentions_support_links(self):
+        text = describe_assignment((2, 0, 1))
+        assert "e1" in text and "e3" in text and "e2" not in text
+
+    def test_zero_assignment(self):
+        assert "-" in describe_assignment((0, 0))

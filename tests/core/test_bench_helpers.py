@@ -1,0 +1,132 @@
+"""Unit tests for the bench harness (repro.bench) and exceptions."""
+
+import pytest
+
+from repro.bench.harness import TimedResult, time_call
+from repro.bench.reporting import format_table, print_table
+from repro.bench.workloads import (
+    alpha_workload,
+    chain_workload,
+    dk_workload,
+    scaling_workload,
+)
+from repro.core.naive import naive_reliability
+from repro.exceptions import (
+    DecompositionError,
+    GraphError,
+    IntractableError,
+    LinkNotFoundError,
+    NodeNotFoundError,
+    ReproError,
+    SolverError,
+    ValidationError,
+)
+
+
+class TestTimeCall:
+    def test_returns_value_and_time(self):
+        result = time_call(lambda x: x * 2, 21)
+        assert isinstance(result, TimedResult)
+        assert result.value == 42
+        assert result.seconds >= 0.0
+
+    def test_repeats_keep_best(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            return len(calls)
+
+        result = time_call(fn, repeats=3)
+        assert len(calls) == 3
+        assert result.value == 3
+
+    def test_kwargs_forwarded(self):
+        result = time_call(lambda *, a: a + 1, a=1, repeats=1)
+        assert result.value == 2
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all rows padded to equal width
+
+    def test_title(self):
+        assert format_table(["x"], [[1]], title="T").startswith("T\n")
+
+    def test_float_formatting(self):
+        table = format_table(["v"], [[0.123456], [1e-9], [12345.6], [0.0]])
+        assert "0.1235" in table
+        assert "1.000e-09" in table
+        assert "1.235e+04" in table
+
+    def test_print_table(self, capsys):
+        print_table(["h"], [[1]], title="hello")
+        out = capsys.readouterr().out
+        assert "hello" in out and "1" in out
+
+
+class TestWorkloads:
+    def test_scaling_workload_shape(self):
+        w = scaling_workload(10, demand=2, k=2, seed=0)
+        assert w.network.num_links == 12
+        assert w.demand.rate == 2
+        assert w.num_links == 12
+        assert w.params["total_links"] == 10
+
+    def test_alpha_workload_bounds(self):
+        w = alpha_workload(12, 0.75, seed=0)
+        assert w.network.num_links >= 12
+        with pytest.raises(ValueError):
+            alpha_workload(12, 0.4)
+        with pytest.raises(ValueError):
+            alpha_workload(12, 1.0)
+
+    def test_dk_workload(self):
+        w = dk_workload(3, 2, side_links=5, seed=0)
+        assert w.demand.rate == 3
+        assert w.params["k"] == 2
+
+    def test_chain_workload(self):
+        w = chain_workload(3, 4, demand=1, cut_size=2, seed=0)
+        assert len(w.network._chain_cut_indices) == 2
+
+    def test_workloads_are_solvable(self):
+        w = scaling_workload(8, demand=2, k=2, seed=1)
+        result = naive_reliability(w.network, w.demand)
+        assert 0 <= result.value <= 1
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_type in (
+            GraphError,
+            NodeNotFoundError,
+            LinkNotFoundError,
+            ValidationError,
+            DecompositionError,
+            SolverError,
+            IntractableError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_node_not_found_payload(self):
+        exc = NodeNotFoundError("x")
+        assert exc.node == "x"
+        assert "x" in str(exc)
+
+    def test_link_not_found_payload(self):
+        exc = LinkNotFoundError(7)
+        assert exc.link == 7
+
+    def test_intractable_payload(self):
+        exc = IntractableError("too big", required=30, limit=24)
+        assert exc.required == 30
+        assert exc.limit == 24
+
+    def test_graph_errors_are_graph_errors(self):
+        assert issubclass(NodeNotFoundError, GraphError)
+        assert issubclass(ValidationError, GraphError)

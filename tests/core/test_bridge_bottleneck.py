@@ -1,0 +1,194 @@
+"""Unit tests for the Eq. (1) bridge case and the headline bottleneck
+algorithm."""
+
+import pytest
+
+from repro.core.bottleneck import bottleneck_reliability, pattern_probability
+from repro.core.bridge import bridge_reliability
+from repro.core.demand import FlowDemand
+from repro.core.naive import naive_reliability
+from repro.exceptions import DecompositionError
+from repro.graph.builders import (
+    diamond,
+    fujita_fig2_bridge,
+    fujita_fig4,
+    parallel_links,
+    series_chain,
+)
+from repro.graph.generators import bottlenecked_network
+from repro.graph.network import FlowNetwork
+
+
+class TestPatternProbability:
+    def test_sums_to_one(self):
+        net = fujita_fig4()
+        total = sum(pattern_probability(net, (0, 1), p) for p in range(4))
+        assert total == pytest.approx(1.0)
+
+    def test_all_alive(self):
+        net = fujita_fig4(failure_probability=0.1)
+        assert pattern_probability(net, (0, 1), 0b11) == pytest.approx(0.81)
+
+    def test_all_dead(self):
+        net = fujita_fig4(failure_probability=0.1)
+        assert pattern_probability(net, (0, 1), 0) == pytest.approx(0.01)
+
+
+class TestBridgeReliability:
+    def test_fig2_matches_naive(self):
+        net = fujita_fig2_bridge()
+        demand = FlowDemand("s", "t", 2)
+        assert bridge_reliability(net, demand).value == pytest.approx(
+            naive_reliability(net, demand).value
+        )
+
+    def test_eq1_product_structure(self):
+        net = fujita_fig2_bridge(failure_probability=0.2, bridge_failure_probability=0.3)
+        demand = FlowDemand("s", "t", 1)
+        result = bridge_reliability(net, demand)
+        d = result.details
+        assert result.value == pytest.approx(
+            d["source_side_reliability"] * d["bridge_availability"] * d["sink_side_reliability"]
+        )
+
+    def test_capacity_below_demand_trivially_zero(self):
+        net = fujita_fig2_bridge(bridge_capacity=1)
+        result = bridge_reliability(net, FlowDemand("s", "t", 2))
+        assert result.value == 0.0
+        assert "capacity" in result.details["reason"]
+
+    def test_auto_discovers_bridge(self):
+        net = fujita_fig2_bridge()
+        result = bridge_reliability(net, FlowDemand("s", "t", 1))
+        assert result.details["bridge"] == 8
+
+    def test_no_bridge_raises(self):
+        with pytest.raises(DecompositionError):
+            bridge_reliability(diamond(), FlowDemand("s", "t", 1))
+
+    def test_chain_of_bridges(self):
+        # every link is a bridge; decomposing at the middle one works
+        net = series_chain(3, capacity=1, failure_probability=0.1)
+        demand = FlowDemand("s", "t", 1)
+        result = bridge_reliability(net, demand, bridge=1)
+        assert result.value == pytest.approx(0.9**3)
+
+    def test_terminal_on_bridge_endpoint(self):
+        # s -> t single link: both sides are trivial
+        net = series_chain(1, capacity=2, failure_probability=0.25)
+        result = bridge_reliability(net, FlowDemand("s", "t", 1))
+        assert result.value == pytest.approx(0.75)
+
+
+class TestBottleneckReliability:
+    def test_fig4_matches_naive(self):
+        net = fujita_fig4()
+        demand = FlowDemand("s", "t", 2)
+        assert bottleneck_reliability(net, demand, cut=[0, 1]).value == pytest.approx(
+            naive_reliability(net, demand).value, abs=1e-12
+        )
+
+    def test_fig4_demand_one(self):
+        net = fujita_fig4()
+        demand = FlowDemand("s", "t", 1)
+        assert bottleneck_reliability(net, demand).value == pytest.approx(
+            naive_reliability(net, demand).value, abs=1e-12
+        )
+
+    def test_fig4_demand_three(self):
+        net = fujita_fig4()
+        demand = FlowDemand("s", "t", 3)
+        assert bottleneck_reliability(net, demand, cut=[0, 1]).value == pytest.approx(
+            naive_reliability(net, demand).value, abs=1e-12
+        )
+
+    def test_bridge_special_case(self):
+        # k=1 goes through the same machinery and must match Eq. (1)
+        net = fujita_fig2_bridge()
+        demand = FlowDemand("s", "t", 2)
+        assert bottleneck_reliability(net, demand, cut=[8]).value == pytest.approx(
+            bridge_reliability(net, demand).value, abs=1e-12
+        )
+
+    def test_cut_discovery(self):
+        net = fujita_fig4()
+        result = bottleneck_reliability(net, FlowDemand("s", "t", 2))
+        assert result.details["cut"] == (0, 1)
+
+    def test_cut_capacity_below_demand(self):
+        net = fujita_fig4()
+        result = bottleneck_reliability(net, FlowDemand("s", "t", 5), cut=[0, 1])
+        assert result.value == 0.0
+        assert result.details["reason"] == "cut capacity below demand"
+
+    def test_no_cut_raises(self):
+        with pytest.raises(DecompositionError):
+            bottleneck_reliability(parallel_links(5), FlowDemand("s", "t", 1))
+
+    def test_invalid_cut_rejected(self):
+        with pytest.raises(DecompositionError):
+            bottleneck_reliability(fujita_fig4(), FlowDemand("s", "t", 2), cut=[0])
+
+    @pytest.mark.parametrize("strategy", ["zeta", "pairs"])
+    def test_strategies_agree(self, strategy):
+        net = fujita_fig4()
+        demand = FlowDemand("s", "t", 2)
+        value = bottleneck_reliability(net, demand, cut=[0, 1], strategy=strategy).value
+        assert value == pytest.approx(0.8426357910000003, abs=1e-12)
+
+    def test_flow_call_count_bound(self):
+        """Cost matches §III-C: at most |D| (2^{|E_s|} + 2^{|E_t|}) solves."""
+        net = fujita_fig4()
+        result = bottleneck_reliability(
+            net, FlowDemand("s", "t", 2), cut=[0, 1], prune=False
+        )
+        assert result.flow_calls == 3 * (2**4 + 2**3)
+
+    def test_prune_does_not_change_value(self):
+        net = fujita_fig4()
+        demand = FlowDemand("s", "t", 2)
+        a = bottleneck_reliability(net, demand, cut=[0, 1], prune=True)
+        b = bottleneck_reliability(net, demand, cut=[0, 1], prune=False)
+        assert a.value == pytest.approx(b.value, abs=1e-15)
+        assert a.flow_calls <= b.flow_calls
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_bottlenecked_instances(self, seed):
+        net = bottlenecked_network(
+            source_side_links=6, sink_side_links=6, num_bottlenecks=2, demand=2, seed=seed
+        )
+        demand = FlowDemand("s", "t", 2)
+        assert bottleneck_reliability(net, demand).value == pytest.approx(
+            naive_reliability(net, demand).value, abs=1e-10
+        )
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_varying_bottleneck_count(self, k):
+        net = bottlenecked_network(
+            source_side_links=max(4, k + 2),
+            sink_side_links=max(4, k + 2),
+            num_bottlenecks=k,
+            demand=2,
+            seed=11,
+        )
+        demand = FlowDemand("s", "t", 2)
+        assert bottleneck_reliability(net, demand, cut=list(range(k))).value == pytest.approx(
+            naive_reliability(net, demand).value, abs=1e-10
+        )
+
+    def test_shared_port_cut_links(self):
+        """Two bottleneck links sharing the same source-side endpoint."""
+        net = FlowNetwork()
+        net.add_link("x", "y1", 1, 0.1)  # 0 (cut)
+        net.add_link("x", "y2", 1, 0.1)  # 1 (cut)
+        net.add_link("s", "x", 2, 0.1)  # 2
+        net.add_link("y1", "t", 1, 0.1)  # 3
+        net.add_link("y2", "t", 1, 0.1)  # 4
+        demand = FlowDemand("s", "t", 2)
+        assert bottleneck_reliability(net, demand, cut=[0, 1]).value == pytest.approx(
+            naive_reliability(net, demand).value, abs=1e-12
+        )
+
+    def test_alpha_reported(self):
+        result = bottleneck_reliability(fujita_fig4(), FlowDemand("s", "t", 2), cut=[0, 1])
+        assert result.details["alpha"] == pytest.approx(4 / 9)

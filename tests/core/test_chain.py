@@ -1,0 +1,133 @@
+"""Unit tests for the chain-decomposition extension."""
+
+import pytest
+
+from repro.core.bottleneck import bottleneck_reliability
+from repro.core.chain import analyze_chain, chain_reliability
+from repro.core.demand import FlowDemand
+from repro.core.naive import naive_reliability
+from repro.exceptions import DecompositionError
+from repro.graph.builders import fujita_fig2_bridge, fujita_fig4, series_chain
+from repro.graph.generators import chained_network
+from repro.graph.network import FlowNetwork
+
+
+class TestAnalyzeChain:
+    def test_single_cut(self):
+        structure = analyze_chain(fujita_fig4(), "s", "t", [[0, 1]])
+        assert structure.num_segments == 2
+        assert structure.out_ports == [("x1", "x2")]
+        assert structure.in_ports == [("y1", "y2")]
+
+    def test_series_chain_cuts(self):
+        net = series_chain(3)
+        structure = analyze_chain(net, "s", "t", [[0], [1], [2]])
+        assert structure.num_segments == 4
+        assert structure.largest_segment_links == 0
+
+    def test_generated_chain(self):
+        net = chained_network([4, 4, 4], cut_sizes=2, demand=1, seed=0)
+        structure = analyze_chain(net, "s", "t", net._chain_cut_indices)
+        assert structure.num_segments == 3
+
+    def test_overlapping_cuts_rejected(self):
+        with pytest.raises(DecompositionError):
+            analyze_chain(series_chain(3), "s", "t", [[0], [0]])
+
+    def test_wrong_order_rejected(self):
+        net = series_chain(3)
+        with pytest.raises(DecompositionError):
+            analyze_chain(net, "s", "t", [[1], [0]])
+
+    def test_non_separating_rejected(self):
+        net = fujita_fig4()
+        with pytest.raises(DecompositionError):
+            analyze_chain(net, "s", "t", [[0]])
+
+    def test_backwards_cut_link_rejected(self):
+        net = FlowNetwork()
+        net.add_link("s", "a", 1)
+        net.add_link("b", "a", 1)  # backwards across the cut
+        net.add_link("b", "t", 1)
+        with pytest.raises(DecompositionError):
+            analyze_chain(net, "s", "t", [[1]])
+
+    def test_empty_cut_list_rejected(self):
+        with pytest.raises(DecompositionError):
+            analyze_chain(series_chain(2), "s", "t", [])
+
+
+class TestChainReliability:
+    def test_single_cut_equals_bottleneck(self):
+        net = fujita_fig4()
+        demand = FlowDemand("s", "t", 2)
+        chain = chain_reliability(net, demand, [[0, 1]])
+        bneck = bottleneck_reliability(net, demand, cut=[0, 1])
+        assert chain.value == pytest.approx(bneck.value, abs=1e-12)
+
+    def test_bridge_chain(self):
+        net = fujita_fig2_bridge()
+        demand = FlowDemand("s", "t", 2)
+        assert chain_reliability(net, demand, [[8]]).value == pytest.approx(
+            naive_reliability(net, demand).value, abs=1e-12
+        )
+
+    def test_series_chain_full_decomposition(self):
+        net = series_chain(4, capacity=1, failure_probability=0.2)
+        demand = FlowDemand("s", "t", 1)
+        result = chain_reliability(net, demand, [[0], [1], [2], [3]])
+        assert result.value == pytest.approx(0.8**4)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_two_cut_chain_matches_naive(self, seed):
+        net = chained_network([4, 4, 4], cut_sizes=2, demand=1, seed=seed)
+        demand = FlowDemand("s", "t", 1)
+        assert chain_reliability(net, demand, net._chain_cut_indices).value == pytest.approx(
+            naive_reliability(net, demand).value, abs=1e-10
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_demand_two_chain(self, seed):
+        net = chained_network([4, 5, 4], cut_sizes=2, demand=2, seed=seed)
+        demand = FlowDemand("s", "t", 2)
+        assert chain_reliability(net, demand, net._chain_cut_indices).value == pytest.approx(
+            naive_reliability(net, demand).value, abs=1e-10
+        )
+
+    def test_three_cuts(self):
+        net = chained_network([3, 4, 4, 3], cut_sizes=[1, 2, 1], demand=1, seed=5)
+        demand = FlowDemand("s", "t", 1)
+        assert chain_reliability(net, demand, net._chain_cut_indices).value == pytest.approx(
+            naive_reliability(net, demand).value, abs=1e-10
+        )
+
+    def test_undersized_cut_gives_zero(self):
+        net = series_chain(2, capacity=1)
+        result = chain_reliability(net, FlowDemand("s", "t", 2), [[0], [1]])
+        assert result.value == 0.0
+        assert "cut" in result.details["reason"]
+
+    def test_flow_calls_far_below_naive(self):
+        net = chained_network([4, 5, 4], cut_sizes=2, demand=2, seed=7)
+        demand = FlowDemand("s", "t", 2)
+        chain = chain_reliability(net, demand, net._chain_cut_indices)
+        naive = naive_reliability(net, demand, prune=False)
+        assert chain.flow_calls < naive.flow_calls / 10
+
+    def test_details(self):
+        net = chained_network([4, 4, 4], cut_sizes=2, demand=1, seed=0)
+        result = chain_reliability(net, FlowDemand("s", "t", 1), net._chain_cut_indices)
+        assert result.details["num_cuts"] == 2
+        assert len(result.details["interface_sizes"]) == 2
+
+
+class TestChainGuards:
+    def test_interface_assignment_budget(self):
+        from repro.exceptions import DecompositionError
+        from repro.graph.generators import chained_network
+
+        # d=4 over 4-link cuts: |A| = C(7,3) = 35 > the DP budget of 16
+        net = chained_network([8, 8], cut_sizes=4, demand=4, seed=0)
+        demand = FlowDemand("s", "t", 4)
+        with pytest.raises(DecompositionError):
+            chain_reliability(net, demand, net._chain_cut_indices)

@@ -1,0 +1,83 @@
+"""Unit tests for FlowDemand, ReliabilityResult and EstimateResult."""
+
+import pytest
+
+from repro.core.demand import FlowDemand
+from repro.core.result import EstimateResult, ReliabilityResult
+from repro.exceptions import DemandError
+from repro.graph.builders import diamond
+
+
+class TestFlowDemand:
+    def test_basic(self):
+        demand = FlowDemand("s", "t", 3)
+        assert demand.rate == 3
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(DemandError):
+            FlowDemand("s", "t", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(DemandError):
+            FlowDemand("s", "t", -1)
+
+    def test_rejects_fractional(self):
+        with pytest.raises(DemandError):
+            FlowDemand("s", "t", 1.5)
+
+    def test_rejects_equal_terminals(self):
+        with pytest.raises(DemandError):
+            FlowDemand("s", "s", 1)
+
+    def test_validate_against(self):
+        FlowDemand("s", "t", 1).validate_against(diamond())
+
+    def test_validate_against_missing(self):
+        with pytest.raises(DemandError):
+            FlowDemand("s", "nope", 1).validate_against(diamond())
+
+    def test_frozen(self):
+        demand = FlowDemand("s", "t", 1)
+        with pytest.raises(AttributeError):
+            demand.rate = 2
+
+    def test_str(self):
+        assert "d=2" in str(FlowDemand("s", "t", 2))
+
+
+class TestReliabilityResult:
+    def test_float_protocol(self):
+        assert float(ReliabilityResult(value=0.5, method="x")) == 0.5
+
+    def test_clamps_tiny_negative(self):
+        assert ReliabilityResult(value=-1e-12, method="x").value == 0.0
+
+    def test_clamps_tiny_overshoot(self):
+        assert ReliabilityResult(value=1.0 + 1e-12, method="x").value == 1.0
+
+    def test_rejects_real_violation(self):
+        with pytest.raises(ValueError):
+            ReliabilityResult(value=1.5, method="x")
+        with pytest.raises(ValueError):
+            ReliabilityResult(value=-0.5, method="x")
+
+    def test_details_default(self):
+        assert ReliabilityResult(value=0.1, method="x").details == {}
+
+
+class TestEstimateResult:
+    def make(self):
+        return EstimateResult(
+            value=0.5, low=0.45, high=0.56, confidence=0.95, num_samples=100, hits=50
+        )
+
+    def test_half_width(self):
+        assert self.make().half_width == pytest.approx(0.055)
+
+    def test_contains(self):
+        est = self.make()
+        assert est.contains(0.5)
+        assert not est.contains(0.6)
+
+    def test_float_protocol(self):
+        assert float(self.make()) == 0.5

@@ -1,0 +1,112 @@
+"""Unit tests for the directed frontier sweep."""
+
+import pytest
+
+from repro.core.demand import FlowDemand
+from repro.core.frontier import directed_frontier_reliability, frontier_reliability
+from repro.core.naive import naive_reliability
+from repro.exceptions import ReproError
+from repro.graph.builders import diamond, series_chain, two_paths
+from repro.graph.network import FlowNetwork
+from tests.conftest import random_small_network
+from tests.core.test_frontier import undirected_random
+
+UNIT = FlowDemand("s", "t", 1)
+
+
+class TestDirectedFrontier:
+    def test_single_directed_link(self):
+        net = FlowNetwork()
+        net.add_link("s", "t", 1, 0.25)
+        assert directed_frontier_reliability(net, UNIT).value == pytest.approx(0.75)
+
+    def test_wrong_direction_is_zero(self):
+        net = FlowNetwork()
+        net.add_link("t", "s", 1, 0.25)
+        assert directed_frontier_reliability(net, UNIT).value == 0.0
+
+    def test_series_chain(self):
+        net = series_chain(4, 1, 0.1)
+        assert directed_frontier_reliability(net, UNIT).value == pytest.approx(0.9**4)
+
+    def test_diamond(self):
+        expected = naive_reliability(diamond(), UNIT).value
+        assert directed_frontier_reliability(diamond(), UNIT).value == pytest.approx(
+            expected, abs=1e-12
+        )
+
+    def test_antiparallel_pair(self):
+        # a -> b and b -> a: only the forward one matters for s -> t
+        net = FlowNetwork()
+        net.add_link("s", "a", 1, 0.1)
+        net.add_link("a", "b", 1, 0.2)
+        net.add_link("b", "a", 1, 0.2)  # useless for delivery
+        net.add_link("b", "t", 1, 0.1)
+        expected = naive_reliability(net, UNIT).value
+        assert directed_frontier_reliability(net, UNIT).value == pytest.approx(
+            expected, abs=1e-12
+        )
+        assert expected == pytest.approx(0.9 * 0.8 * 0.9)
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_matches_naive_on_random_directed(self, seed):
+        net = random_small_network(seed)
+        expected = naive_reliability(net, UNIT).value
+        assert directed_frontier_reliability(net, UNIT).value == pytest.approx(
+            expected, abs=1e-10
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_partition_variant_on_undirected(self, seed):
+        net = undirected_random(seed)
+        a = frontier_reliability(net, UNIT).value
+        b = directed_frontier_reliability(net, UNIT).value
+        assert a == pytest.approx(b, abs=1e-10)
+
+    def test_mixed_directed_undirected(self):
+        net = FlowNetwork()
+        net.add_link("s", "a", 1, 0.1)
+        net.add_link("a", "t", 1, 0.1, directed=False)
+        net.add_link("t", "s", 1, 0.1, directed=False)  # helps nothing... or does it?
+        expected = naive_reliability(net, UNIT).value
+        assert directed_frontier_reliability(net, UNIT).value == pytest.approx(
+            expected, abs=1e-12
+        )
+
+    def test_long_directed_diamond_chain(self):
+        net = FlowNetwork()
+        prev = "s"
+        sections = 30
+        for i in range(sections):
+            nxt = f"c{i}" if i < sections - 1 else "t"
+            net.add_link(prev, f"a{i}", 1, 0.1)
+            net.add_link(prev, f"b{i}", 1, 0.1)
+            net.add_link(f"a{i}", nxt, 1, 0.1)
+            net.add_link(f"b{i}", nxt, 1, 0.1)
+            prev = nxt
+        result = directed_frontier_reliability(net, UNIT)
+        assert result.value == pytest.approx((1 - (1 - 0.81) ** 2) ** sections, abs=1e-12)
+        assert result.details["peak_states"] <= 8
+
+    def test_rate_two_rejected(self):
+        with pytest.raises(ReproError):
+            directed_frontier_reliability(two_paths(2, 1), FlowDemand("s", "t", 2))
+
+    def test_state_budget_guard(self):
+        net = random_small_network(2)
+        with pytest.raises(ReproError):
+            directed_frontier_reliability(net, UNIT, max_states=1)
+
+    def test_disconnected_terminal(self):
+        net = FlowNetwork()
+        net.add_node("t")
+        net.add_link("s", "a", 1, 0.1)
+        assert directed_frontier_reliability(net, UNIT).value == 0.0
+
+    def test_custom_order(self):
+        net = random_small_network(4)
+        expected = directed_frontier_reliability(net, UNIT).value
+        reverse = list(range(net.num_links))[::-1]
+        assert directed_frontier_reliability(net, UNIT, order=reverse).value == pytest.approx(
+            expected, abs=1e-10
+        )

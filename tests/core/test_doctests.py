@@ -1,0 +1,24 @@
+"""Run the doctest examples embedded in the public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.api
+import repro.graph.network
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro, repro.core.api, repro.graph.network],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+
+
+def test_package_docstring_has_examples():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.attempted > 0

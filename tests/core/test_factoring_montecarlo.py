@@ -1,0 +1,165 @@
+"""Unit tests for the factoring baseline and the Monte-Carlo estimator."""
+
+import pytest
+
+from repro.core.demand import FlowDemand
+from repro.core.factoring import factoring_reliability
+from repro.core.montecarlo import montecarlo_reliability, wilson_interval
+from repro.core.naive import naive_reliability
+from repro.exceptions import EstimationError, IntractableError
+from repro.graph.builders import diamond, parallel_links, series_chain, two_paths
+from repro.graph.generators import bottlenecked_network, random_network
+from repro.graph.network import FlowNetwork
+
+
+class TestFactoring:
+    def test_series(self):
+        net = series_chain(3, capacity=1, failure_probability=0.1)
+        assert factoring_reliability(net, FlowDemand("s", "t", 1)).value == pytest.approx(0.9**3)
+
+    def test_parallel(self):
+        net = parallel_links(3, 1, 0.1)
+        result = factoring_reliability(net, FlowDemand("s", "t", 2))
+        assert result.value == pytest.approx(3 * 0.81 * 0.1 + 0.729)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_naive_on_random(self, seed):
+        net = random_network(6, 11, seed=seed)
+        demand = FlowDemand("s", "t", 1)
+        assert factoring_reliability(net, demand).value == pytest.approx(
+            naive_reliability(net, demand).value, abs=1e-10
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_naive_demand_two(self, seed):
+        net = bottlenecked_network(
+            source_side_links=5, sink_side_links=5, num_bottlenecks=2, demand=2, seed=seed
+        )
+        demand = FlowDemand("s", "t", 2)
+        assert factoring_reliability(net, demand).value == pytest.approx(
+            naive_reliability(net, demand).value, abs=1e-10
+        )
+
+    def test_impossible_demand(self):
+        assert factoring_reliability(diamond(), FlowDemand("s", "t", 5)).value == 0.0
+
+    def test_certain_network(self):
+        net = series_chain(2, capacity=1, failure_probability=0.0)
+        result = factoring_reliability(net, FlowDemand("s", "t", 1))
+        assert result.value == 1.0
+        # the pessimistic short-circuit fires at the root: 1 branch node
+        assert result.details["branch_nodes"] == 1
+
+    def test_heuristic_reduces_branching(self):
+        net = bottlenecked_network(
+            source_side_links=7, sink_side_links=7, num_bottlenecks=2, demand=2, seed=3
+        )
+        demand = FlowDemand("s", "t", 2)
+        smart = factoring_reliability(net, demand, use_flow_heuristic=True)
+        dumb = factoring_reliability(net, demand, use_flow_heuristic=False)
+        assert smart.value == pytest.approx(dumb.value, abs=1e-10)
+        assert smart.details["branch_nodes"] <= dumb.details["branch_nodes"]
+
+    def test_far_fewer_calls_than_naive(self):
+        net = bottlenecked_network(
+            source_side_links=8, sink_side_links=8, num_bottlenecks=2, demand=2, seed=1
+        )
+        demand = FlowDemand("s", "t", 2)
+        fact = factoring_reliability(net, demand)
+        naive = naive_reliability(net, demand, prune=False)
+        assert fact.flow_calls < naive.flow_calls / 4
+
+    def test_size_guard(self):
+        net = parallel_links(41)
+        with pytest.raises(IntractableError):
+            factoring_reliability(net, FlowDemand("s", "t", 1))
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(40, 100)
+        assert low < 0.4 < high
+
+    def test_extreme_zero(self):
+        low, high = wilson_interval(0, 50)
+        assert low == 0.0
+        assert high > 0.0
+
+    def test_extreme_full(self):
+        low, high = wilson_interval(50, 50)
+        assert high == 1.0
+        assert low < 1.0
+
+    def test_narrower_with_more_samples(self):
+        w_small = wilson_interval(40, 100)
+        w_big = wilson_interval(400, 1000)
+        assert (w_big[1] - w_big[0]) < (w_small[1] - w_small[0])
+
+    def test_higher_confidence_is_wider(self):
+        w90 = wilson_interval(40, 100, 0.90)
+        w99 = wilson_interval(40, 100, 0.99)
+        assert (w99[1] - w99[0]) > (w90[1] - w90[0])
+
+    def test_bad_inputs(self):
+        with pytest.raises(EstimationError):
+            wilson_interval(5, 0)
+        with pytest.raises(EstimationError):
+            wilson_interval(11, 10)
+        with pytest.raises(EstimationError):
+            wilson_interval(5, 10, confidence=0.5)
+
+
+class TestMonteCarlo:
+    def test_deterministic(self):
+        demand = FlowDemand("s", "t", 1)
+        a = montecarlo_reliability(diamond(), demand, num_samples=1000, seed=5)
+        b = montecarlo_reliability(diamond(), demand, num_samples=1000, seed=5)
+        assert a.value == b.value
+
+    def test_interval_covers_exact(self):
+        demand = FlowDemand("s", "t", 1)
+        exact = naive_reliability(diamond(), demand).value
+        est = montecarlo_reliability(diamond(), demand, num_samples=20_000, seed=0, confidence=0.99)
+        assert est.contains(exact)
+
+    def test_interval_covers_exact_demand_two(self):
+        net = two_paths(2, 1)
+        demand = FlowDemand("s", "t", 3)
+        exact = naive_reliability(net, demand).value
+        est = montecarlo_reliability(net, demand, num_samples=20_000, seed=1, confidence=0.99)
+        assert est.contains(exact)
+
+    def test_cache_bounds_flow_calls(self):
+        demand = FlowDemand("s", "t", 1)
+        est = montecarlo_reliability(diamond(), demand, num_samples=5000, seed=2)
+        assert est.details["flow_calls"] <= 16
+        assert est.details["distinct_configurations"] <= 16
+
+    def test_sure_network(self):
+        net = series_chain(1, capacity=1, failure_probability=0.0)
+        est = montecarlo_reliability(net, FlowDemand("s", "t", 1), num_samples=100, seed=0)
+        assert est.value == 1.0
+
+    def test_impossible_network(self):
+        net = FlowNetwork()
+        net.add_link("t", "s", 1, 0.1)
+        est = montecarlo_reliability(net, FlowDemand("s", "t", 1), num_samples=100, seed=0)
+        assert est.value == 0.0
+
+    def test_sample_count_respected(self):
+        est = montecarlo_reliability(diamond(), FlowDemand("s", "t", 1), num_samples=777, seed=0)
+        assert est.num_samples == 777
+        assert 0 <= est.hits <= 777
+
+    def test_batching_irrelevant_to_value(self):
+        demand = FlowDemand("s", "t", 1)
+        a = montecarlo_reliability(diamond(), demand, num_samples=1000, seed=7, batch_size=64)
+        b = montecarlo_reliability(diamond(), demand, num_samples=1000, seed=7, batch_size=4096)
+        assert a.value == b.value
+
+    def test_bad_arguments(self):
+        demand = FlowDemand("s", "t", 1)
+        with pytest.raises(EstimationError):
+            montecarlo_reliability(diamond(), demand, num_samples=0)
+        with pytest.raises(EstimationError):
+            montecarlo_reliability(diamond(), demand, num_samples=10, batch_size=0)

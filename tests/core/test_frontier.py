@@ -1,0 +1,154 @@
+"""Unit tests for the frontier-sweep exact algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.core.demand import FlowDemand
+from repro.core.frontier import bfs_link_order, frontier_reliability, frontier_width
+from repro.core.naive import naive_reliability
+from repro.exceptions import ReproError
+from repro.graph.network import FlowNetwork
+
+UNIT = FlowDemand("s", "t", 1)
+
+
+def undirected_random(seed: int, n: int = 5, m: int = 9) -> FlowNetwork:
+    rng = np.random.default_rng(seed)
+    nodes = ["s", "t"] + [f"v{i}" for i in range(n - 2)]
+    net = FlowNetwork()
+    net.add_nodes(nodes)
+    order = list(rng.permutation(n))
+    for pos in range(1, n):
+        a = nodes[order[int(rng.integers(0, pos))]]
+        b = nodes[order[pos]]
+        net.add_link(a, b, 1, float(rng.uniform(0.05, 0.5)), directed=False)
+    while net.num_links < m:
+        i, j = int(rng.integers(0, n)), int(rng.integers(0, n))
+        if i == j:
+            continue
+        net.add_link(nodes[i], nodes[j], 1, float(rng.uniform(0.05, 0.5)), directed=False)
+    return net
+
+
+def undirected_ladder(sections: int, p: float = 0.1) -> FlowNetwork:
+    net = FlowNetwork(name=f"uladder-{sections}")
+    nodes = ["s"] + [f"m{i}" for i in range(sections - 1)] + ["t"]
+    for a, b in zip(nodes, nodes[1:]):
+        net.add_link(a, b, 1, p, directed=False)
+        net.add_link(a, b, 1, p, directed=False)
+    return net
+
+
+class TestFrontierReliability:
+    def test_single_link(self):
+        net = FlowNetwork()
+        net.add_link("s", "t", 1, 0.25, directed=False)
+        assert frontier_reliability(net, UNIT).value == pytest.approx(0.75)
+
+    def test_series_of_two(self):
+        net = FlowNetwork()
+        net.add_link("s", "m", 1, 0.1, directed=False)
+        net.add_link("m", "t", 1, 0.2, directed=False)
+        assert frontier_reliability(net, UNIT).value == pytest.approx(0.9 * 0.8)
+
+    def test_parallel_pair(self):
+        net = FlowNetwork()
+        net.add_link("s", "t", 1, 0.3, directed=False)
+        net.add_link("s", "t", 1, 0.4, directed=False)
+        assert frontier_reliability(net, UNIT).value == pytest.approx(1 - 0.12)
+
+    def test_undirected_diamond(self):
+        net = FlowNetwork()
+        for a, b in [("s", "a"), ("s", "b"), ("a", "t"), ("b", "t")]:
+            net.add_link(a, b, 1, 0.1, directed=False)
+        expected = naive_reliability(net, UNIT).value
+        assert frontier_reliability(net, UNIT).value == pytest.approx(expected, abs=1e-12)
+
+    def test_wheatstone_bridge(self):
+        # the canonical non-series-parallel case
+        net = FlowNetwork()
+        for a, b in [("s", "a"), ("s", "b"), ("a", "t"), ("b", "t"), ("a", "b")]:
+            net.add_link(a, b, 1, 0.2, directed=False)
+        expected = naive_reliability(net, UNIT).value
+        assert frontier_reliability(net, UNIT).value == pytest.approx(expected, abs=1e-12)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_naive_on_random_undirected(self, seed):
+        net = undirected_random(seed)
+        expected = naive_reliability(net, UNIT).value
+        assert frontier_reliability(net, UNIT).value == pytest.approx(expected, abs=1e-10)
+
+    def test_long_ladder_closed_form(self):
+        net = undirected_ladder(50)  # 100 links, 2^100 configurations
+        result = frontier_reliability(net, UNIT)
+        assert result.value == pytest.approx((1 - 0.01) ** 50, abs=1e-12)
+        assert result.details["peak_states"] <= 4
+
+    def test_disconnected_terminal(self):
+        net = FlowNetwork()
+        net.add_node("t")
+        net.add_link("s", "a", 1, 0.1, directed=False)
+        assert frontier_reliability(net, UNIT).value == 0.0
+
+    def test_zero_capacity_links_ignored(self):
+        net = FlowNetwork()
+        net.add_link("s", "t", 1, 0.3, directed=False)
+        net.add_link("s", "t", 0, 0.0, directed=False)
+        assert frontier_reliability(net, UNIT).value == pytest.approx(0.7)
+
+    def test_rejects_directed_links(self):
+        net = FlowNetwork()
+        net.add_link("s", "t", 1, 0.1)
+        with pytest.raises(ReproError):
+            frontier_reliability(net, UNIT)
+
+    def test_rejects_rate_two(self):
+        net = FlowNetwork()
+        net.add_link("s", "t", 2, 0.1, directed=False)
+        with pytest.raises(ReproError):
+            frontier_reliability(net, FlowDemand("s", "t", 2))
+
+    def test_custom_order_must_cover(self):
+        net = undirected_ladder(3)
+        with pytest.raises(ReproError):
+            frontier_reliability(net, UNIT, order=[0, 1])
+
+    def test_custom_order_same_value(self):
+        net = undirected_random(3)
+        expected = frontier_reliability(net, UNIT).value
+        reversed_order = list(range(net.num_links))[::-1]
+        assert frontier_reliability(net, UNIT, order=reversed_order).value == pytest.approx(
+            expected, abs=1e-10
+        )
+
+    def test_state_budget_guard(self):
+        net = undirected_random(5, n=5, m=9)
+        with pytest.raises(ReproError):
+            frontier_reliability(net, UNIT, max_states=1)
+
+
+class TestOrderHelpers:
+    def test_bfs_order_covers_all_links(self):
+        net = undirected_random(1)
+        order = bfs_link_order(net, "s")
+        assert sorted(order) == list(range(net.num_links))
+
+    def test_bfs_order_includes_unreachable(self):
+        net = FlowNetwork()
+        net.add_link("s", "t", 1, 0.1, directed=False)
+        net.add_link("x", "y", 1, 0.1, directed=False)
+        order = bfs_link_order(net, "s")
+        assert sorted(order) == [0, 1]
+        assert order[0] == 0
+
+    def test_frontier_width_chain(self):
+        net = undirected_ladder(10)
+        order = bfs_link_order(net, "s")
+        assert frontier_width(net, order) <= 3
+
+    def test_frontier_width_reflects_order_quality(self):
+        net = undirected_ladder(6)
+        good = bfs_link_order(net, "s")
+        # interleave the two ends: pathologically wide order
+        bad = good[::2] + good[1::2]
+        assert frontier_width(net, good) <= frontier_width(net, bad)

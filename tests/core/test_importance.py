@@ -1,0 +1,123 @@
+"""Unit tests for link importance measures."""
+
+import pytest
+
+from repro.core.demand import FlowDemand
+from repro.core.importance import link_importances, most_important_link
+from repro.core.naive import naive_reliability
+from repro.exceptions import ReproError
+from repro.graph.builders import diamond, parallel_links, series_chain, two_paths
+from repro.graph.network import FlowNetwork
+
+UNIT = FlowDemand("s", "t", 1)
+
+
+class TestLinkImportances:
+    def test_series_chain_all_equal(self):
+        """In a pure series system every link is equally pivotal."""
+        net = series_chain(3, 1, 0.1)
+        table = link_importances(net, UNIT)
+        values = [imp.birnbaum for imp in table]
+        assert values[0] == pytest.approx(values[1])
+        assert values[1] == pytest.approx(values[2])
+        # Birnbaum for series: product of the *other* availabilities
+        assert values[0] == pytest.approx(0.9**2)
+
+    def test_parallel_links_symmetry(self):
+        net = parallel_links(3, 1, 0.2)
+        table = link_importances(net, UNIT)
+        assert len({round(imp.birnbaum, 12) for imp in table}) == 1
+        # Birnbaum for parallel: probability all others are down
+        assert table[0].birnbaum == pytest.approx(0.2**2)
+
+    def test_diamond_symmetry(self):
+        table = link_importances(diamond(), UNIT)
+        assert table[0].birnbaum == pytest.approx(table[1].birnbaum)
+        assert table[2].birnbaum == pytest.approx(table[3].birnbaum)
+
+    def test_birnbaum_is_derivative(self):
+        """Finite-difference check: dR/d(availability_e) == Birnbaum."""
+        net = two_paths(2, 1, 0.2)
+        table = link_importances(net, UNIT)
+        eps = 1e-6
+        for imp in table:
+            p = net.link(imp.link_index).failure_probability
+            bumped = net.with_failure_probabilities({imp.link_index: p - eps})
+            base = naive_reliability(net, UNIT).value
+            up = naive_reliability(bumped, UNIT).value
+            derivative = (up - base) / eps
+            assert derivative == pytest.approx(imp.birnbaum, abs=1e-5)
+
+    def test_conditional_decomposition(self):
+        """R = (1-p_e) R(1_e) + p_e R(0_e) for every link."""
+        net = diamond(cross_link=True)
+        base = naive_reliability(net, UNIT).value
+        for imp in link_importances(net, UNIT):
+            p = net.link(imp.link_index).failure_probability
+            reconstructed = (1 - p) * imp.reliability_if_up + p * imp.reliability_if_down
+            assert reconstructed == pytest.approx(base, abs=1e-12)
+
+    def test_bridge_dominates(self):
+        """A mandatory bridge is more pivotal than redundant branches."""
+        net = FlowNetwork()
+        net.add_link("s", "m", 1, 0.1)  # 0: bridge
+        net.add_link("m", "a", 1, 0.1)  # 1
+        net.add_link("m", "b", 1, 0.1)  # 2
+        net.add_link("a", "t", 1, 0.1)  # 3
+        net.add_link("b", "t", 1, 0.1)  # 4
+        table = link_importances(net, UNIT)
+        assert table[0].birnbaum > max(imp.birnbaum for imp in table[1:])
+
+    def test_improvement_potential_nonnegative(self):
+        for imp in link_importances(diamond(cross_link=True), UNIT):
+            assert imp.improvement_potential >= -1e-12
+
+    def test_raw_at_least_one_for_useful_links(self):
+        net = series_chain(2, 1, 0.1)
+        for imp in link_importances(net, UNIT):
+            assert imp.risk_achievement_worth >= 1.0
+
+    def test_useless_link_scores_zero(self):
+        net = series_chain(2, 1, 0.1)
+        net.add_link("t", "s", 1, 0.5)  # backwards: never useful
+        table = link_importances(net, UNIT)
+        assert table[2].birnbaum == pytest.approx(0.0, abs=1e-12)
+        assert table[2].improvement_potential == pytest.approx(0.0, abs=1e-12)
+
+    def test_perfect_system_degenerate_measures(self):
+        net = parallel_links(2, 1, 0.0)
+        table = link_importances(net, UNIT)
+        for imp in table:
+            assert imp.fussell_vesely == 0.0
+            assert imp.risk_achievement_worth >= 0.0
+
+    def test_method_forwarding(self):
+        net = diamond()
+        a = link_importances(net, UNIT, method="naive")
+        b = link_importances(net, UNIT, method="factoring")
+        for x, y in zip(a, b):
+            assert x.birnbaum == pytest.approx(y.birnbaum, abs=1e-10)
+
+    def test_montecarlo_rejected(self):
+        with pytest.raises(ReproError):
+            link_importances(diamond(), UNIT, method="montecarlo")
+
+
+class TestMostImportantLink:
+    def test_bridge_selected(self):
+        net = FlowNetwork()
+        net.add_link("s", "m", 1, 0.1)
+        net.add_link("m", "a", 1, 0.1)
+        net.add_link("m", "b", 1, 0.1)
+        net.add_link("a", "t", 1, 0.1)
+        net.add_link("b", "t", 1, 0.1)
+        best = most_important_link(net, UNIT)
+        assert best.link_index == 0
+
+    def test_measure_selection(self):
+        best = most_important_link(diamond(), UNIT, measure="fussell_vesely")
+        assert 0 <= best.link_index < 4
+
+    def test_unknown_measure(self):
+        with pytest.raises(ReproError):
+            most_important_link(diamond(), UNIT, measure="karma")

@@ -1,0 +1,193 @@
+"""Unit tests for the process-parallel enumeration and the broadcast
+(multi-sink) extension."""
+
+import pytest
+
+from repro.core.demand import FlowDemand
+from repro.core.multisink import broadcast_reliability, coverage_curve
+from repro.core.naive import naive_reliability
+from repro.core.parallel import default_workers, parallel_naive_reliability
+from repro.exceptions import DemandError, EstimationError
+from repro.graph.builders import diamond, fujita_fig4, parallel_links, two_paths
+from repro.graph.generators import bottlenecked_network
+from repro.graph.network import FlowNetwork
+
+
+class TestParallelNaive:
+    def test_matches_serial_fig4(self):
+        net = fujita_fig4()
+        demand = FlowDemand("s", "t", 2)
+        serial = naive_reliability(net, demand).value
+        for workers in (1, 2, 4):
+            par = parallel_naive_reliability(net, demand, workers=workers)
+            assert par.value == pytest.approx(serial, abs=1e-12), workers
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_serial_random(self, seed):
+        net = bottlenecked_network(
+            source_side_links=5, sink_side_links=5, num_bottlenecks=2, demand=2, seed=seed
+        )
+        demand = FlowDemand("s", "t", 2)
+        serial = naive_reliability(net, demand).value
+        par = parallel_naive_reliability(net, demand, workers=2)
+        assert par.value == pytest.approx(serial, abs=1e-12)
+
+    def test_unpruned_variant(self):
+        net = diamond()
+        demand = FlowDemand("s", "t", 1)
+        par = parallel_naive_reliability(net, demand, workers=2, prune=False)
+        assert par.value == pytest.approx(
+            naive_reliability(net, demand).value, abs=1e-12
+        )
+        assert par.flow_calls == 16  # no pruning: every configuration solved
+
+    def test_chunking_metadata(self):
+        net = diamond()
+        result = parallel_naive_reliability(net, FlowDemand("s", "t", 1), workers=3)
+        assert result.method == "naive-parallel"
+        assert result.details["chunks"] == 4  # next power of two
+
+    def test_worker_validation(self):
+        with pytest.raises(EstimationError):
+            parallel_naive_reliability(diamond(), FlowDemand("s", "t", 1), workers=0)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+    def test_more_workers_than_configurations(self):
+        net = parallel_links(2, 1, 0.1)
+        result = parallel_naive_reliability(net, FlowDemand("s", "t", 1), workers=16)
+        assert result.value == pytest.approx(1 - 0.01)
+
+
+class TestBroadcastReliability:
+    def build(self):
+        """s feeds two subscribers through a shared capacity-2 trunk."""
+        net = FlowNetwork()
+        net.add_link("s", "hub", 2, 0.1)  # the shared trunk
+        net.add_link("hub", "u", 1, 0.1)
+        net.add_link("hub", "v", 1, 0.1)
+        return net
+
+    def test_simultaneity_constraint(self):
+        """Both subscribers need their unit at once: the trunk carries 2,
+        so broadcast is possible, but a capacity-1 trunk would kill it."""
+        net = self.build()
+        both = broadcast_reliability(net, "s", ["u", "v"], 1)
+        expected = 0.9**3  # trunk + both legs must be up
+        assert both.value == pytest.approx(expected, abs=1e-12)
+
+    def test_capacity_contention(self):
+        net = self.build().with_failure_probabilities([0.1, 0.1, 0.1])
+        thin = FlowNetwork()
+        thin.add_link("s", "hub", 1, 0.1)  # trunk too thin for two copies
+        thin.add_link("hub", "u", 1, 0.1)
+        thin.add_link("hub", "v", 1, 0.1)
+        assert broadcast_reliability(thin, "s", ["u", "v"], 1).value == 0.0
+
+    def test_single_subscriber_equals_paper_quantity(self):
+        net = fujita_fig4()
+        single = broadcast_reliability(net, "s", ["t"], 2)
+        expected = naive_reliability(net, FlowDemand("s", "t", 2)).value
+        assert single.value == pytest.approx(expected, abs=1e-12)
+
+    def test_never_above_weakest_individual(self):
+        net = self.build()
+        report = coverage_curve(net, "s", ["u", "v"], 1)
+        assert report.broadcast <= min(report.individual) + 1e-12
+
+    def test_validation(self):
+        net = self.build()
+        with pytest.raises(DemandError):
+            broadcast_reliability(net, "s", [], 1)
+        with pytest.raises(DemandError):
+            broadcast_reliability(net, "s", ["u", "u"], 1)
+        with pytest.raises(DemandError):
+            broadcast_reliability(net, "s", ["u", "s"], 1)
+        with pytest.raises(DemandError):
+            broadcast_reliability(net, "s", ["nope"], 1)
+        with pytest.raises(DemandError):
+            broadcast_reliability(net, "s", ["u"], 0)
+
+
+class TestCoverageCurve:
+    def test_report_fields(self):
+        net = two_paths(2, 1, 0.1)
+        net.add_link("a", "u", 1, 0.2)
+        report = coverage_curve(net, "s", ["t", "u"], 1)
+        assert len(report.individual) == 2
+        assert report.subscribers == ("t", "u")
+        assert 0 <= report.expected_coverage <= 1
+        weakest, value = report.weakest
+        assert value == min(report.individual)
+
+    def test_expected_coverage_is_mean(self):
+        net = two_paths(2, 1, 0.1)
+        net.add_link("a", "u", 1, 0.2)
+        report = coverage_curve(net, "s", ["t", "u"], 1)
+        assert report.expected_coverage == pytest.approx(
+            sum(report.individual) / 2
+        )
+
+    def test_individual_values_match_compute(self):
+        net = self_net = fujita_fig4()
+        report = coverage_curve(net, "s", ["t"], 2)
+        expected = naive_reliability(net, FlowDemand("s", "t", 2)).value
+        assert report.individual[0] == pytest.approx(expected, abs=1e-10)
+
+
+class TestCoverageDistribution:
+    def build(self):
+        from repro.graph.builders import two_paths
+
+        net = two_paths(2, 1, 0.1)
+        net.add_link("a", "u", 1, 0.2)
+        return net
+
+    def test_is_a_distribution(self):
+        from repro.core.multisink import coverage_distribution
+
+        pmf = coverage_distribution(self.build(), "s", ["t", "u"], 1)
+        assert len(pmf) == 3
+        assert sum(pmf) == pytest.approx(1.0)
+        assert all(p >= 0 for p in pmf)
+
+    def test_mean_matches_individual_sum(self):
+        from repro.core.multisink import coverage_curve, coverage_distribution
+
+        net = self.build()
+        pmf = coverage_distribution(net, "s", ["t", "u"], 1)
+        report = coverage_curve(net, "s", ["t", "u"], 1)
+        mean = sum(k * p for k, p in enumerate(pmf))
+        assert mean == pytest.approx(sum(report.individual), abs=1e-10)
+
+    def test_single_subscriber_reduces_to_reliability(self):
+        from repro.core.multisink import coverage_distribution
+
+        net = fujita_fig4()
+        pmf = coverage_distribution(net, "s", ["t"], 2)
+        expected = naive_reliability(net, FlowDemand("s", "t", 2)).value
+        assert pmf[1] == pytest.approx(expected, abs=1e-12)
+        assert pmf[0] == pytest.approx(1 - expected, abs=1e-12)
+
+    def test_all_or_nothing_when_subscribers_share_everything(self):
+        from repro.core.multisink import coverage_distribution
+        from repro.graph.network import FlowNetwork
+
+        net = FlowNetwork()
+        net.add_link("s", "hub", 1, 0.3)
+        net.add_link("hub", "u", 1, 0.0)
+        net.add_link("hub", "v", 1, 0.0)
+        pmf = coverage_distribution(net, "s", ["u", "v"], 1)
+        # both served iff the trunk survives; exactly-one is impossible
+        assert pmf[1] == pytest.approx(0.0, abs=1e-12)
+        assert pmf[2] == pytest.approx(0.7, abs=1e-12)
+
+    def test_validation(self):
+        from repro.core.multisink import coverage_distribution
+        from repro.exceptions import DemandError
+
+        with pytest.raises(DemandError):
+            coverage_distribution(self.build(), "s", [], 1)
+        with pytest.raises(DemandError):
+            coverage_distribution(self.build(), "s", ["t"], 0)

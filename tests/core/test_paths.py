@@ -1,0 +1,114 @@
+"""Unit tests for minimal-path enumeration and the minpath method."""
+
+import pytest
+
+from repro.core.demand import FlowDemand
+from repro.core.naive import naive_reliability
+from repro.core.paths import minimal_paths, minpath_reliability
+from repro.exceptions import IntractableError, ReproError
+from repro.graph.builders import diamond, parallel_links, series_chain, two_paths
+from repro.graph.network import FlowNetwork
+from tests.conftest import random_small_network
+
+UNIT = FlowDemand("s", "t", 1)
+
+
+class TestMinimalPaths:
+    def test_series_chain_single_path(self):
+        paths = minimal_paths(series_chain(3), "s", "t")
+        assert paths == [(0, 1, 2)]
+
+    def test_parallel_links_one_path_each(self):
+        paths = minimal_paths(parallel_links(3), "s", "t")
+        assert sorted(paths) == [(0,), (1,), (2,)]
+
+    def test_diamond_two_paths(self):
+        paths = minimal_paths(diamond(), "s", "t")
+        assert sorted(paths) == [(0, 2), (1, 3)]
+
+    def test_bridge_network_four_paths(self):
+        paths = minimal_paths(diamond(cross_link=True), "s", "t")
+        # s-a-t, s-b-t, s-a-b-t (via cross link)
+        assert len(paths) == 3
+
+    def test_direction_respected(self):
+        net = FlowNetwork()
+        net.add_link("t", "s", 1)
+        assert minimal_paths(net, "s", "t") == []
+
+    def test_undirected_traversable_both_ways(self):
+        net = FlowNetwork()
+        net.add_link("t", "s", 1, directed=False)
+        assert minimal_paths(net, "s", "t") == [(0,)]
+
+    def test_zero_capacity_excluded(self):
+        net = FlowNetwork()
+        net.add_link("s", "t", 0)
+        net.add_link("s", "t", 1)
+        assert minimal_paths(net, "s", "t") == [(1,)]
+
+    def test_simple_paths_only(self):
+        # a cycle must not generate infinitely many paths
+        net = FlowNetwork()
+        net.add_link("s", "a", 1)
+        net.add_link("a", "b", 1)
+        net.add_link("b", "a", 1)  # cycle
+        net.add_link("a", "t", 1)
+        paths = minimal_paths(net, "s", "t")
+        assert paths == [(0, 3)]
+
+    def test_max_paths_guard(self):
+        net = parallel_links(5)
+        with pytest.raises(IntractableError):
+            minimal_paths(net, "s", "t", max_paths=3)
+
+    def test_deterministic_order(self):
+        a = minimal_paths(diamond(), "s", "t")
+        b = minimal_paths(diamond(), "s", "t")
+        assert a == b
+
+
+class TestMinpathReliability:
+    def test_series(self):
+        net = series_chain(3, 1, 0.1)
+        assert minpath_reliability(net, UNIT).value == pytest.approx(0.9**3)
+
+    def test_parallel(self):
+        net = parallel_links(3, 1, 0.2)
+        assert minpath_reliability(net, UNIT).value == pytest.approx(1 - 0.2**3)
+
+    def test_diamond(self):
+        assert minpath_reliability(diamond(), UNIT).value == pytest.approx(
+            1 - (1 - 0.81) ** 2
+        )
+
+    def test_wheatstone_bridge(self):
+        net = diamond(cross_link=True)
+        expected = naive_reliability(net, UNIT).value
+        assert minpath_reliability(net, UNIT).value == pytest.approx(expected, abs=1e-12)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_naive_on_random(self, seed):
+        net = random_small_network(seed)
+        try:
+            value = minpath_reliability(net, UNIT, max_paths=18).value
+        except IntractableError:
+            return
+        expected = naive_reliability(net, UNIT).value
+        assert value == pytest.approx(expected, abs=1e-10), seed
+
+    def test_no_path_zero(self):
+        net = FlowNetwork()
+        net.add_link("t", "s", 1, 0.1)
+        result = minpath_reliability(net, UNIT)
+        assert result.value == 0.0
+        assert result.details["num_paths"] == 0
+
+    def test_rate_two_rejected(self):
+        with pytest.raises(ReproError):
+            minpath_reliability(two_paths(2, 1), FlowDemand("s", "t", 2))
+
+    def test_details(self):
+        result = minpath_reliability(diamond(), UNIT)
+        assert result.details["num_paths"] == 2
+        assert result.details["longest_path"] == 2

@@ -1,0 +1,103 @@
+"""Unit tests for the reliability polynomial."""
+
+import pytest
+
+from repro.core.demand import FlowDemand
+from repro.core.naive import naive_reliability
+from repro.core.polynomial import reliability_polynomial
+from repro.exceptions import EstimationError
+from repro.graph.builders import diamond, fujita_fig4, parallel_links, series_chain
+from repro.graph.network import FlowNetwork
+
+UNIT = FlowDemand("s", "t", 1)
+
+
+class TestCoefficients:
+    def test_series_chain_counts(self):
+        # only the all-alive configuration delivers
+        poly = reliability_polynomial(series_chain(3), UNIT)
+        assert poly.counts == (0, 0, 0, 1)
+
+    def test_parallel_counts(self):
+        # any non-empty subset of 3 parallel links delivers
+        poly = reliability_polynomial(parallel_links(3), UNIT)
+        assert poly.counts == (0, 3, 3, 1)
+
+    def test_parallel_demand_two(self):
+        poly = reliability_polynomial(parallel_links(3), FlowDemand("s", "t", 2))
+        assert poly.counts == (0, 0, 3, 1)
+
+    def test_diamond_counts(self):
+        # feasible sets: supersets of {0,2} or {1,3}
+        poly = reliability_polynomial(diamond(), UNIT)
+        assert poly.counts == (0, 0, 2, 4, 1)
+
+    def test_min_feasible_links(self):
+        assert reliability_polynomial(diamond(), UNIT).min_feasible_links == 2
+        assert reliability_polynomial(series_chain(4), UNIT).min_feasible_links == 4
+
+    def test_infeasible_network(self):
+        net = FlowNetwork()
+        net.add_link("t", "s", 1)
+        poly = reliability_polynomial(net, UNIT)
+        assert poly.min_feasible_links is None
+        assert poly(0.1) == 0.0
+
+    def test_coefficient_bounds(self):
+        for net in (diamond(), fujita_fig4(), parallel_links(4)):
+            assert reliability_polynomial(net, UNIT).coefficient_bounds_hold()
+
+    def test_feasible_configuration_count_matches_table(self):
+        poly = reliability_polynomial(fujita_fig4(), FlowDemand("s", "t", 2))
+        naive = naive_reliability(fujita_fig4(), FlowDemand("s", "t", 2))
+        assert poly.feasible_configurations == naive.details["feasible_configurations"]
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize("p", [0.0, 0.05, 0.1, 0.3, 0.5, 0.8, 1.0])
+    def test_matches_naive_at_any_p(self, p):
+        net = fujita_fig4()
+        poly = reliability_polynomial(net, FlowDemand("s", "t", 2))
+        if p < 1.0:
+            direct = naive_reliability(
+                net.with_failure_probabilities([p] * net.num_links),
+                FlowDemand("s", "t", 2),
+            ).value
+        else:
+            direct = 0.0
+        assert poly(p) == pytest.approx(direct, abs=1e-12)
+
+    def test_endpoints(self):
+        poly = reliability_polynomial(diamond(), UNIT)
+        assert poly(0.0) == 1.0
+        assert poly(1.0) == 0.0
+
+    def test_monotone_decreasing(self):
+        poly = reliability_polynomial(fujita_fig4(), FlowDemand("s", "t", 2))
+        values = poly.curve([0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0])
+        for a, b in zip(values, values[1:]):
+            assert b <= a + 1e-12
+
+    def test_derivative_sign_and_value(self):
+        poly = reliability_polynomial(diamond(), UNIT)
+        for p in (0.1, 0.5, 0.9):
+            d = poly.derivative(p)
+            assert d <= 0
+            eps = 1e-7
+            fd = (poly(p + eps) - poly(p - eps)) / (2 * eps)
+            assert d == pytest.approx(fd, abs=1e-5)
+
+    def test_curve_crossover_between_topologies(self):
+        """Two parallel links beat one fat link at every p — structure
+        comparisons with no repeated enumeration."""
+        redundant = reliability_polynomial(parallel_links(2, 1, 0.0), UNIT)
+        single = reliability_polynomial(parallel_links(1, 2, 0.0), UNIT)
+        for p in (0.05, 0.2, 0.5, 0.9):
+            assert redundant(p) >= single(p)
+
+    def test_validation(self):
+        poly = reliability_polynomial(diamond(), UNIT)
+        with pytest.raises(EstimationError):
+            poly(1.5)
+        with pytest.raises(EstimationError):
+            poly.derivative(0.0)

@@ -1,0 +1,128 @@
+"""Unit tests for series–parallel reductions."""
+
+import pytest
+
+from repro.core.demand import FlowDemand
+from repro.core.naive import naive_reliability
+from repro.core.reductions import reduce_for_unit_demand, series_parallel_reliability
+from repro.exceptions import ReproError
+from repro.graph.builders import diamond, parallel_links, series_chain, two_paths
+from repro.graph.network import FlowNetwork
+from tests.conftest import random_small_network
+
+UNIT = FlowDemand("s", "t", 1)
+
+
+class TestSeriesParallelReliability:
+    def test_series_chain(self):
+        net = series_chain(4, 1, 0.1)
+        result = series_parallel_reliability(net, UNIT)
+        assert result.value == pytest.approx(0.9**4)
+        assert result.details["series_steps"] == 3
+
+    def test_parallel_links(self):
+        net = parallel_links(3, 1, 0.2)
+        result = series_parallel_reliability(net, UNIT)
+        assert result.value == pytest.approx(1 - 0.2**3)
+        assert result.details["parallel_steps"] == 2
+
+    def test_diamond(self):
+        result = series_parallel_reliability(diamond(), UNIT)
+        assert result.value == pytest.approx(1 - (1 - 0.81) ** 2)
+
+    def test_two_paths(self):
+        net = two_paths(2, 1, 0.1)
+        result = series_parallel_reliability(net, UNIT)
+        assert result.value == pytest.approx(
+            naive_reliability(net, UNIT).value, abs=1e-12
+        )
+
+    def test_matches_naive_on_sp_networks(self):
+        # nested series/parallel composition
+        net = FlowNetwork()
+        net.add_link("s", "a", 1, 0.1)
+        net.add_link("a", "t", 1, 0.15)
+        net.add_link("s", "b", 1, 0.2)
+        net.add_link("b", "c", 1, 0.25)
+        net.add_link("c", "t", 1, 0.3)
+        net.add_link("b", "c", 1, 0.35)  # parallel inside the lower path
+        result = series_parallel_reliability(net, FlowDemand("s", "t", 1))
+        expected = naive_reliability(net, FlowDemand("s", "t", 1)).value
+        assert result.value == pytest.approx(expected, abs=1e-12)
+
+    def test_undirected_sp_network(self):
+        net = FlowNetwork()
+        net.add_link("s", "a", 1, 0.1, directed=False)
+        net.add_link("a", "t", 1, 0.1, directed=False)
+        net.add_link("s", "t", 1, 0.3, directed=False)
+        result = series_parallel_reliability(net, FlowDemand("s", "t", 1))
+        expected = naive_reliability(net, FlowDemand("s", "t", 1)).value
+        assert result.value == pytest.approx(expected, abs=1e-12)
+
+    def test_non_sp_network_rejected(self):
+        # the Wheatstone bridge is the canonical non-SP graph
+        net = diamond(cross_link=True)
+        with pytest.raises(ReproError):
+            series_parallel_reliability(net, UNIT)
+
+    def test_demand_two_rejected(self):
+        with pytest.raises(ReproError):
+            series_parallel_reliability(diamond(), FlowDemand("s", "t", 2))
+
+    def test_disconnected_is_zero(self):
+        net = FlowNetwork()
+        net.add_link("t", "s", 1, 0.1)  # wrong direction only
+        result = series_parallel_reliability(net, FlowDemand("s", "t", 1))
+        assert result.value == 0.0
+
+    def test_dead_branch_pruned(self):
+        net = series_chain(2, 1, 0.1)
+        net.add_link("v1", "dead_end", 1, 0.5)
+        result = series_parallel_reliability(net, UNIT)
+        assert result.value == pytest.approx(0.81)
+        assert result.details["pruned_links"] >= 1
+
+    def test_zero_capacity_link_ignored(self):
+        net = FlowNetwork()
+        net.add_link("s", "t", 1, 0.2)
+        net.add_link("s", "t", 0, 0.0)  # zero capacity: dead weight
+        result = series_parallel_reliability(net, UNIT)
+        assert result.value == pytest.approx(0.8)
+
+
+class TestReduceForUnitDemand:
+    def test_preserves_reliability_on_random_networks(self):
+        """The key soundness property: reducing never changes the d=1
+        reliability, fully reducible or not."""
+        for seed in range(10):
+            net = random_small_network(seed)
+            demand = FlowDemand("s", "t", 1)
+            report = reduce_for_unit_demand(net, demand)
+            expected = naive_reliability(net, demand).value
+            if report.network.num_links == 0:
+                assert expected == pytest.approx(0.0, abs=1e-12)
+            else:
+                reduced_value = naive_reliability(report.network, demand).value
+                assert reduced_value == pytest.approx(expected, abs=1e-10), f"seed={seed}"
+
+    def test_never_grows(self):
+        for seed in range(6):
+            net = random_small_network(seed)
+            report = reduce_for_unit_demand(net, FlowDemand("s", "t", 1))
+            assert report.network.num_links <= net.num_links
+
+    def test_mixed_direction_parallels_not_merged(self):
+        net = FlowNetwork()
+        net.add_link("s", "t", 1, 0.5)
+        net.add_link("s", "t", 1, 0.5, directed=False)
+        report = reduce_for_unit_demand(net, FlowDemand("s", "t", 1))
+        # they must not merge blindly, but the reliability must hold
+        expected = naive_reliability(net, FlowDemand("s", "t", 1)).value
+        value = naive_reliability(report.network, FlowDemand("s", "t", 1)).value
+        assert value == pytest.approx(expected, abs=1e-12)
+
+    def test_report_counts(self):
+        report = reduce_for_unit_demand(series_chain(3, 1, 0.1), FlowDemand("s", "t", 1))
+        assert report.original_links == 3
+        assert report.series_steps == 2
+        assert report.fully_reduced

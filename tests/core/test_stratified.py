@@ -1,0 +1,119 @@
+"""Unit tests for stratified Monte-Carlo estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.demand import FlowDemand
+from repro.core.naive import naive_reliability
+from repro.core.stratified import (
+    poisson_binomial,
+    sample_with_alive_count,
+    stratified_montecarlo_reliability,
+)
+from repro.exceptions import EstimationError
+from repro.graph.builders import diamond, fujita_fig4, parallel_links
+from repro.probability.bitset import popcount
+
+
+class TestPoissonBinomial:
+    def test_sums_to_one(self):
+        dist = poisson_binomial([0.1, 0.2, 0.3, 0.4])
+        assert dist.sum() == pytest.approx(1.0)
+
+    def test_uniform_half_is_binomial(self):
+        dist = poisson_binomial([0.5] * 4)
+        assert dist.tolist() == pytest.approx([1 / 16, 4 / 16, 6 / 16, 4 / 16, 1 / 16])
+
+    def test_matches_enumeration(self):
+        probs = [0.1, 0.35, 0.6]
+        from repro.probability.enumeration import configuration_probabilities
+
+        table = configuration_probabilities(probs)
+        dist = poisson_binomial(probs)
+        for j in range(4):
+            expected = sum(table[m] for m in range(8) if popcount(m) == j)
+            assert dist[j] == pytest.approx(expected)
+
+    def test_empty(self):
+        assert poisson_binomial([]).tolist() == [1.0]
+
+
+class TestConditionalSampling:
+    def test_popcount_always_matches(self):
+        rng = np.random.default_rng(0)
+        probs = [0.1, 0.5, 0.8, 0.3]
+        for count in range(5):
+            for _ in range(50):
+                mask = sample_with_alive_count(probs, count, rng)
+                assert popcount(mask) == count
+
+    def test_conditional_distribution_correct(self):
+        """Empirical conditional frequencies match the exact conditional
+        probabilities."""
+        probs = [0.2, 0.6]
+        rng = np.random.default_rng(1)
+        # condition on exactly 1 alive: P(mask=01|N=1) ∝ 0.8*0.6, P(10|N=1) ∝ 0.2*0.4
+        w01 = 0.8 * 0.6
+        w10 = 0.2 * 0.4
+        draws = [sample_with_alive_count(probs, 1, rng) for _ in range(20_000)]
+        freq01 = sum(1 for d in draws if d == 0b01) / len(draws)
+        assert freq01 == pytest.approx(w01 / (w01 + w10), abs=0.01)
+
+    def test_count_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(EstimationError):
+            sample_with_alive_count([0.5], 2, rng)
+
+
+class TestStratifiedEstimator:
+    def test_close_to_exact(self):
+        net = fujita_fig4()
+        demand = FlowDemand("s", "t", 2)
+        exact = naive_reliability(net, demand).value
+        est = stratified_montecarlo_reliability(net, demand, num_samples=20_000, seed=0)
+        assert abs(est.value - exact) < 0.01
+        assert est.low <= est.value <= est.high
+
+    def test_deterministic(self):
+        demand = FlowDemand("s", "t", 1)
+        a = stratified_montecarlo_reliability(diamond(), demand, num_samples=2000, seed=7)
+        b = stratified_montecarlo_reliability(diamond(), demand, num_samples=2000, seed=7)
+        assert a.value == b.value
+
+    def test_all_alive_stratum_exact(self):
+        # With p=0 links the only stratum is j=m, resolved without sampling.
+        net = parallel_links(3, 1, 0.0)
+        demand = FlowDemand("s", "t", 2)
+        est = stratified_montecarlo_reliability(net, demand, num_samples=100, seed=0)
+        assert est.value == 1.0
+        assert est.details["sampled_configurations"] == 0
+
+    def test_hopeless_strata_skipped(self):
+        # d=3 over 3 unit links: strata j<3 contribute exactly 0 and are
+        # never sampled.
+        net = parallel_links(3, 1, 0.1)
+        demand = FlowDemand("s", "t", 3)
+        est = stratified_montecarlo_reliability(net, demand, num_samples=1000, seed=0)
+        assert est.value == pytest.approx(0.9**3)
+        assert est.details["sampled_configurations"] == 0
+
+    def test_lower_error_than_plain_mc_on_extreme_reliability(self):
+        from repro.core.montecarlo import montecarlo_reliability
+
+        net = parallel_links(6, 1, 0.02)  # reliability ~ 1 - tiny
+        demand = FlowDemand("s", "t", 2)
+        exact = naive_reliability(net, demand).value
+        errors_plain = []
+        errors_strat = []
+        for seed in range(5):
+            plain = montecarlo_reliability(net, demand, num_samples=400, seed=seed)
+            strat = stratified_montecarlo_reliability(net, demand, num_samples=400, seed=seed)
+            errors_plain.append(abs(plain.value - exact))
+            errors_strat.append(abs(strat.value - exact))
+        assert sum(errors_strat) <= sum(errors_plain) + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            stratified_montecarlo_reliability(
+                diamond(), FlowDemand("s", "t", 1), num_samples=0
+            )

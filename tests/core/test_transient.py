@@ -1,0 +1,109 @@
+"""Unit tests for time-dependent reliability."""
+
+import math
+
+import pytest
+
+from repro.core.demand import FlowDemand
+from repro.core.naive import naive_reliability
+from repro.core.transient import (
+    LinkDynamics,
+    availability_at,
+    reliability_over_time,
+)
+from repro.exceptions import EstimationError
+from repro.graph.builders import diamond, series_chain
+
+UNIT = FlowDemand("s", "t", 1)
+
+
+class TestAvailabilityAt:
+    def test_starts_at_one(self):
+        assert availability_at(100, 50, 0.0) == pytest.approx(1.0)
+
+    def test_starts_at_zero_when_initially_down(self):
+        assert availability_at(100, 50, 0.0, initially_up=False) == pytest.approx(0.0)
+
+    def test_converges_to_stationary(self):
+        stationary = 100 / 150
+        assert availability_at(100, 50, 1e9) == pytest.approx(stationary)
+        assert availability_at(100, 50, 1e9, initially_up=False) == pytest.approx(stationary)
+
+    def test_monotone_decay_from_up(self):
+        values = [availability_at(100, 50, t) for t in (0, 10, 50, 200, 1000)]
+        for a, b in zip(values, values[1:]):
+            assert b <= a + 1e-12
+
+    def test_monotone_rise_from_down(self):
+        values = [availability_at(100, 50, t, initially_up=False) for t in (0, 10, 50, 200)]
+        for a, b in zip(values, values[1:]):
+            assert b >= a - 1e-12
+
+    def test_never_failing_component(self):
+        assert availability_at(math.inf, 50, 123.0) == 1.0
+
+    def test_instant_repair(self):
+        assert availability_at(100, 0, 123.0) == 1.0
+
+    def test_closed_form(self):
+        lam, mu, t = 1 / 100, 1 / 50, 30.0
+        expected = mu / (lam + mu) + (1 - mu / (lam + mu)) * math.exp(-(lam + mu) * t)
+        assert availability_at(100, 50, t) == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            availability_at(0, 50, 1.0)
+        with pytest.raises(EstimationError):
+            availability_at(100, -1, 1.0)
+        with pytest.raises(EstimationError):
+            availability_at(100, 50, -1.0)
+
+
+class TestReliabilityOverTime:
+    def dynamics(self, net, mean_up=100.0, mean_down=50.0):
+        return [LinkDynamics(mean_up, mean_down) for _ in range(net.num_links)]
+
+    def test_starts_at_feasibility(self):
+        net = diamond()
+        values = reliability_over_time(net, UNIT, self.dynamics(net), [0.0])
+        assert values[0] == pytest.approx(1.0)
+
+    def test_converges_to_stationary_reliability(self):
+        net = diamond()
+        stationary_p = 1 - (100 / 150)
+        expected = naive_reliability(
+            net.with_failure_probabilities([stationary_p] * 4), UNIT
+        ).value
+        values = reliability_over_time(net, UNIT, self.dynamics(net), [1e9])
+        assert values[0] == pytest.approx(expected, abs=1e-9)
+
+    def test_monotone_decay_from_all_up(self):
+        net = series_chain(3)
+        values = reliability_over_time(
+            net, UNIT, self.dynamics(net), [0.0, 5.0, 20.0, 100.0, 1e6]
+        )
+        for a, b in zip(values, values[1:]):
+            assert b <= a + 1e-12
+
+    def test_heterogeneous_dynamics(self):
+        net = series_chain(2)
+        dynamics = [LinkDynamics(100, 50), LinkDynamics(math.inf, 1)]
+        values = reliability_over_time(net, UNIT, dynamics, [30.0])
+        # second link never fails: reliability = first link's availability
+        assert values[0] == pytest.approx(availability_at(100, 50, 30.0), abs=1e-9)
+
+    def test_matches_static_snapshot(self):
+        net = diamond()
+        dynamics = self.dynamics(net)
+        t = 42.0
+        p = 1 - availability_at(100, 50, t)
+        expected = naive_reliability(
+            net.with_failure_probabilities([p] * 4), UNIT
+        ).value
+        values = reliability_over_time(net, UNIT, dynamics, [t], method="naive")
+        assert values[0] == pytest.approx(expected, abs=1e-9)
+
+    def test_length_validation(self):
+        net = diamond()
+        with pytest.raises(EstimationError):
+            reliability_over_time(net, UNIT, [LinkDynamics(10, 10)], [0.0])

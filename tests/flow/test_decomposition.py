@@ -1,0 +1,95 @@
+"""Unit tests for flow decomposition into unit-rate sub-streams."""
+
+import pytest
+
+from repro.flow.base import max_flow
+from repro.flow.decomposition import decompose
+from repro.graph.builders import diamond, parallel_links, series_chain, two_paths
+from repro.graph.generators import layered_network, random_network
+from repro.graph.network import FlowNetwork
+
+
+def check_substreams(net, result, streams):
+    """Structural validity: count, endpoints, per-link usage <= flow."""
+    assert len(streams) == result.value
+    usage = {}
+    for stream in streams:
+        assert stream.nodes[0] == result.source
+        assert stream.nodes[-1] == result.sink
+        assert len(stream.nodes) == len(stream.links) + 1
+        for i, link_index in enumerate(stream.links):
+            link = net.link(link_index)
+            a, b = stream.nodes[i], stream.nodes[i + 1]
+            assert {a, b} == {link.tail, link.head}
+            usage[link_index] = usage.get(link_index, 0) + 1
+    for link_index, used in usage.items():
+        assert used <= abs(result.link_flows.get(link_index, 0))
+
+
+class TestDecompose:
+    def test_single_path(self):
+        net = series_chain(3, capacity=1)
+        result = max_flow(net, "s", "t")
+        streams = decompose(net, result)
+        assert len(streams) == 1
+        assert streams[0].links == (0, 1, 2)
+        assert streams[0].hops == 3
+
+    def test_parallel_links_distinct(self):
+        net = parallel_links(3, capacity=1)
+        result = max_flow(net, "s", "t")
+        streams = decompose(net, result)
+        assert sorted(s.links[0] for s in streams) == [0, 1, 2]
+
+    def test_capacity_two_link_used_twice(self):
+        net = series_chain(2, capacity=2)
+        result = max_flow(net, "s", "t")
+        streams = decompose(net, result)
+        assert len(streams) == 2
+        assert streams[0].links == streams[1].links
+
+    def test_diamond_paths_disjoint(self):
+        net = diamond(capacity=1)
+        result = max_flow(net, "s", "t")
+        streams = decompose(net, result)
+        assert len(streams) == 2
+        assert set(streams[0].links).isdisjoint(streams[1].links)
+
+    def test_two_paths(self):
+        net = two_paths(2, 1)
+        result = max_flow(net, "s", "t")
+        check_substreams(net, result, decompose(net, result))
+
+    def test_zero_flow(self):
+        net = FlowNetwork()
+        net.add_link("t", "s", 1)
+        result = max_flow(net, "s", "t")
+        assert decompose(net, result) == []
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_networks_structurally_valid(self, seed):
+        net = random_network(7, 14, seed=seed, max_capacity=3)
+        result = max_flow(net, "s", "t")
+        check_substreams(net, result, decompose(net, result))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_layered_networks(self, seed):
+        net = layered_network([3, 3], seed=seed)
+        result = max_flow(net, "s", "t")
+        check_substreams(net, result, decompose(net, result))
+
+    def test_undirected_flow(self):
+        net = FlowNetwork()
+        net.add_link("t", "m", 2, directed=False)
+        net.add_link("m", "s", 2, directed=False)
+        result = max_flow(net, "s", "t")
+        streams = decompose(net, result)
+        assert len(streams) == 2
+        for stream in streams:
+            assert stream.nodes == ("s", "m", "t")
+
+    def test_relay_peers_property(self):
+        net = series_chain(3, capacity=1)
+        result = max_flow(net, "s", "t")
+        (stream,) = decompose(net, result)
+        assert stream.nodes[1:-1] == ("v1", "v2")

@@ -1,0 +1,59 @@
+"""Unit tests for repro.flow.mincut."""
+
+import pytest
+
+from repro.flow.base import max_flow
+from repro.flow.mincut import min_cut_capacity, min_cut_links, minimum_cut
+from repro.graph.builders import diamond, fujita_fig2_bridge, parallel_links, series_chain, two_paths
+from repro.graph.network import FlowNetwork
+
+
+class TestMinCutLinks:
+    def test_chain_cut_is_single_link(self):
+        net = series_chain(3, capacity=2)
+        result = max_flow(net, "s", "t")
+        links = min_cut_links(net, result)
+        assert len(links) == 1
+
+    def test_bridge_network_cuts_at_bridge(self):
+        net = fujita_fig2_bridge(bridge_capacity=1, side_capacity=5)
+        result = max_flow(net, "s", "t")
+        assert min_cut_links(net, result) == (8,)
+
+    def test_undirected_crossing_counted(self):
+        net = FlowNetwork()
+        net.add_link("t", "s", 3, directed=False)
+        result = max_flow(net, "s", "t")
+        assert min_cut_links(net, result) == (0,)
+
+
+class TestDuality:
+    @pytest.mark.parametrize(
+        "net",
+        [diamond(capacity=2), two_paths(2, 1), parallel_links(3, 2), series_chain(4, 3)],
+        ids=["diamond", "two-paths", "parallel", "chain"],
+    )
+    def test_cut_capacity_equals_flow(self, net):
+        result = max_flow(net, "s", "t")
+        assert min_cut_capacity(net, result) == result.value
+
+
+class TestMinimumCut:
+    def test_value_and_links(self):
+        value, links = minimum_cut(two_paths(2, 1), "s", "t")
+        assert value == 3
+        assert len(links) == 2
+
+    def test_alive_mask_filters(self):
+        net = parallel_links(3, 2)
+        value, links = minimum_cut(net, "s", "t", alive=0b011)
+        assert value == 4
+        assert set(links) == {0, 1}
+
+    def test_disconnected(self):
+        net = FlowNetwork()
+        net.add_node("s")
+        net.add_node("t")
+        value, links = minimum_cut(net, "s", "t")
+        assert value == 0
+        assert links == ()

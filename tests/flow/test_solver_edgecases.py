@@ -1,0 +1,79 @@
+"""Solver stress cases: the structures each algorithm finds hardest."""
+
+import pytest
+
+from repro.flow.base import max_flow_value
+from repro.graph.generators import layered_network
+from repro.graph.network import FlowNetwork
+
+SOLVERS = ("dinic", "edmonds_karp", "push_relabel", "capacity_scaling")
+
+
+def big_capacity_trap() -> FlowNetwork:
+    """The classic 2-path network where naive augmenting paths zig-zag
+    through the cross edge C times (C large) — capacity scaling's home
+    turf."""
+    net = FlowNetwork()
+    c = 10_000
+    net.add_link("s", "a", c)
+    net.add_link("s", "b", c)
+    net.add_link("a", "b", 1)
+    net.add_link("a", "t", c)
+    net.add_link("b", "t", c)
+    return net
+
+
+def gap_trigger() -> FlowNetwork:
+    """A dead-end chamber that push-relabel must drain back — exercises
+    the gap heuristic."""
+    net = FlowNetwork()
+    net.add_link("s", "a", 5)
+    net.add_link("a", "dead1", 5)
+    net.add_link("dead1", "dead2", 5)
+    net.add_link("a", "t", 1)
+    return net
+
+
+def long_zigzag(depth: int) -> FlowNetwork:
+    net = FlowNetwork()
+    prev = "s"
+    for i in range(depth):
+        net.add_link(prev, f"u{i}", 2)
+        net.add_link(f"u{i}", f"v{i}", 2)
+        prev = f"v{i}"
+    net.add_link(prev, "t", 2)
+    return net
+
+
+@pytest.mark.parametrize("solver", SOLVERS)
+class TestStressShapes:
+    def test_big_capacity_trap(self, solver):
+        assert max_flow_value(big_capacity_trap(), "s", "t", solver=solver) == 20_000
+
+    def test_gap_trigger(self, solver):
+        assert max_flow_value(gap_trigger(), "s", "t", solver=solver) == 1
+
+    def test_long_chain(self, solver):
+        assert max_flow_value(long_zigzag(40), "s", "t", solver=solver) == 2
+
+    def test_dense_layered(self, solver):
+        net = layered_network([5, 6, 5], seed=3, max_capacity=7)
+        reference = max_flow_value(net, "s", "t", solver="dinic")
+        assert max_flow_value(net, "s", "t", solver=solver) == reference
+
+    def test_zero_probability_structures_are_irrelevant(self, solver):
+        # failure probabilities never affect max flow
+        net = big_capacity_trap().with_failure_probabilities(
+            [0.9, 0.1, 0.5, 0.3, 0.7]
+        )
+        assert max_flow_value(net, "s", "t", solver=solver) == 20_000
+
+
+class TestLimitsOnStressShapes:
+    @pytest.mark.parametrize("solver", ("dinic", "edmonds_karp", "capacity_scaling"))
+    def test_limit_caps_work_on_trap(self, solver):
+        from repro.flow.base import max_flow
+
+        result = max_flow(big_capacity_trap(), "s", "t", limit=5, solver=solver)
+        assert result.value == 5
+        assert result.limited

@@ -1,0 +1,113 @@
+"""Unit tests for the named paper-graph builders."""
+
+import pytest
+
+from repro.graph.builders import (
+    diamond,
+    fujita_fig2_bridge,
+    fujita_fig4,
+    grid_network,
+    parallel_links,
+    series_chain,
+    two_paths,
+)
+from repro.graph.connectivity import bridges, has_directed_path
+from repro.flow.base import max_flow_value
+
+
+class TestDiamond:
+    def test_shape(self):
+        net = diamond()
+        assert net.num_nodes == 4
+        assert net.num_links == 4
+
+    def test_cross_link(self):
+        net = diamond(cross_link=True)
+        assert net.num_links == 5
+        assert net.link(4).endpoints == ("a", "b")
+
+    def test_max_flow(self):
+        assert max_flow_value(diamond(capacity=1), "s", "t") == 2
+
+
+class TestParallelLinks:
+    def test_count(self):
+        assert parallel_links(5).num_links == 5
+
+    def test_terminals_only(self):
+        assert parallel_links(3).num_nodes == 2
+
+    def test_max_flow_adds_up(self):
+        assert max_flow_value(parallel_links(4, capacity=2), "s", "t") == 8
+
+
+class TestSeriesChain:
+    def test_length(self):
+        net = series_chain(5)
+        assert net.num_links == 5
+        assert net.num_nodes == 6
+
+    def test_all_links_are_bridges(self):
+        assert bridges(series_chain(4)) == [0, 1, 2, 3]
+
+    def test_length_one(self):
+        net = series_chain(1)
+        assert has_directed_path(net, "s", "t")
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            series_chain(0)
+
+
+class TestTwoPaths:
+    def test_max_flow_is_sum(self):
+        net = two_paths(upper_capacity=2, lower_capacity=1)
+        assert max_flow_value(net, "s", "t") == 3
+
+
+class TestFig2Bridge:
+    def test_nine_links_bridge_last(self):
+        net = fujita_fig2_bridge()
+        assert net.num_links == 9
+        assert net.link(8).endpoints == ("x", "y")
+
+    def test_bridge_is_detected(self):
+        assert bridges(fujita_fig2_bridge()) == [8]
+
+    def test_admits_demand_two(self):
+        assert max_flow_value(fujita_fig2_bridge(), "s", "t") == 2
+
+    def test_custom_bridge_probability(self):
+        net = fujita_fig2_bridge(bridge_failure_probability=0.42)
+        assert net.link(8).failure_probability == pytest.approx(0.42)
+
+
+class TestFig4:
+    def test_nine_links(self):
+        assert fujita_fig4().num_links == 9
+
+    def test_bottlenecks_first(self):
+        net = fujita_fig4()
+        assert net.link(0).endpoints == ("x1", "y1")
+        assert net.link(1).endpoints == ("x2", "y2")
+        assert net.link(0).capacity == 2
+        assert net.link(1).capacity == 2
+
+    def test_admits_demand_two(self):
+        # the sink side tops out at 3 (e7 + e8 constrained by e9), so the
+        # graph admits the Example 3 demand of 2 with slack
+        assert max_flow_value(fujita_fig4(), "s", "t") == 3
+
+
+class TestGrid:
+    def test_shape(self):
+        net = grid_network(2, 3)
+        # 2 source feeders + 2 sink drains + horizontal 2*2 + vertical 1*3
+        assert net.num_links == 2 + 2 + 4 + 3
+
+    def test_max_flow_bounded_by_rows(self):
+        assert max_flow_value(grid_network(2, 3), "s", "t") == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            grid_network(0, 3)

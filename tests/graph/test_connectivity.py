@@ -1,0 +1,172 @@
+"""Unit tests for repro.graph.connectivity."""
+
+import pytest
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.builders import diamond, series_chain
+from repro.graph.connectivity import (
+    articulation_points,
+    bridges,
+    component_of,
+    connected_components,
+    directed_reachable_from,
+    has_directed_path,
+    has_path,
+    is_connected,
+    reachable_from,
+)
+from repro.graph.network import FlowNetwork
+
+
+def two_islands():
+    net = FlowNetwork()
+    net.add_link("a", "b", 1)
+    net.add_link("c", "d", 1)
+    return net
+
+
+class TestComponents:
+    def test_single_component(self):
+        assert len(connected_components(diamond())) == 1
+
+    def test_two_components(self):
+        comps = connected_components(two_islands())
+        assert sorted(sorted(c) for c in comps) == [["a", "b"], ["c", "d"]]
+
+    def test_isolated_node_is_own_component(self):
+        net = FlowNetwork()
+        net.add_node("lonely")
+        net.add_link("a", "b", 1)
+        comps = connected_components(net)
+        assert {"lonely"} in comps
+
+    def test_alive_filter_splits(self):
+        net = series_chain(3)  # s - v1 - v2 - t
+        comps = connected_components(net, alive=[0, 2])
+        assert len(comps) == 2
+
+    def test_direction_ignored(self):
+        net = FlowNetwork()
+        net.add_link("a", "b", 1)
+        net.add_link("c", "b", 1)  # points into b
+        assert len(connected_components(net)) == 1
+
+    def test_component_of(self):
+        net = two_islands()
+        assert component_of(net, "a") == {"a", "b"}
+
+    def test_component_of_unknown_node(self):
+        with pytest.raises(NodeNotFoundError):
+            component_of(two_islands(), "zz")
+
+    def test_empty_network_is_connected(self):
+        assert is_connected(FlowNetwork())
+
+    def test_is_connected_false(self):
+        assert not is_connected(two_islands())
+
+
+class TestReachability:
+    def test_undirected_reachability_ignores_direction(self):
+        net = FlowNetwork()
+        net.add_link("b", "a", 1)
+        assert reachable_from(net, "a") == {"a", "b"}
+
+    def test_directed_reachability_respects_direction(self):
+        net = FlowNetwork()
+        net.add_link("b", "a", 1)
+        assert directed_reachable_from(net, "a") == {"a"}
+        assert directed_reachable_from(net, "b") == {"a", "b"}
+
+    def test_directed_traverses_undirected_links(self):
+        net = FlowNetwork()
+        net.add_link("b", "a", 1, directed=False)
+        assert directed_reachable_from(net, "a") == {"a", "b"}
+
+    def test_has_path(self):
+        net = series_chain(3)
+        assert has_path(net, "s", "t")
+        assert not has_path(net, "s", "t", alive=[0, 1])
+
+    def test_has_directed_path(self):
+        net = FlowNetwork()
+        net.add_link("t", "s", 1)
+        assert not has_directed_path(net, "s", "t")
+        assert has_path(net, "s", "t")
+
+    def test_alive_filter_on_directed(self):
+        net = FlowNetwork()
+        net.add_link("s", "m", 1)
+        net.add_link("m", "t", 1)
+        assert has_directed_path(net, "s", "t", alive=[0, 1])
+        assert not has_directed_path(net, "s", "t", alive=[0])
+
+    def test_unknown_target_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            has_path(series_chain(2), "s", "zzz")
+
+
+class TestBridges:
+    def test_chain_all_bridges(self):
+        net = series_chain(4)
+        assert bridges(net) == [0, 1, 2, 3]
+
+    def test_diamond_has_no_bridges(self):
+        assert bridges(diamond()) == []
+
+    def test_parallel_pair_not_bridge(self):
+        net = FlowNetwork()
+        net.add_link("a", "b", 1)
+        net.add_link("a", "b", 1)
+        assert bridges(net) == []
+
+    def test_bridge_between_cycles(self):
+        net = FlowNetwork()
+        # triangle a-b-c, bridge c-d, triangle d-e-f
+        net.add_link("a", "b", 1)
+        net.add_link("b", "c", 1)
+        net.add_link("c", "a", 1)
+        bridge = net.add_link("c", "d", 1)
+        net.add_link("d", "e", 1)
+        net.add_link("e", "f", 1)
+        net.add_link("f", "d", 1)
+        assert bridges(net) == [bridge]
+
+    def test_bridges_respect_alive_filter(self):
+        net = FlowNetwork()
+        net.add_link("a", "b", 1)
+        net.add_link("a", "b", 1)
+        # killing one parallel link makes the survivor a bridge
+        assert bridges(net, alive=[0]) == [0]
+
+    def test_disconnected_graph(self):
+        net = two_islands()
+        assert bridges(net) == [0, 1]
+
+    def test_direction_irrelevant(self):
+        net = FlowNetwork()
+        net.add_link("b", "a", 1)
+        net.add_link("b", "c", 1)
+        assert bridges(net) == [0, 1]
+
+
+class TestArticulationPoints:
+    def test_chain_internal_nodes(self):
+        net = series_chain(3)
+        assert articulation_points(net) == {"v1", "v2"}
+
+    def test_diamond_none(self):
+        assert articulation_points(diamond()) == set()
+
+    def test_shared_hub(self):
+        net = FlowNetwork()
+        net.add_link("a", "hub", 1)
+        net.add_link("hub", "b", 1)
+        net.add_link("a", "hub", 1)  # parallel does not protect the hub
+        assert articulation_points(net) == {"hub"}
+
+    def test_two_triangles_sharing_a_node(self):
+        net = FlowNetwork()
+        for u, v in [("a", "b"), ("b", "c"), ("c", "a"), ("c", "d"), ("d", "e"), ("e", "c")]:
+            net.add_link(u, v, 1)
+        assert articulation_points(net) == {"c"}

@@ -1,0 +1,153 @@
+"""Unit tests for the random network generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.flow.base import max_flow_value
+from repro.graph.connectivity import is_connected
+from repro.graph.generators import (
+    as_rng,
+    bottlenecked_network,
+    chained_network,
+    layered_network,
+    random_network,
+)
+from repro.graph.cuts import is_disconnecting
+
+
+class TestAsRng:
+    def test_int_seed(self):
+        assert isinstance(as_rng(7), np.random.Generator)
+
+    def test_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert as_rng(gen) is gen
+
+    def test_determinism(self):
+        assert as_rng(3).integers(1000) == as_rng(3).integers(1000)
+
+
+class TestRandomNetwork:
+    def test_connected(self):
+        for seed in range(5):
+            assert is_connected(random_network(6, 10, seed=seed))
+
+    def test_link_count(self):
+        assert random_network(5, 9, seed=1).num_links == 9
+
+    def test_reproducible(self):
+        a = random_network(6, 10, seed=42)
+        b = random_network(6, 10, seed=42)
+        assert [l.endpoints for l in a.links()] == [l.endpoints for l in b.links()]
+        assert a.failure_probabilities() == b.failure_probabilities()
+
+    def test_different_seeds_differ(self):
+        a = random_network(6, 10, seed=1)
+        b = random_network(6, 10, seed=2)
+        assert a.failure_probabilities() != b.failure_probabilities()
+
+    def test_too_few_links_rejected(self):
+        with pytest.raises(ValidationError):
+            random_network(6, 2, seed=0)
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ValidationError):
+            random_network(1, 2)
+
+    def test_probability_range_respected(self):
+        net = random_network(6, 12, seed=3, p_range=(0.2, 0.25))
+        for p in net.failure_probabilities():
+            assert 0.2 <= p <= 0.25
+
+    def test_capacity_cap_respected(self):
+        net = random_network(6, 12, seed=3, max_capacity=2)
+        assert all(1 <= c <= 2 for c in net.capacities())
+
+
+class TestBottleneckedNetwork:
+    def test_bottlenecks_are_first_indices(self):
+        net = bottlenecked_network(
+            source_side_links=6, sink_side_links=5, num_bottlenecks=3, demand=2, seed=0
+        )
+        for i in range(3):
+            link = net.link(i)
+            assert link.tail == f"x{i}" and link.head == f"y{i}"
+
+    def test_bottlenecks_disconnect(self):
+        net = bottlenecked_network(
+            source_side_links=6, sink_side_links=5, num_bottlenecks=2, seed=1
+        )
+        assert is_disconnecting(net, "s", "t", [0, 1])
+
+    def test_all_alive_feasible(self):
+        for seed in range(4):
+            net = bottlenecked_network(
+                source_side_links=6, sink_side_links=6, num_bottlenecks=2, demand=2, seed=seed
+            )
+            assert max_flow_value(net, "s", "t") >= 2
+
+    def test_link_budgets(self):
+        net = bottlenecked_network(
+            source_side_links=7, sink_side_links=5, num_bottlenecks=2, seed=2
+        )
+        assert net.num_links == 7 + 5 + 2
+
+    def test_rejects_tiny_budget(self):
+        with pytest.raises(ValidationError):
+            bottlenecked_network(
+                source_side_links=1, sink_side_links=5, num_bottlenecks=3, seed=0
+            )
+
+    def test_rejects_zero_bottlenecks(self):
+        with pytest.raises(ValidationError):
+            bottlenecked_network(
+                source_side_links=4, sink_side_links=4, num_bottlenecks=0
+            )
+
+
+class TestChainedNetwork:
+    def test_cut_indices_recorded(self):
+        net = chained_network([4, 5, 4], cut_sizes=2, demand=1, seed=0)
+        cuts = net._chain_cut_indices
+        assert len(cuts) == 2
+        assert all(len(c) == 2 for c in cuts)
+
+    def test_each_cut_disconnects(self):
+        net = chained_network([4, 4, 4], cut_sizes=2, demand=1, seed=1)
+        for cut in net._chain_cut_indices:
+            assert is_disconnecting(net, "s", "t", cut)
+
+    def test_all_alive_feasible(self):
+        net = chained_network([4, 5, 4], cut_sizes=2, demand=2, seed=3)
+        assert max_flow_value(net, "s", "t") >= 2
+
+    def test_needs_two_segments(self):
+        with pytest.raises(ValidationError):
+            chained_network([4], cut_sizes=1)
+
+    def test_cut_size_list_length_checked(self):
+        with pytest.raises(ValidationError):
+            chained_network([4, 4, 4], cut_sizes=[1])
+
+    def test_budget_too_small_rejected(self):
+        with pytest.raises(ValidationError):
+            chained_network([0, 4], cut_sizes=2, seed=0)
+
+
+class TestLayeredNetwork:
+    def test_st_flow_positive(self):
+        net = layered_network([3, 3], seed=0)
+        assert max_flow_value(net, "s", "t") >= 1
+
+    def test_connected(self):
+        assert is_connected(layered_network([2, 4, 2], seed=5))
+
+    def test_density_one_is_complete_bipartite(self):
+        net = layered_network([2, 3], seed=0, density=1.0)
+        # s->2 + 2*3 + 3->t
+        assert net.num_links == 2 + 6 + 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            layered_network([])

@@ -1,0 +1,67 @@
+"""Unit tests for repro.graph.io."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graph.builders import diamond, fujita_fig4, grid_network
+from repro.graph.io import dumps, from_dict, load, loads, save, to_dict
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        net = fujita_fig4()
+        clone = from_dict(to_dict(net))
+        assert clone.num_nodes == net.num_nodes
+        assert clone.num_links == net.num_links
+        for a, b in zip(net.links(), clone.links()):
+            assert a.endpoints == b.endpoints
+            assert a.capacity == b.capacity
+            assert a.failure_probability == pytest.approx(b.failure_probability)
+            assert a.directed == b.directed
+
+    def test_json_round_trip(self):
+        net = diamond(cross_link=True)
+        clone = loads(dumps(net))
+        assert [l.endpoints for l in clone.links()] == [l.endpoints for l in net.links()]
+
+    def test_tuple_nodes_round_trip(self):
+        net = grid_network(2, 2)
+        clone = loads(dumps(net))
+        assert set(clone.nodes()) == set(net.nodes())
+
+    def test_name_preserved(self):
+        assert from_dict(to_dict(diamond())).name == "diamond"
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "net.json"
+        net = fujita_fig4()
+        save(net, path)
+        clone = load(path)
+        assert clone.num_links == net.num_links
+
+    def test_undirected_flag_round_trip(self):
+        from repro.graph.network import FlowNetwork
+
+        net = FlowNetwork()
+        net.add_link("a", "b", 1, 0.1, directed=False)
+        clone = from_dict(to_dict(net))
+        assert clone.link(0).directed is False
+
+
+class TestErrors:
+    def test_missing_links_key(self):
+        with pytest.raises(ValidationError):
+            from_dict({"nodes": []})
+
+    def test_link_missing_fields(self):
+        with pytest.raises(ValidationError):
+            from_dict({"links": [{"tail": "a"}]})
+
+    def test_defaults_applied(self):
+        net = from_dict({"links": [{"tail": "a", "head": "b", "capacity": 2}]})
+        assert net.link(0).failure_probability == 0.0
+        assert net.link(0).directed is True
+
+    def test_isolated_nodes_preserved(self):
+        net = from_dict({"nodes": ["x"], "links": []})
+        assert net.has_node("x")

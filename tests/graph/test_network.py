@@ -1,0 +1,203 @@
+"""Unit tests for repro.graph.network."""
+
+import pytest
+
+from repro.exceptions import LinkNotFoundError, NodeNotFoundError, ValidationError
+from repro.graph.network import FlowNetwork, Link
+
+
+class TestLink:
+    def test_availability_complements_failure(self):
+        link = Link(0, "a", "b", 3, 0.25)
+        assert link.availability == pytest.approx(0.75)
+
+    def test_endpoints(self):
+        link = Link(0, "a", "b", 1, 0.0)
+        assert link.endpoints == ("a", "b")
+
+    def test_other_endpoint(self):
+        link = Link(0, "a", "b", 1, 0.0)
+        assert link.other_endpoint("a") == "b"
+        assert link.other_endpoint("b") == "a"
+
+    def test_other_endpoint_rejects_stranger(self):
+        link = Link(0, "a", "b", 1, 0.0)
+        with pytest.raises(ValueError):
+            link.other_endpoint("c")
+
+    def test_other_endpoint_self_loop(self):
+        link = Link(0, "a", "a", 1, 0.0)
+        assert link.other_endpoint("a") == "a"
+
+    def test_reversed_swaps_endpoints(self):
+        link = Link(3, "a", "b", 2, 0.1)
+        rev = link.reversed()
+        assert (rev.tail, rev.head) == ("b", "a")
+        assert rev.index == 3 and rev.capacity == 2
+
+
+class TestFlowNetworkConstruction:
+    def test_empty(self):
+        net = FlowNetwork()
+        assert net.num_nodes == 0
+        assert net.num_links == 0
+
+    def test_add_node_idempotent(self):
+        net = FlowNetwork()
+        net.add_node("a")
+        net.add_node("a")
+        assert net.num_nodes == 1
+
+    def test_add_link_creates_endpoints(self):
+        net = FlowNetwork()
+        index = net.add_link("u", "v", 2, 0.1)
+        assert index == 0
+        assert net.has_node("u") and net.has_node("v")
+
+    def test_link_indices_sequential(self):
+        net = FlowNetwork()
+        assert net.add_link("a", "b", 1) == 0
+        assert net.add_link("b", "c", 1) == 1
+        assert net.add_link("a", "c", 1) == 2
+
+    def test_parallel_links_allowed(self):
+        net = FlowNetwork()
+        net.add_link("a", "b", 1)
+        net.add_link("a", "b", 2)
+        assert net.num_links == 2
+
+    def test_negative_capacity_rejected(self):
+        net = FlowNetwork()
+        with pytest.raises(ValidationError):
+            net.add_link("a", "b", -1)
+
+    def test_fractional_capacity_rejected(self):
+        net = FlowNetwork()
+        with pytest.raises(ValidationError):
+            net.add_link("a", "b", 1.5)
+
+    def test_probability_one_rejected(self):
+        net = FlowNetwork()
+        with pytest.raises(ValidationError):
+            net.add_link("a", "b", 1, 1.0)
+
+    def test_negative_probability_rejected(self):
+        net = FlowNetwork()
+        with pytest.raises(ValidationError):
+            net.add_link("a", "b", 1, -0.1)
+
+    def test_node_ordering_is_insertion_order(self):
+        net = FlowNetwork()
+        net.add_link("z", "a", 1)
+        net.add_link("m", "z", 1)
+        assert net.nodes() == ["z", "a", "m"]
+
+    def test_add_nodes_bulk(self):
+        net = FlowNetwork()
+        net.add_nodes(["a", "b", "c"])
+        assert net.num_nodes == 3
+
+
+class TestFlowNetworkAccess:
+    @pytest.fixture
+    def net(self):
+        net = FlowNetwork(name="fixture")
+        net.add_link("s", "a", 2, 0.1)
+        net.add_link("a", "t", 3, 0.2)
+        net.add_link("s", "t", 1, 0.3, directed=False)
+        return net
+
+    def test_link_lookup(self, net):
+        assert net.link(1).capacity == 3
+
+    def test_link_lookup_missing(self, net):
+        with pytest.raises(LinkNotFoundError):
+            net.link(99)
+
+    def test_contains(self, net):
+        assert "s" in net
+        assert "x" not in net
+
+    def test_iteration_yields_nodes(self, net):
+        assert set(net) == {"s", "a", "t"}
+
+    def test_out_links_directed(self, net):
+        assert [l.index for l in net.out_links("a")] == [1]
+
+    def test_out_links_undirected_both_sides(self, net):
+        # the undirected s-t link is usable leaving t as well
+        assert 2 in [l.index for l in net.out_links("t")]
+
+    def test_in_links(self, net):
+        assert [l.index for l in net.in_links("t")] == [1, 2]
+
+    def test_incident_links_deduplicated(self, net):
+        incident = net.incident_links("s")
+        assert sorted(l.index for l in incident) == [0, 2]
+
+    def test_neighbors(self, net):
+        assert set(net.neighbors("s")) == {"a", "t"}
+
+    def test_degree(self, net):
+        assert net.degree("s") == 2
+
+    def test_unknown_node_raises(self, net):
+        with pytest.raises(NodeNotFoundError):
+            net.out_links("nope")
+
+    def test_capacities_order(self, net):
+        assert net.capacities() == [2, 3, 1]
+
+    def test_failure_probabilities_order(self, net):
+        assert net.failure_probabilities() == pytest.approx([0.1, 0.2, 0.3])
+
+    def test_total_capacity_all(self, net):
+        assert net.total_capacity() == 6
+
+    def test_total_capacity_subset(self, net):
+        assert net.total_capacity([0, 2]) == 3
+
+
+class TestFlowNetworkCopies:
+    def test_copy_preserves_structure(self):
+        net = FlowNetwork()
+        net.add_link("a", "b", 2, 0.1, directed=False)
+        clone = net.copy()
+        assert clone.num_links == 1
+        assert clone.link(0).directed is False
+        assert clone.link(0).failure_probability == pytest.approx(0.1)
+
+    def test_copy_is_independent(self):
+        net = FlowNetwork()
+        net.add_link("a", "b", 2, 0.1)
+        clone = net.copy()
+        clone.add_link("b", "c", 1)
+        assert net.num_links == 1
+
+    def test_with_failure_probabilities_mapping(self):
+        net = FlowNetwork()
+        net.add_link("a", "b", 2, 0.1)
+        net.add_link("b", "c", 2, 0.2)
+        out = net.with_failure_probabilities({1: 0.5})
+        assert out.link(0).failure_probability == pytest.approx(0.1)
+        assert out.link(1).failure_probability == pytest.approx(0.5)
+
+    def test_with_failure_probabilities_sequence(self):
+        net = FlowNetwork()
+        net.add_link("a", "b", 2, 0.1)
+        net.add_link("b", "c", 2, 0.2)
+        out = net.with_failure_probabilities([0.3, 0.4])
+        assert out.failure_probabilities() == pytest.approx([0.3, 0.4])
+
+    def test_with_failure_probabilities_wrong_length(self):
+        net = FlowNetwork()
+        net.add_link("a", "b", 2, 0.1)
+        with pytest.raises(ValidationError):
+            net.with_failure_probabilities([0.1, 0.2])
+
+    def test_describe_mentions_every_link(self):
+        net = FlowNetwork(name="x")
+        net.add_link("a", "b", 2, 0.1)
+        net.add_link("b", "c", 1, 0.2)
+        text = net.describe()
+        assert "e0" in text and "e1" in text

@@ -1,0 +1,119 @@
+"""Unit tests for the node-splitting transformation."""
+
+import pytest
+
+from repro.core.api import compute_reliability
+from repro.core.demand import FlowDemand
+from repro.core.naive import naive_reliability
+from repro.exceptions import ValidationError
+from repro.flow.base import max_flow_value
+from repro.graph.builders import diamond, series_chain
+from repro.graph.network import FlowNetwork
+from repro.graph.nodesplit import split_nodes
+
+
+class TestSplitNodes:
+    def test_identity_without_failures(self):
+        net = diamond()
+        split = split_nodes(net, {})
+        assert split.network.num_links == net.num_links
+        assert split.node_link == {}
+        assert split.entry["s"] == "s"
+
+    def test_structure_of_split(self):
+        net = series_chain(2, capacity=3)
+        split = split_nodes(net, {"v1": 0.2})
+        # one internal link + the two original links
+        assert split.network.num_links == 3
+        internal = split.network.link(split.node_link["v1"])
+        assert internal.tail == ("v1", "in")
+        assert internal.head == ("v1", "out")
+        assert internal.failure_probability == pytest.approx(0.2)
+
+    def test_max_flow_preserved_when_all_alive(self):
+        net = diamond(capacity=2)
+        split = split_nodes(net, {"a": 0.1, "b": 0.1})
+        assert max_flow_value(split.network, "s", "t") == max_flow_value(net, "s", "t")
+
+    def test_internal_capacity_default_not_a_bottleneck(self):
+        net = FlowNetwork()
+        net.add_link("s", "m", 5, 0.0)
+        net.add_link("m", "t", 5, 0.0)
+        split = split_nodes(net, {"m": 0.3})
+        assert max_flow_value(split.network, "s", "t") == 5
+
+    def test_internal_capacity_override(self):
+        net = series_chain(2, capacity=5)
+        split = split_nodes(net, {"v1": 0.1}, internal_capacity=2)
+        assert max_flow_value(split.network, "s", "t") == 2
+
+    def test_original_link_map(self):
+        net = series_chain(2)
+        split = split_nodes(net, {"v1": 0.1})
+        originals = sorted(split.original_link_map.values())
+        assert originals == [0, 1]
+        assert split.node_link["v1"] not in split.original_link_map
+
+    def test_relay_failure_probability_exact(self):
+        """One fallible relay: reliability = its availability."""
+        net = series_chain(2, capacity=1, failure_probability=0.0)
+        split = split_nodes(net, {"v1": 0.25})
+        demand = FlowDemand("s", "t", 1)
+        value = naive_reliability(split.network, demand).value
+        assert value == pytest.approx(0.75)
+
+    def test_combined_node_and_link_failures(self):
+        """Links keep their own probabilities; all independent."""
+        net = series_chain(2, capacity=1, failure_probability=0.1)
+        split = split_nodes(net, {"v1": 0.2})
+        value = naive_reliability(split.network, FlowDemand("s", "t", 1)).value
+        assert value == pytest.approx(0.9 * 0.8 * 0.9)
+
+    def test_parallel_relays(self):
+        """Two fallible relays in parallel: 1 - (1 - a)^2 with a = 0.8."""
+        net = FlowNetwork()
+        net.add_link("s", "u", 1, 0.0)
+        net.add_link("u", "t", 1, 0.0)
+        net.add_link("s", "v", 1, 0.0)
+        net.add_link("v", "t", 1, 0.0)
+        split = split_nodes(net, {"u": 0.2, "v": 0.2})
+        value = naive_reliability(split.network, FlowDemand("s", "t", 1)).value
+        assert value == pytest.approx(1 - (1 - 0.8) ** 2)
+
+    def test_terminal_failure_counts(self):
+        net = series_chain(1, capacity=1, failure_probability=0.0)
+        split = split_nodes(net, {"t": 0.3})
+        demand = FlowDemand("s", split.entry["t"], 1)
+        # reaching t's entry does not require t's internal link
+        assert naive_reliability(split.network, demand).value == pytest.approx(1.0)
+        demand_through = FlowDemand("s", split.exit["t"], 1)
+        assert naive_reliability(split.network, demand_through).value == pytest.approx(0.7)
+
+    def test_undirected_rejected(self):
+        net = FlowNetwork()
+        net.add_link("s", "t", 1, 0.1, directed=False)
+        with pytest.raises(ValidationError):
+            split_nodes(net, {"s": 0.1})
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ValidationError):
+            split_nodes(diamond(), {"zzz": 0.1})
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValidationError):
+            split_nodes(diamond(), {"a": 1.0})
+
+    def test_terminal_helper(self):
+        split = split_nodes(series_chain(2), {"v1": 0.1})
+        assert split.terminal("s", role="source") == "s"
+        assert split.terminal("v1", role="source") == ("v1", "out")
+        assert split.terminal("v1", role="sink") == ("v1", "in")
+        with pytest.raises(ValidationError):
+            split.terminal("s", role="middle")
+
+    def test_compute_reliability_integration(self):
+        net = diamond(capacity=1, failure_probability=0.0)
+        split = split_nodes(net, {"a": 0.1, "b": 0.1})
+        result = compute_reliability(split.network, "s", "t", 1)
+        # two disjoint relays with availability 0.9
+        assert result.value == pytest.approx(1 - 0.01)

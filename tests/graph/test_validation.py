@@ -1,0 +1,62 @@
+"""Unit tests for repro.graph.validation."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graph.builders import diamond
+from repro.graph.network import FlowNetwork
+from repro.graph.validation import validate_network, validate_terminals
+
+
+class TestValidateNetwork:
+    def test_clean_network(self):
+        assert validate_network(diamond()) == []
+
+    def test_self_loop_flagged(self):
+        net = FlowNetwork()
+        net.add_link("a", "a", 1)
+        problems = validate_network(net)
+        assert any("self-loop" in p for p in problems)
+
+    def test_zero_capacity_flagged(self):
+        net = FlowNetwork()
+        net.add_link("a", "b", 0)
+        problems = validate_network(net)
+        assert any("zero capacity" in p for p in problems)
+
+    def test_strict_raises(self):
+        net = FlowNetwork()
+        net.add_link("a", "a", 1)
+        with pytest.raises(ValidationError):
+            validate_network(net, strict=True)
+
+    def test_multiple_problems_collected(self):
+        net = FlowNetwork()
+        net.add_link("a", "a", 0)
+        assert len(validate_network(net)) == 2
+
+
+class TestValidateTerminals:
+    def test_ok(self):
+        validate_terminals(diamond(), "s", "t")
+
+    def test_missing_source(self):
+        with pytest.raises(ValidationError):
+            validate_terminals(diamond(), "nope", "t")
+
+    def test_missing_sink(self):
+        with pytest.raises(ValidationError):
+            validate_terminals(diamond(), "s", "nope")
+
+    def test_equal_terminals(self):
+        with pytest.raises(ValidationError):
+            validate_terminals(diamond(), "s", "s")
+
+    def test_require_path(self):
+        net = FlowNetwork()
+        net.add_link("t", "s", 1)  # only wrong-direction connectivity
+        with pytest.raises(ValidationError):
+            validate_terminals(net, "s", "t", require_path=True)
+
+    def test_require_path_ok(self):
+        validate_terminals(diamond(), "s", "t", require_path=True)

@@ -1,0 +1,140 @@
+"""Cross-cutting scenarios that exercise less-travelled combinations:
+integer node labels, undirected cut links, endpoint churn, auto-dispatch
+boundaries and k = 3 bottlenecks."""
+
+import pytest
+
+from repro.core.api import compute_reliability
+from repro.core.bottleneck import bottleneck_reliability
+from repro.core.demand import FlowDemand
+from repro.core.naive import naive_reliability
+from repro.graph.builders import parallel_links
+from repro.graph.cuts import find_bottleneck
+from repro.graph.generators import bottlenecked_network
+from repro.graph.io import from_dict, to_dict
+from repro.graph.network import FlowNetwork
+from repro.p2p.churn import EndpointChurnModel
+from repro.p2p.peer import MEDIA_SERVER, make_peers
+from repro.p2p.overlay import to_flow_network
+from repro.p2p.scenario import run_scenario
+from repro.p2p.trees import multi_tree
+
+
+class TestIntegerNodeLabels:
+    def build(self):
+        net = FlowNetwork()
+        net.add_link(0, 1, 2, 0.1)
+        net.add_link(1, 2, 2, 0.1)
+        net.add_link(0, 3, 1, 0.2)
+        net.add_link(3, 2, 1, 0.2)
+        return net
+
+    def test_compute(self):
+        result = compute_reliability(self.build(), 0, 2, 1)
+        assert 0 < result.value < 1
+
+    def test_json_round_trip_preserves_reliability(self):
+        net = self.build()
+        clone = from_dict(to_dict(net))
+        a = naive_reliability(net, FlowDemand(0, 2, 1)).value
+        b = naive_reliability(clone, FlowDemand(0, 2, 1)).value
+        assert a == pytest.approx(b, abs=1e-12)
+
+
+class TestUndirectedCutLinks:
+    def test_undirected_bridge_matches_naive(self):
+        """An undirected bridge between well-behaved sides stays exact
+        (back-routing can never help through a single bridge)."""
+        net = FlowNetwork()
+        net.add_link("s", "a", 1, 0.1)
+        net.add_link("s", "b", 1, 0.1)
+        net.add_link("a", "x", 1, 0.1)
+        net.add_link("b", "x", 1, 0.1)
+        net.add_link("x", "y", 2, 0.05, directed=False)  # undirected bridge
+        net.add_link("y", "c", 1, 0.1)
+        net.add_link("y", "d", 1, 0.1)
+        net.add_link("c", "t", 1, 0.1)
+        net.add_link("d", "t", 1, 0.1)
+        demand = FlowDemand("s", "t", 2)
+        expected = naive_reliability(net, demand).value
+        value = bottleneck_reliability(net, demand, cut=[4]).value
+        assert value == pytest.approx(expected, abs=1e-12)
+
+    def test_undirected_pair_cut_matches_naive(self):
+        net = FlowNetwork()
+        net.add_link("x1", "y1", 1, 0.1, directed=False)  # 0: cut
+        net.add_link("x2", "y2", 1, 0.1, directed=False)  # 1: cut
+        net.add_link("s", "x1", 1, 0.1)
+        net.add_link("s", "x2", 1, 0.1)
+        net.add_link("y1", "t", 1, 0.1)
+        net.add_link("y2", "t", 1, 0.1)
+        demand = FlowDemand("s", "t", 2)
+        expected = naive_reliability(net, demand).value
+        value = bottleneck_reliability(net, demand, cut=[0, 1]).value
+        assert value == pytest.approx(expected, abs=1e-12)
+
+
+class TestThreeBottlenecks:
+    @pytest.mark.parametrize("rate", [1, 2, 3])
+    def test_k3_matches_naive(self, rate):
+        net = bottlenecked_network(
+            source_side_links=5, sink_side_links=5, num_bottlenecks=3, demand=3, seed=21
+        )
+        demand = FlowDemand("s", "t", rate)
+        expected = naive_reliability(net, demand).value
+        value = bottleneck_reliability(net, demand, cut=[0, 1, 2]).value
+        assert value == pytest.approx(expected, abs=1e-10)
+
+    def test_discovery_respects_max_size(self):
+        net = bottlenecked_network(
+            source_side_links=5, sink_side_links=5, num_bottlenecks=3, demand=2, seed=21
+        )
+        assert find_bottleneck(net, "s", "t", max_size=2) is None or (
+            len(find_bottleneck(net, "s", "t", max_size=2).cut) <= 2
+        )
+        split = find_bottleneck(net, "s", "t", max_size=3)
+        assert split is not None
+        assert len(split.cut) <= 3
+
+
+class TestAutoDispatchBoundaries:
+    def test_tiny_cutless_network_uses_naive(self):
+        result = compute_reliability(parallel_links(4, 1, 0.1), "s", "t", 2)
+        assert result.method == "naive"
+
+    def test_auto_is_exact_regardless_of_route(self):
+        for seed in range(3):
+            net = bottlenecked_network(
+                source_side_links=5, sink_side_links=4, num_bottlenecks=2, demand=2, seed=seed
+            )
+            demand = FlowDemand("s", "t", 2)
+            auto = compute_reliability(net, demand=demand).value
+            reference = naive_reliability(net, demand).value
+            assert auto == pytest.approx(reference, abs=1e-10)
+
+
+class TestEndpointChurnScenario:
+    def test_endpoint_model_is_more_pessimistic(self):
+        peers = make_peers(6, mean_session=300, mean_offline=100, upload_capacity=8)
+        overlay = multi_tree(peers, num_stripes=2)
+        demand = FlowDemand(MEDIA_SERVER, "p5", 2)
+        child_net = to_flow_network(overlay, EndpointChurnModel())
+        from repro.p2p.churn import ChildChurnModel
+
+        child = compute_reliability(
+            to_flow_network(overlay, ChildChurnModel()), demand=demand
+        ).value
+        endpoint = compute_reliability(child_net, demand=demand).value
+        assert endpoint <= child + 1e-12
+
+    def test_scenario_with_custom_churn(self):
+        result = run_scenario(
+            "multi-tree",
+            num_peers=6,
+            num_stripes=2,
+            churn=EndpointChurnModel(),
+            seed=0,
+            num_samples=500,
+            peer_level_trials=None,
+        )
+        assert 0 <= result.exact_reliability <= 1

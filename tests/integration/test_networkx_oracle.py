@@ -1,0 +1,133 @@
+"""Integration: structural graph algorithms vs networkx oracles.
+
+networkx never appears in library code; here it independently verifies
+bridges, connectivity, minimum cuts and simple-path enumeration on
+randomized instances.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.core.paths import minimal_paths
+from repro.exceptions import IntractableError
+from repro.flow.base import max_flow
+from repro.flow.mincut import min_cut_capacity
+from repro.graph.connectivity import bridges, connected_components, is_connected
+from repro.graph.cuts import minimum_cardinality_cut
+from repro.graph.generators import random_network
+from repro.graph.network import FlowNetwork
+from tests.conftest import random_small_network
+
+
+def to_multigraph(net: FlowNetwork) -> nx.MultiGraph:
+    g = nx.MultiGraph()
+    g.add_nodes_from(net.nodes())
+    for link in net.links():
+        if link.tail != link.head:
+            g.add_edge(link.tail, link.head, index=link.index)
+    return g
+
+
+def to_digraph(net: FlowNetwork) -> nx.DiGraph:
+    g = nx.DiGraph()
+    g.add_nodes_from(net.nodes())
+    for link in net.links():
+        if link.tail == link.head:
+            continue
+        pairs = [(link.tail, link.head)]
+        if not link.directed:
+            pairs.append((link.head, link.tail))
+        for u, v in pairs:
+            if g.has_edge(u, v):
+                g[u][v]["capacity"] += link.capacity
+            else:
+                g.add_edge(u, v, capacity=link.capacity)
+    return g
+
+
+class TestConnectivityOracles:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_components_match(self, seed):
+        net = random_small_network(seed)
+        ours = {frozenset(map(str, c)) for c in connected_components(net)}
+        theirs = {
+            frozenset(map(str, c)) for c in nx.connected_components(to_multigraph(net))
+        }
+        assert ours == theirs
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_is_connected_matches(self, seed):
+        net = random_small_network(seed)
+        assert is_connected(net) == nx.is_connected(to_multigraph(net))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_bridges_match(self, seed):
+        net = random_small_network(seed)
+        g = to_multigraph(net)
+        # networkx bridges() works on simple graphs; identify multigraph
+        # bridge *edges* by endpoint pair with multiplicity 1.
+        simple = nx.Graph(g)
+        nx_bridge_pairs = set(map(frozenset, nx.bridges(simple)))
+        our_pairs = set()
+        for index in bridges(net):
+            link = net.link(index)
+            our_pairs.add(frozenset((link.tail, link.head)))
+        # a pair detected by networkx with parallel links is not a bridge
+        expected = {
+            pair
+            for pair in nx_bridge_pairs
+            if g.number_of_edges(*tuple(pair)) == 1
+        }
+        assert our_pairs == expected
+
+
+class TestCutOracles:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_minimum_cardinality_cut_size(self, seed):
+        net = random_small_network(seed)
+        cut = minimum_cardinality_cut(net, "s", "t")
+        g = to_multigraph(net)
+        if not nx.has_path(g, "s", "t"):
+            assert cut is None
+            return
+        # networkx's minimum_edge_cut ignores multigraph multiplicity
+        # (parallel links must ALL be cut); the honest oracle is unit
+        # max-flow with capacity = multiplicity.
+        weighted = nx.Graph()
+        weighted.add_nodes_from(g.nodes())
+        for u, v in g.edges():
+            if weighted.has_edge(u, v):
+                weighted[u][v]["capacity"] += 1
+            else:
+                weighted.add_edge(u, v, capacity=1)
+        expected = nx.maximum_flow_value(weighted.to_directed(), "s", "t")
+        assert len(cut) == expected
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_max_flow_min_cut_duality_on_random(self, seed):
+        net = random_network(7, 13, seed=seed, max_capacity=4)
+        result = max_flow(net, "s", "t")
+        assert min_cut_capacity(net, result) == result.value
+        assert result.value == nx.maximum_flow_value(to_digraph(net), "s", "t")
+
+
+class TestPathOracles:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_simple_path_count_matches(self, seed):
+        net = random_small_network(seed)
+        try:
+            ours = minimal_paths(net, "s", "t", max_paths=200)
+        except IntractableError:
+            return
+        g = nx.MultiDiGraph()
+        g.add_nodes_from(net.nodes())
+        for link in net.links():
+            if link.tail == link.head:
+                continue
+            g.add_edge(link.tail, link.head, key=link.index)
+            if not link.directed:
+                g.add_edge(link.head, link.tail, key=link.index)
+        theirs = list(nx.all_simple_edge_paths(g, "s", "t"))
+        # networkx counts undirected links twice only when both
+        # orientations appear in distinct simple paths, as we do
+        assert len(ours) == len(theirs)

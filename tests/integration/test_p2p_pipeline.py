@@ -1,0 +1,132 @@
+"""Integration: the P2P pipeline against the exact algorithms.
+
+Key identity exercised here: for a *single tree* with the child-churn
+model, link failures coincide exactly with peer failures, so the exact
+flow reliability must equal the closed-form product of path-peer
+availabilities — and the peer-level (correlated) simulator must agree.
+"""
+
+import pytest
+
+from repro.core.api import compute_reliability
+from repro.core.demand import FlowDemand
+from repro.core.naive import naive_reliability
+from repro.flow.base import max_flow
+from repro.flow.decomposition import decompose
+from repro.p2p.churn import ChildChurnModel, StaticChurnModel
+from repro.p2p.overlay import to_flow_network
+from repro.p2p.peer import MEDIA_SERVER, make_peers
+from repro.p2p.simulation import StreamingSimulator, peer_level_reliability
+from repro.p2p.streaming import delivery_paths
+from repro.p2p.trees import multi_tree, single_tree
+
+
+class TestSingleTreeClosedForm:
+    def test_reliability_is_path_availability_product(self):
+        peers = make_peers(7, mean_session=300, mean_offline=100)  # avail 0.75
+        overlay = single_tree(peers, fanout=2, num_stripes=1)
+        net = to_flow_network(overlay, ChildChurnModel())
+        demand = FlowDemand(MEDIA_SERVER, "p6", 1)
+        exact = compute_reliability(net, demand=demand).value
+        path = delivery_paths(overlay, "p6")[0]
+        # every hop's failure = child peer offline (0.25); the path has
+        # len(edges) hops, and no other route exists
+        assert exact == pytest.approx(0.75 ** path.hops)
+
+    def test_peer_level_simulator_matches_closed_form(self):
+        # The link model charges the subscriber's own availability to its
+        # incoming link, so the comparable simulation requires the
+        # subscriber online too.
+        peers = make_peers(7, mean_session=300, mean_offline=100)
+        overlay = single_tree(peers, fanout=2, num_stripes=1)
+        simulated = peer_level_reliability(
+            overlay, "p6", 1, num_trials=20_000, seed=0, require_subscriber_online=True
+        )
+        path = delivery_paths(overlay, "p6")[0]
+        assert simulated == pytest.approx(0.75 ** path.hops, abs=0.02)
+
+    def test_relay_only_variant_matches_simulator_default(self):
+        # With the subscriber pinned online, only the relay peers matter.
+        peers = make_peers(7, mean_session=300, mean_offline=100)
+        overlay = single_tree(peers, fanout=2, num_stripes=1)
+        simulated = peer_level_reliability(overlay, "p6", 1, num_trials=20_000, seed=0)
+        path = delivery_paths(overlay, "p6")[0]
+        assert simulated == pytest.approx(0.75 ** len(path.relay_peers), abs=0.02)
+
+
+class TestMultiTreeCorrelationGap:
+    def test_independent_links_underestimate_single_tree_stack(self):
+        """Two stripes over the *same* tree: the independent-link model
+        squares every hop availability while the truth (peer level)
+        does not — the exact value must undershoot the simulator."""
+        peers = make_peers(6, mean_session=300, mean_offline=100)
+        overlay = single_tree(peers, fanout=2, num_stripes=2)
+        net = to_flow_network(overlay, ChildChurnModel())
+        demand = FlowDemand(MEDIA_SERVER, "p5", 2)
+        exact = compute_reliability(net, demand=demand).value
+        correlated = peer_level_reliability(overlay, "p5", 2, num_trials=20_000, seed=1)
+        assert exact < correlated - 0.01
+
+    def test_multi_tree_improves_on_single_tree(self):
+        peers = make_peers(8, mean_session=300, mean_offline=60)
+        demand_rate = 2
+        values = {}
+        for name, overlay in (
+            ("single", single_tree(peers, fanout=2, num_stripes=2)),
+            ("multi", multi_tree(peers, num_stripes=2)),
+        ):
+            net = to_flow_network(overlay, ChildChurnModel())
+            demand = FlowDemand(MEDIA_SERVER, "p7", demand_rate)
+            values[name] = compute_reliability(net, demand=demand).value
+        assert values["multi"] > values["single"]
+
+
+class TestSubStreamsOnOverlays:
+    def test_flow_decomposition_yields_stripe_paths(self):
+        peers = make_peers(8, upload_capacity=8)
+        overlay = multi_tree(peers, num_stripes=2)
+        net = to_flow_network(overlay, StaticChurnModel(0.1))
+        result = max_flow(net, MEDIA_SERVER, "p7", limit=2)
+        streams = decompose(net, result)
+        assert len(streams) == 2
+        for stream in streams:
+            assert stream.nodes[0] == MEDIA_SERVER
+            assert stream.nodes[-1] == "p7"
+
+
+class TestStreamingSimulatorConsistency:
+    def test_continuity_tracks_availability_scale(self):
+        """More churn => lower continuity, monotonically."""
+        values = []
+        for offline in (0.0001, 30.0, 120.0):
+            peers = make_peers(6, mean_session=120, mean_offline=offline)
+            overlay = single_tree(peers, fanout=2, num_stripes=1)
+            out = StreamingSimulator(overlay).run("p5", horizon=500, seed=2)
+            values.append(out.continuity_index)
+        assert values[0] > values[1] > values[2]
+
+    def test_multi_tree_continuity_beats_single_tree_under_churn(self):
+        peers = make_peers(8, mean_session=60, mean_offline=30, upload_capacity=8)
+        single = single_tree(peers, fanout=2, num_stripes=2)
+        multi = multi_tree(peers, num_stripes=2)
+        # average a few seeds to damp DES noise
+        def mean_continuity(overlay):
+            outs = [
+                StreamingSimulator(overlay).run("p7", horizon=400, seed=s).continuity_index
+                for s in range(4)
+            ]
+            return sum(outs) / len(outs)
+
+        assert mean_continuity(multi) >= mean_continuity(single) - 0.05
+
+
+class TestNaiveOnOverlayNetworks:
+    @pytest.mark.parametrize("stripes", [1, 2])
+    def test_auto_method_agrees_with_naive(self, stripes):
+        peers = make_peers(5, mean_session=300, mean_offline=60)
+        overlay = multi_tree(peers, num_stripes=stripes) if stripes > 1 else single_tree(peers)
+        net = to_flow_network(overlay, ChildChurnModel())
+        demand = FlowDemand(MEDIA_SERVER, "p4", stripes)
+        auto = compute_reliability(net, demand=demand).value
+        naive = naive_reliability(net, demand).value
+        assert auto == pytest.approx(naive, abs=1e-10)

@@ -1,0 +1,81 @@
+"""Regression fixtures: pinned reliabilities on canonical instances.
+
+These values were computed once with the cross-validated exact methods
+and are pinned to 12 decimal places — any future change to *any* layer
+(max-flow, enumeration, accumulation) that shifts them is a regression,
+not noise.
+"""
+
+import pytest
+
+from repro.core.api import compute_reliability
+from repro.core.demand import FlowDemand
+from repro.graph.builders import (
+    diamond,
+    fujita_fig2_bridge,
+    fujita_fig4,
+    grid_network,
+    parallel_links,
+    series_chain,
+    two_paths,
+)
+from repro.graph.generators import bottlenecked_network, chained_network
+
+# (label, network factory, source, sink, rate, pinned value)
+PINNED = [
+    ("diamond d=1", diamond, "s", "t", 1, 0.96390000000000),
+    ("diamond d=2", diamond, "s", "t", 2, 0.65610000000000),
+    ("fig2 d=1", fujita_fig2_bridge, "s", "t", 1, 0.836192889000),
+    ("fig2 d=2", fujita_fig2_bridge, "s", "t", 2, 0.387420489000),
+    ("fig4 d=1", fujita_fig4, "s", "t", 1, 0.968623029000),
+    ("fig4 d=2", fujita_fig4, "s", "t", 2, 0.842635791000),
+    ("fig4 d=3", fujita_fig4, "s", "t", 3, 0.612220032000),
+    ("par5 d=3", lambda: parallel_links(5, 1, 0.1), "s", "t", 3, 0.991440000000),
+    ("chain5 d=1", lambda: series_chain(5, 1, 0.1), "s", "t", 1, 0.590490000000),
+    ("twopaths d=3", lambda: two_paths(2, 1, 0.1), "s", "t", 3, 0.656100000000),
+    ("grid2x2 d=2", lambda: grid_network(2, 2), "s", "t", 2, 0.531441000000),
+    (
+        "bottlenecked seed0 d=2",
+        lambda: bottlenecked_network(
+            source_side_links=6, sink_side_links=5, num_bottlenecks=2, demand=2, seed=0
+        ),
+        "s",
+        "t",
+        2,
+        0.879672866450,
+    ),
+    (
+        "chained seed7 d=2",
+        lambda: chained_network([4, 5, 4], cut_sizes=2, demand=2, seed=7),
+        "s",
+        "t",
+        2,
+        0.696601168084,
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "label,factory,source,sink,rate,pinned",
+    PINNED,
+    ids=[row[0] for row in PINNED],
+)
+def test_pinned_reliability(label, factory, source, sink, rate, pinned):
+    net = factory()
+    result = compute_reliability(net, source, sink, rate)
+    assert result.value == pytest.approx(pinned, abs=5e-12), label
+
+
+def test_fixture_generators_are_stable():
+    """The seeded generators must keep producing byte-identical
+    structures, or the pinned values above would silently test a
+    different instance."""
+    net = bottlenecked_network(
+        source_side_links=6, sink_side_links=5, num_bottlenecks=2, demand=2, seed=0
+    )
+    signature = [
+        (str(l.tail), str(l.head), l.capacity, round(l.failure_probability, 10))
+        for l in net.links()
+    ]
+    assert signature[0] == ("x0", "y0", 2, 0.2092404218)
+    assert len(signature) == 13

@@ -1,0 +1,90 @@
+"""Unit tests for exact peer-level reliability (node splitting)."""
+
+import pytest
+
+from repro.exceptions import OverlayError
+from repro.p2p.exact import exact_peer_level_reliability
+from repro.p2p.peer import make_peers
+from repro.p2p.simulation import peer_level_reliability
+from repro.p2p.streaming import delivery_paths
+from repro.p2p.trees import multi_tree, single_tree
+from repro.p2p.overlay import random_mesh
+
+
+class TestExactPeerLevel:
+    def test_single_tree_closed_form(self):
+        peers = make_peers(7, mean_session=300, mean_offline=100)  # avail 0.75
+        overlay = single_tree(peers, fanout=2, num_stripes=1)
+        exact = exact_peer_level_reliability(overlay, "p6", 1)
+        relays = delivery_paths(overlay, "p6")[0].relay_peers
+        assert exact.value == pytest.approx(0.75 ** len(relays))
+
+    def test_matches_simulator_single_tree(self):
+        peers = make_peers(7, mean_session=300, mean_offline=100)
+        overlay = single_tree(peers, fanout=2, num_stripes=1)
+        exact = exact_peer_level_reliability(overlay, "p6", 1)
+        sim = peer_level_reliability(overlay, "p6", 1, num_trials=30_000, seed=0)
+        assert sim == pytest.approx(exact.value, abs=0.01)
+
+    def test_matches_simulator_multi_tree(self):
+        peers = make_peers(8, mean_session=300, mean_offline=100, upload_capacity=8)
+        overlay = multi_tree(peers, num_stripes=2)
+        exact = exact_peer_level_reliability(overlay, "p7", 2)
+        sim = peer_level_reliability(overlay, "p7", 2, num_trials=30_000, seed=1)
+        assert sim == pytest.approx(exact.value, abs=0.01)
+
+    def test_matches_simulator_mesh(self):
+        peers = make_peers(8, mean_session=200, mean_offline=100, upload_capacity=6)
+        overlay = random_mesh(peers, num_stripes=1, providers_per_stripe=2, seed=2)
+        exact = exact_peer_level_reliability(overlay, "p7", 1)
+        sim = peer_level_reliability(overlay, "p7", 1, num_trials=30_000, seed=3)
+        assert sim == pytest.approx(exact.value, abs=0.01)
+
+    def test_subscriber_churn_toggle(self):
+        peers = make_peers(6, mean_session=300, mean_offline=100)
+        overlay = single_tree(peers, fanout=2, num_stripes=1)
+        pinned = exact_peer_level_reliability(overlay, "p5", 1)
+        churny = exact_peer_level_reliability(
+            overlay, "p5", 1, include_subscriber_churn=True
+        )
+        assert churny.value == pytest.approx(pinned.value * 0.75)
+
+    def test_correlation_vs_independent_links(self):
+        """Two stripes over one tree: correlated (peer-level) reliability
+        strictly exceeds the independent-link value — now proven exactly
+        instead of statistically."""
+        from repro.core.api import compute_reliability
+        from repro.core.demand import FlowDemand
+        from repro.p2p.churn import ChildChurnModel
+        from repro.p2p.overlay import to_flow_network
+        from repro.p2p.peer import MEDIA_SERVER
+
+        peers = make_peers(6, mean_session=300, mean_offline=100)
+        overlay = single_tree(peers, fanout=2, num_stripes=2)
+        independent = compute_reliability(
+            to_flow_network(overlay, ChildChurnModel()),
+            demand=FlowDemand(MEDIA_SERVER, "p5", 2),
+        ).value
+        correlated = exact_peer_level_reliability(overlay, "p5", 2).value
+        assert correlated > independent
+
+    def test_reliable_peers_give_one(self):
+        peers = make_peers(6, mean_offline=0)
+        overlay = single_tree(peers, fanout=2, num_stripes=1)
+        assert exact_peer_level_reliability(overlay, "p5", 1).value == 1.0
+
+    def test_method_forwarding(self):
+        peers = make_peers(6, mean_session=300, mean_offline=100)
+        overlay = single_tree(peers, fanout=2, num_stripes=1)
+        auto = exact_peer_level_reliability(overlay, "p5", 1)
+        naive = exact_peer_level_reliability(overlay, "p5", 1, method="naive")
+        assert naive.value == pytest.approx(auto.value, abs=1e-10)
+        assert naive.method == "naive+nodesplit"
+
+    def test_validation(self):
+        peers = make_peers(4)
+        overlay = single_tree(peers)
+        with pytest.raises(OverlayError):
+            exact_peer_level_reliability(overlay, "p3", 0)
+        with pytest.raises(OverlayError):
+            exact_peer_level_reliability(overlay, "nope", 1)

@@ -1,0 +1,116 @@
+"""Unit tests for the treebone hybrid and redundant-provider mesh."""
+
+import pytest
+
+from repro.core.api import compute_reliability
+from repro.core.demand import FlowDemand
+from repro.exceptions import OverlayError
+from repro.p2p.churn import ChildChurnModel, StaticChurnModel
+from repro.p2p.overlay import random_mesh, to_flow_network
+from repro.p2p.peer import MEDIA_SERVER, Peer, make_peers
+from repro.p2p.scenario import run_scenario
+from repro.p2p.streaming import schedule_report
+from repro.p2p.trees import single_tree, treebone
+
+
+class TestTreebone:
+    def test_every_peer_served(self):
+        overlay = treebone(make_peers(10, upload_capacity=8), seed=0)
+        assert schedule_report(overlay).unreached == ()
+
+    def test_backbone_is_stable_core(self):
+        peers = [
+            Peer("stable0", mean_session=1000, upload_capacity=8),
+            Peer("stable1", mean_session=900, upload_capacity=8),
+            Peer("flaky0", mean_session=10, upload_capacity=8),
+            Peer("flaky1", mean_session=10, upload_capacity=8),
+            Peer("flaky2", mean_session=10, upload_capacity=8),
+        ]
+        overlay = treebone(peers, backbone_fraction=0.4, seed=1)
+        forwarders = {e.tail for e in overlay.edges if e.tail != MEDIA_SERVER}
+        assert forwarders <= {"stable0", "stable1"}
+
+    def test_auxiliary_links_add_redundancy(self):
+        peers = make_peers(10, upload_capacity=10)
+        plain = single_tree(peers, fanout=2)
+        hybrid = treebone(peers, backbone_fraction=0.5, auxiliary_per_peer=1, seed=2)
+        # hybrid has strictly more delivery edges
+        assert len(hybrid.edges) > len(plain.edges)
+
+    def test_hybrid_beats_plain_tree_reliability(self):
+        peers = make_peers(8, mean_session=120, mean_offline=60, upload_capacity=10)
+        demand = FlowDemand(MEDIA_SERVER, "p7", 1)
+        plain_net = to_flow_network(single_tree(peers, fanout=2), ChildChurnModel())
+        hybrid_net = to_flow_network(
+            treebone(peers, backbone_fraction=0.5, auxiliary_per_peer=2, seed=3),
+            ChildChurnModel(),
+        )
+        plain = compute_reliability(plain_net, demand=demand).value
+        hybrid = compute_reliability(hybrid_net, demand=demand).value
+        assert hybrid > plain
+
+    def test_deterministic(self):
+        peers = make_peers(8, upload_capacity=8)
+        a = treebone(peers, seed=5)
+        b = treebone(peers, seed=5)
+        assert [(e.tail, e.head, e.stripe) for e in a.edges] == [
+            (e.tail, e.head, e.stripe) for e in b.edges
+        ]
+
+    def test_validation(self):
+        with pytest.raises(OverlayError):
+            treebone([])
+        with pytest.raises(OverlayError):
+            treebone(make_peers(4), backbone_fraction=0.0)
+        with pytest.raises(OverlayError):
+            treebone(make_peers(4), fanout=0)
+
+    def test_scenario_family(self):
+        result = run_scenario(
+            "treebone",
+            num_peers=8,
+            num_stripes=1,
+            upload_capacity=8,
+            seed=0,
+            num_samples=500,
+            peer_level_trials=None,
+        )
+        assert 0 < result.exact_reliability <= 1
+
+
+class TestRedundantMesh:
+    def test_two_providers_create_extra_edges(self):
+        peers = make_peers(10, upload_capacity=8)
+        single = random_mesh(peers, num_stripes=1, providers_per_stripe=1, seed=0)
+        double = random_mesh(peers, num_stripes=1, providers_per_stripe=2, seed=0)
+        assert len(double.edges) > len(single.edges)
+
+    def test_redundancy_improves_reliability(self):
+        peers = make_peers(10, mean_session=120, mean_offline=60, upload_capacity=8)
+        demand = FlowDemand(MEDIA_SERVER, "p9", 1)
+        values = {}
+        for providers in (1, 2):
+            overlay = random_mesh(
+                peers, num_stripes=1, providers_per_stripe=providers, seed=1
+            )
+            net = to_flow_network(overlay, ChildChurnModel())
+            values[providers] = compute_reliability(net, demand=demand).value
+        assert values[2] > values[1]
+
+    def test_budget_still_respected(self):
+        peers = make_peers(12, upload_capacity=2)
+        overlay = random_mesh(peers, num_stripes=2, providers_per_stripe=2, seed=2)
+        assert overlay.upload_violations() == []
+
+    def test_validation(self):
+        with pytest.raises(OverlayError):
+            random_mesh(make_peers(4), providers_per_stripe=0)
+
+    def test_default_unchanged(self):
+        # providers_per_stripe=1 keeps the original single-provider form:
+        # every peer has exactly one provider per stripe
+        peers = make_peers(8, upload_capacity=8)
+        overlay = random_mesh(peers, num_stripes=2, seed=3)
+        for stripe in range(2):
+            heads = [e.head for e in overlay.stripe_edges(stripe)]
+            assert len(heads) == len(set(heads))

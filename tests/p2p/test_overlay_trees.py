@@ -1,0 +1,156 @@
+"""Unit tests for overlays: construction, mesh, trees, conversion."""
+
+import pytest
+
+from repro.exceptions import OverlayError
+from repro.flow.base import max_flow_value
+from repro.graph.connectivity import has_directed_path
+from repro.p2p.churn import ChildChurnModel, StaticChurnModel
+from repro.p2p.overlay import Overlay, random_mesh, to_flow_network
+from repro.p2p.peer import MEDIA_SERVER, Peer, make_peers
+from repro.p2p.trees import multi_tree, single_tree
+
+
+class TestOverlay:
+    def test_duplicate_peer_ids_rejected(self):
+        with pytest.raises(OverlayError):
+            Overlay(peers=[Peer("a"), Peer("a")], num_stripes=1)
+
+    def test_zero_stripes_rejected(self):
+        with pytest.raises(OverlayError):
+            Overlay(peers=[Peer("a")], num_stripes=0)
+
+    def test_add_edge_validates_stripe(self):
+        overlay = Overlay(peers=[Peer("a")], num_stripes=1)
+        with pytest.raises(OverlayError):
+            overlay.add_edge(MEDIA_SERVER, "a", 1)
+
+    def test_add_edge_validates_peer(self):
+        overlay = Overlay(peers=[Peer("a")], num_stripes=1)
+        with pytest.raises(OverlayError):
+            overlay.add_edge(MEDIA_SERVER, "zzz", 0)
+
+    def test_server_never_receives(self):
+        overlay = Overlay(peers=[Peer("a")], num_stripes=1)
+        with pytest.raises(OverlayError):
+            overlay.add_edge("a", MEDIA_SERVER, 0)
+
+    def test_out_degree(self):
+        overlay = Overlay(peers=[Peer("a"), Peer("b")], num_stripes=2)
+        overlay.add_edge("a", "b", 0)
+        overlay.add_edge("a", "b", 1)
+        assert overlay.out_degree("a") == 2
+
+    def test_upload_violations(self):
+        overlay = Overlay(peers=[Peer("a", upload_capacity=1), Peer("b")], num_stripes=2)
+        overlay.add_edge("a", "b", 0)
+        overlay.add_edge("a", "b", 1)
+        assert overlay.upload_violations() == ["a"]
+
+    def test_peer_lookup_server(self):
+        overlay = Overlay(peers=[Peer("a")], num_stripes=1)
+        assert overlay.peer(MEDIA_SERVER) is None
+
+
+class TestSingleTree:
+    def test_every_peer_reached(self):
+        peers = make_peers(7)
+        overlay = single_tree(peers, fanout=2)
+        net = to_flow_network(overlay, StaticChurnModel(0.1))
+        for peer in peers:
+            assert has_directed_path(net, MEDIA_SERVER, peer.peer_id)
+
+    def test_edge_count(self):
+        # n peers, k stripes over the same tree: n*k edges
+        overlay = single_tree(make_peers(5), fanout=2, num_stripes=3)
+        assert len(overlay.edges) == 15
+
+    def test_fanout_respected(self):
+        overlay = single_tree(make_peers(7), fanout=2)
+        for peer in overlay.peers:
+            children = [e for e in overlay.edges if e.tail == peer.peer_id]
+            assert len(children) <= 2
+
+    def test_rejects_bad_fanout(self):
+        with pytest.raises(OverlayError):
+            single_tree(make_peers(3), fanout=0)
+
+
+class TestMultiTree:
+    def test_interior_disjoint(self):
+        """The SplitStream property: each peer interior in <= 1 stripe."""
+        overlay = multi_tree(make_peers(9), num_stripes=3)
+        for peer in overlay.peers:
+            assert len(overlay.interior_stripes(peer.peer_id)) <= 1
+
+    def test_every_peer_gets_every_stripe(self):
+        overlay = multi_tree(make_peers(8), num_stripes=2)
+        for stripe in range(2):
+            providers = {e.head for e in overlay.stripe_edges(stripe)}
+            for peer in overlay.peers:
+                assert peer.peer_id in providers
+
+    def test_demand_feasible_from_server(self):
+        overlay = multi_tree(make_peers(8), num_stripes=2)
+        net = to_flow_network(overlay, StaticChurnModel(0.1))
+        for peer in overlay.peers:
+            assert max_flow_value(net, MEDIA_SERVER, peer.peer_id) >= 2
+
+    def test_needs_enough_peers(self):
+        with pytest.raises(OverlayError):
+            multi_tree(make_peers(2), num_stripes=3)
+
+    def test_single_stripe_reduces_to_tree(self):
+        overlay = multi_tree(make_peers(5), num_stripes=1)
+        assert len(overlay.edges) == 5
+
+
+class TestRandomMesh:
+    def test_every_peer_receives_every_stripe(self):
+        overlay = random_mesh(make_peers(10, upload_capacity=6), num_stripes=2, seed=0)
+        for stripe in range(2):
+            receivers = {e.head for e in overlay.stripe_edges(stripe)}
+            assert receivers == {p.peer_id for p in overlay.peers}
+
+    def test_deterministic(self):
+        peers = make_peers(8, upload_capacity=6)
+        a = random_mesh(peers, num_stripes=2, seed=4)
+        b = random_mesh(peers, num_stripes=2, seed=4)
+        assert [(e.tail, e.head, e.stripe) for e in a.edges] == [
+            (e.tail, e.head, e.stripe) for e in b.edges
+        ]
+
+    def test_acyclic_order_based(self):
+        overlay = random_mesh(make_peers(10, upload_capacity=6), num_stripes=1, seed=1)
+        position = {p.peer_id: i for i, p in enumerate(overlay.peers)}
+        position[MEDIA_SERVER] = -1
+        for edge in overlay.edges:
+            assert position[edge.tail] < position[edge.head]
+
+    def test_empty_rejected(self):
+        with pytest.raises(OverlayError):
+            random_mesh([], num_stripes=1)
+
+    def test_budget_respected_or_server_fallback(self):
+        overlay = random_mesh(make_peers(12, upload_capacity=1), num_stripes=2, seed=2)
+        assert overlay.upload_violations() == []
+
+
+class TestToFlowNetwork:
+    def test_link_per_edge(self):
+        overlay = single_tree(make_peers(4), fanout=2, num_stripes=2)
+        net = to_flow_network(overlay, StaticChurnModel(0.3))
+        assert net.num_links == len(overlay.edges)
+        assert all(p == pytest.approx(0.3) for p in net.failure_probabilities())
+
+    def test_child_churn_probabilities(self):
+        peers = [Peer("a", mean_session=100, mean_offline=100)]
+        overlay = Overlay(peers=peers, num_stripes=1)
+        overlay.add_edge(MEDIA_SERVER, "a", 0)
+        net = to_flow_network(overlay, ChildChurnModel())
+        assert net.link(0).failure_probability == pytest.approx(0.5)
+
+    def test_nodes_include_server(self):
+        overlay = single_tree(make_peers(3))
+        net = to_flow_network(overlay, StaticChurnModel())
+        assert net.has_node(MEDIA_SERVER)

@@ -1,0 +1,94 @@
+"""Unit tests for peers and churn models."""
+
+import pytest
+
+from repro.exceptions import OverlayError
+from repro.p2p.churn import ChildChurnModel, EndpointChurnModel, StaticChurnModel
+from repro.p2p.peer import MEDIA_SERVER, Peer, make_peers
+
+
+class TestPeer:
+    def test_availability(self):
+        peer = Peer("p0", mean_session=300, mean_offline=100)
+        assert peer.availability == pytest.approx(0.75)
+        assert peer.failure_probability == pytest.approx(0.25)
+
+    def test_always_on_peer(self):
+        peer = Peer("p0", mean_session=100, mean_offline=0)
+        assert peer.availability == 1.0
+
+    def test_reserved_id_rejected(self):
+        with pytest.raises(OverlayError):
+            Peer(MEDIA_SERVER)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(OverlayError):
+            Peer("p0", upload_capacity=-1)
+
+    def test_bad_durations_rejected(self):
+        with pytest.raises(OverlayError):
+            Peer("p0", mean_session=0)
+        with pytest.raises(OverlayError):
+            Peer("p0", mean_offline=-1)
+
+    def test_frozen(self):
+        peer = Peer("p0")
+        with pytest.raises(AttributeError):
+            peer.upload_capacity = 5
+
+
+class TestMakePeers:
+    def test_count_and_names(self):
+        peers = make_peers(3)
+        assert [p.peer_id for p in peers] == ["p0", "p1", "p2"]
+
+    def test_homogeneous_parameters(self):
+        peers = make_peers(2, upload_capacity=7, mean_session=10, mean_offline=5)
+        assert all(p.upload_capacity == 7 for p in peers)
+        assert all(p.availability == pytest.approx(2 / 3) for p in peers)
+
+    def test_empty(self):
+        assert make_peers(0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(OverlayError):
+            make_peers(-1)
+
+
+class TestChurnModels:
+    def setup_method(self):
+        self.peer_a = Peer("a", mean_session=300, mean_offline=100)  # avail 0.75
+        self.peer_b = Peer("b", mean_session=100, mean_offline=100)  # avail 0.5
+
+    def test_child_model_uses_head(self):
+        model = ChildChurnModel()
+        assert model.link_failure_probability(self.peer_a, self.peer_b) == pytest.approx(0.5)
+
+    def test_child_model_server_tail(self):
+        model = ChildChurnModel()
+        assert model.link_failure_probability(None, self.peer_b) == pytest.approx(0.5)
+
+    def test_endpoint_model_combines(self):
+        model = EndpointChurnModel()
+        p = model.link_failure_probability(self.peer_a, self.peer_b)
+        assert p == pytest.approx(1 - 0.75 * 0.5)
+
+    def test_endpoint_model_server_is_sure(self):
+        model = EndpointChurnModel()
+        assert model.link_failure_probability(None, self.peer_b) == pytest.approx(0.5)
+
+    def test_server_to_server(self):
+        assert EndpointChurnModel().link_failure_probability(None, None) == 0.0
+
+    def test_static_model(self):
+        model = StaticChurnModel(0.2)
+        assert model.link_failure_probability(self.peer_a, self.peer_b) == 0.2
+
+    def test_static_model_validation(self):
+        with pytest.raises(ValueError):
+            StaticChurnModel(1.0)
+
+    def test_peer_failure_probability_helper(self):
+        model = ChildChurnModel()
+        assert model.peer_failure_probability(None) == 0.0
+        assert model.peer_failure_probability(self.peer_b) == pytest.approx(0.5)

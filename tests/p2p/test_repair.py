@@ -1,0 +1,125 @@
+"""Unit tests for overlay repair."""
+
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.p2p.overlay import Overlay
+from repro.p2p.peer import MEDIA_SERVER, Peer, make_peers
+from repro.p2p.repair import repair_overlay, repaired_reliability
+from repro.p2p.simulation import peer_level_reliability
+from repro.p2p.streaming import delivery_paths, schedule_report
+from repro.p2p.trees import multi_tree, single_tree
+
+
+class TestRepairOverlay:
+    def test_no_departures_preserves_delivery(self):
+        overlay = single_tree(make_peers(7, upload_capacity=4), fanout=2)
+        repaired = repair_overlay(overlay, [])
+        report = schedule_report(repaired)
+        assert report.unreached == ()
+
+    def test_orphans_reattached(self):
+        # p0 is the root child; killing it orphans its whole subtree
+        overlay = single_tree(make_peers(7, upload_capacity=6), fanout=2)
+        repaired = repair_overlay(overlay, ["p0"])
+        report = schedule_report(repaired)
+        assert report.unreached == ()
+        assert all(p.peer_id != "p0" for p in repaired.peers)
+
+    def test_offline_peers_carry_nothing(self):
+        overlay = single_tree(make_peers(7, upload_capacity=6), fanout=2)
+        repaired = repair_overlay(overlay, ["p1", "p2"])
+        for edge in repaired.edges:
+            assert edge.tail not in ("p1", "p2")
+            assert edge.head not in ("p1", "p2")
+
+    def test_capacity_respected_during_repair(self):
+        overlay = single_tree(make_peers(7, upload_capacity=2), fanout=2)
+        repaired = repair_overlay(overlay, ["p0"])
+        assert repaired.upload_violations() == []
+
+    def test_no_capacity_no_repair(self):
+        # the dead peer is mid-chain; the server's only slot is still
+        # occupied by root, and root itself has no upload budget.
+        peers = [
+            Peer("root", upload_capacity=0),
+            Peer("mid", upload_capacity=1),
+            Peer("leaf", upload_capacity=0),
+        ]
+        overlay = Overlay(peers=peers, num_stripes=1)
+        overlay.add_edge(MEDIA_SERVER, "root", 0)
+        overlay.add_edge("root", "mid", 0)
+        overlay.add_edge("mid", "leaf", 0)
+        repaired = repair_overlay(overlay, ["mid"])
+        assert (0, "leaf") in schedule_report(repaired).unreached
+
+    def test_server_reuses_freed_slot(self):
+        # killing the server's own child frees a server slot: the orphan
+        # below it gets adopted by the server, no fallback needed.
+        peers = [Peer("root", upload_capacity=1), Peer("leaf", upload_capacity=0)]
+        overlay = Overlay(peers=peers, num_stripes=1)
+        overlay.add_edge(MEDIA_SERVER, "root", 0)
+        overlay.add_edge("root", "leaf", 0)
+        repaired = repair_overlay(overlay, ["root"])
+        assert schedule_report(repaired).unreached == ()
+
+    def test_server_fallback_rescues(self):
+        peers = [
+            Peer("root", upload_capacity=0),
+            Peer("mid", upload_capacity=1),
+            Peer("leaf", upload_capacity=0),
+        ]
+        overlay = Overlay(peers=peers, num_stripes=1)
+        overlay.add_edge(MEDIA_SERVER, "root", 0)
+        overlay.add_edge("root", "mid", 0)
+        overlay.add_edge("mid", "leaf", 0)
+        repaired = repair_overlay(overlay, ["mid"], server_fallback=True)
+        assert schedule_report(repaired).unreached == ()
+
+    def test_multi_tree_repair_keeps_all_stripes(self):
+        overlay = multi_tree(make_peers(8, upload_capacity=8), num_stripes=2)
+        repaired = repair_overlay(overlay, ["p0"])
+        paths = delivery_paths(repaired, "p7")
+        assert set(paths) == {0, 1}
+
+    def test_cascaded_adoption(self):
+        # killing the single relay forces a chain of adoptions
+        overlay = single_tree(make_peers(5, upload_capacity=4), fanout=1)
+        repaired = repair_overlay(overlay, ["p0"])
+        assert schedule_report(repaired).unreached == ()
+
+
+class TestRepairedReliability:
+    def test_repair_never_hurts(self):
+        peers = make_peers(8, mean_session=120, mean_offline=60, upload_capacity=8)
+        overlay = single_tree(peers, fanout=2, num_stripes=1)
+        without = peer_level_reliability(overlay, "p7", 1, num_trials=1500, seed=4)
+        with_repair = repaired_reliability(overlay, "p7", 1, num_trials=1500, seed=4)
+        assert with_repair >= without - 0.02
+
+    def test_repair_helps_deep_subscribers_substantially(self):
+        peers = make_peers(8, mean_session=120, mean_offline=120, upload_capacity=8)
+        overlay = single_tree(peers, fanout=2, num_stripes=1)
+        without = peer_level_reliability(overlay, "p7", 1, num_trials=1500, seed=0)
+        with_repair = repaired_reliability(overlay, "p7", 1, num_trials=1500, seed=0)
+        assert with_repair > without + 0.1
+
+    def test_server_fallback_gives_full_reliability(self):
+        peers = make_peers(6, mean_session=60, mean_offline=60, upload_capacity=6)
+        overlay = single_tree(peers, fanout=2, num_stripes=1)
+        value = repaired_reliability(
+            overlay, "p5", 1, num_trials=400, seed=1, server_fallback=True
+        )
+        assert value == 1.0
+
+    def test_deterministic(self):
+        peers = make_peers(6, upload_capacity=6)
+        overlay = multi_tree(peers, num_stripes=2)
+        a = repaired_reliability(overlay, "p5", 2, num_trials=300, seed=9)
+        b = repaired_reliability(overlay, "p5", 2, num_trials=300, seed=9)
+        assert a == b
+
+    def test_validation(self):
+        overlay = single_tree(make_peers(3))
+        with pytest.raises(EstimationError):
+            repaired_reliability(overlay, "p2", 1, num_trials=0)

@@ -1,0 +1,89 @@
+"""Unit tests for the end-to-end scenario driver."""
+
+import pytest
+
+from repro.exceptions import OverlayError
+from repro.p2p.peer import make_peers
+from repro.p2p.scenario import build_overlay, run_scenario
+
+
+class TestBuildOverlay:
+    def test_families(self):
+        peers = make_peers(6, upload_capacity=6)
+        for family in ("single-tree", "multi-tree", "mesh"):
+            overlay = build_overlay(family, peers, num_stripes=2)
+            assert overlay.edges
+
+    def test_unknown_family(self):
+        with pytest.raises(OverlayError):
+            build_overlay("hypercube", make_peers(4))
+
+
+class TestRunScenario:
+    def test_multi_tree_scenario(self):
+        result = run_scenario(
+            "multi-tree",
+            num_peers=6,
+            num_stripes=2,
+            seed=0,
+            num_samples=1500,
+            peer_level_trials=500,
+        )
+        assert 0.0 <= result.exact_reliability <= 1.0
+        assert result.estimate_interval[0] <= result.estimate <= result.estimate_interval[1]
+        assert result.peer_level is not None
+        assert result.subscriber == "p5"
+
+    def test_estimate_brackets_exact(self):
+        result = run_scenario(
+            "single-tree", num_peers=6, num_stripes=1, seed=1, num_samples=8000,
+            peer_level_trials=None,
+        )
+        low, high = result.estimate_interval
+        assert low - 0.02 <= result.exact_reliability <= high + 0.02
+
+    def test_peer_level_skippable(self):
+        result = run_scenario(
+            "mesh", num_peers=6, num_stripes=2, seed=2, num_samples=500, peer_level_trials=None
+        )
+        assert result.peer_level is None
+
+    def test_explicit_subscriber(self):
+        result = run_scenario(
+            "single-tree",
+            num_peers=6,
+            num_stripes=1,
+            subscriber="p0",
+            seed=0,
+            num_samples=500,
+            peer_level_trials=None,
+        )
+        assert result.subscriber == "p0"
+
+    def test_deeper_subscriber_less_reliable(self):
+        shallow = run_scenario(
+            "single-tree", num_peers=7, num_stripes=1, subscriber="p0",
+            seed=0, num_samples=200, peer_level_trials=None,
+        )
+        deep = run_scenario(
+            "single-tree", num_peers=7, num_stripes=1, subscriber="p6",
+            seed=0, num_samples=200, peer_level_trials=None,
+        )
+        assert deep.exact_reliability < shallow.exact_reliability
+
+    def test_multi_tree_beats_single_tree(self):
+        """The paper's §II claim: striping over interior-disjoint trees
+        improves fault tolerance for deep subscribers."""
+        kwargs = dict(
+            num_peers=8, num_stripes=2, seed=0, num_samples=200, peer_level_trials=None
+        )
+        single = run_scenario("single-tree", **kwargs)
+        multi = run_scenario("multi-tree", **kwargs)
+        assert multi.exact_reliability > single.exact_reliability
+
+    def test_details_populated(self):
+        result = run_scenario(
+            "multi-tree", num_peers=6, num_stripes=2, seed=0, num_samples=200,
+            peer_level_trials=None,
+        )
+        assert result.details["num_links"] > 0

@@ -1,0 +1,118 @@
+"""Unit tests for repro.probability.bitset."""
+
+import numpy as np
+import pytest
+
+from repro.probability.bitset import (
+    gray_code,
+    gray_flip_position,
+    indices_from_mask,
+    iter_submasks,
+    iter_supermasks,
+    mask_from_indices,
+    parity_array,
+    popcount,
+    popcount_array,
+)
+
+
+class TestMaskConversion:
+    def test_round_trip(self):
+        for mask in [0, 1, 0b1010, 0b11111, 1 << 40]:
+            assert mask_from_indices(indices_from_mask(mask)) == mask
+
+    def test_mask_from_indices(self):
+        assert mask_from_indices([0, 2, 5]) == 0b100101
+
+    def test_indices_sorted(self):
+        assert indices_from_mask(0b110010) == [1, 4, 5]
+
+    def test_negative_bit_rejected(self):
+        with pytest.raises(ValueError):
+            mask_from_indices([-1])
+
+    def test_negative_mask_rejected(self):
+        with pytest.raises(ValueError):
+            indices_from_mask(-1)
+
+
+class TestPopcount:
+    def test_values(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+        assert popcount((1 << 100) - 1) == 100
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+    def test_array_matches_scalar(self):
+        table = popcount_array(8)
+        for mask in range(256):
+            assert table[mask] == popcount(mask)
+
+    def test_array_zero_bits(self):
+        assert popcount_array(0).tolist() == [0]
+
+    def test_parity_array(self):
+        signs = parity_array(4)
+        for mask in range(16):
+            assert signs[mask] == (-1) ** popcount(mask)
+
+
+class TestSubmaskIteration:
+    def test_counts(self):
+        subs = list(iter_submasks(0b1011))
+        assert len(subs) == 8
+        assert set(subs) == {
+            0,
+            0b0001,
+            0b0010,
+            0b0011,
+            0b1000,
+            0b1001,
+            0b1010,
+            0b1011,
+        }
+
+    def test_without_empty(self):
+        assert 0 not in list(iter_submasks(0b101, include_empty=False))
+
+    def test_zero_mask(self):
+        assert list(iter_submasks(0)) == [0]
+
+    def test_decreasing_order(self):
+        subs = [s for s in iter_submasks(0b110) if s]
+        assert subs == sorted(subs, reverse=True)
+
+
+class TestSupermaskIteration:
+    def test_counts(self):
+        sups = list(iter_supermasks(0b001, 0b111))
+        assert set(sups) == {0b001, 0b011, 0b101, 0b111}
+
+    def test_outside_universe_rejected(self):
+        with pytest.raises(ValueError):
+            list(iter_supermasks(0b1000, 0b111))
+
+    def test_full_mask_single(self):
+        assert list(iter_supermasks(0b111, 0b111)) == [0b111]
+
+    def test_empty_mask_gives_all(self):
+        assert sorted(iter_supermasks(0, 0b11)) == [0, 1, 2, 3]
+
+
+class TestGrayCodes:
+    def test_successive_codes_differ_by_one_bit(self):
+        for i in range(1, 64):
+            diff = gray_code(i) ^ gray_code(i - 1)
+            assert popcount(diff) == 1
+            assert diff == 1 << gray_flip_position(i)
+
+    def test_gray_code_is_permutation(self):
+        codes = {gray_code(i) for i in range(32)}
+        assert codes == set(range(32))
+
+    def test_flip_position_rejects_zero(self):
+        with pytest.raises(ValueError):
+            gray_flip_position(0)

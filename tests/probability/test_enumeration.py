@@ -1,0 +1,104 @@
+"""Unit tests for configuration-probability enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import IntractableError
+from repro.graph.builders import diamond
+from repro.probability.enumeration import (
+    check_enumerable,
+    conditional_configuration_probabilities,
+    configuration_probabilities,
+    configuration_probability,
+)
+
+
+class TestConfigurationProbabilities:
+    def test_single_link(self):
+        table = configuration_probabilities([0.3])
+        assert table.tolist() == pytest.approx([0.3, 0.7])
+
+    def test_two_links_layout(self):
+        # bit 0 = link 0, bit 1 = link 1
+        table = configuration_probabilities([0.1, 0.2])
+        assert table[0b00] == pytest.approx(0.1 * 0.2)
+        assert table[0b01] == pytest.approx(0.9 * 0.2)
+        assert table[0b10] == pytest.approx(0.1 * 0.8)
+        assert table[0b11] == pytest.approx(0.9 * 0.8)
+
+    def test_sums_to_one(self):
+        table = configuration_probabilities([0.1, 0.25, 0.6, 0.05])
+        assert table.sum() == pytest.approx(1.0)
+
+    def test_network_input(self):
+        table = configuration_probabilities(diamond(failure_probability=0.5))
+        assert len(table) == 16
+        assert np.allclose(table, 1 / 16)
+
+    def test_zero_probability_links(self):
+        table = configuration_probabilities([0.0, 0.5])
+        assert table[0b00] == 0.0
+        assert table[0b01] == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert configuration_probabilities([]).tolist() == [1.0]
+
+    def test_matches_scalar_function(self):
+        probs = [0.1, 0.3, 0.45]
+        table = configuration_probabilities(probs)
+        for mask in range(8):
+            assert table[mask] == pytest.approx(configuration_probability(probs, mask))
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            configuration_probabilities([1.0])
+        with pytest.raises(ValueError):
+            configuration_probabilities([-0.1])
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            configuration_probabilities(np.zeros((2, 2)))
+
+
+class TestCheckEnumerable:
+    def test_within_budget(self):
+        check_enumerable(10)
+
+    def test_over_budget(self):
+        with pytest.raises(IntractableError) as info:
+            check_enumerable(30)
+        assert info.value.required == 30
+
+    def test_custom_limit(self):
+        with pytest.raises(IntractableError):
+            check_enumerable(11, limit=10)
+
+
+class TestConditionalProbabilities:
+    def test_forced_alive(self):
+        table = conditional_configuration_probabilities([0.5, 0.5], forced_alive=[0])
+        assert table[0b00] == 0.0
+        assert table[0b01] == pytest.approx(0.5)
+        assert table[0b11] == pytest.approx(0.5)
+
+    def test_forced_dead(self):
+        table = conditional_configuration_probabilities([0.5, 0.5], forced_dead=[1])
+        assert table[0b10] == 0.0
+        assert table[0b11] == 0.0
+        assert table[0b00] == pytest.approx(0.5)
+
+    def test_sums_to_one(self):
+        table = conditional_configuration_probabilities(
+            [0.2, 0.3, 0.4], forced_alive=[0], forced_dead=[2]
+        )
+        assert table.sum() == pytest.approx(1.0)
+
+    def test_conflicting_conditioning_rejected(self):
+        with pytest.raises(ValueError):
+            conditional_configuration_probabilities([0.5], forced_alive=[0], forced_dead=[0])
+
+    def test_no_conditioning_matches_plain(self):
+        probs = [0.1, 0.4]
+        a = conditional_configuration_probabilities(probs)
+        b = configuration_probabilities(probs)
+        assert np.allclose(a, b)

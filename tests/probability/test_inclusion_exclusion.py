@@ -1,0 +1,64 @@
+"""Unit tests for the inclusion–exclusion engine."""
+
+import numpy as np
+import pytest
+
+from repro.probability.inclusion_exclusion import (
+    union_probability,
+    union_probability_from_intersections,
+)
+
+
+class TestUnionFromIntersections:
+    def test_two_events(self):
+        # P(A)=0.5, P(B)=0.4, P(AB)=0.2 -> union 0.7
+        table = np.array([0.0, 0.5, 0.4, 0.2])
+        assert union_probability_from_intersections(table) == pytest.approx(0.7)
+
+    def test_single_event(self):
+        table = np.array([0.0, 0.35])
+        assert union_probability_from_intersections(table) == pytest.approx(0.35)
+
+    def test_three_events_disjoint(self):
+        table = np.zeros(8)
+        table[0b001] = 0.1
+        table[0b010] = 0.2
+        table[0b100] = 0.3
+        assert union_probability_from_intersections(table) == pytest.approx(0.6)
+
+    def test_identical_events(self):
+        # A = B: all intersections 0.3 -> union 0.3
+        table = np.full(4, 0.3)
+        assert union_probability_from_intersections(table) == pytest.approx(0.3)
+
+    def test_empty_table(self):
+        assert union_probability_from_intersections(np.array([1.0])) == 0.0
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            union_probability_from_intersections(np.zeros(6))
+
+    def test_matches_direct_summation(self):
+        # random outcome space over 3 events
+        rng = np.random.default_rng(5)
+        outcome_masks = rng.integers(0, 8, size=40)
+        weights = rng.random(40)
+        weights /= weights.sum()
+        # intersections: P(all events in X) = sum of outcomes whose mask ⊇ X
+        table = np.zeros(8)
+        for x in range(8):
+            table[x] = sum(w for m, w in zip(outcome_masks, weights) if (m & x) == x)
+        expected = union_probability(outcome_masks.tolist(), weights.tolist())
+        assert union_probability_from_intersections(table) == pytest.approx(expected)
+
+
+class TestUnionDirect:
+    def test_zero_mask_contributes_nothing(self):
+        assert union_probability([0, 1], [0.7, 0.3]) == pytest.approx(0.3)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            union_probability([1], [0.2, 0.3])
+
+    def test_all_hit(self):
+        assert union_probability([1, 2, 3], [0.2, 0.3, 0.5]) == pytest.approx(1.0)

@@ -1,0 +1,56 @@
+"""Unit tests for Bernoulli configuration sampling."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builders import diamond
+from repro.probability.sampling import sample_alive_masks, sample_alive_matrix
+
+
+class TestSampleMatrix:
+    def test_shape(self):
+        matrix = sample_alive_matrix([0.5, 0.5, 0.5], 100, rng=0)
+        assert matrix.shape == (100, 3)
+        assert matrix.dtype == bool
+
+    def test_deterministic(self):
+        a = sample_alive_matrix([0.3, 0.7], 50, rng=42)
+        b = sample_alive_matrix([0.3, 0.7], 50, rng=42)
+        assert np.array_equal(a, b)
+
+    def test_always_dead_link(self):
+        matrix = sample_alive_matrix([0.0], 20, rng=0)
+        assert matrix.all()  # p=0 means never fails => always alive
+
+    def test_empirical_rate(self):
+        matrix = sample_alive_matrix([0.25], 20_000, rng=1)
+        assert matrix.mean() == pytest.approx(0.75, abs=0.02)
+
+    def test_network_input(self):
+        matrix = sample_alive_matrix(diamond(failure_probability=0.5), 10, rng=0)
+        assert matrix.shape == (10, 4)
+
+
+class TestSampleMasks:
+    def test_dtype_and_range(self):
+        masks = sample_alive_masks([0.5, 0.5], 100, rng=0)
+        assert masks.dtype == np.uint64
+        assert masks.max() < 4
+
+    def test_matches_matrix_packing(self):
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+        matrix = sample_alive_matrix([0.2, 0.4, 0.6], 30, rng=rng_a)
+        masks = sample_alive_masks([0.2, 0.4, 0.6], 30, rng=rng_b)
+        for row, mask in zip(matrix, masks):
+            expected = sum(1 << i for i, bit in enumerate(row) if bit)
+            assert int(mask) == expected
+
+    def test_width_limit(self):
+        with pytest.raises(ValueError):
+            sample_alive_masks([0.5] * 64, 1, rng=0)
+
+    def test_empirical_distribution(self):
+        # single link p=0.5: mask 1 about half the time
+        masks = sample_alive_masks([0.5], 10_000, rng=3)
+        assert (masks == 1).mean() == pytest.approx(0.5, abs=0.02)

@@ -1,0 +1,80 @@
+"""Unit tests for subset-lattice transforms."""
+
+import numpy as np
+import pytest
+
+from repro.probability.bitset import iter_submasks, iter_supermasks
+from repro.probability.zeta import (
+    subset_moebius,
+    subset_zeta,
+    superset_moebius,
+    superset_zeta,
+)
+
+
+def brute_subset_zeta(values):
+    n = len(values).bit_length() - 1
+    out = np.zeros_like(values)
+    for s in range(len(values)):
+        out[s] = sum(values[t] for t in iter_submasks(s))
+    return out
+
+
+def brute_superset_zeta(values):
+    full = len(values) - 1
+    out = np.zeros_like(values)
+    for s in range(len(values)):
+        out[s] = sum(values[t] for t in iter_supermasks(s, full))
+    return out
+
+
+class TestTransforms:
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 4])
+    def test_subset_zeta_matches_bruteforce(self, n):
+        rng = np.random.default_rng(n)
+        values = rng.random(1 << n)
+        assert np.allclose(subset_zeta(values), brute_subset_zeta(values))
+
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 4])
+    def test_superset_zeta_matches_bruteforce(self, n):
+        rng = np.random.default_rng(10 + n)
+        values = rng.random(1 << n)
+        assert np.allclose(superset_zeta(values), brute_superset_zeta(values))
+
+    @pytest.mark.parametrize("n", [1, 3, 5])
+    def test_subset_roundtrip(self, n):
+        rng = np.random.default_rng(20 + n)
+        values = rng.random(1 << n)
+        assert np.allclose(subset_moebius(subset_zeta(values)), values)
+
+    @pytest.mark.parametrize("n", [1, 3, 5])
+    def test_superset_roundtrip(self, n):
+        rng = np.random.default_rng(30 + n)
+        values = rng.random(1 << n)
+        assert np.allclose(superset_moebius(superset_zeta(values)), values)
+
+    def test_inplace_mutates(self):
+        values = np.ones(4)
+        out = subset_zeta(values, inplace=True)
+        assert out is values
+
+    def test_not_inplace_preserves(self):
+        values = np.ones(4)
+        subset_zeta(values)
+        assert values.tolist() == [1, 1, 1, 1]
+
+    def test_full_mask_subset_zeta_is_total(self):
+        values = np.array([0.1, 0.2, 0.3, 0.4])
+        assert subset_zeta(values)[3] == pytest.approx(1.0)
+
+    def test_empty_mask_superset_zeta_is_total(self):
+        values = np.array([0.1, 0.2, 0.3, 0.4])
+        assert superset_zeta(values)[0] == pytest.approx(1.0)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            subset_zeta(np.ones(3))
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            superset_zeta(np.ones((2, 2)))

@@ -1,0 +1,102 @@
+"""Property-based tests for graph-structure algorithms."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.connectivity import (
+    bridges,
+    connected_components,
+    has_path,
+    is_connected,
+)
+from repro.graph.cuts import is_disconnecting, is_minimal_cut, minimal_st_cuts
+from repro.graph.io import from_dict, to_dict
+from repro.core.assignments import count_assignments, enumerate_assignments, support_mask
+from tests.conftest import small_networks
+
+
+class TestConnectivityProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(small_networks())
+    def test_components_partition_nodes(self, net):
+        comps = connected_components(net)
+        all_nodes = [node for comp in comps for node in comp]
+        assert sorted(map(str, all_nodes)) == sorted(map(str, net.nodes()))
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_networks())
+    def test_strategy_networks_are_connected(self, net):
+        assert is_connected(net)
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_networks())
+    def test_bridge_definition(self, net):
+        """Removing a bridge increases the component count; removing a
+        non-bridge does not."""
+        bridge_set = set(bridges(net))
+        base = len(connected_components(net))
+        for link in net.links():
+            alive = [l.index for l in net.links() if l.index != link.index]
+            after = len(connected_components(net, alive))
+            if link.index in bridge_set:
+                assert after == base + 1
+            else:
+                assert after == base
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_networks())
+    def test_minimal_cuts_are_minimal_and_disconnecting(self, net):
+        for cut in minimal_st_cuts(net, "s", "t", 2, limit=16):
+            assert is_disconnecting(net, "s", "t", cut)
+            assert is_minimal_cut(net, "s", "t", list(cut))
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_networks())
+    def test_full_link_removal_disconnects(self, net):
+        assert is_disconnecting(net, "s", "t", range(net.num_links))
+        assert has_path(net, "s", "t")
+
+
+class TestIoProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(small_networks())
+    def test_serialization_round_trip(self, net):
+        clone = from_dict(to_dict(net))
+        assert clone.num_nodes == net.num_nodes
+        assert clone.num_links == net.num_links
+        for a, b in zip(net.links(), clone.links()):
+            assert a.endpoints == b.endpoints
+            assert a.capacity == b.capacity
+            assert a.failure_probability == pytest.approx(b.failure_probability)
+
+
+class TestAssignmentProperties:
+    caps = st.lists(st.integers(0, 4), min_size=1, max_size=4)
+
+    @settings(max_examples=80)
+    @given(caps, st.integers(0, 6))
+    def test_count_matches_enumeration(self, caps, demand):
+        assert count_assignments(caps, demand) == len(enumerate_assignments(caps, demand))
+
+    @settings(max_examples=80)
+    @given(caps, st.integers(0, 6))
+    def test_assignments_valid(self, caps, demand):
+        for a in enumerate_assignments(caps, demand):
+            assert sum(a) == demand
+            assert all(0 <= v <= min(c, demand) for v, c in zip(a, caps))
+
+    @settings(max_examples=80)
+    @given(caps, st.integers(0, 5))
+    def test_assignments_unique_and_sorted(self, caps, demand):
+        result = enumerate_assignments(caps, demand)
+        assert len(set(result)) == len(result)
+        assert result == sorted(result)
+
+    @settings(max_examples=50)
+    @given(caps, st.integers(1, 5))
+    def test_support_popcount_bounds(self, caps, demand):
+        for a in enumerate_assignments(caps, demand):
+            mask = support_mask(a)
+            positive = sum(1 for v in a if v > 0)
+            assert bin(mask).count("1") == positive

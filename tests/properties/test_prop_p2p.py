@@ -1,0 +1,103 @@
+"""Property-based tests for the P2P substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.p2p.churn import ChildChurnModel, EndpointChurnModel, StaticChurnModel
+from repro.p2p.overlay import random_mesh, to_flow_network
+from repro.p2p.peer import MEDIA_SERVER, Peer, make_peers
+from repro.p2p.streaming import schedule_report, stripe_depth
+from repro.p2p.trees import multi_tree, single_tree, treebone
+
+peer_counts = st.integers(min_value=2, max_value=12)
+stripe_counts = st.integers(min_value=1, max_value=3)
+
+
+class TestTreeProperties:
+    @settings(max_examples=40)
+    @given(peer_counts, st.integers(1, 3), stripe_counts)
+    def test_single_tree_everyone_served(self, n, fanout, stripes):
+        overlay = single_tree(make_peers(n, upload_capacity=99), fanout=fanout, num_stripes=stripes)
+        assert schedule_report(overlay).unreached == ()
+
+    @settings(max_examples=40)
+    @given(peer_counts, stripe_counts)
+    def test_multi_tree_interior_disjoint(self, n, stripes):
+        if n < stripes:
+            return
+        overlay = multi_tree(make_peers(n, upload_capacity=99), num_stripes=stripes)
+        for peer in overlay.peers:
+            assert len(overlay.interior_stripes(peer.peer_id)) <= 1
+
+    @settings(max_examples=40)
+    @given(peer_counts, stripe_counts)
+    def test_multi_tree_everyone_served_every_stripe(self, n, stripes):
+        if n < stripes:
+            return
+        overlay = multi_tree(make_peers(n, upload_capacity=99), num_stripes=stripes)
+        assert schedule_report(overlay).unreached == ()
+
+    @settings(max_examples=30)
+    @given(peer_counts, st.integers(0, 2**31 - 1))
+    def test_treebone_everyone_served(self, n, seed):
+        overlay = treebone(make_peers(n, upload_capacity=99), seed=seed)
+        assert schedule_report(overlay).unreached == ()
+
+    @settings(max_examples=30)
+    @given(peer_counts, st.integers(1, 3))
+    def test_tree_depth_bounded_by_peer_count(self, n, fanout):
+        overlay = single_tree(make_peers(n, upload_capacity=99), fanout=fanout)
+        depth = stripe_depth(overlay, 0)
+        assert max(depth.values()) <= n
+
+
+class TestMeshProperties:
+    @settings(max_examples=30)
+    @given(peer_counts, stripe_counts, st.integers(0, 2**31 - 1))
+    def test_mesh_everyone_served(self, n, stripes, seed):
+        overlay = random_mesh(
+            make_peers(n, upload_capacity=99), num_stripes=stripes, seed=seed
+        )
+        assert schedule_report(overlay).unreached == ()
+
+    @settings(max_examples=30)
+    @given(peer_counts, st.integers(0, 2**31 - 1))
+    def test_mesh_respects_budgets(self, n, seed):
+        overlay = random_mesh(
+            make_peers(n, upload_capacity=2), num_stripes=2, seed=seed,
+            providers_per_stripe=2,
+        )
+        assert overlay.upload_violations() == []
+
+
+class TestChurnModelProperties:
+    sessions = st.floats(min_value=1.0, max_value=1e5, allow_nan=False)
+    offlines = st.floats(min_value=0.0, max_value=1e5, allow_nan=False)
+
+    @settings(max_examples=50)
+    @given(sessions, offlines, sessions, offlines)
+    def test_endpoint_model_at_least_child_model(self, s1, o1, s2, o2):
+        a = Peer("a", mean_session=s1, mean_offline=o1)
+        b = Peer("b", mean_session=s2, mean_offline=o2)
+        child = ChildChurnModel().link_failure_probability(a, b)
+        endpoint = EndpointChurnModel().link_failure_probability(a, b)
+        assert endpoint >= child - 1e-12
+
+    @settings(max_examples=50)
+    @given(sessions, offlines)
+    def test_probabilities_valid(self, s, o):
+        peer = Peer("a", mean_session=s, mean_offline=o)
+        for model in (ChildChurnModel(), EndpointChurnModel(), StaticChurnModel(0.1)):
+            p = model.link_failure_probability(peer, peer)
+            assert 0.0 <= p < 1.0
+
+    @settings(max_examples=30)
+    @given(peer_counts, st.floats(0.0, 0.9))
+    def test_conversion_produces_valid_network(self, n, p):
+        overlay = single_tree(make_peers(n, upload_capacity=99))
+        net = to_flow_network(overlay, StaticChurnModel(p))
+        assert net.num_links == len(overlay.edges)
+        assert net.has_node(MEDIA_SERVER)
+        for prob in net.failure_probabilities():
+            assert 0.0 <= prob < 1.0

@@ -1,0 +1,110 @@
+"""Property-based tests for the reliability algorithms — the library's
+strongest invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import cut_upper_bound, route_lower_bound
+from repro.core.demand import FlowDemand
+from repro.core.factoring import factoring_reliability
+from repro.core.naive import naive_reliability
+from repro.exceptions import DecompositionError
+from repro.graph.cuts import find_bottleneck
+from repro.core.bottleneck import bottleneck_reliability
+from tests.conftest import small_networks
+
+
+class TestReliabilityInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(small_networks(), st.integers(1, 3))
+    def test_in_unit_interval(self, net, rate):
+        value = naive_reliability(net, FlowDemand("s", "t", rate)).value
+        assert 0.0 <= value <= 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_networks(), st.integers(1, 3))
+    def test_naive_equals_factoring(self, net, rate):
+        demand = FlowDemand("s", "t", rate)
+        a = naive_reliability(net, demand).value
+        b = factoring_reliability(net, demand).value
+        assert a == pytest.approx(b, abs=1e-10)
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_networks(), st.integers(1, 2))
+    def test_monotone_in_demand(self, net, rate):
+        """Raising the demand can never raise the reliability."""
+        low = naive_reliability(net, FlowDemand("s", "t", rate)).value
+        high = naive_reliability(net, FlowDemand("s", "t", rate + 1)).value
+        assert high <= low + 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_networks())
+    def test_monotone_in_failure_probability(self, net):
+        """Raising any link's failure probability can never raise the
+        reliability."""
+        demand = FlowDemand("s", "t", 1)
+        base = naive_reliability(net, demand).value
+        bumped_probs = [min(0.95, p + 0.3) for p in net.failure_probabilities()]
+        worse = naive_reliability(
+            net.with_failure_probabilities(bumped_probs), demand
+        ).value
+        assert worse <= base + 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_networks())
+    def test_adding_a_parallel_link_never_hurts(self, net):
+        demand = FlowDemand("s", "t", 1)
+        base = naive_reliability(net, demand).value
+        boosted = net.copy()
+        boosted.add_link("s", "t", 1, 0.5)
+        better = naive_reliability(boosted, demand).value
+        assert better >= base - 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_networks(), st.integers(1, 2))
+    def test_bounds_bracket_exact(self, net, rate):
+        demand = FlowDemand("s", "t", rate)
+        exact = naive_reliability(net, demand).value
+        assert route_lower_bound(net, demand) <= exact + 1e-9
+        assert cut_upper_bound(net, demand) >= exact - 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_networks(), st.integers(1, 2))
+    def test_bottleneck_agrees_when_applicable(self, net, rate):
+        """Whenever a bottleneck cut exists, the paper's algorithm must
+        reproduce the naive value exactly."""
+        demand = FlowDemand("s", "t", rate)
+        split = find_bottleneck(net, "s", "t", max_size=2)
+        if split is None:
+            return
+        # Only directed-forward or undirected cut links fit the model;
+        # find_bottleneck already guarantees that via split_on_cut, but
+        # undirected cut links on pathological graphs are out of model —
+        # the strategy only generates directed links, so this is exact.
+        try:
+            value = bottleneck_reliability(net, demand, cut=split.cut).value
+        except DecompositionError:
+            return
+        expected = naive_reliability(net, demand).value
+        assert value == pytest.approx(expected, abs=1e-10)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_networks())
+    def test_perfect_links_make_it_deterministic(self, net):
+        """With no failures, reliability is 0/1 by feasibility."""
+        sure = net.with_failure_probabilities([0.0] * net.num_links)
+        demand = FlowDemand("s", "t", 1)
+        from repro.flow.base import is_feasible
+
+        value = naive_reliability(sure, demand).value
+        assert value == (1.0 if is_feasible(sure, "s", "t", 1) else 0.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_networks())
+    def test_naive_pruning_invariance(self, net):
+        demand = FlowDemand("s", "t", 2)
+        a = naive_reliability(net, demand, prune=True)
+        b = naive_reliability(net, demand, prune=False)
+        assert a.value == pytest.approx(b.value, abs=1e-12)
+        assert a.flow_calls <= b.flow_calls
