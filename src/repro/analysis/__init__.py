@@ -1,0 +1,47 @@
+"""Project-specific static analysis for the :mod:`repro` codebase.
+
+The paper's algorithm is *exact*: its whole value over Monte-Carlo
+estimators is that ``R(G, D)`` comes out bit-for-bit correct.  That
+exactness dies silently from unseeded randomness, naive float
+accumulation over ``2^|E|`` probability terms, or an off-by-one bitmask
+width — failure modes no generic linter knows about.  This package is a
+small AST lint engine with rules that encode the repo's numerical and
+bitmask invariants:
+
+========  ==========================================================
+RR101     no unseeded randomness (``random.*`` / legacy ``np.random.*``)
+RR102     no bare ``sum()`` / ``+=`` over probability-typed iterables
+RR103     ``1 << n`` / ``2 ** n`` table allocations need a budget guard
+RR104     raised exceptions must derive from :class:`ReproError`
+RR105     no mutable default arguments
+RR106     public functions in core/flow/probability fully annotated
+========  ==========================================================
+
+Run it as ``python -m repro.analysis [paths...]``; exit code 0 means
+clean, 1 means findings, 2 means a usage or parse error.  Individual
+lines are suppressed with ``# repro: noqa[RR103]`` (or a bare
+``# repro: noqa`` for every rule).  See ``docs/STATIC_ANALYSIS.md``
+for the full rule catalogue and rationale.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.engine import AnalysisReport, analyze_paths, analyze_source
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, all_rules, get_rule, register_rule
+
+# Importing the rules package populates the registry as a side effect.
+from repro.analysis import rules as _rules  # noqa: F401
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "get_rule",
+    "register_rule",
+]

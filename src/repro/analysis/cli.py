@@ -1,0 +1,92 @@
+"""Command-line entry point: ``python -m repro.analysis``.
+
+Exit-code contract (relied on by CI):
+
+* ``0`` — every scanned file is clean,
+* ``1`` — at least one finding,
+* ``2`` — usage error, unknown rule code, missing path, or a file that
+  does not parse.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.engine import analyze_paths
+from repro.analysis.registry import all_rules
+from repro.analysis.reporters import render_report
+from repro.exceptions import AnalysisError
+
+__all__ = ["main"]
+
+
+def _split_codes(raw: Sequence[str]) -> list[str]:
+    codes: list[str] = []
+    for chunk in raw:
+        codes.extend(c.strip() for c in chunk.split(",") if c.strip())
+    return codes
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-specific static analysis for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to scan (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run exclusively (e.g. RR101,RR103)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name}")
+            print(f"       {rule.rationale}")
+        return 0
+
+    select = _split_codes(options.select) if options.select is not None else None
+    ignore = _split_codes(options.ignore) if options.ignore is not None else None
+    if options.select is not None and not select:
+        print("error: --select given but no rule codes supplied", file=sys.stderr)
+        return 2
+    try:
+        report = analyze_paths(options.paths, select=select, ignore=ignore)
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_report(report, options.format))
+    return report.exit_code()

@@ -1,0 +1,60 @@
+"""Per-module analysis context shared by every rule.
+
+A :class:`ModuleContext` bundles the parsed AST, the raw source, and the
+path metadata rules use for scoping (e.g. RR102 only applies inside the
+``core`` and ``probability`` packages).  Parsing happens once per file;
+every rule then walks the same tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePath
+
+from repro.analysis.findings import Finding
+from repro.exceptions import AnalysisError
+
+__all__ = ["ModuleContext"]
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to inspect one source module."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    #: Path components, used for package scoping (``("src", "repro", "core", ...)``).
+    parts: tuple[str, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def from_source(cls, source: str, path: str = "<string>") -> "ModuleContext":
+        """Parse ``source`` into a context; raises :class:`AnalysisError`
+        (carrying the original ``SyntaxError``) on unparseable input."""
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            raise AnalysisError(f"{path}: cannot parse: {exc.msg} (line {exc.lineno})") from exc
+        parts = tuple(p for p in PurePath(path).parts if p not in (".", ".."))
+        return cls(path=path, source=source, tree=tree, parts=parts)
+
+    def in_package(self, *names: str) -> bool:
+        """Whether any path component equals one of ``names``.
+
+        Package membership is judged from the path so that fixture trees
+        (``tests/analysis/fixtures/repro/core/...``) scope exactly like
+        the real source tree (``src/repro/core/...``).
+        """
+        wanted = set(names)
+        return any(part in wanted for part in self.parts)
+
+    def finding(self, node: ast.AST, code: str, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``'s location."""
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 0),
+            column=getattr(node, "col_offset", -1) + 1,
+            code=code,
+            message=message,
+        )

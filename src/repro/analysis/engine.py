@@ -1,0 +1,143 @@
+"""The analysis driver: file discovery, rule dispatch, suppression.
+
+The engine is deliberately small: parse each module once, run every
+selected rule whose scope matches, drop findings silenced by
+``# repro: noqa`` comments, and hand the rest to a reporter.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, all_rules
+from repro.analysis.suppressions import SuppressionIndex
+from repro.exceptions import AnalysisError
+
+__all__ = ["AnalysisReport", "analyze_paths", "analyze_source", "iter_python_files"]
+
+#: Directories never descended into during discovery.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".mypy_cache", ".ruff_cache", ".pytest_cache"})
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one analysis run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    #: Files that failed to parse, as ``(path, message)`` pairs.
+    parse_errors: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when no findings and no parse errors."""
+        return not self.findings and not self.parse_errors
+
+    def counts_by_code(self) -> dict[str, int]:
+        """Finding tally per rule code (sorted by code)."""
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def exit_code(self) -> int:
+        """CLI contract: 0 clean, 1 findings, 2 parse/usage errors."""
+        if self.parse_errors:
+            return 2
+        return 1 if self.findings else 0
+
+
+def _select_rules(
+    select: Iterable[str] | None, ignore: Iterable[str] | None
+) -> list[Rule]:
+    rules = all_rules()
+    if select is not None:
+        wanted = {c.upper() for c in select}
+        unknown = wanted - {r.code for r in rules}
+        if unknown:
+            raise AnalysisError(f"unknown rule code(s) in --select: {sorted(unknown)}")
+        rules = [r for r in rules if r.code in wanted]
+    if ignore is not None:
+        dropped = {c.upper() for c in ignore}
+        unknown = dropped - {r.code for r in all_rules()}
+        if unknown:
+            raise AnalysisError(f"unknown rule code(s) in --ignore: {sorted(unknown)}")
+        rules = [r for r in rules if r.code not in dropped]
+    if not rules:
+        # A "clean" run with zero rules active is a footgun (a typo'd
+        # --select would mask every finding); refuse instead.
+        raise AnalysisError("rule selection left no rules to run")
+    return rules
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Run rules over one in-memory module; findings come back sorted.
+
+    Raises :class:`AnalysisError` when the source does not parse.
+    """
+    ctx = ModuleContext.from_source(source, path)
+    index = SuppressionIndex.from_source(source)
+    active = list(rules) if rules is not None else all_rules()
+    findings: list[Finding] = []
+    for rule in active:
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if not index.suppresses(finding):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def iter_python_files(paths: Sequence[str]) -> list[str]:
+    """Expand files and directories into a sorted list of ``.py`` files.
+
+    Raises :class:`AnalysisError` for a path that does not exist — a
+    typo'd path silently scanning nothing would defeat a CI gate.
+    """
+    result: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            result.append(path)
+        elif os.path.isdir(path):
+            for root, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        result.append(os.path.join(root, filename))
+        else:
+            raise AnalysisError(f"path does not exist: {path}")
+    return sorted(dict.fromkeys(result))
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    *,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> AnalysisReport:
+    """Analyze every ``.py`` file under ``paths``."""
+    rules = _select_rules(select, ignore)
+    report = AnalysisReport()
+    for filename in iter_python_files(paths):
+        try:
+            with open(filename, encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            report.parse_errors.append((filename, f"cannot read: {exc}"))
+            continue
+        report.files_checked += 1
+        try:
+            report.findings.extend(analyze_source(source, filename, rules=rules))
+        except AnalysisError as exc:
+            report.parse_errors.append((filename, str(exc)))
+    report.findings.sort()
+    return report

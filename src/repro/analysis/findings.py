@@ -1,0 +1,28 @@
+"""The unit of lint output: one finding at one source location."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation.
+
+    Orders by location first so that reporter output follows the file
+    top to bottom regardless of which rule fired.
+    """
+
+    path: str
+    line: int
+    column: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical one-line text form ``path:line:col: CODE msg``."""
+        return f"{self.path}:{self.line}:{self.column}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable form, used by the JSON reporter."""
+        return asdict(self)

@@ -1,0 +1,127 @@
+"""Rule base class and the global rule registry.
+
+Rules self-register through the :func:`register_rule` decorator; the
+engine instantiates every registered rule per run.  Codes follow the
+``RR###`` convention so suppression comments and ``--select`` filters
+have a stable vocabulary.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Callable, Iterable, Iterator, TypeVar
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.exceptions import AnalysisError
+
+__all__ = ["Rule", "all_rules", "get_rule", "register_rule"]
+
+_CODE_PATTERN = re.compile(r"^RR\d{3}$")
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``applies_to`` gates the rule per module (package scoping); the
+    engine only calls ``check`` when it returns true.
+    """
+
+    #: Stable identifier, ``RR###``.
+    code: str = ""
+    #: Short kebab-case name shown by ``--list-rules``.
+    name: str = ""
+    #: One-line rationale tied to the repo's correctness invariants.
+    rationale: str = ""
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        """Whether this rule runs on ``ctx`` at all (default: always)."""
+        return True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for one module."""
+        raise NotImplementedError
+
+    # -- shared AST helpers -------------------------------------------------
+
+    @staticmethod
+    def walk_scope(body: Iterable[ast.stmt]) -> Iterator[ast.AST]:
+        """Walk statements without descending into nested function scopes.
+
+        Rules that reason about "the enclosing function" (RR103's guard
+        domination) need the function's own statements only; a nested
+        closure is its own scope with its own guard obligations.
+        """
+        for stmt in body:
+            yield stmt
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            yield from Rule._walk_no_functions(stmt)
+
+    @staticmethod
+    def _walk_no_functions(node: ast.AST) -> Iterator[ast.AST]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            yield child
+            yield from Rule._walk_no_functions(child)
+
+    @staticmethod
+    def terminal_name(node: ast.AST) -> str | None:
+        """The rightmost identifier of a ``Name`` or ``Attribute`` chain."""
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        return None
+
+    @staticmethod
+    def identifier_tokens(node: ast.AST) -> set[str]:
+        """Every identifier mentioned anywhere under ``node``."""
+        tokens: set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name):
+                tokens.add(sub.id)
+            elif isinstance(sub, ast.Attribute):
+                tokens.add(sub.attr)
+            elif isinstance(sub, ast.arg):
+                tokens.add(sub.arg)
+        return tokens
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+R = TypeVar("R", bound=type[Rule])
+
+
+def register_rule(cls: R) -> R:
+    """Class decorator: add ``cls`` to the global registry."""
+    if not _CODE_PATTERN.match(cls.code):
+        raise AnalysisError(f"rule {cls.__name__} has malformed code {cls.code!r}")
+    if cls.code in _REGISTRY:
+        raise AnalysisError(f"duplicate rule code {cls.code}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, sorted by code."""
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Rule:
+    """Instantiate one rule by code; raises :class:`AnalysisError` if unknown."""
+    try:
+        return _REGISTRY[code]()
+    except KeyError as exc:
+        raise AnalysisError(f"unknown rule code {code!r}") from exc
+
+
+def known_codes() -> frozenset[str]:
+    """The set of registered rule codes."""
+    return frozenset(_REGISTRY)
+
+
+Predicate = Callable[[ModuleContext], bool]

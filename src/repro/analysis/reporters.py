@@ -1,0 +1,59 @@
+"""Reporters: render an :class:`AnalysisReport` for humans or machines.
+
+``text`` is the terminal format (one finding per line plus a summary);
+``json`` is a stable machine format for CI annotation tooling.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import AnalysisReport
+from repro.exceptions import AnalysisError
+
+__all__ = ["render_report", "render_text", "render_json"]
+
+#: Bumped whenever the JSON shape changes incompatibly.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(report: AnalysisReport) -> str:
+    """One line per finding, then parse errors, then a summary line."""
+    lines = [finding.render() for finding in report.findings]
+    for path, message in report.parse_errors:
+        lines.append(f"{path}: PARSE-ERROR {message}")
+    counts = report.counts_by_code()
+    if report.clean:
+        lines.append(f"checked {report.files_checked} file(s): clean")
+    else:
+        tally = ", ".join(f"{code}×{n}" for code, n in counts.items()) or "none"
+        lines.append(
+            f"checked {report.files_checked} file(s): "
+            f"{len(report.findings)} finding(s) [{tally}], "
+            f"{len(report.parse_errors)} parse error(s)"
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport) -> str:
+    """Stable JSON document; keys are part of the CI contract."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": report.files_checked,
+        "findings": [finding.to_dict() for finding in report.findings],
+        "counts_by_code": report.counts_by_code(),
+        "parse_errors": [
+            {"path": path, "message": message} for path, message in report.parse_errors
+        ],
+        "exit_code": report.exit_code(),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_report(report: AnalysisReport, fmt: str = "text") -> str:
+    """Dispatch on ``fmt`` (``"text"`` or ``"json"``)."""
+    if fmt == "text":
+        return render_text(report)
+    if fmt == "json":
+        return render_json(report)
+    raise AnalysisError(f"unknown report format {fmt!r}")

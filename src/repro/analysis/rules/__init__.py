@@ -1,0 +1,15 @@
+"""Rule implementations.
+
+Importing this package registers every rule with
+:mod:`repro.analysis.registry`; the modules group related invariants:
+
+* :mod:`~repro.analysis.rules.randomness` — RR101
+* :mod:`~repro.analysis.rules.numerics` — RR102, RR103
+* :mod:`~repro.analysis.rules.hygiene` — RR104, RR105, RR106
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules import hygiene, numerics, randomness
+
+__all__ = ["hygiene", "numerics", "randomness"]

@@ -1,0 +1,188 @@
+"""RR104 / RR105 / RR106 — exception discipline, defaults, annotations.
+
+RR104: callers are promised that every deliberate library failure is a
+:class:`repro.exceptions.ReproError`; a stray ``raise ValueError``
+breaks ``except ReproError`` handling in long-running services.  Use
+:class:`~repro.exceptions.ReproValueError` (which still *is* a
+``ValueError``) for argument validation.
+
+RR105: a mutable default evaluates once at import; aliased mutations
+leak across calls — a classic heisenbug generator.
+
+RR106: ``py.typed`` ships with the wheel, so the public surface of the
+algorithmic packages must actually carry annotations for downstream
+type checking (and our mypy strict gate) to mean anything.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register_rule
+
+__all__ = ["BuiltinExceptionRaised", "MutableDefaultArgument", "MissingAnnotations"]
+
+#: Builtin exception names whose direct ``raise`` is forbidden inside
+#: the library.  ``NotImplementedError`` stays allowed (abstract-method
+#: convention), as do the flow-control exceptions.
+_FORBIDDEN_BUILTINS = frozenset(
+    {
+        "ArithmeticError",
+        "AssertionError",
+        "AttributeError",
+        "BaseException",
+        "BufferError",
+        "EOFError",
+        "Exception",
+        "IOError",
+        "IndexError",
+        "KeyError",
+        "LookupError",
+        "MemoryError",
+        "OSError",
+        "OverflowError",
+        "RuntimeError",
+        "StopIteration",
+        "TypeError",
+        "ValueError",
+        "ZeroDivisionError",
+    }
+)
+
+
+@register_rule
+class BuiltinExceptionRaised(Rule):
+    code = "RR104"
+    name = "builtin-exception-raised"
+    rationale = (
+        "library failures must derive from ReproError so callers can catch "
+        "the hierarchy; use ReproValueError for argument validation"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_package("repro")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            name = self.terminal_name(exc.func if isinstance(exc, ast.Call) else exc)
+            if name in _FORBIDDEN_BUILTINS:
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"raise of builtin {name}; raise a ReproError subclass "
+                    "(e.g. ReproValueError) instead",
+                )
+
+
+#: Call targets producing a fresh mutable container — still mutable
+#: state shared across calls when used as a default.
+_MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "bytearray", "deque", "defaultdict", "Counter", "OrderedDict"}
+)
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return Rule.terminal_name(node.func) in _MUTABLE_FACTORIES
+    return False
+
+
+@register_rule
+class MutableDefaultArgument(Rule):
+    code = "RR105"
+    name = "mutable-default-argument"
+    rationale = "a mutable default is evaluated once and shared across calls"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    label = getattr(node, "name", "<lambda>")
+                    yield ctx.finding(
+                        default,
+                        self.code,
+                        f"mutable default argument in {label}(); "
+                        "use None and create the container inside the body",
+                    )
+
+
+@register_rule
+class MissingAnnotations(Rule):
+    code = "RR106"
+    name = "missing-annotations"
+    rationale = (
+        "py.typed ships with the wheel: the public API of core/, flow/ and "
+        "probability/ must be fully annotated for the strict mypy gate"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_package("core", "flow", "probability")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for func, owner in self._public_functions(ctx.tree):
+            skip_first = owner is not None and not self._is_static(func)
+            missing = self._missing_parameters(func, skip_first)
+            label = func.name if owner is None else f"{owner}.{func.name}"
+            if missing:
+                yield ctx.finding(
+                    func,
+                    self.code,
+                    f"public function {label}() has unannotated "
+                    f"parameter(s): {', '.join(missing)}",
+                )
+            if func.returns is None:
+                yield ctx.finding(
+                    func,
+                    self.code,
+                    f"public function {label}() has no return annotation",
+                )
+
+    @staticmethod
+    def _is_static(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+        return any(
+            Rule.terminal_name(dec) == "staticmethod" for dec in func.decorator_list
+        )
+
+    @staticmethod
+    def _public_functions(
+        tree: ast.Module,
+    ) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, str | None]]:
+        """Module-level public functions and public methods of
+        module-level public classes (underscore names are exempt, which
+        also exempts dunder methods)."""
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not node.name.startswith("_"):
+                    yield node, None
+            elif isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        if not item.name.startswith("_"):
+                            yield item, node.name
+
+    @staticmethod
+    def _missing_parameters(
+        func: ast.FunctionDef | ast.AsyncFunctionDef, skip_first: bool
+    ) -> list[str]:
+        positional = list(func.args.posonlyargs) + list(func.args.args)
+        if skip_first and positional:
+            positional = positional[1:]
+        params = positional + list(func.args.kwonlyargs)
+        if func.args.vararg is not None:
+            params.append(func.args.vararg)
+        if func.args.kwarg is not None:
+            params.append(func.args.kwarg)
+        return [p.arg for p in params if p.annotation is None]

@@ -1,0 +1,182 @@
+"""RR102 / RR103 — floating-point accumulation and bitmask-width guards.
+
+RR102: the exact algorithms fold up to ``2^|E|`` probability terms into
+one float.  Naive left-to-right accumulation (builtin ``sum`` or a
+``+=`` loop) loses low-order bits exactly where the paper's algorithm
+claims bit-for-bit exactness; compensated summation (``math.fsum`` or
+:class:`repro.core.summation.KahanSum`) costs a constant factor and
+keeps the result faithfully rounded.  NumPy's ``ndarray.sum()`` uses
+pairwise summation and is accepted.
+
+RR103: table sizes and enumeration ranges are built as ``1 << m`` /
+``2 ** m`` where ``m`` is an edge count.  Without a budget guard a
+slightly-too-large input turns into a 2^40-entry allocation or a silent
+uint64 overflow.  Any function that allocates or iterates a
+shift-sized table must be *dominated* by a bound check: a call to
+``check_enumerable``-style guards, a comparison against a ``MAX_*``
+constant, or an explicit ``raise IntractableError``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register_rule
+
+__all__ = ["BareProbabilityAccumulation", "UnguardedShiftWidth"]
+
+#: Substrings of identifiers that mark a value as probability-typed.
+_PROBABILITY_TOKENS = ("prob", "pmf", "weight", "reliab", "likelihood")
+
+
+def _mentions_probability(node: ast.AST) -> str | None:
+    """The first probability-ish identifier under ``node``, if any."""
+    for token in sorted(Rule.identifier_tokens(node)):
+        lowered = token.lower()
+        for marker in _PROBABILITY_TOKENS:
+            if marker in lowered:
+                return token
+    return None
+
+
+@register_rule
+class BareProbabilityAccumulation(Rule):
+    code = "RR102"
+    name = "bare-probability-accumulation"
+    rationale = (
+        "naive sum()/+= over probability terms loses low-order bits; use "
+        "math.fsum or repro.core.summation.KahanSum (numpy pairwise .sum() is fine)"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_package("core", "probability")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "sum"
+                and node.args
+            ):
+                witness = _mentions_probability(node.args[0])
+                if witness is not None:
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        f"builtin sum() over probability-typed data ({witness!r}); "
+                        "use math.fsum or repro.core.summation.KahanSum",
+                    )
+            elif isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+                witness = _mentions_probability(node.value) or _mentions_probability(
+                    node.target
+                )
+                if witness is not None:
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        f"+= accumulation of probability-typed data ({witness!r}); "
+                        "collect terms for math.fsum or use KahanSum",
+                    )
+
+
+#: Call targets whose terminal name means "this function guards the
+#: state-space budget" (raising IntractableError when exceeded).
+_GUARD_CALLS = frozenset({"check_enumerable", "check_enumeration_budget"})
+
+#: Callees for which a shift-sized argument means a table allocation or
+#: full enumeration.
+_ALLOCATING_CALLS = frozenset({"range", "zeros", "ones", "empty", "full", "arange"})
+
+#: Assignment-target names that hold a table size.
+_SIZE_NAMES = frozenset({"size", "table_size", "num_configs", "num_configurations"})
+
+
+def _is_width_shift(node: ast.AST) -> bool:
+    """``1 << X`` or ``2 ** X`` with a non-constant width ``X``."""
+    if not isinstance(node, ast.BinOp):
+        return False
+    if isinstance(node.op, ast.LShift):
+        base_ok = isinstance(node.left, ast.Constant) and node.left.value == 1
+    elif isinstance(node.op, ast.Pow):
+        base_ok = isinstance(node.left, ast.Constant) and node.left.value == 2
+    else:
+        return False
+    return base_ok and not isinstance(node.right, ast.Constant)
+
+
+def _scope_is_guarded(body: list[ast.stmt]) -> bool:
+    """Whether a function body contains any budget guard."""
+    for node in Rule.walk_scope(body):
+        if isinstance(node, ast.Call):
+            name = Rule.terminal_name(node.func)
+            if name in _GUARD_CALLS:
+                return True
+        elif isinstance(node, ast.Compare):
+            for sub in ast.walk(node):
+                name = Rule.terminal_name(sub)
+                if name is not None and name.startswith("MAX_") and name.isupper():
+                    return True
+        elif isinstance(node, ast.Raise) and node.exc is not None:
+            exc = node.exc
+            name = Rule.terminal_name(exc.func if isinstance(exc, ast.Call) else exc)
+            if name == "IntractableError":
+                return True
+        elif isinstance(node, ast.Assert):
+            for sub in ast.walk(node.test):
+                name = Rule.terminal_name(sub)
+                if name is not None and name.startswith("MAX_") and name.isupper():
+                    return True
+    return False
+
+
+def _shift_sites(body: list[ast.stmt]) -> Iterator[tuple[ast.BinOp, str]]:
+    """Width-shifts in allocation position within one scope."""
+    for node in Rule.walk_scope(body):
+        if isinstance(node, ast.Call):
+            callee = Rule.terminal_name(node.func)
+            if callee in _ALLOCATING_CALLS:
+                for arg in node.args:
+                    if _is_width_shift(arg):
+                        yield arg, f"argument of {callee}()"
+        elif isinstance(node, ast.Assign):
+            if _is_width_shift(node.value) and any(
+                isinstance(t, ast.Name) and t.id in _SIZE_NAMES for t in node.targets
+            ):
+                target = next(
+                    t.id
+                    for t in node.targets
+                    if isinstance(t, ast.Name) and t.id in _SIZE_NAMES
+                )
+                yield node.value, f"assigned to {target!r}"
+
+
+@register_rule
+class UnguardedShiftWidth(Rule):
+    code = "RR103"
+    name = "unguarded-shift-width"
+    rationale = (
+        "1 << n / 2 ** n table allocations need a dominating MAX_*-style "
+        "budget check (e.g. check_enumerable) in the same function"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        scopes: list[list[ast.stmt]] = [ctx.tree.body]
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node.body)
+        for body in scopes:
+            if _scope_is_guarded(body):
+                continue
+            for shift, where in _shift_sites(body):
+                op = "1 <<" if isinstance(shift.op, ast.LShift) else "2 **"
+                width = ast.unparse(shift.right)
+                yield ctx.finding(
+                    shift,
+                    self.code,
+                    f"unguarded width shift {op} {width} ({where}); add a "
+                    "check_enumerable / MAX_* bound check to this function",
+                )

@@ -1,0 +1,136 @@
+"""RR101 — no unseeded randomness.
+
+Every stochastic routine in the repo threads an explicit
+:class:`numpy.random.Generator` (see ``repro.graph.generators.as_rng``),
+which is what makes Monte-Carlo runs reproducible and the E9
+cross-validation against the exact algorithms meaningful.  Calling the
+stdlib ``random`` module or the legacy global-state ``numpy.random.*``
+API bypasses that discipline: results change run to run and a CI
+failure can never be replayed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register_rule
+
+__all__ = ["UnseededRandomness"]
+
+#: ``numpy.random`` attributes that construct *seedable* objects — the
+#: sanctioned way in; everything else on the module is legacy global
+#: state (``np.random.rand``, ``np.random.seed``, ...).
+_SEEDABLE_CONSTRUCTORS = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "MT19937",
+        "SFC64",
+    }
+)
+
+
+def _collect_aliases(tree: ast.Module) -> tuple[set[str], set[str], set[str]]:
+    """Names bound to the stdlib ``random`` module, the ``numpy``
+    module, and the ``numpy.random`` submodule by import statements."""
+    stdlib_random: set[str] = set()
+    numpy_mod: set[str] = set()
+    numpy_random: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                if alias.name == "random":
+                    stdlib_random.add(bound)
+                elif alias.name == "numpy":
+                    numpy_mod.add(bound)
+                elif alias.name == "numpy.random":
+                    if alias.asname is not None:
+                        numpy_random.add(alias.asname)
+                    else:
+                        numpy_mod.add("numpy")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "numpy":
+                for alias in node.names:
+                    if alias.name == "random":
+                        numpy_random.add(alias.asname or "random")
+    return stdlib_random, numpy_mod, numpy_random
+
+
+@register_rule
+class UnseededRandomness(Rule):
+    code = "RR101"
+    name = "unseeded-randomness"
+    rationale = (
+        "stdlib random.* and legacy np.random.* use hidden global state; "
+        "inject a seeded numpy Generator (as_rng) instead"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        stdlib_random, numpy_mod, numpy_random = _collect_aliases(ctx.tree)
+
+        # ``from random import shuffle`` — flagged at the import: any
+        # use of what it binds is global-state randomness.
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                names = ", ".join(alias.name for alias in node.names)
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"import of {names} from the stdlib random module; "
+                    "use an injected numpy Generator (repro.graph.generators.as_rng)",
+                )
+            if isinstance(node, ast.ImportFrom) and node.module == "numpy.random":
+                for alias in node.names:
+                    if alias.name not in _SEEDABLE_CONSTRUCTORS:
+                        yield ctx.finding(
+                            node,
+                            self.code,
+                            f"import of legacy numpy.random.{alias.name}; "
+                            "only seedable constructors (default_rng, Generator, ...) "
+                            "are allowed",
+                        )
+
+        if not stdlib_random and not numpy_mod and not numpy_random:
+            return
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            # ``random.<fn>(...)`` on the stdlib module alias.
+            if isinstance(func.value, ast.Name) and func.value.id in stdlib_random:
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"call to stdlib random.{func.attr}(); results are not "
+                    "reproducible — thread a seeded numpy Generator instead",
+                )
+                continue
+            # ``np.random.<fn>(...)`` / ``npr.<fn>(...)`` on numpy.random.
+            target = func.value
+            is_numpy_random = (
+                isinstance(target, ast.Name) and target.id in numpy_random
+            ) or (
+                isinstance(target, ast.Attribute)
+                and target.attr == "random"
+                and isinstance(target.value, ast.Name)
+                and target.value.id in numpy_mod
+            )
+            if is_numpy_random and func.attr not in _SEEDABLE_CONSTRUCTORS:
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"call to legacy numpy.random.{func.attr}(); global-state "
+                    "RNG breaks reproducibility — use default_rng / as_rng",
+                )

@@ -1,0 +1,69 @@
+"""Parsing of ``# repro: noqa[...]`` suppression comments.
+
+Suppressions are deliberate, auditable exceptions: ``# repro:
+noqa[RR103]`` silences exactly one rule on exactly one line, while a
+bare ``# repro: noqa`` silences every rule on that line.  Plain
+``# noqa`` (the flake8/ruff spelling) is intentionally *not* honoured —
+the project prefix keeps generic-linter suppressions from silently
+disabling the numerical invariants.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+from repro.analysis.findings import Finding
+
+__all__ = ["SuppressionIndex"]
+
+_NOQA = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]*)\])?", re.IGNORECASE)
+
+#: Sentinel meaning "every rule suppressed on this line".
+_ALL = "*"
+
+
+class SuppressionIndex:
+    """Per-line map of suppressed rule codes for one module."""
+
+    def __init__(self, codes_by_line: dict[int, frozenset[str]]) -> None:
+        self._codes_by_line = codes_by_line
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionIndex":
+        """Scan every comment token; tolerate tokenize failures (the
+        AST parse is the authoritative syntax gate)."""
+        codes_by_line: dict[int, frozenset[str]] = {}
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            return cls(codes_by_line)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _NOQA.search(token.string)
+            if not match:
+                continue
+            raw = match.group("codes")
+            if raw is None:
+                codes = frozenset((_ALL,))
+            else:
+                codes = frozenset(c.strip().upper() for c in raw.split(",") if c.strip())
+                if not codes:
+                    # ``noqa[]`` — treat an empty bracket as suppressing
+                    # nothing rather than everything.
+                    continue
+            line = token.start[0]
+            codes_by_line[line] = codes_by_line.get(line, frozenset()) | codes
+        return cls(codes_by_line)
+
+    def suppresses(self, finding: Finding) -> bool:
+        """Whether ``finding`` is silenced by a comment on its line."""
+        codes = self._codes_by_line.get(finding.line)
+        if codes is None:
+            return False
+        return _ALL in codes or finding.code in codes
+
+    def __len__(self) -> int:
+        return len(self._codes_by_line)

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.demand import FlowDemand
+from repro.exceptions import ReproValueError
 from repro.graph.generators import bottlenecked_network, chained_network
 from repro.graph.network import FlowNetwork
 
@@ -60,7 +61,7 @@ def alpha_workload(
     ``alpha`` is the fraction of side links on the bigger side.
     """
     if not 0.5 <= alpha < 1.0:
-        raise ValueError("alpha must be in [0.5, 1)")
+        raise ReproValueError("alpha must be in [0.5, 1)")
     big = max(k + 1, round(total_links * alpha))
     small = max(k, total_links - big)
     net = bottlenecked_network(

@@ -41,7 +41,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.arrays import RealizationArray
-from repro.exceptions import IntractableError
+from repro.exceptions import IntractableError, ReproValueError
 from repro.probability.bitset import parity_array
 from repro.probability.zeta import superset_zeta
 
@@ -138,14 +138,14 @@ def accumulate(
     ``strategy`` is ``"zeta"``, ``"pairs"`` or ``"auto"``.
     """
     if source.num_assignments != sink.num_assignments:
-        raise ValueError("side arrays disagree on the assignment count")
+        raise ReproValueError("side arrays disagree on the assignment count")
     for j in assignment_indices:
         if not (0 <= j < source.num_assignments):
-            raise ValueError(f"assignment index {j} out of range")
+            raise ReproValueError(f"assignment index {j} out of range")
     if strategy == "auto":
         strategy = "zeta" if len(assignment_indices) <= 12 else "pairs"
     if strategy == "zeta":
         return _accumulate_zeta(source, sink, assignment_indices)
     if strategy == "pairs":
         return _accumulate_pairs(source, sink, assignment_indices)
-    raise ValueError(f"unknown accumulation strategy {strategy!r}")
+    raise ReproValueError(f"unknown accumulation strategy {strategy!r}")

@@ -18,6 +18,7 @@ from typing import Iterator, Sequence
 
 from repro.exceptions import DemandError
 from repro.probability.bitset import indices_from_mask
+from repro.probability.enumeration import check_enumerable
 
 __all__ = [
     "enumerate_assignments",
@@ -132,6 +133,7 @@ def classify_by_support(
     exactly the assignments whose positive components they cover, and
     (in that example) every subset of size <= 1 supports nothing.
     """
+    check_enumerable(num_links)
     supports_of = [support_mask(a) for a in assignments]
     table: dict[int, tuple[int, ...]] = {}
     for subset in range(1 << num_links):
@@ -145,6 +147,7 @@ def iter_support_classes(
     assignments: Sequence[Sequence[int]], num_links: int
 ) -> Iterator[tuple[int, tuple[int, ...]]]:
     """Yield ``(subset_mask, supported indices)`` pairs lazily."""
+    check_enumerable(num_links)
     supports_of = [support_mask(a) for a in assignments]
     for subset in range(1 << num_links):
         yield subset, tuple(j for j, s in enumerate(supports_of) if s & ~subset == 0)

@@ -34,11 +34,13 @@ from repro.core.assignments import (
 )
 from repro.core.demand import FlowDemand
 from repro.core.result import ReliabilityResult
+from repro.core.summation import prob_fsum
 from repro.exceptions import DecompositionError
 from repro.flow.base import MaxFlowSolver
 from repro.graph.cuts import find_bottleneck, verify_bottleneck
 from repro.graph.network import FlowNetwork
 from repro.graph.transforms import SideSplit
+from repro.probability.enumeration import check_enumerable
 
 __all__ = ["bottleneck_reliability", "pattern_probability"]
 
@@ -144,9 +146,10 @@ def bottleneck_reliability(
     # one accumulation.
     from repro.core.accumulate import accumulate  # local: avoids cycle at import
 
+    check_enumerable(k)
     classes = classify_by_support(assignments, k)
     cache: dict[tuple[int, ...], float] = {}
-    total = 0.0
+    terms: list[float] = []
     for pattern in range(1 << k):
         supported = classes[pattern]
         if not supported:
@@ -158,10 +161,10 @@ def bottleneck_reliability(
         if r is None:
             r = accumulate(source_array, sink_array, supported, strategy=strategy)
             cache[supported] = r
-        total += p_pattern * r
+        terms.append(p_pattern * r)
 
     return ReliabilityResult(
-        value=total,
+        value=prob_fsum(terms),
         method="bottleneck",
         flow_calls=source_array.flow_calls + sink_array.flow_calls,
         configurations=len(source_array.masks) + len(sink_array.masks),

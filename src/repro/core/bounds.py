@@ -24,11 +24,13 @@ from itertools import combinations
 
 from repro.core.demand import FlowDemand
 from repro.core.feasibility import FeasibilityOracle
+from repro.core.summation import prob_fsum
 from repro.exceptions import ReproError
 from repro.flow.base import MaxFlowSolver, get_solver, max_flow
 from repro.flow.mincut import min_cut_links
 from repro.graph.cuts import minimal_st_cuts, minimum_cardinality_cut
 from repro.graph.network import FlowNetwork
+from repro.probability.enumeration import check_enumerable
 
 __all__ = ["cut_upper_bound", "route_lower_bound", "reliability_bounds"]
 
@@ -36,9 +38,10 @@ __all__ = ["cut_upper_bound", "route_lower_bound", "reliability_bounds"]
 def _cut_survival_probability(net: FlowNetwork, cut: tuple[int, ...], demand: int) -> float:
     """``P(alive capacity of the cut >= demand)`` exactly."""
     k = len(cut)
+    check_enumerable(k)
     caps = [net.link(i).capacity for i in cut]
     probs = [net.link(i).failure_probability for i in cut]
-    total = 0.0
+    terms: list[float] = []
     for pattern in range(1 << k):
         alive_capacity = sum(c for i, c in enumerate(caps) if (pattern >> i) & 1)
         if alive_capacity < demand:
@@ -46,8 +49,8 @@ def _cut_survival_probability(net: FlowNetwork, cut: tuple[int, ...], demand: in
         p = 1.0
         for i in range(k):
             p *= (1.0 - probs[i]) if (pattern >> i) & 1 else probs[i]
-        total += p
-    return total
+        terms.append(p)
+    return prob_fsum(terms)
 
 
 def cut_upper_bound(
@@ -137,8 +140,10 @@ def route_lower_bound(
             bits ^= low
         return p
 
-    # Inclusion–exclusion over subsets of families.
-    total = 0.0
+    # Inclusion–exclusion over subsets of families.  The expansion
+    # alternates signs, so the terms are fsum'd: cancellation under
+    # naive accumulation is exactly what RR102 exists to prevent.
+    terms: list[float] = []
     r = len(families)
     for size in range(1, r + 1):
         sign = 1.0 if size % 2 == 1 else -1.0
@@ -146,8 +151,8 @@ def route_lower_bound(
             union = 0
             for j in chosen:
                 union |= families[j]
-            total += sign * all_alive_probability(union)
-    return total
+            terms.append(sign * all_alive_probability(union))
+    return prob_fsum(terms)
 
 
 def reliability_bounds(

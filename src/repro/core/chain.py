@@ -40,6 +40,7 @@ from repro.core.assignments import enumerate_assignments, support_mask
 from repro.core.bottleneck import pattern_probability
 from repro.core.demand import FlowDemand
 from repro.core.result import ReliabilityResult
+from repro.core.summation import prob_fsum
 from repro.exceptions import DecompositionError, SolverError
 from repro.flow.base import MaxFlowSolver, get_solver
 from repro.flow.residual import build_template
@@ -268,6 +269,8 @@ def _cross_cut(
 ) -> np.ndarray:
     """Mix the subset distribution over the cut's survival patterns."""
     q = len(assignments)
+    check_enumerable(len(cut))
+    check_enumerable(q)
     supports = [support_mask(a) for a in assignments]
     new = np.zeros_like(dist)
     for pattern in range(1 << len(cut)):
@@ -294,6 +297,7 @@ def _through_segment(
     q_out: int,
 ) -> np.ndarray:
     """Push the subset distribution through a middle segment."""
+    check_enumerable(max(q_in, q_out))
     new = np.zeros(1 << q_out, dtype=np.float64)
     size = relation.shape[0]
     # Precompute, per configuration, the in-mask that can reach each b.
@@ -412,15 +416,15 @@ def chain_reliability(
     # probability — via a subset-zeta table evaluated at ~R.
     zeta_t = subset_zeta(q_t, inplace=True)
     full = (1 << qr) - 1
-    total = 0.0
+    terms: list[float] = []
     for state in range(1 << qr):
         value = dist[state]
         if value == 0.0 or state == 0:
             continue
-        total += value * (1.0 - zeta_t[full & ~state])
+        terms.append(value * (1.0 - zeta_t[full & ~state]))
 
     return ReliabilityResult(
-        value=total,
+        value=prob_fsum(terms),
         method="chain",
         flow_calls=flow_calls,
         configurations=configurations,

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.core.demand import FlowDemand
 from repro.core.feasibility import FeasibilityOracle
+from repro.core.summation import prob_fsum
 from repro.exceptions import EstimationError
 from repro.flow.base import MaxFlowSolver
 from repro.graph.generators import as_rng
@@ -52,12 +53,12 @@ class FlowValueDistribution:
         """``P(maxflow >= demand)`` — the paper's quantity, any ``d``."""
         if demand <= 0:
             return 1.0
-        return float(sum(self.pmf[demand:]))
+        return prob_fsum(self.pmf[demand:])
 
     @property
     def expected_value(self) -> float:
         """Expected deliverable bit-rate ``E[maxflow]``."""
-        return float(sum(v * p for v, p in enumerate(self.pmf)))
+        return prob_fsum(v * p for v, p in enumerate(self.pmf))
 
     def quantile_rate(self, confidence: float) -> int:
         """The largest rate deliverable with probability >= ``confidence``.

@@ -42,6 +42,7 @@ from collections import deque
 
 from repro.core.demand import FlowDemand
 from repro.core.result import ReliabilityResult
+from repro.core.summation import KahanSum
 from repro.exceptions import ReproError
 from repro.graph.network import FlowNetwork, Node
 
@@ -154,7 +155,7 @@ def frontier_reliability(
     # per sweep position, so it lives outside the state keys.
     frontier: list[Node] = []
     states: dict[tuple, float] = {((), ()): 1.0}
-    success = 0.0
+    success = KahanSum()
     peak_states = 1
 
     for position, index in enumerate(order):
@@ -223,7 +224,7 @@ def frontier_reliability(
             if p_ok > 0.0:
                 merged_flags = flag_list[cu] | flag_list[cv]
                 if merged_flags == (_S_FLAG | _T_FLAG):
-                    success += weight * p_ok
+                    success.add(weight * p_ok)
                     continue
                 if cu == cv:
                     emit(list(ids), list(flag_list), weight * p_ok)
@@ -245,7 +246,7 @@ def frontier_reliability(
             )
 
     return ReliabilityResult(
-        value=success,
+        value=success.value,
         method="frontier",
         configurations=peak_states,
         details={
@@ -312,7 +313,7 @@ def directed_frontier_reliability(
     # state key: (S bits, T bits, M as tuple of row ints). M rows are
     # reflexive (bit i set in row i).
     states: dict[tuple, float] = {(0, 0, ()): 1.0}
-    success = 0.0
+    success = KahanSum()
     peak_states = 1
     s_departed = False
     t_departed = False
@@ -395,7 +396,7 @@ def directed_frontier_reliability(
                             if (rows[x] >> a) & 1:
                                 T |= 1 << x
                 if S & T:
-                    success += weight * p_ok
+                    success.add(weight * p_ok)
                     continue
                 if not ((sd and S == 0) or (td and T == 0)):
                     project(S, T, rows, weight * p_ok)
@@ -411,7 +412,7 @@ def directed_frontier_reliability(
             )
 
     return ReliabilityResult(
-        value=success,
+        value=success.value,
         method="frontier-directed",
         configurations=peak_states,
         details={

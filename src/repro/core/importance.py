@@ -57,7 +57,7 @@ def link_importances(
     demand: FlowDemand,
     *,
     method: str = "auto",
-    **options,
+    **options: object,
 ) -> list[LinkImportance]:
     """Importance measures for every link, in index order.
 
@@ -113,7 +113,7 @@ def most_important_link(
     *,
     measure: str = "birnbaum",
     method: str = "auto",
-    **options,
+    **options: object,
 ) -> LinkImportance:
     """The link maximizing the chosen measure.
 

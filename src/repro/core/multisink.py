@@ -28,6 +28,7 @@ from repro.core.demand import FlowDemand
 from repro.core.feasibility import FeasibilityOracle
 from repro.core.naive import MAX_NAIVE_BITS
 from repro.core.result import ReliabilityResult
+from repro.core.summation import prob_fsum
 from repro.exceptions import DemandError
 from repro.flow.base import MaxFlowSolver
 from repro.graph.network import FlowNetwork, Node
@@ -134,7 +135,7 @@ class CoverageReport:
         subscriber served *on its own*, ignoring capacity contention —
         an upper-bound companion to :attr:`broadcast`.
         """
-        return sum(self.individual) / len(self.individual)
+        return prob_fsum(self.individual) / len(self.individual)
 
     @property
     def weakest(self) -> tuple[Node, float]:

@@ -28,6 +28,7 @@ from repro.core.demand import FlowDemand
 from repro.core.feasibility import FeasibilityOracle
 from repro.core.naive import MAX_NAIVE_BITS
 from repro.core.result import ReliabilityResult
+from repro.core.summation import KahanSum, prob_fsum
 from repro.exceptions import EstimationError
 from repro.graph.io import from_dict, to_dict
 from repro.graph.network import FlowNetwork
@@ -59,14 +60,15 @@ def _worker_sum(
     net = from_dict(net_data)
     oracle = FeasibilityOracle(net, source, sink, rate)
     probabilities = configuration_probabilities(net)
+    check_enumerable(low_bits, limit=MAX_NAIVE_BITS)
     size = 1 << low_bits
     base = high_pattern << low_bits
-    total = 0.0
+    total = KahanSum()
     if not prune:
         for low in range(size):
             if oracle.feasible(base | low):
-                total += float(probabilities[base | low])
-        return total, oracle.calls
+                total.add(float(probabilities[base | low]))
+        return total.value, oracle.calls
 
     counts = popcount_array(low_bits)
     order = np.argsort(-counts.astype(np.int16), kind="stable")
@@ -85,8 +87,8 @@ def _worker_sum(
             continue
         if oracle.feasible(base | low):
             feasible[low] = True
-            total += float(probabilities[base | low])
-    return total, oracle.calls
+            total.add(float(probabilities[base | low]))
+    return total.value, oracle.calls
 
 
 def parallel_naive_reliability(
@@ -131,7 +133,7 @@ def parallel_naive_reliability(
     else:
         with ProcessPoolExecutor(max_workers=min(workers, chunks)) as pool:
             results = list(pool.map(_worker_sum, *zip(*args)))
-    value = float(sum(r[0] for r in results))
+    value = prob_fsum(r[0] for r in results)
     calls = int(sum(r[1] for r in results))
     return ReliabilityResult(
         value=value,

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from repro.core.demand import FlowDemand
 from repro.core.result import ReliabilityResult
+from repro.core.summation import prob_fsum
 from repro.exceptions import IntractableError, ReproError
 from repro.graph.network import FlowNetwork, Node
 from repro.probability.bitset import parity_array
@@ -102,6 +103,12 @@ def minpath_reliability(
         raise ReproError("minpath inclusion-exclusion handles unit demands only")
     paths = minimal_paths(net, demand.source, demand.sink, max_paths=max_paths)
     n = len(paths)
+    if n > MAX_MINPATHS:
+        raise IntractableError(
+            f"inclusion-exclusion over {n} paths needs 2^{n} terms",
+            required=n,
+            limit=MAX_MINPATHS,
+        )
     if n == 0:
         return ReliabilityResult(
             value=0.0, method="minpaths", details={"num_paths": 0}
@@ -116,8 +123,10 @@ def minpath_reliability(
 
     # Inclusion–exclusion: for each subset of paths, the probability
     # that ALL of them are alive is the product over the union of links.
+    # Signs alternate, so the terms are fsum'd to keep the cancellation
+    # exact.
     signs = -parity_array(n).astype(np.float64)
-    total = 0.0
+    terms: list[float] = []
     for subset in range(1, 1 << n):
         union = 0
         bits = subset
@@ -131,9 +140,9 @@ def minpath_reliability(
             low = link_bits & -link_bits
             p *= availability[low.bit_length() - 1]
             link_bits ^= low
-        total += float(signs[subset]) * p
+        terms.append(float(signs[subset]) * p)
     return ReliabilityResult(
-        value=total,
+        value=prob_fsum(terms),
         method="minpaths",
         configurations=1 << n,
         details={"num_paths": n, "longest_path": max(len(p) for p in paths)},

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.exceptions import ReproValueError
+
 __all__ = ["ReliabilityResult", "EstimateResult"]
 
 
@@ -45,7 +47,7 @@ class ReliabilityResult:
         elif 1.0 < v <= 1.0 + 1e-9:
             object.__setattr__(self, "value", 1.0)
         elif not (0.0 <= v <= 1.0):
-            raise ValueError(f"reliability {v} outside [0, 1]")
+            raise ReproValueError(f"reliability {v} outside [0, 1]")
 
     def __float__(self) -> float:
         return self.value

@@ -26,6 +26,7 @@ from repro.core.demand import FlowDemand
 from repro.core.feasibility import FeasibilityOracle
 from repro.core.result import EstimateResult
 from repro.core.montecarlo import wilson_interval
+from repro.core.summation import KahanSum
 from repro.exceptions import EstimationError
 from repro.flow.base import MaxFlowSolver
 from repro.graph.generators import as_rng
@@ -123,9 +124,9 @@ def stratified_montecarlo_reliability(
     # biggest links cannot carry the demand to begin with.
     sorted_caps = sorted(net.capacities(), reverse=True)
 
-    value = 0.0
+    value = KahanSum()
     spent = 0
-    hits_effective = 0.0
+    hits_effective = KahanSum()
     cache: dict[int, bool] = {}
     full_mask = (1 << m) - 1
 
@@ -138,9 +139,9 @@ def stratified_montecarlo_reliability(
         if j == m:
             # single configuration: resolve exactly
             feasible = oracle.feasible(full_mask)
-            value += weight * (1.0 if feasible else 0.0)
+            value.add(weight * (1.0 if feasible else 0.0))
             if feasible:
-                hits_effective += weight * num_samples
+                hits_effective.add(weight * num_samples)
             continue
         allocation = max(1, round(num_samples * weight))
         stratum_hits = 0
@@ -154,17 +155,17 @@ def stratified_montecarlo_reliability(
                 stratum_hits += 1
         spent += allocation
         ratio = stratum_hits / allocation
-        value += weight * ratio
-        hits_effective += weight * ratio * num_samples
+        value.add(weight * ratio)
+        hits_effective.add(weight * ratio * num_samples)
 
-    hits = int(round(min(num_samples, max(0.0, hits_effective))))
+    hits = int(round(min(num_samples, max(0.0, hits_effective.value))))
     low, high = wilson_interval(hits, num_samples, confidence)
     # Centre the interval on the stratified point estimate.
-    shift = value - hits / num_samples
+    shift = value.value - hits / num_samples
     low = min(1.0, max(0.0, low + shift))
     high = min(1.0, max(0.0, high + shift))
     return EstimateResult(
-        value=float(min(1.0, max(0.0, value))),
+        value=float(min(1.0, max(0.0, value.value))),
         low=low,
         high=high,
         confidence=confidence,

@@ -88,7 +88,7 @@ def reliability_over_time(
     times: Sequence[float],
     *,
     method: str = "auto",
-    **options,
+    **options: object,
 ) -> list[float]:
     """Exact pointwise delivery probability at each time in ``times``.
 

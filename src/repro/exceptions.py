@@ -12,6 +12,22 @@ class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` library."""
 
 
+class ReproValueError(ReproError, ValueError):
+    """An invalid argument value passed to a :mod:`repro` API.
+
+    Derives from both :class:`ReproError` (so library callers catching
+    the hierarchy see it) and :class:`ValueError` (so argument
+    validation keeps its conventional builtin type for generic
+    callers).  All ``raise ValueError`` sites in the library use this
+    class — enforced by lint rule RR104.
+    """
+
+
+class AnalysisError(ReproError):
+    """The static-analysis engine was misused or a file failed to parse
+    (unknown rule code, malformed selector, unreadable path, ...)."""
+
+
 class GraphError(ReproError):
     """A structural problem with a :class:`~repro.graph.FlowNetwork`."""
 

@@ -11,6 +11,7 @@ the docstring says exactly what was chosen.
 
 from __future__ import annotations
 
+from repro.exceptions import ReproValueError
 from repro.graph.network import FlowNetwork
 
 __all__ = [
@@ -76,7 +77,7 @@ def series_chain(
     link availabilities; every internal link is a bridge.
     """
     if length < 1:
-        raise ValueError("series_chain needs length >= 1")
+        raise ReproValueError("series_chain needs length >= 1")
     net = FlowNetwork(name=f"chain-{length}")
     nodes = ["s"] + [f"v{i}" for i in range(1, length)] + ["t"]
     for tail, head in zip(nodes, nodes[1:]):
@@ -190,7 +191,7 @@ def grid_network(
     for max-flow solvers and cut enumeration.
     """
     if rows < 1 or cols < 1:
-        raise ValueError("grid_network needs rows >= 1 and cols >= 1")
+        raise ReproValueError("grid_network needs rows >= 1 and cols >= 1")
     net = FlowNetwork(name=f"grid-{rows}x{cols}")
     for r in range(rows):
         net.add_link("s", (r, 0), capacity, failure_probability)

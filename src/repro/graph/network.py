@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Hashable, Iterable, Iterator, Mapping, Sequence
 
-from repro.exceptions import LinkNotFoundError, NodeNotFoundError, ValidationError
+from repro.exceptions import LinkNotFoundError, NodeNotFoundError, ReproValueError, ValidationError
 
 Node = Hashable
 
@@ -85,7 +85,7 @@ class Link:
             return self.head
         if node == self.head:
             return self.tail
-        raise ValueError(f"{node!r} is not an endpoint of link {self.index}")
+        raise ReproValueError(f"{node!r} is not an endpoint of link {self.index}")
 
     def reversed(self) -> "Link":
         """A copy of this link with tail and head swapped."""

@@ -25,6 +25,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
+from repro.exceptions import ReproValueError
 from repro.p2p.peer import MEDIA_SERVER, Peer
 
 __all__ = ["ChurnModel", "ChildChurnModel", "EndpointChurnModel", "StaticChurnModel"]
@@ -77,7 +78,7 @@ class StaticChurnModel(ChurnModel):
 
     def __post_init__(self) -> None:
         if not (0.0 <= self.failure_probability < 1.0):
-            raise ValueError("failure probability must be in [0, 1)")
+            raise ReproValueError("failure probability must be in [0, 1)")
 
     def link_failure_probability(self, tail: Peer | None, head: Peer | None) -> float:
         return self.failure_probability

@@ -6,6 +6,8 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.exceptions import ReproValueError
+
 __all__ = ["summarize", "SeriesSummary"]
 
 
@@ -30,7 +32,7 @@ class SeriesSummary:
 def summarize(values: Sequence[float]) -> SeriesSummary:
     """Summary statistics of a non-empty series."""
     if not values:
-        raise ValueError("cannot summarize an empty series")
+        raise ReproValueError("cannot summarize an empty series")
     n = len(values)
     mean = sum(values) / n
     if n > 1:

@@ -12,7 +12,14 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from repro.exceptions import IntractableError, ReproValueError
+
+#: Largest ``n_bits`` for which :func:`popcount_array` / :func:`parity_array`
+#: agree to materialise a ``2**n_bits``-entry table (uint8, so 256 MiB at 28).
+MAX_TABLE_BITS = 28
+
 __all__ = [
+    "MAX_TABLE_BITS",
     "mask_from_indices",
     "indices_from_mask",
     "popcount",
@@ -30,7 +37,7 @@ def mask_from_indices(indices: Iterable[int]) -> int:
     mask = 0
     for i in indices:
         if i < 0:
-            raise ValueError(f"bit position must be non-negative, got {i}")
+            raise ReproValueError(f"bit position must be non-negative, got {i}")
         mask |= 1 << i
     return mask
 
@@ -38,7 +45,7 @@ def mask_from_indices(indices: Iterable[int]) -> int:
 def indices_from_mask(mask: int) -> list[int]:
     """Ascending bit positions set in ``mask``."""
     if mask < 0:
-        raise ValueError("mask must be non-negative")
+        raise ReproValueError("mask must be non-negative")
     result = []
     position = 0
     while mask:
@@ -55,7 +62,7 @@ def popcount(mask: int) -> int:
 
 
 def _raise_negative(mask: int) -> int:
-    raise ValueError(f"mask must be non-negative, got {mask}")
+    raise ReproValueError(f"mask must be non-negative, got {mask}")
 
 
 def popcount_array(n_bits: int) -> np.ndarray:
@@ -65,7 +72,13 @@ def popcount_array(n_bits: int) -> np.ndarray:
     plus one.  ``n_bits`` up to ~26 is practical.
     """
     if n_bits < 0:
-        raise ValueError("n_bits must be non-negative")
+        raise ReproValueError("n_bits must be non-negative")
+    if n_bits > MAX_TABLE_BITS:
+        raise IntractableError(
+            f"a 2^{n_bits}-entry popcount table exceeds the budget of 2^{MAX_TABLE_BITS}",
+            required=n_bits,
+            limit=MAX_TABLE_BITS,
+        )
     counts = np.zeros(1 << n_bits, dtype=np.uint8)
     size = 1
     for _ in range(n_bits):
@@ -99,7 +112,7 @@ def iter_submasks(mask: int, *, include_empty: bool = True) -> Iterator[int]:
 def iter_supermasks(mask: int, universe: int) -> Iterator[int]:
     """All supermasks of ``mask`` within ``universe`` (ascending)."""
     if mask & ~universe:
-        raise ValueError("mask must be a subset of the universe")
+        raise ReproValueError("mask must be a subset of the universe")
     free = universe & ~mask
     sub = 0
     while True:
@@ -120,5 +133,5 @@ def gray_flip_position(i: int) -> int:
     Equals the number of trailing zeros of ``i``.
     """
     if i <= 0:
-        raise ValueError("gray_flip_position is defined for i >= 1")
+        raise ReproValueError("gray_flip_position is defined for i >= 1")
     return (i & -i).bit_length() - 1

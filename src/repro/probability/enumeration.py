@@ -17,7 +17,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.exceptions import IntractableError
+from repro.exceptions import IntractableError, ReproValueError
 from repro.graph.network import FlowNetwork
 
 __all__ = [
@@ -49,9 +49,9 @@ def _as_failure_probs(source: FlowNetwork | Sequence[float]) -> np.ndarray:
     else:
         probs = np.asarray(source, dtype=np.float64)
     if probs.ndim != 1:
-        raise ValueError("failure probabilities must be one-dimensional")
+        raise ReproValueError("failure probabilities must be one-dimensional")
     if np.any((probs < 0.0) | (probs >= 1.0)):
-        raise ValueError("failure probabilities must lie in [0, 1)")
+        raise ReproValueError("failure probabilities must lie in [0, 1)")
     return probs
 
 
@@ -109,7 +109,7 @@ def conditional_configuration_probabilities(
     dead_set = set(forced_dead)
     overlap = alive_set & dead_set
     if overlap:
-        raise ValueError(f"links {sorted(overlap)} forced both alive and dead")
+        raise ReproValueError(f"links {sorted(overlap)} forced both alive and dead")
     for i in alive_set:
         probs[i] = 0.0
     for i in dead_set:

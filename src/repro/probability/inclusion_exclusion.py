@@ -17,6 +17,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.exceptions import ReproValueError
 from repro.probability.bitset import parity_array, popcount
 
 __all__ = [
@@ -37,7 +38,7 @@ def union_probability_from_intersections(intersections: np.ndarray) -> float:
     size = table.shape[0]
     n = size.bit_length() - 1
     if size != 1 << n:
-        raise ValueError(f"table length must be a power of two, got {size}")
+        raise ReproValueError(f"table length must be a power of two, got {size}")
     if n == 0:
         return 0.0
     signs = -parity_array(n).astype(np.float64)  # (-1)^{|X|+1}
@@ -56,7 +57,7 @@ def union_probability(
     reference the tests pit the transforms against.
     """
     if len(event_masks) != len(probabilities):
-        raise ValueError("event_masks and probabilities must have equal length")
+        raise ReproValueError("event_masks and probabilities must have equal length")
     total = 0.0
     for mask, p in zip(event_masks, probabilities):
         if mask:

@@ -11,6 +11,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.exceptions import ReproValueError
 from repro.graph.generators import as_rng
 from repro.graph.network import FlowNetwork
 
@@ -50,7 +51,7 @@ def sample_alive_masks(
     probs = _failure_probs(source)
     m = probs.shape[0]
     if m > 63:
-        raise ValueError(f"bitmask sampling supports at most 63 links, got {m}")
+        raise ReproValueError(f"bitmask sampling supports at most 63 links, got {m}")
     alive = sample_alive_matrix(source, num_samples, rng=rng)
     weights = (np.uint64(1) << np.arange(m, dtype=np.uint64)).astype(np.uint64)
     return (alive.astype(np.uint64) @ weights).astype(np.uint64)

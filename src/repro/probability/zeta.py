@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.exceptions import ReproValueError
+
 __all__ = [
     "subset_zeta",
     "subset_moebius",
@@ -29,11 +31,11 @@ __all__ = [
 
 def _check(values: np.ndarray) -> int:
     if values.ndim != 1:
-        raise ValueError("transform input must be one-dimensional")
+        raise ReproValueError("transform input must be one-dimensional")
     size = values.shape[0]
     n = size.bit_length() - 1
     if size != 1 << n:
-        raise ValueError(f"length must be a power of two, got {size}")
+        raise ReproValueError(f"length must be a power of two, got {size}")
     return n
 
 

@@ -1,0 +1,42 @@
+"""Shared helpers for the static-analysis test suite."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).parent / "fixtures" / "repro" / "core"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+
+@pytest.fixture
+def fixtures_dir() -> Path:
+    return FIXTURES
+
+
+def fixture_findings(rule_code: str):
+    """Run exactly one rule over its fixture module."""
+    from repro.analysis import analyze_paths
+
+    path = FIXTURES / f"{rule_code.lower()}.py"
+    assert path.is_file(), f"missing fixture {path}"
+    report = analyze_paths([str(path)], select=[rule_code])
+    assert not report.parse_errors, report.parse_errors
+    return report.findings
+
+
+def flagged_functions(findings, source_path: Path) -> set[str]:
+    """Names of the fixture functions containing each finding's line."""
+    import ast
+
+    tree = ast.parse(source_path.read_text())
+    names: set[str] = set()
+    for finding in findings:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                end = node.end_lineno or node.lineno
+                if node.lineno <= finding.line <= end:
+                    names.add(node.name)
+    return names

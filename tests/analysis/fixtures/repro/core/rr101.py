@@ -1,0 +1,45 @@
+"""RR101 fixture: unseeded randomness — positives, negatives, noqa.
+
+Never imported at runtime; the lint engine parses it as text.  The path
+deliberately contains ``repro``/``core`` components so package-scoped
+rules treat it like library source.
+"""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def bad_stdlib_call() -> float:
+    return random.random()
+
+
+def bad_stdlib_choice(items: list[int]) -> int:
+    return random.choice(items)
+
+
+def bad_legacy_numpy() -> object:
+    return np.random.rand(3)
+
+
+def bad_legacy_seed() -> None:
+    np.random.seed(42)
+
+
+def ok_generator(seed: int) -> object:
+    rng = np.random.default_rng(seed)
+    return rng.random(3)
+
+
+def ok_imported_constructor(seed: int) -> object:
+    return default_rng(seed)
+
+
+def ok_method_on_injected(rng: np.random.Generator) -> float:
+    # ``rng`` is an injected Generator; method calls on it are the point.
+    return float(rng.random())
+
+
+def suppressed() -> float:
+    return random.random()  # repro: noqa[RR101]

@@ -1,0 +1,37 @@
+"""RR102 fixture: bare probability accumulation — positives, negatives, noqa."""
+
+from math import fsum
+
+
+def bad_builtin_sum(probabilities: list[float]) -> float:
+    return sum(probabilities)
+
+
+def bad_sum_of_weights(weights: list[float]) -> float:
+    return sum(w * 2.0 for w in weights)
+
+
+def bad_augmented(weights: list[float]) -> float:
+    total = 0.0
+    for weight in weights:
+        total += weight
+    return total
+
+
+def ok_fsum(probabilities: list[float]) -> float:
+    return fsum(probabilities)
+
+
+def ok_integer_counts(counts: list[int]) -> int:
+    return sum(counts)
+
+
+def ok_plain_accumulator(values: list[float]) -> float:
+    total = 0.0
+    for v in values:
+        total += v
+    return total
+
+
+def suppressed(probabilities: list[float]) -> float:
+    return sum(probabilities)  # repro: noqa[RR102]

@@ -1,0 +1,45 @@
+"""RR103 fixture: unguarded width shifts — positives, negatives, noqa."""
+
+import numpy as np
+
+MAX_FIXTURE_BITS = 10
+
+
+def bad_table(m: int) -> object:
+    return np.zeros(1 << m)
+
+
+def bad_enumeration(n_bits: int) -> list[int]:
+    return list(range(2**n_bits))
+
+
+def bad_size_assignment(m: int) -> int:
+    size = 1 << m
+    return size
+
+
+def ok_guarded_by_max(m: int) -> object:
+    if m > MAX_FIXTURE_BITS:
+        raise OverflowError("table too large")
+    return np.zeros(1 << m)
+
+
+def ok_guarded_by_call(m: int) -> list[int]:
+    check_enumerable(m)
+    return list(range(1 << m))
+
+
+def ok_constant_width() -> list[int]:
+    return list(range(1 << 8))
+
+
+def ok_non_allocation(mask: int, i: int) -> int:
+    return mask | (1 << i)
+
+
+def suppressed(m: int) -> object:
+    return np.zeros(1 << m)  # repro: noqa[RR103]
+
+
+def check_enumerable(m: int) -> None:
+    """Stand-in so the fixture parses plausibly; never executed."""

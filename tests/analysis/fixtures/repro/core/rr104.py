@@ -1,0 +1,38 @@
+"""RR104 fixture: builtin exceptions raised — positives, negatives, noqa."""
+
+from repro.exceptions import ReproError, ReproValueError
+
+
+def bad_value_error(x: int) -> int:
+    if x < 0:
+        raise ValueError("negative")
+    return x
+
+
+def bad_runtime_error() -> None:
+    raise RuntimeError("boom")
+
+
+def bad_bare_type_error() -> None:
+    raise TypeError
+
+
+def ok_repro_value_error(x: int) -> int:
+    if x < 0:
+        raise ReproValueError("negative")
+    return x
+
+
+def ok_reraise() -> None:
+    try:
+        pass
+    except ReproError:
+        raise
+
+
+def ok_not_implemented() -> None:
+    raise NotImplementedError
+
+
+def suppressed() -> None:
+    raise KeyError("legacy")  # repro: noqa[RR104]

@@ -1,0 +1,25 @@
+"""RR105 fixture: mutable default arguments — positives, negatives, noqa."""
+
+
+def bad_list_literal(items=[]) -> list:
+    return items
+
+
+def bad_dict_factory(mapping=dict()) -> dict:
+    return mapping
+
+
+def bad_keyword_only(*, seen=set()) -> set:
+    return seen
+
+
+def ok_none_sentinel(items=None) -> list:
+    return list(items or ())
+
+
+def ok_immutable_defaults(pair=(), label="x", count=0) -> tuple:
+    return (pair, label, count)
+
+
+def suppressed(cache={}) -> dict:  # repro: noqa[RR105]
+    return cache

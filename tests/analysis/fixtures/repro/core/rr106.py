@@ -1,0 +1,41 @@
+"""RR106 fixture: missing annotations — positives, negatives, noqa."""
+
+
+def bad_unannotated(x, y):
+    return x + y
+
+
+def bad_missing_return(x: int):
+    return x
+
+
+def ok_fully_annotated(x: int, y: float = 0.0, *rest: int, flag: bool = False) -> float:
+    return x + y + len(rest) + flag
+
+
+def _private_is_exempt(x):
+    return x
+
+
+class PublicThing:
+    def bad_method(self, value) -> int:
+        return int(value)
+
+    def ok_method(self, value: int) -> int:
+        return value
+
+    def _private_method(self, value):
+        return value
+
+    def __len__(self):
+        # dunders are exempt (underscore prefix).
+        return 0
+
+
+class _PrivateThing:
+    def anything_goes(self, value):
+        return value
+
+
+def suppressed(x):  # repro: noqa[RR106]
+    return x

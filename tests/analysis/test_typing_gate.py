@@ -1,0 +1,33 @@
+"""Strict-typing gate: run mypy over the numerical kernel when available.
+
+mypy is a dev-only dependency (``pip install -e '.[dev]'``); environments
+without it skip this module rather than fail, so the tier-1 suite stays
+runnable from the runtime deps alone.  CI installs the dev extra and runs
+the gate for real (see .github/workflows/ci.yml).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+
+import pytest
+
+from tests.analysis.conftest import REPO_ROOT
+
+pytestmark = pytest.mark.skipif(
+    importlib.util.find_spec("mypy") is None,
+    reason="mypy not installed (dev extra)",
+)
+
+
+def test_mypy_clean_on_strict_packages():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--no-error-summary"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -6,12 +6,13 @@ import pytest
 
 import repro
 import repro.core.api
+import repro.core.summation
 import repro.graph.network
 
 
 @pytest.mark.parametrize(
     "module",
-    [repro, repro.core.api, repro.graph.network],
+    [repro, repro.core.api, repro.core.summation, repro.graph.network],
     ids=lambda m: m.__name__,
 )
 def test_module_doctests(module):

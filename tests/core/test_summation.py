@@ -1,0 +1,71 @@
+"""Unit tests for the compensated accumulator backing RR102."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.summation import KahanSum, prob_fsum
+
+
+class TestKahanSum:
+    def test_empty_is_zero(self):
+        acc = KahanSum()
+        assert acc.value == 0.0
+        assert acc.count == 0
+
+    def test_recovers_cancelled_small_term(self):
+        # Naive left-to-right float addition loses the 1.0 entirely.
+        terms = [1e16, 1.0, -1e16]
+        naive = 0.0
+        for t in terms:
+            naive += t
+        assert naive == 0.0
+        acc = KahanSum()
+        acc.extend(terms)
+        assert acc.value == 1.0
+
+    def test_matches_fsum_on_probability_masses(self):
+        pmf = [0.1] * 10
+        acc = KahanSum()
+        acc.extend(pmf)
+        assert acc.value == math.fsum(pmf) == 1.0
+
+    def test_iadd_and_float(self):
+        acc = KahanSum()
+        acc += 0.25
+        acc += 0.5
+        assert float(acc) == 0.75
+        assert acc.count == 2
+
+    def test_extend_counts(self):
+        acc = KahanSum()
+        acc.extend([0.5, 0.25, 0.125])
+        assert acc.count == 3
+        assert acc.value == pytest.approx(0.875)
+
+    def test_repr_shows_state(self):
+        acc = KahanSum()
+        acc.add(0.5)
+        assert "KahanSum" in repr(acc)
+
+    def test_alternating_series_stability(self):
+        # sum_{k=1}^{n} (-1)^k / k converges to -ln 2; compensation keeps
+        # the running error at the ulp scale.
+        n = 100_000
+        terms = [(-1.0) ** k / k for k in range(1, n + 1)]
+        acc = KahanSum()
+        acc.extend(terms)
+        assert acc.value == pytest.approx(math.fsum(terms), abs=1e-15)
+
+
+class TestProbFsum:
+    def test_exact_on_adversarial_terms(self):
+        assert prob_fsum([1e16, 1.0, -1e16]) == 1.0
+
+    def test_accepts_generators(self):
+        assert prob_fsum(0.25 for _ in range(4)) == 1.0
+
+    def test_empty(self):
+        assert prob_fsum([]) == 0.0
