@@ -1,0 +1,93 @@
+"""OBS — the instrumentation layer's disabled-path overhead guard.
+
+The `repro.obs` contract: with no recorder installed, every span /
+counter / ticker call the kernels make degrades to a ContextVar read
+and an early return, so tier-1 timings are unaffected.  This bench
+quantifies that claim and fails if it drifts:
+
+1. run the naive kernel on Fig. 4 under a recorder and *count* the
+   instrumentation call volume it generates (spans opened, counter
+   events, progress ticks);
+2. time that same volume of disabled-path calls (no recorder);
+3. assert the disabled-path cost is **< 5%** of the kernel's own
+   best-of-N wall time.
+"""
+
+from repro import obs
+from repro.bench.harness import time_call
+from repro.core import FlowDemand, naive_reliability
+from repro.graph import fujita_fig4
+
+#: Acceptance threshold: disabled-path instrumentation cost as a
+#: fraction of the kernel's own runtime.
+MAX_OVERHEAD_FRACTION = 0.05
+
+
+def _call_volume(net, demand):
+    """Spans / counter events / ticks of one instrumented naive run."""
+    with obs.record() as rec:
+        result = naive_reliability(net, demand)
+    spans = sum(1 for _ in rec.root.iter_spans()) - 1  # minus the root
+    # Counter events: one per oracle solve (flow_solves), two per
+    # residual solve (solver.<name>.solves + .seconds), one per
+    # probability table.  Read the event multiplicities off the totals.
+    totals = rec.counter_totals()
+    solver_events = 2 * sum(
+        int(v) for k, v in totals.items()
+        if k.startswith("solver.") and k.endswith(".solves")
+    )
+    counter_events = int(totals.get("flow_solves", 0)) + solver_events + 1
+    ticks = int(
+        sum(
+            s.gauges.get("naive.configurations.items", 0)
+            for s in rec.root.iter_spans()
+        )
+    )
+    return result, spans, counter_events, ticks
+
+
+def _disabled_path(spans, counts, ticks):
+    """The same call mix, with no recorder installed (all no-ops)."""
+    ticker = obs.progress_ticker("obs.noop")  # NULL_TICKER
+    for _ in range(spans):
+        with obs.span("obs.noop", mask=0):
+            pass
+    for _ in range(counts):
+        obs.count("flow_solves")
+    for _ in range(ticks):
+        ticker.tick()
+    ticker.finish()
+
+
+def test_obs_disabled_overhead_under_5_percent(benchmark, show):
+    net = fujita_fig4()
+    demand = FlowDemand("s", "t", 2)
+    assert obs.current_recorder() is None
+
+    result, spans, counter_events, ticks = _call_volume(net, demand)
+    assert result.flow_calls > 0
+
+    kernel = time_call(naive_reliability, net, demand, repeats=5)
+    benchmark(_disabled_path, spans, counter_events, ticks)
+    noop_seconds = time_call(
+        _disabled_path, spans, counter_events, ticks, repeats=5
+    ).seconds
+
+    fraction = noop_seconds / kernel.seconds
+    show(
+        ["quantity", "value"],
+        [
+            ["kernel best-of-5 (s)", kernel.seconds],
+            ["spans per run", spans],
+            ["counter events per run", counter_events],
+            ["progress ticks per run", ticks],
+            ["disabled-path cost (s)", noop_seconds],
+            ["overhead fraction", fraction],
+            ["budget", MAX_OVERHEAD_FRACTION],
+        ],
+        title="OBS: disabled-instrumentation overhead (naive on Fig. 4)",
+    )
+    assert fraction < MAX_OVERHEAD_FRACTION, (
+        f"disabled obs path costs {fraction:.1%} of the kernel "
+        f"(budget {MAX_OVERHEAD_FRACTION:.0%})"
+    )

@@ -9,12 +9,14 @@ Built on the paper's reliability machinery:
    reliability with capacity contention (``broadcast_reliability``).
 3. *"My network is too big to enumerate — now what?"* — series-parallel
    reduction first, stratified sampling after.
+4. *"Where does the computation spend its time?"* — a traced run and
+   the per-phase accounting from ``result.details["obs"]``.
 
 Run:  python examples/operator_dashboard.py
 """
 
-from repro import FlowDemand, FlowNetwork
-from repro.bench.reporting import print_table
+from repro import FlowDemand, FlowNetwork, compute_reliability, obs
+from repro.bench.reporting import PHASE_HEADERS, phase_rows, print_table
 from repro.core import (
     coverage_curve,
     flow_value_distribution,
@@ -88,6 +90,18 @@ def main() -> None:
         ],
         title="Unit-rate reliability to sub2, three ways",
     )
+
+    # 4. where a run spends its time: trace the premium-tier computation
+    with obs.record():
+        traced = compute_reliability(net, "origin", "sub1", 2)
+    summary = traced.details["obs"]
+    print_table(
+        PHASE_HEADERS,
+        phase_rows(summary),
+        title=f"Phase breakdown ({traced.method}, {summary['seconds'] * 1e3:.1f} ms total)",
+    )
+    print(f"  max-flow solves: {summary['counters'].get('flow_solves', 0)}"
+          f" (== result.flow_calls = {traced.flow_calls})")
 
 
 if __name__ == "__main__":

@@ -32,8 +32,12 @@ Subpackages
 ``repro.p2p``
     The motivating substrate: peers, churn, overlay builders
     (single-tree / multi-tree / mesh), streaming simulation.
+``repro.obs``
+    Opt-in tracing/metrics/progress for the kernels: ``record()``,
+    ``span()``, counters, ``repro profile`` (zero-cost when off).
 """
 
+from repro import obs
 from repro._version import __version__
 from repro.core.api import available_methods, compute_reliability
 from repro.core.demand import FlowDemand
@@ -49,4 +53,5 @@ __all__ = [
     "EstimateResult",
     "compute_reliability",
     "available_methods",
+    "obs",
 ]

@@ -6,10 +6,11 @@ Importing this package registers every rule with
 * :mod:`~repro.analysis.rules.randomness` — RR101
 * :mod:`~repro.analysis.rules.numerics` — RR102, RR103
 * :mod:`~repro.analysis.rules.hygiene` — RR104, RR105, RR106
+* :mod:`~repro.analysis.rules.instrumentation` — RR107
 """
 
 from __future__ import annotations
 
-from repro.analysis.rules import hygiene, numerics, randomness
+from repro.analysis.rules import hygiene, instrumentation, numerics, randomness
 
-__all__ = ["hygiene", "numerics", "randomness"]
+__all__ = ["hygiene", "instrumentation", "numerics", "randomness"]

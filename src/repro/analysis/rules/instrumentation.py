@@ -1,0 +1,93 @@
+"""RR107 — direct wall-clock reads bypass the recorder.
+
+Every duration the repository reports — bench tables, trace spans,
+per-solver solve times — must come from the one sanctioned clock,
+:func:`repro.obs.wallclock`, and ideally through the
+:class:`repro.obs.Recorder` span machinery.  A stray
+``time.perf_counter()`` (or ``time.time()``) call measures something no
+trace can see: its numbers silently disagree with the phase tree, and
+the timed region is invisible to ``repro profile``.  Only
+:mod:`repro.obs` itself may touch the stdlib clock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register_rule
+
+__all__ = ["DirectClockRead"]
+
+#: ``time`` module attributes that read a clock.  ``sleep`` and the
+#: struct/format helpers are deliberately absent — RR107 polices time
+#: *measurement*, not time formatting or waiting.
+_CLOCK_READS = frozenset(
+    {
+        "perf_counter",
+        "perf_counter_ns",
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+
+def _time_module_aliases(tree: ast.Module) -> set[str]:
+    """Names bound to the stdlib ``time`` module by import statements."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    aliases.add(alias.asname or "time")
+    return aliases
+
+
+@register_rule
+class DirectClockRead(Rule):
+    code = "RR107"
+    name = "direct-clock-read"
+    rationale = (
+        "durations must be measured through repro.obs (wallclock / spans) so "
+        "bench tables and trace output agree; only repro.obs touches time.*"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_package("repro") and not ctx.in_package("obs")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        aliases = _time_module_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            # ``from time import perf_counter`` — flagged at the import:
+            # everything it binds is a raw clock read.
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                offending = [a.name for a in node.names if a.name in _CLOCK_READS]
+                if offending:
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        f"import of {', '.join(offending)} from the time module; "
+                        "measure through repro.obs (wallclock / span) instead",
+                    )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _CLOCK_READS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in aliases
+            ):
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"direct call to time.{func.attr}(); instrumentation must go "
+                    "through the repro.obs recorder (wallclock / span)",
+                )

@@ -5,43 +5,73 @@ pytest-benchmark times a single target well; the experiment tables need
 bench.  :func:`time_call` provides a small best-of-N timer for those
 interior points, keeping the pytest-benchmark fixture for the headline
 measurement of each bench.
+
+Timestamps come from :func:`repro.obs.wallclock` — the same clock the
+kernel spans use — so bench tables and ``repro profile`` traces are
+directly comparable (and rule RR107 keeps it that way).  When a
+:class:`repro.obs.Recorder` is installed, every repetition is also
+captured as a ``bench.call`` span, putting sweep measurements and
+kernel phases in one trace.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Any, Callable
+
+from repro.obs.recorder import span, wallclock
 
 __all__ = ["time_call", "TimedResult"]
 
 
 class TimedResult:
-    """Value plus wall-clock seconds of the best repetition."""
+    """Value plus the wall-clock seconds of every repetition.
 
-    __slots__ = ("value", "seconds")
+    ``seconds`` is the minimum over repetitions (the standard way to
+    suppress scheduling noise for short calls); ``all_seconds`` keeps
+    the full sample so benches can report spread, not just best-of-N.
+    """
 
-    def __init__(self, value: Any, seconds: float) -> None:
+    __slots__ = ("value", "seconds", "all_seconds")
+
+    def __init__(self, value: Any, seconds: float, all_seconds: list[float] | None = None) -> None:
         self.value = value
         self.seconds = seconds
+        self.all_seconds = list(all_seconds) if all_seconds is not None else [seconds]
+
+    @property
+    def mean_seconds(self) -> float:
+        """Mean over the repetitions."""
+        return sum(self.all_seconds) / len(self.all_seconds)
+
+    @property
+    def max_seconds(self) -> float:
+        """Slowest repetition."""
+        return max(self.all_seconds)
+
+    @property
+    def spread_seconds(self) -> float:
+        """Max minus min over the repetitions (scheduling-noise width)."""
+        return self.max_seconds - min(self.all_seconds)
 
 
 def time_call(
     fn: Callable[..., Any],
     *args: Any,
     repeats: int = 3,
+    label: str = "bench.call",
     **kwargs: Any,
 ) -> TimedResult:
     """Best-of-``repeats`` wall-clock timing of ``fn(*args, **kwargs)``.
 
-    Returns the last call's value and the minimum elapsed time (the
-    standard way to suppress scheduling noise for short calls).
+    Returns the last call's value and all per-repetition timings
+    (``seconds`` = the minimum).  ``label`` names the span recorded per
+    repetition when a :class:`repro.obs.Recorder` is installed.
     """
-    best = float("inf")
+    all_seconds: list[float] = []
     value: Any = None
-    for _ in range(max(1, repeats)):
-        start = time.perf_counter()
-        value = fn(*args, **kwargs)
-        elapsed = time.perf_counter() - start
-        if elapsed < best:
-            best = elapsed
-    return TimedResult(value, best)
+    for repeat in range(max(1, repeats)):
+        with span(label, repeat=repeat):
+            start = wallclock()
+            value = fn(*args, **kwargs)
+            all_seconds.append(wallclock() - start)
+    return TimedResult(value, min(all_seconds), all_seconds)

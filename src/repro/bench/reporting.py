@@ -4,13 +4,18 @@ pytest-benchmark reports raw timings; the experiment benches also print
 the *paper-shaped* rows (who wins, by what factor) through these
 helpers so `pytest benchmarks/ --benchmark-only -s` regenerates every
 table of EXPERIMENTS.md verbatim.
+
+:func:`phase_rows` bridges to :mod:`repro.obs`: it flattens the phase
+summary a traced computation leaves in
+``ReliabilityResult.details["obs"]`` into table rows, so bench output
+and ``repro profile`` output agree on phase names and durations.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
-__all__ = ["format_table", "print_table"]
+__all__ = ["PHASE_HEADERS", "format_table", "phase_rows", "print_table"]
 
 
 def format_table(
@@ -43,6 +48,29 @@ def _cell(value: object) -> str:
             return f"{value:.3e}"
         return f"{value:.4f}"
     return str(value)
+
+
+#: Header row matching the tuples produced by :func:`phase_rows`.
+PHASE_HEADERS = ("phase", "seconds", "share", "flow_solves")
+
+
+def phase_rows(summary: dict[str, Any]) -> list[list[object]]:
+    """Table rows (see ``PHASE_HEADERS``) from an obs phase summary.
+
+    ``summary`` is the dict produced by :func:`repro.obs.phase_summary`
+    (what a traced :func:`repro.core.api.compute_reliability` leaves in
+    ``result.details["obs"]``).  One row per phase: name, wall seconds,
+    share of the trace, and the phase's ``flow_solves`` subtree total.
+    """
+    total = float(summary.get("seconds", 0.0)) or 0.0
+    rows: list[list[object]] = []
+    for phase in summary.get("phases", ()):
+        seconds = float(phase["seconds"])
+        share = f"{seconds / total:.1%}" if total > 0 else "-"
+        rows.append(
+            [phase["name"], seconds, share, phase["counters"].get("flow_solves", 0)]
+        )
+    return rows
 
 
 def print_table(

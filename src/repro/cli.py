@@ -5,6 +5,8 @@ Usage::
     python -m repro describe network.json
     python -m repro compute network.json --source s --sink t --rate 2
     python -m repro compute network.json -s s -t t -d 2 --method bottleneck
+    python -m repro compute network.json -s s -t t -d 2 --trace
+    python -m repro profile network.json -s s -t t -d 2 --method naive
     python -m repro distribution network.json -s s -t t
     python -m repro bounds network.json -s s -t t -d 2
     python -m repro sample-network --kind fig4 -o network.json
@@ -29,6 +31,7 @@ from repro.graph.builders import diamond, fujita_fig2_bridge, fujita_fig4
 from repro.graph.generators import bottlenecked_network
 from repro.graph.io import dumps as network_to_json
 from repro.graph.io import load
+from repro.obs import ProgressUpdate, Recorder, format_tree, record, trace_to_json
 
 __all__ = ["main", "build_parser"]
 
@@ -77,6 +80,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="sample count for --method montecarlo",
     )
     compute.add_argument("--json", action="store_true", help="machine-readable output")
+    compute.add_argument(
+        "--trace",
+        action="store_true",
+        help="record the computation and print the phase tree to stderr",
+    )
+    compute.add_argument(
+        "--trace-json",
+        metavar="FILE",
+        default=None,
+        help="record the computation and write the JSON trace to FILE ('-' = stdout)",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="compute the reliability and print the phase/counter breakdown",
+    )
+    add_demand_args(profile)
+    profile.add_argument(
+        "--method",
+        default="auto",
+        choices=available_methods(),
+        help="algorithm (default: auto)",
+    )
+    profile.add_argument(
+        "--samples",
+        type=int,
+        default=10_000,
+        help="sample count for --method montecarlo",
+    )
+    profile.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream progress heartbeats of the exponential loops to stderr",
+    )
+    profile.add_argument(
+        "--trace-json",
+        metavar="FILE",
+        default=None,
+        help="also write the JSON trace to FILE ('-' = stdout)",
+    )
 
     bounds = sub.add_parser("bounds", help="cheap lower/upper bounds")
     add_demand_args(bounds)
@@ -112,13 +155,46 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_trace_json(recorder: Recorder, destination: str) -> None:
+    text = trace_to_json(recorder)
+    if destination == "-":
+        print(text)
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote trace to {destination}", file=sys.stderr)
+
+
+def _print_progress(update: ProgressUpdate) -> None:
+    if update.total is not None:
+        eta = f", eta {update.eta:.1f}s" if update.eta is not None else ""
+        line = (
+            f"{update.label}: {update.done}/{update.total}"
+            f" ({update.rate:.0f}/s{eta})"
+        )
+    else:
+        line = f"{update.label}: {update.done} ({update.rate:.0f}/s)"
+    print(line, file=sys.stderr)
+
+
 def _cmd_compute(args: argparse.Namespace) -> int:
     net = load(args.network)
     demand = FlowDemand(args.source, args.sink, args.rate)
     options = {}
     if args.method in ("montecarlo", "montecarlo-stratified"):
         options["num_samples"] = args.samples
-    result = compute_reliability(net, demand=demand, method=args.method, **options)
+    tracing = args.trace or args.trace_json is not None
+    if tracing:
+        with record() as recorder:
+            result = compute_reliability(
+                net, demand=demand, method=args.method, **options
+            )
+        if args.trace:
+            print(format_tree(recorder, title=f"phases ({result.method})"), file=sys.stderr)
+        if args.trace_json is not None:
+            _write_trace_json(recorder, args.trace_json)
+    else:
+        result = compute_reliability(net, demand=demand, method=args.method, **options)
     if args.json:
         payload = {
             "reliability": result.value,
@@ -138,6 +214,33 @@ def _cmd_compute(args: argparse.Namespace) -> int:
             print(f"{result.confidence:.0%} interval: [{result.low:.6f}, {result.high:.6f}]")
         elif result.flow_calls:
             print(f"max-flow calls: {result.flow_calls}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    net = load(args.network)
+    demand = FlowDemand(args.source, args.sink, args.rate)
+    options = {}
+    if args.method in ("montecarlo", "montecarlo-stratified"):
+        options["num_samples"] = args.samples
+    recorder = Recorder(progress_callback=_print_progress if args.progress else None)
+    with record(recorder):
+        result = compute_reliability(net, demand=demand, method=args.method, **options)
+    print(f"reliability = {result.value:.10f}  (method: {result.method})")
+    if getattr(result, "flow_calls", 0):
+        print(f"max-flow calls: {result.flow_calls}")
+    print()
+    print(format_tree(recorder, title=f"phases ({result.method})"))
+    totals = recorder.counter_totals()
+    if totals:
+        print()
+        print("counters:")
+        for name in sorted(totals):
+            value = totals[name]
+            shown = f"{value:.6g}" if isinstance(value, float) else str(value)
+            print(f"  {name} = {shown}")
+    if args.trace_json is not None:
+        _write_trace_json(recorder, args.trace_json)
     return 0
 
 
@@ -193,6 +296,7 @@ def _cmd_sample_network(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "describe": _cmd_describe,
     "compute": _cmd_compute,
+    "profile": _cmd_profile,
     "bounds": _cmd_bounds,
     "distribution": _cmd_distribution,
     "importance": _cmd_importance,

@@ -33,6 +33,8 @@ from repro.core.result import EstimateResult, ReliabilityResult
 from repro.exceptions import DecompositionError, ReproError
 from repro.graph.cuts import find_bottleneck
 from repro.graph.network import FlowNetwork, Node
+from repro.obs.export import phase_summary
+from repro.obs.recorder import current_recorder
 
 __all__ = ["compute_reliability", "available_methods"]
 
@@ -98,6 +100,22 @@ def compute_reliability(
         raise ReproError("pass demand= or the positional triple, not both")
     demand.validate_against(net)
 
+    result = _dispatch(net, demand, method, options)
+    recorder = current_recorder()
+    if recorder is not None:
+        # The phase accounting of the trace so far (for a recorder
+        # installed around exactly this call: this call's phases) —
+        # benches and dashboards read it off the result directly.
+        result.details["obs"] = phase_summary(recorder)
+    return result
+
+
+def _dispatch(
+    net: FlowNetwork,
+    demand: FlowDemand,
+    method: str,
+    options: dict[str, Any],
+) -> ReliabilityResult | EstimateResult:
     if method == "naive":
         return naive_reliability(net, demand, **options)
     if method == "naive-parallel":

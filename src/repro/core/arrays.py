@@ -31,6 +31,8 @@ from repro.flow.base import MaxFlowSolver, get_solver
 from repro.flow.residual import build_template
 from repro.graph.network import Node
 from repro.graph.transforms import SubnetworkView
+from repro.obs.progress import progress_ticker
+from repro.obs.recorder import ARRAY_ENTRIES_BUILT, FLOW_SOLVES, count
 from repro.probability.bitset import popcount_array
 from repro.probability.enumeration import check_enumerable, configuration_probabilities
 
@@ -156,10 +158,12 @@ def build_side_array(
     else:
         order = list(range(size))
 
+    ticker = progress_ticker(f"arrays.{role}", total=num_assignments * size)
     for j, assignment in enumerate(assignments):
         caps = {name: int(a) for name, a in zip(port_names, assignment)}
         column = realized[:, j]
         for mask in order:
+            ticker.tick()
             if prune:
                 doomed = False
                 bits = ~mask & (size - 1)
@@ -173,8 +177,11 @@ def build_side_array(
                     continue
             graph = template.configure(alive=mask, virtual_capacities=caps)
             flow_calls += 1
-            value = engine.solve_residual(graph, s_idx, t_idx, limit=demand)
+            value = engine.solve(graph, s_idx, t_idx, limit=demand)
             column[mask] = value >= demand
+    ticker.finish()
+    count(FLOW_SOLVES, flow_calls)
+    count(ARRAY_ENTRIES_BUILT, num_assignments * size)
 
     weights = (np.uint64(1) << np.arange(num_assignments, dtype=np.uint64)).astype(np.uint64)
     masks = (realized.astype(np.uint64) @ weights).astype(np.uint64)

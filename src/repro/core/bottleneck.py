@@ -40,6 +40,7 @@ from repro.flow.base import MaxFlowSolver
 from repro.graph.cuts import find_bottleneck, verify_bottleneck
 from repro.graph.network import FlowNetwork
 from repro.graph.transforms import SideSplit
+from repro.obs.recorder import ASSIGNMENTS_ENUMERATED, count, span
 from repro.probability.enumeration import check_enumerable
 
 __all__ = ["bottleneck_reliability", "pattern_probability"]
@@ -89,21 +90,24 @@ def bottleneck_reliability(
         verification).
     """
     demand.validate_against(net)
-    if cut is None:
-        split = find_bottleneck(
-            net, demand.source, demand.sink, max_size=max_cut_size
-        )
-        if split is None:
-            raise DecompositionError(
-                f"no admissible bottleneck cut of size <= {max_cut_size} found"
+    with span("bottleneck.cut_search", given=cut is not None):
+        if cut is None:
+            split = find_bottleneck(
+                net, demand.source, demand.sink, max_size=max_cut_size
             )
-    else:
-        split = verify_bottleneck(net, demand.source, demand.sink, cut)
+            if split is None:
+                raise DecompositionError(
+                    f"no admissible bottleneck cut of size <= {max_cut_size} found"
+                )
+        else:
+            split = verify_bottleneck(net, demand.source, demand.sink, cut)
 
     cut_links = split.cut
     k = len(cut_links)
     capacities = [net.link(i).capacity for i in cut_links]
-    assignments = enumerate_assignments(capacities, demand.rate)
+    with span("bottleneck.assignments", k=k, demand=demand.rate):
+        assignments = enumerate_assignments(capacities, demand.rate)
+        count(ASSIGNMENTS_ENUMERATED, len(assignments))
     base_details = {
         "cut": tuple(cut_links),
         "alpha": split.alpha,
@@ -120,26 +124,36 @@ def bottleneck_reliability(
             details={**base_details, "reason": "cut capacity below demand"},
         )
 
-    source_array = build_side_array(
-        split.source_side,
-        role="source",
-        terminal=demand.source,
-        ports=split.source_ports,
-        assignments=assignments,
-        demand=demand.rate,
-        solver=solver,
-        prune=prune,
-    )
-    sink_array = build_side_array(
-        split.sink_side,
-        role="sink",
-        terminal=demand.sink,
-        ports=split.sink_ports,
-        assignments=assignments,
-        demand=demand.rate,
-        solver=solver,
-        prune=prune,
-    )
+    with span(
+        "bottleneck.source_array",
+        links=len(split.source_side.link_map),
+        assignments=len(assignments),
+    ):
+        source_array = build_side_array(
+            split.source_side,
+            role="source",
+            terminal=demand.source,
+            ports=split.source_ports,
+            assignments=assignments,
+            demand=demand.rate,
+            solver=solver,
+            prune=prune,
+        )
+    with span(
+        "bottleneck.sink_array",
+        links=len(split.sink_side.link_map),
+        assignments=len(assignments),
+    ):
+        sink_array = build_side_array(
+            split.sink_side,
+            role="sink",
+            terminal=demand.sink,
+            ports=split.sink_ports,
+            assignments=assignments,
+            demand=demand.rate,
+            solver=solver,
+            prune=prune,
+        )
 
     # Eq. (3): sum over the 2^k bottleneck survival patterns.  r_{E'}
     # depends only on the supported class, so identical classes share
@@ -147,21 +161,22 @@ def bottleneck_reliability(
     from repro.core.accumulate import accumulate  # local: avoids cycle at import
 
     check_enumerable(k)
-    classes = classify_by_support(assignments, k)
-    cache: dict[tuple[int, ...], float] = {}
-    terms: list[float] = []
-    for pattern in range(1 << k):
-        supported = classes[pattern]
-        if not supported:
-            continue
-        p_pattern = pattern_probability(net, cut_links, pattern)
-        if p_pattern == 0.0:
-            continue
-        r = cache.get(supported)
-        if r is None:
-            r = accumulate(source_array, sink_array, supported, strategy=strategy)
-            cache[supported] = r
-        terms.append(p_pattern * r)
+    with span("bottleneck.accumulate", patterns=1 << k, strategy=strategy):
+        classes = classify_by_support(assignments, k)
+        cache: dict[tuple[int, ...], float] = {}
+        terms: list[float] = []
+        for pattern in range(1 << k):
+            supported = classes[pattern]
+            if not supported:
+                continue
+            p_pattern = pattern_probability(net, cut_links, pattern)
+            if p_pattern == 0.0:
+                continue
+            r = cache.get(supported)
+            if r is None:
+                r = accumulate(source_array, sink_array, supported, strategy=strategy)
+                cache[supported] = r
+            terms.append(p_pattern * r)
 
     return ReliabilityResult(
         value=prob_fsum(terms),

@@ -30,6 +30,7 @@ from repro.flow.base import MaxFlowSolver, get_solver, max_flow
 from repro.flow.mincut import min_cut_links
 from repro.graph.cuts import minimal_st_cuts, minimum_cardinality_cut
 from repro.graph.network import FlowNetwork
+from repro.obs.recorder import span
 from repro.probability.enumeration import check_enumerable
 
 __all__ = ["cut_upper_bound", "route_lower_bound", "reliability_bounds"]
@@ -68,23 +69,24 @@ def cut_upper_bound(
     bound; more cuts only tighten it.
     """
     demand.validate_against(net)
-    cuts: set[tuple[int, ...]] = set()
-    card_cut = minimum_cardinality_cut(net, demand.source, demand.sink)
-    if card_cut is None:
-        return 0.0  # terminals disconnected outright
-    cuts.add(tuple(card_cut))
-    result = max_flow(net, demand.source, demand.sink)
-    if result.value < demand.rate:
-        return 0.0
-    cuts.add(min_cut_links(net, result))
-    for cut in minimal_st_cuts(net, demand.source, demand.sink, max_cut_size, limit=max_cuts):
-        cuts.add(tuple(cut))
-    bound = 1.0
-    for cut in cuts:
-        if not cut:
-            continue
-        bound = min(bound, _cut_survival_probability(net, cut, demand.rate))
-    return bound
+    with span("bounds.cut_upper", max_cut_size=max_cut_size, max_cuts=max_cuts):
+        cuts: set[tuple[int, ...]] = set()
+        card_cut = minimum_cardinality_cut(net, demand.source, demand.sink)
+        if card_cut is None:
+            return 0.0  # terminals disconnected outright
+        cuts.add(tuple(card_cut))
+        result = max_flow(net, demand.source, demand.sink)
+        if result.value < demand.rate:
+            return 0.0
+        cuts.add(min_cut_links(net, result))
+        for cut in minimal_st_cuts(net, demand.source, demand.sink, max_cut_size, limit=max_cuts):
+            cuts.add(tuple(cut))
+        bound = 1.0
+        for cut in cuts:
+            if not cut:
+                continue
+            bound = min(bound, _cut_survival_probability(net, cut, demand.rate))
+        return bound
 
 
 def route_lower_bound(
@@ -105,6 +107,16 @@ def route_lower_bound(
     demand.validate_against(net)
     if max_families < 1:
         raise ReproError("need at least one route family")
+    with span("bounds.route_lower", max_families=max_families):
+        return _route_lower_bound(net, demand, max_families, solver)
+
+
+def _route_lower_bound(
+    net: FlowNetwork,
+    demand: FlowDemand,
+    max_families: int,
+    solver: str | MaxFlowSolver | None,
+) -> float:
     engine = get_solver(solver)
     oracle = FeasibilityOracle(net, demand.source, demand.sink, demand.rate, solver=engine)
     all_links = (1 << net.num_links) - 1

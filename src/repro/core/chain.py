@@ -47,6 +47,7 @@ from repro.flow.residual import build_template
 from repro.graph.connectivity import connected_components
 from repro.graph.network import FlowNetwork, Node
 from repro.graph.transforms import SubnetworkView, induced_subnetwork
+from repro.obs.recorder import FLOW_SOLVES, count
 from repro.probability.bitset import popcount_array
 from repro.probability.enumeration import check_enumerable, configuration_probabilities
 from repro.probability.zeta import subset_zeta
@@ -255,8 +256,9 @@ def _build_middle_relation(
                         continue
                 graph = template.configure(alive=mask, virtual_capacities=caps)
                 flow_calls += 1
-                value = engine.solve_residual(graph, src, snk, limit=demand)
+                value = engine.solve(graph, src, snk, limit=demand)
                 cell[mask] = value >= demand
+    count(FLOW_SOLVES, flow_calls)
     probabilities = configuration_probabilities(net)
     return relation, probabilities, flow_calls
 

@@ -17,6 +17,7 @@ from repro.exceptions import SolverError
 from repro.flow.base import MaxFlowSolver, get_solver
 from repro.flow.residual import build_template
 from repro.graph.network import FlowNetwork, Node
+from repro.obs.recorder import FLOW_SOLVES, count
 
 __all__ = ["FeasibilityOracle"]
 
@@ -65,7 +66,8 @@ class FeasibilityOracle:
         """The (possibly limited) max-flow value for an alive set."""
         graph = self.template.configure(alive=alive)
         self.calls += 1
-        return self.solver.solve_residual(graph, self._s, self._t, limit=limit)
+        count(FLOW_SOLVES)
+        return self.solver.solve(graph, self._s, self._t, limit=limit)
 
     def feasible(self, alive: int | Iterable[int] | None) -> bool:
         """Whether the alive subgraph admits the demand."""
@@ -86,7 +88,8 @@ class FeasibilityOracle:
         """
         graph = self.template.configure(alive=alive)
         self.calls += 1
-        self.solver.solve_residual(graph, self._s, self._t, limit=limit)
+        count(FLOW_SOLVES)
+        self.solver.solve(graph, self._s, self._t, limit=limit)
         used = []
         for link in self.net.links():
             if self.template.link_flow(link.index) != 0:

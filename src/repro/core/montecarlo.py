@@ -21,6 +21,8 @@ from repro.exceptions import EstimationError
 from repro.flow.base import MaxFlowSolver
 from repro.graph.generators import as_rng
 from repro.graph.network import FlowNetwork
+from repro.obs.progress import progress_ticker
+from repro.obs.recorder import MC_SAMPLES, count, span
 from repro.probability.sampling import sample_alive_masks
 
 __all__ = ["montecarlo_reliability", "wilson_interval"]
@@ -84,18 +86,23 @@ def montecarlo_reliability(
     cache: dict[int, bool] = {}
     hits = 0
     drawn = 0
-    while drawn < num_samples:
-        batch = min(batch_size, num_samples - drawn)
-        masks = sample_alive_masks(net, batch, rng=rng)
-        for mask_np in masks:
-            mask = int(mask_np)
-            verdict = cache.get(mask)
-            if verdict is None:
-                verdict = oracle.feasible(mask)
-                cache[mask] = verdict
-            if verdict:
-                hits += 1
-        drawn += batch
+    with span("montecarlo.sample", samples=num_samples, batch_size=batch_size):
+        ticker = progress_ticker("montecarlo.samples", total=num_samples)
+        while drawn < num_samples:
+            batch = min(batch_size, num_samples - drawn)
+            masks = sample_alive_masks(net, batch, rng=rng)
+            for mask_np in masks:
+                mask = int(mask_np)
+                verdict = cache.get(mask)
+                if verdict is None:
+                    verdict = oracle.feasible(mask)
+                    cache[mask] = verdict
+                if verdict:
+                    hits += 1
+            drawn += batch
+            ticker.tick(batch)
+        ticker.finish()
+        count(MC_SAMPLES, drawn)
     low, high = wilson_interval(hits, num_samples, confidence)
     return EstimateResult(
         value=hits / num_samples,

@@ -26,6 +26,8 @@ from repro.core.feasibility import FeasibilityOracle
 from repro.core.result import ReliabilityResult
 from repro.flow.base import MaxFlowSolver
 from repro.graph.network import FlowNetwork
+from repro.obs.progress import progress_ticker
+from repro.obs.recorder import span
 from repro.probability.bitset import popcount_array
 from repro.probability.enumeration import check_enumerable, configuration_probabilities
 
@@ -58,29 +60,35 @@ def feasibility_table(
     size = 1 << m
     table = np.zeros(size, dtype=bool)
 
-    if not prune:
-        for mask in range(size):
-            table[mask] = oracle.feasible(mask)
-        return table, oracle
+    with span("naive.enumerate", links=m, prune=bool(prune)):
+        ticker = progress_ticker("naive.configurations", total=size)
+        if not prune:
+            for mask in range(size):
+                ticker.tick()
+                table[mask] = oracle.feasible(mask)
+            ticker.finish()
+            return table, oracle
 
-    counts = popcount_array(m)
-    # Stable argsort on -popcount visits high-popcount masks first, so
-    # every one-bit superset of the current mask is already decided.
-    order = np.argsort(-counts.astype(np.int16), kind="stable")
-    for mask_np in order:
-        mask = int(mask_np)
-        doomed = False
-        bits = ~mask & (size - 1)  # links missing from this configuration
-        while bits:
-            low = bits & -bits
-            if not table[mask | low]:
-                # Some one-link superset is infeasible, hence so is this
-                # subset (feasibility is monotone); skip the solve.
-                doomed = True
-                break
-            bits ^= low
-        if not doomed:
-            table[mask] = oracle.feasible(mask)
+        counts = popcount_array(m)
+        # Stable argsort on -popcount visits high-popcount masks first, so
+        # every one-bit superset of the current mask is already decided.
+        order = np.argsort(-counts.astype(np.int16), kind="stable")
+        for mask_np in order:
+            mask = int(mask_np)
+            ticker.tick()
+            doomed = False
+            bits = ~mask & (size - 1)  # links missing from this configuration
+            while bits:
+                low = bits & -bits
+                if not table[mask | low]:
+                    # Some one-link superset is infeasible, hence so is this
+                    # subset (feasibility is monotone); skip the solve.
+                    doomed = True
+                    break
+                bits ^= low
+            if not doomed:
+                table[mask] = oracle.feasible(mask)
+        ticker.finish()
     return table, oracle
 
 
@@ -103,8 +111,9 @@ def naive_reliability(
         Enable monotone pruning (identical result, fewer solves).
     """
     table, oracle = feasibility_table(net, demand, solver=solver, prune=prune)
-    probabilities = configuration_probabilities(net)
-    value = float(probabilities[table].sum())
+    with span("naive.accumulate"):
+        probabilities = configuration_probabilities(net)
+        value = float(probabilities[table].sum())
     return ReliabilityResult(
         value=value,
         method="naive" if prune else "naive-unpruned",

@@ -22,6 +22,7 @@ from typing import Callable, Iterable
 from repro.exceptions import SolverError
 from repro.graph.network import FlowNetwork, Node
 from repro.flow.residual import ResidualGraph, ResidualTemplate, build_template
+from repro.obs.recorder import current_recorder, wallclock
 
 __all__ = [
     "MaxFlowResult",
@@ -82,6 +83,26 @@ class MaxFlowSolver(ABC):
         pushed; implementations must never exceed it.
         """
 
+    def solve(
+        self, graph: ResidualGraph, source: int, sink: int, limit: int | None = None
+    ) -> int:
+        """:meth:`solve_residual` plus per-solver accounting.
+
+        The preferred entry point for the reliability loops: with a
+        :class:`repro.obs.Recorder` installed it adds the solve to the
+        ``solver.<name>.solves`` / ``solver.<name>.seconds`` counters on
+        the current span; without one it is a direct passthrough.
+        """
+        recorder = current_recorder()
+        if recorder is None:
+            return self.solve_residual(graph, source, sink, limit=limit)
+        start = wallclock()
+        try:
+            return self.solve_residual(graph, source, sink, limit=limit)
+        finally:
+            recorder.count(f"solver.{self.name}.solves")
+            recorder.count(f"solver.{self.name}.seconds", wallclock() - start)
+
     def max_flow(
         self,
         net: FlowNetwork,
@@ -109,7 +130,7 @@ class MaxFlowSolver(ABC):
         except KeyError as exc:
             raise SolverError(f"terminal {exc.args[0]!r} is not in the network") from exc
         graph = template.configure(alive=alive)
-        value = self.solve_residual(graph, s, t, limit=limit)
+        value = self.solve(graph, s, t, limit=limit)
         flows: dict[int, int] = {}
         for link in net.links():
             f = template.link_flow(link.index)

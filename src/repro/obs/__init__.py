@@ -1,0 +1,77 @@
+"""repro.obs — tracing, metrics and progress for the reliability kernels.
+
+The paper's headline claim is a *cost separation*
+(``|D| 2^{|E_s|} + |D| 2^{|E_t|}`` side-local max-flow solves for the
+bottleneck algorithm vs ``2^{|E|}`` naive); this package is how the
+repository measures it.  Three layers:
+
+* :mod:`repro.obs.recorder` — the instrumentation core: a
+  context-var-scoped :class:`Recorder` with timed :func:`span` context
+  managers and typed counters/gauges, collapsing to allocation-free
+  no-ops while no recorder is installed;
+* :mod:`repro.obs.progress` — :class:`ProgressTicker` heartbeats for
+  the exponential loops (rate/ETA callbacks);
+* :mod:`repro.obs.export` — text-tree / JSON reporters and the flat
+  :func:`phase_summary` that lands in
+  ``ReliabilityResult.details["obs"]``.
+
+Quickstart
+----------
+>>> from repro import compute_reliability
+>>> from repro.graph.builders import fujita_fig4
+>>> from repro.obs import record, phase_summary
+>>> with record() as rec:
+...     result = compute_reliability(fujita_fig4(), "s", "t", 2, method="naive")
+>>> rec.counter_total("flow_solves") == result.flow_calls
+True
+
+Surfaces: ``repro profile`` prints the phase tree for one computation;
+``repro compute --trace`` / ``--trace-json FILE`` attach tracing to a
+normal run.  See ``docs/OBSERVABILITY.md`` for the span taxonomy and
+the counter catalogue.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import format_tree, phase_summary, trace_to_dict, trace_to_json
+from repro.obs.progress import ProgressTicker, ProgressUpdate, progress_ticker
+from repro.obs.recorder import (
+    ARRAY_ENTRIES_BUILT,
+    ASSIGNMENTS_ENUMERATED,
+    CONFIGURATIONS_ENUMERATED,
+    FLOW_SOLVES,
+    KNOWN_COUNTERS,
+    MC_SAMPLES,
+    Recorder,
+    SpanRecord,
+    count,
+    current_recorder,
+    gauge,
+    record,
+    span,
+    wallclock,
+)
+
+__all__ = [
+    "ARRAY_ENTRIES_BUILT",
+    "ASSIGNMENTS_ENUMERATED",
+    "CONFIGURATIONS_ENUMERATED",
+    "FLOW_SOLVES",
+    "KNOWN_COUNTERS",
+    "MC_SAMPLES",
+    "ProgressTicker",
+    "ProgressUpdate",
+    "Recorder",
+    "SpanRecord",
+    "count",
+    "current_recorder",
+    "format_tree",
+    "gauge",
+    "phase_summary",
+    "progress_ticker",
+    "record",
+    "span",
+    "trace_to_dict",
+    "trace_to_json",
+    "wallclock",
+]

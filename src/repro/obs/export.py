@@ -1,0 +1,135 @@
+"""Trace exporters: text tree, JSON, and the flat phase summary.
+
+Three consumers, three shapes:
+
+* :func:`format_tree` — the human-facing phase tree printed by
+  ``repro profile`` and ``repro compute --trace``;
+* :func:`trace_to_dict` / :func:`trace_to_json` — lossless structured
+  trace for ``--trace-json FILE`` and offline analysis;
+* :func:`phase_summary` — the flat per-phase accounting attached to
+  ``ReliabilityResult.details["obs"]`` for benches and dashboards.
+
+All durations are seconds from :func:`repro.obs.wallclock`; counters
+under each phase are *subtree totals*, so the per-phase ``flow_solves``
+rows of a summary sum exactly to the trace-wide total (and hence to
+``ReliabilityResult.flow_calls`` for the exact kernels).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.recorder import Recorder, SpanRecord
+
+__all__ = ["format_tree", "phase_summary", "trace_to_dict", "trace_to_json"]
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds * 1e6:.0f} us"
+
+
+def _format_amount(value: int | float) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _format_annotations(record: SpanRecord) -> str:
+    parts: list[str] = []
+    for key, value in sorted(record.attrs.items()):
+        parts.append(f"{key}={value}")
+    for key, value in sorted(record.totals().items()):
+        parts.append(f"{key}={_format_amount(value)}")
+    for key, value in sorted(record.gauges.items()):
+        parts.append(f"{key}={_format_amount(value) if isinstance(value, (int, float)) else value}")
+    return ("  [" + " ".join(parts) + "]") if parts else ""
+
+
+def _tree_lines(record: SpanRecord, prefix: str, is_last: bool, lines: list[str]) -> None:
+    connector = "`- " if is_last else "|- "
+    lines.append(
+        f"{prefix}{connector}{record.name}  {_format_seconds(record.seconds)}"
+        f"{_format_annotations(record)}"
+    )
+    child_prefix = prefix + ("   " if is_last else "|  ")
+    for i, child in enumerate(record.children):
+        _tree_lines(child, child_prefix, i == len(record.children) - 1, lines)
+
+
+def format_tree(source: Recorder | SpanRecord, *, title: str | None = None) -> str:
+    """Render the span tree as indented text.
+
+    Counters shown on each line are subtree totals; attributes captured
+    at span entry are shown alongside.  The root line reports the whole
+    trace duration.
+    """
+    root = source.root if isinstance(source, Recorder) else source
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"trace  {_format_seconds(root.seconds)}{_format_annotations(root)}")
+    for i, child in enumerate(root.children):
+        _tree_lines(child, "", i == len(root.children) - 1, lines)
+    return "\n".join(lines)
+
+
+def _span_to_dict(record: SpanRecord) -> dict[str, Any]:
+    return {
+        "name": record.name,
+        "attrs": dict(record.attrs),
+        "seconds": record.seconds,
+        "counters": dict(record.counters),
+        "gauges": dict(record.gauges),
+        "children": [_span_to_dict(child) for child in record.children],
+    }
+
+
+def trace_to_dict(source: Recorder | SpanRecord) -> dict[str, Any]:
+    """The full trace as a JSON-serialisable nested dict.
+
+    Per-span ``counters`` here are *own* amounts (not subtree totals),
+    so the structure round-trips losslessly; aggregate with
+    :func:`phase_summary` when totals are wanted.
+    """
+    root = source.root if isinstance(source, Recorder) else source
+    return {
+        "schema": "repro.obs/trace/v1",
+        "seconds": root.seconds,
+        "counters": root.totals(),
+        "spans": [_span_to_dict(child) for child in root.children],
+    }
+
+
+def trace_to_json(source: Recorder | SpanRecord, *, indent: int | None = 2) -> str:
+    """:func:`trace_to_dict` serialised with :func:`json.dumps`."""
+    return json.dumps(trace_to_dict(source), indent=indent, default=str)
+
+
+def phase_summary(source: Recorder | SpanRecord) -> dict[str, Any]:
+    """Flat per-phase accounting of one trace.
+
+    A *phase* is a top-level span (direct child of the root).  Each row
+    carries the phase's wall time and its subtree counter totals;
+    trace-wide totals sit alongside.  This is the payload attached to
+    ``ReliabilityResult.details["obs"]``.
+    """
+    root = source.root if isinstance(source, Recorder) else source
+    phases = [
+        {
+            "name": child.name,
+            "attrs": dict(child.attrs),
+            "seconds": child.seconds,
+            "counters": child.totals(),
+        }
+        for child in root.children
+    ]
+    return {
+        "seconds": root.seconds,
+        "counters": root.totals(),
+        "phases": phases,
+    }

@@ -1,0 +1,181 @@
+"""Progress signalling for the exponential loops.
+
+The ``2^{|E_side|}`` realization-array builds and the ``2^{|E|}`` naive
+enumeration can run for minutes; :class:`ProgressTicker` gives them a
+heartbeat.  Kernels obtain a ticker through :func:`progress_ticker`,
+which returns a shared no-op singleton when no recorder is installed —
+``tick()`` on the hot path then costs one attribute lookup and an empty
+method call, nothing more.
+
+With a recorder installed, each flush computes the instantaneous rate
+and (when the total is known) an ETA, forwards a
+:class:`ProgressUpdate` to the recorder's ``progress_callback``, and on
+:meth:`ProgressTicker.finish` stamps ``<label>.items`` /
+``<label>.rate`` gauges onto the current span so traces carry the
+throughput numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ReproValueError
+from repro.obs.recorder import Recorder, current_recorder, wallclock
+
+__all__ = ["ProgressTicker", "ProgressUpdate", "progress_ticker"]
+
+
+@dataclass(frozen=True)
+class ProgressUpdate:
+    """One progress heartbeat.
+
+    Attributes
+    ----------
+    label:
+        The loop's label (span-taxonomy style, e.g.
+        ``"naive.configurations"``).
+    done:
+        Items completed so far.
+    total:
+        Expected item count, or ``None`` when unknown.
+    elapsed:
+        Seconds since the ticker was created.
+    rate:
+        Items per second over the whole run so far (0.0 until
+        measurable).
+    eta:
+        Estimated seconds remaining, or ``None`` when ``total`` is
+        unknown or the rate is still 0.
+    final:
+        True for the closing update emitted by ``finish()``.
+    """
+
+    label: str
+    done: int
+    total: int | None
+    elapsed: float
+    rate: float
+    eta: float | None
+    final: bool = False
+
+    @property
+    def fraction(self) -> float | None:
+        """Completion fraction in ``[0, 1]``, or ``None`` if unbounded."""
+        if self.total is None or self.total <= 0:
+            return None
+        return min(1.0, self.done / self.total)
+
+
+class ProgressTicker:
+    """Counts loop iterations and emits rate/ETA callbacks.
+
+    Parameters
+    ----------
+    label:
+        Name used in updates and in the gauges left on the trace.
+    total:
+        Expected number of ticks (``None`` = unknown).
+    recorder:
+        Recorder receiving the final gauges; its ``progress_callback``
+        and ``progress_interval`` drive the heartbeat.  ``None``
+        disables both (the ticker still counts, so library code can use
+        one unconditionally).
+    """
+
+    __slots__ = ("label", "total", "done", "_recorder", "_start", "_last_emit")
+
+    def __init__(
+        self,
+        label: str,
+        total: int | None = None,
+        *,
+        recorder: Recorder | None = None,
+    ) -> None:
+        if total is not None and total < 0:
+            raise ReproValueError("progress total must be non-negative")
+        self.label = label
+        self.total = total
+        self.done = 0
+        self._recorder = recorder
+        self._start = wallclock()
+        self._last_emit = self._start
+
+    def tick(self, amount: int = 1) -> None:
+        """Record ``amount`` completed items; maybe emit a heartbeat."""
+        self.done += amount
+        recorder = self._recorder
+        if recorder is None or recorder.progress_callback is None:
+            return
+        now = wallclock()
+        if now - self._last_emit >= recorder.progress_interval:
+            self._last_emit = now
+            recorder.progress_callback(self._update(now, final=False))
+
+    def finish(self) -> ProgressUpdate:
+        """Close the loop: final callback plus trace gauges."""
+        now = wallclock()
+        update = self._update(now, final=True)
+        recorder = self._recorder
+        if recorder is not None:
+            recorder.gauge(f"{self.label}.items", self.done)
+            recorder.gauge(f"{self.label}.rate", update.rate)
+            if recorder.progress_callback is not None:
+                recorder.progress_callback(update)
+        return update
+
+    def __enter__(self) -> "ProgressTicker":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.finish()
+
+    def _update(self, now: float, *, final: bool) -> ProgressUpdate:
+        elapsed = max(0.0, now - self._start)
+        rate = self.done / elapsed if elapsed > 0 else 0.0
+        eta: float | None = None
+        if self.total is not None and rate > 0 and not final:
+            eta = max(0.0, (self.total - self.done) / rate)
+        if final:
+            eta = 0.0 if self.total is not None else None
+        return ProgressUpdate(
+            label=self.label,
+            done=self.done,
+            total=self.total,
+            elapsed=elapsed,
+            rate=rate,
+            eta=eta,
+            final=final,
+        )
+
+
+class _NullTicker:
+    """Shared do-nothing ticker for the disabled-instrumentation path."""
+
+    __slots__ = ()
+
+    def tick(self, amount: int = 1) -> None:
+        return None
+
+    def finish(self) -> None:
+        return None
+
+    def __enter__(self) -> "_NullTicker":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+#: Singleton handed out while no recorder is installed — the hot loops
+#: keep their unconditional ``tick()`` calls and allocate nothing.
+NULL_TICKER = _NullTicker()
+
+
+def progress_ticker(
+    label: str, total: int | None = None
+) -> ProgressTicker | _NullTicker:
+    """A ticker bound to the installed recorder, or the no-op singleton."""
+    recorder = current_recorder()
+    if recorder is None:
+        return NULL_TICKER
+    return ProgressTicker(label, total, recorder=recorder)

@@ -1,0 +1,320 @@
+"""The instrumentation core: spans, counters, gauges.
+
+A :class:`Recorder` captures a tree of timed *spans* with per-span
+integer/float *counters* and last-value *gauges*.  The recorder is
+scoped through a :mod:`contextvars` variable, so instrumented library
+code never receives it explicitly — kernels call the module-level
+:func:`span` / :func:`count` / :func:`gauge` helpers, which collapse to
+near-zero-cost no-ops while no recorder is installed:
+
+* :func:`span` returns a shared singleton context manager (no
+  allocation, no timestamps);
+* :func:`count` / :func:`gauge` return after one context-var read.
+
+That no-op fast path is what lets the hot ``2^n`` loops stay
+instrumented permanently without moving the tier-1 timings (the
+overhead guard in ``benchmarks/bench_obs_overhead.py`` enforces the
+budget).
+
+Timestamps come from :func:`wallclock` — the single sanctioned clock of
+the repository.  Direct ``time.perf_counter()`` / ``time.time()`` calls
+anywhere else in ``src/repro`` are rejected by lint rule RR107 so every
+duration in bench tables and trace output is measured the same way.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Callable, Iterator
+
+from repro.exceptions import ReproValueError
+
+__all__ = [
+    "ASSIGNMENTS_ENUMERATED",
+    "ARRAY_ENTRIES_BUILT",
+    "CONFIGURATIONS_ENUMERATED",
+    "FLOW_SOLVES",
+    "MC_SAMPLES",
+    "KNOWN_COUNTERS",
+    "Recorder",
+    "SpanRecord",
+    "count",
+    "current_recorder",
+    "gauge",
+    "record",
+    "span",
+    "wallclock",
+]
+
+#: The sanctioned monotonic clock (seconds, float).  Everything in the
+#: repository that measures a duration reads this — see RR107.
+wallclock = time.perf_counter
+
+# -- the typed counter catalogue ------------------------------------------
+# Counters are string-keyed, but the cross-kernel cost counters the
+# paper's accounting cares about have fixed names so exporters, benches
+# and tests agree on the vocabulary.
+
+#: Max-flow solves that enter ``ReliabilityResult.flow_calls`` — the
+#: paper's cost measure.  Incremented by the feasibility oracle and the
+#: realization-array build (NOT by auxiliary solves such as cut search,
+#: which appear under ``solver.<name>.solves`` instead).
+FLOW_SOLVES = "flow_solves"
+#: Failure configurations whose probability was materialised
+#: (``2^m`` per probability-table build).
+CONFIGURATIONS_ENUMERATED = "configurations_enumerated"
+#: Assignment tuples produced by the §III-B enumeration.
+ASSIGNMENTS_ENUMERATED = "assignments_enumerated"
+#: Realization-array entries evaluated (``|D| * 2^{m_side}`` per side
+#: before pruning).
+ARRAY_ENTRIES_BUILT = "array_entries_built"
+#: Monte-Carlo samples drawn.
+MC_SAMPLES = "mc_samples"
+
+#: The catalogue, for documentation and validation in tests.
+KNOWN_COUNTERS = frozenset(
+    {
+        FLOW_SOLVES,
+        CONFIGURATIONS_ENUMERATED,
+        ASSIGNMENTS_ENUMERATED,
+        ARRAY_ENTRIES_BUILT,
+        MC_SAMPLES,
+    }
+)
+
+
+class SpanRecord:
+    """One node of the captured span tree.
+
+    Attributes
+    ----------
+    name:
+        Span name (dotted taxonomy, e.g. ``"bottleneck.source_array"``).
+    attrs:
+        Keyword attributes captured at span entry.
+    start, end:
+        :func:`wallclock` stamps; ``end`` is ``None`` while open.
+    children:
+        Child spans in entry order.
+    counters:
+        Amounts counted *while this span was the innermost open span*
+        (children hold their own; use :meth:`total` for the subtree).
+    gauges:
+        Last value set per gauge name while this span was innermost.
+    """
+
+    __slots__ = ("name", "attrs", "start", "end", "children", "counters", "gauges")
+
+    def __init__(self, name: str, attrs: dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start = 0.0
+        self.end: float | None = None
+        self.children: list[SpanRecord] = []
+        self.counters: dict[str, int | float] = {}
+        self.gauges: dict[str, Any] = {}
+
+    @property
+    def seconds(self) -> float:
+        """Wall time of the span (up to now while still open)."""
+        end = self.end if self.end is not None else wallclock()
+        return max(0.0, end - self.start)
+
+    def total(self, counter: str) -> int | float:
+        """Counter total over this span's whole subtree."""
+        value: int | float = self.counters.get(counter, 0)
+        for child in self.children:
+            value = value + child.total(counter)
+        return value
+
+    def totals(self) -> dict[str, int | float]:
+        """All counter totals over this span's subtree."""
+        out: dict[str, int | float] = dict(self.counters)
+        for child in self.children:
+            for key, value in child.totals().items():
+                out[key] = out.get(key, 0) + value
+        return out
+
+    def iter_spans(self) -> Iterator["SpanRecord"]:
+        """Depth-first iteration over the subtree, self first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_spans()
+
+
+class _LiveSpan:
+    """Context manager produced by :meth:`Recorder.span`."""
+
+    __slots__ = ("_recorder", "record")
+
+    def __init__(self, recorder: "Recorder", record: SpanRecord) -> None:
+        self._recorder = recorder
+        self.record = record
+
+    def __enter__(self) -> SpanRecord:
+        self._recorder._push(self.record)
+        return self.record
+
+    def __exit__(self, *exc: object) -> None:
+        self._recorder._pop(self.record)
+
+
+class _NullSpan:
+    """Shared do-nothing span used while no recorder is installed."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+#: The singleton returned by :func:`span` when recording is off.  Being
+#: a shared instance is load-bearing: the disabled path allocates
+#: nothing (asserted by the unit tests).
+NULL_SPAN = _NullSpan()
+
+
+class Recorder:
+    """Captures one trace: a span tree plus counters and gauges.
+
+    Parameters
+    ----------
+    progress_callback:
+        Optional callable receiving
+        :class:`repro.obs.progress.ProgressUpdate` objects from
+        :class:`~repro.obs.progress.ProgressTicker` instances created
+        while this recorder is installed.
+    progress_interval:
+        Minimum seconds between two progress callbacks per ticker.
+    """
+
+    def __init__(
+        self,
+        *,
+        progress_callback: Callable[[Any], None] | None = None,
+        progress_interval: float = 0.25,
+    ) -> None:
+        if progress_interval < 0:
+            raise ReproValueError("progress_interval must be non-negative")
+        self.root = SpanRecord("<root>", {})
+        self.root.start = wallclock()
+        self._stack: list[SpanRecord] = [self.root]
+        self.progress_callback = progress_callback
+        self.progress_interval = progress_interval
+
+    # -- span plumbing ----------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> _LiveSpan:
+        """A context manager recording one timed span under the current one."""
+        return _LiveSpan(self, SpanRecord(name, attrs))
+
+    def _push(self, record: SpanRecord) -> None:
+        record.start = wallclock()
+        self._stack[-1].children.append(record)
+        self._stack.append(record)
+
+    def _pop(self, record: SpanRecord) -> None:
+        record.end = wallclock()
+        # Tolerate exits out of order (a span leaked across a generator
+        # boundary): unwind to the matching record if present.
+        if record in self._stack:
+            while self._stack[-1] is not record:
+                leaked = self._stack.pop()
+                if leaked.end is None:
+                    leaked.end = record.end
+            self._stack.pop()
+
+    @property
+    def current(self) -> SpanRecord:
+        """The innermost open span (the root when none is open)."""
+        return self._stack[-1]
+
+    def finish(self) -> SpanRecord:
+        """Close the root span and return it."""
+        now = wallclock()
+        for open_span in self._stack[1:]:
+            if open_span.end is None:
+                open_span.end = now
+        del self._stack[1:]
+        if self.root.end is None:
+            self.root.end = now
+        return self.root
+
+    # -- counters and gauges ----------------------------------------------
+
+    def count(self, name: str, amount: int | float = 1) -> None:
+        """Add ``amount`` to counter ``name`` on the innermost span."""
+        counters = self._stack[-1].counters
+        counters[name] = counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: Any) -> None:
+        """Set gauge ``name`` on the innermost span (last value wins)."""
+        self._stack[-1].gauges[name] = value
+
+    def counter_total(self, name: str) -> int | float:
+        """Total of one counter over the whole trace."""
+        return self.root.total(name)
+
+    def counter_totals(self) -> dict[str, int | float]:
+        """All counter totals over the whole trace."""
+        return self.root.totals()
+
+
+# -- context-var scoping ------------------------------------------------
+
+_ACTIVE: ContextVar[Recorder | None] = ContextVar("repro_obs_recorder", default=None)
+
+
+def current_recorder() -> Recorder | None:
+    """The installed recorder, or ``None`` (instrumentation disabled)."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def record(recorder: Recorder | None = None) -> Iterator[Recorder]:
+    """Install a recorder for the duration of the ``with`` block.
+
+    >>> from repro.obs import record, span
+    >>> with record() as rec:
+    ...     with span("work"):
+    ...         pass
+    >>> [child.name for child in rec.root.children]
+    ['work']
+    """
+    rec = Recorder() if recorder is None else recorder
+    token = _ACTIVE.set(rec)
+    try:
+        yield rec
+    finally:
+        _ACTIVE.reset(token)
+        rec.finish()
+
+
+# -- the no-op-able module-level API ------------------------------------
+
+
+def span(name: str, **attrs: Any) -> _LiveSpan | _NullSpan:
+    """A timed span on the installed recorder, or the shared no-op span."""
+    rec = _ACTIVE.get()
+    if rec is None:
+        return NULL_SPAN
+    return rec.span(name, **attrs)
+
+
+def count(name: str, amount: int | float = 1) -> None:
+    """Increment a counter on the installed recorder, if any."""
+    rec = _ACTIVE.get()
+    if rec is not None:
+        rec.count(name, amount)
+
+
+def gauge(name: str, value: Any) -> None:
+    """Set a gauge on the installed recorder, if any."""
+    rec = _ACTIVE.get()
+    if rec is not None:
+        rec.gauge(name, value)

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.exceptions import IntractableError, ReproValueError
 from repro.graph.network import FlowNetwork
+from repro.obs.recorder import CONFIGURATIONS_ENUMERATED, count, span
 
 __all__ = [
     "MAX_ENUM_BITS",
@@ -70,12 +71,14 @@ def configuration_probabilities(
     probs = _as_failure_probs(source)
     m = len(probs)
     check_enumerable(m)
-    table = np.ones(1, dtype=np.float64)
-    for p in probs:
-        dead = table * p
-        alive = table * (1.0 - p)
-        table = np.concatenate([dead, alive])
-    return table
+    with span("probability.table", links=m):
+        count(CONFIGURATIONS_ENUMERATED, 1 << m)
+        table = np.ones(1, dtype=np.float64)
+        for p in probs:
+            dead = table * p
+            alive = table * (1.0 - p)
+            table = np.concatenate([dead, alive])
+        return table
 
 
 def configuration_probability(

@@ -1,0 +1,44 @@
+"""RR107 fixture — direct wall-clock reads outside repro.obs."""
+
+
+def bad_perf_counter():
+    import time
+
+    start = time.perf_counter()
+    return start
+
+
+def bad_wall_time():
+    import time
+
+    return time.time()
+
+
+def bad_monotonic_alias():
+    import time as clock
+
+    return clock.monotonic()
+
+
+def bad_from_import():
+    from time import perf_counter
+
+    return perf_counter
+
+
+def ok_sleep_is_not_a_clock_read():
+    import time
+
+    time.sleep(0)
+
+
+def ok_wallclock_through_obs():
+    from repro.obs import wallclock
+
+    return wallclock()
+
+
+def suppressed():
+    import time
+
+    return time.perf_counter()  # repro: noqa[RR107]

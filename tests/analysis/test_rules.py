@@ -7,7 +7,7 @@ import pytest
 
 from tests.analysis.conftest import FIXTURES, fixture_findings, flagged_functions
 
-ALL_CODES = ("RR101", "RR102", "RR103", "RR104", "RR105", "RR106")
+ALL_CODES = ("RR101", "RR102", "RR103", "RR104", "RR105", "RR106", "RR107")
 
 
 @pytest.mark.parametrize("code", ALL_CODES)
@@ -69,6 +69,30 @@ def test_rr106_counts():
     assert len(findings) == 4
     assert any("PublicThing.bad_method" in f.message for f in findings)
     assert sum("no return annotation" in f.message for f in findings) == 2
+
+
+def test_rr107_counts_and_messages():
+    findings = fixture_findings("RR107")
+    # bad_perf_counter, bad_wall_time, bad_monotonic_alias (aliased
+    # module), bad_from_import (flagged at the import).
+    assert len(findings) == 4
+    assert sum("time.perf_counter()" in f.message for f in findings) == 1
+    assert sum("time.time()" in f.message for f in findings) == 1
+    assert sum("time.monotonic()" in f.message for f in findings) == 1
+    assert sum("import of perf_counter" in f.message for f in findings) == 1
+
+
+def test_rr107_exempts_the_obs_package(tmp_path):
+    """The clock rule must not flag repro.obs itself — that is where the
+    sanctioned wallclock lives."""
+    from repro.analysis import analyze_source
+
+    source = "import time\n\ndef f():\n    return time.perf_counter()\n"
+    inside_obs = analyze_source(source, str(tmp_path / "repro" / "obs" / "recorder.py"))
+    assert not [f for f in inside_obs if f.code == "RR107"]
+
+    elsewhere = analyze_source(source, str(tmp_path / "repro" / "core" / "mod.py"))
+    assert [f for f in elsewhere if f.code == "RR107"]
 
 
 def test_rule_scoping_by_package(tmp_path):

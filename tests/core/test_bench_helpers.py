@@ -3,7 +3,7 @@
 import pytest
 
 from repro.bench.harness import TimedResult, time_call
-from repro.bench.reporting import format_table, print_table
+from repro.bench.reporting import PHASE_HEADERS, format_table, phase_rows, print_table
 from repro.bench.workloads import (
     alpha_workload,
     chain_workload,
@@ -44,6 +44,70 @@ class TestTimeCall:
     def test_kwargs_forwarded(self):
         result = time_call(lambda *, a: a + 1, a=1, repeats=1)
         assert result.value == 2
+
+    def test_all_seconds_keeps_every_repetition(self):
+        result = time_call(lambda: None, repeats=4)
+        assert len(result.all_seconds) == 4
+        assert result.seconds == min(result.all_seconds)
+        assert all(s >= 0.0 for s in result.all_seconds)
+
+    def test_spread_statistics(self):
+        result = TimedResult("v", 1.0, [1.0, 3.0, 2.0])
+        assert result.mean_seconds == pytest.approx(2.0)
+        assert result.max_seconds == 3.0
+        assert result.spread_seconds == pytest.approx(2.0)
+
+    def test_all_seconds_defaults_to_single_sample(self):
+        result = TimedResult("v", 0.5)
+        assert result.all_seconds == [0.5]
+
+    def test_repetitions_recorded_as_spans(self):
+        from repro import obs
+
+        with obs.record() as rec:
+            time_call(lambda: None, repeats=2, label="bench.unit")
+        names = [s.name for s in rec.root.children]
+        assert names == ["bench.unit", "bench.unit"]
+        assert [s.attrs["repeat"] for s in rec.root.children] == [0, 1]
+
+
+class TestPhaseRows:
+    def test_rows_match_headers(self):
+        summary = {
+            "seconds": 2.0,
+            "counters": {"flow_solves": 10},
+            "phases": [
+                {"name": "build", "seconds": 1.5, "counters": {"flow_solves": 10}},
+                {"name": "accumulate", "seconds": 0.5, "counters": {}},
+            ],
+        }
+        rows = phase_rows(summary)
+        assert len(rows) == 2
+        assert all(len(row) == len(PHASE_HEADERS) for row in rows)
+        assert rows[0] == ["build", 1.5, "75.0%", 10]
+        assert rows[1] == ["accumulate", 0.5, "25.0%", 0]
+
+    def test_zero_total_has_no_share(self):
+        summary = {
+            "seconds": 0.0,
+            "phases": [{"name": "p", "seconds": 0.0, "counters": {}}],
+        }
+        assert phase_rows(summary)[0][2] == "-"
+
+    def test_round_trips_from_traced_compute(self):
+        from repro import obs
+        from repro.core.api import compute_reliability
+        from repro.core.demand import FlowDemand
+        from repro.graph.builders import fujita_fig4
+
+        with obs.record():
+            result = compute_reliability(
+                fujita_fig4(), demand=FlowDemand("s", "t", 2), method="bottleneck"
+            )
+        rows = phase_rows(result.details["obs"])
+        assert sum(row[3] for row in rows) == result.flow_calls
+        table = format_table(PHASE_HEADERS, rows, title="phases")
+        assert "flow_solves" in table
 
 
 class TestFormatTable:

@@ -1,0 +1,87 @@
+"""Unit tests for the trace exporters (repro.obs.export)."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.export import format_tree, phase_summary, trace_to_dict, trace_to_json
+
+
+@pytest.fixture
+def sample_recorder():
+    with obs.record() as rec:
+        with obs.span("build", side="source", links=3):
+            obs.count("flow_solves", 5)
+            with obs.span("inner"):
+                obs.count("flow_solves", 2)
+        with obs.span("accumulate"):
+            obs.count("terms", 8)
+            obs.gauge("rate", 123.5)
+    return rec
+
+
+class TestFormatTree:
+    def test_structure_and_annotations(self, sample_recorder):
+        text = format_tree(sample_recorder)
+        lines = text.splitlines()
+        assert lines[0].startswith("trace  ")
+        assert "flow_solves=7" in lines[0]  # trace-wide subtree total
+        build = next(line for line in lines if "build" in line)
+        assert build.startswith("|- ")
+        assert "side=source" in build and "links=3" in build
+        assert "flow_solves=7" in build  # subtree total, not own count
+        inner = next(line for line in lines if "inner" in line)
+        assert inner.startswith("|  ") and "flow_solves=2" in inner
+        accumulate = next(line for line in lines if "accumulate" in line)
+        assert accumulate.startswith("`- ")  # last sibling connector
+        assert "terms=8" in accumulate and "rate=123.5" in accumulate
+
+    def test_title_line(self, sample_recorder):
+        text = format_tree(sample_recorder, title="fig4 / bottleneck")
+        assert text.splitlines()[0] == "fig4 / bottleneck"
+
+    def test_accepts_bare_span(self, sample_recorder):
+        build = sample_recorder.root.children[0]
+        text = format_tree(build)
+        assert "inner" in text
+
+
+class TestTraceToDict:
+    def test_schema_and_shape(self, sample_recorder):
+        payload = trace_to_dict(sample_recorder)
+        assert payload["schema"] == "repro.obs/trace/v1"
+        assert payload["counters"] == {"flow_solves": 7, "terms": 8}
+        assert [s["name"] for s in payload["spans"]] == ["build", "accumulate"]
+
+    def test_own_counters_round_trip_losslessly(self, sample_recorder):
+        payload = trace_to_dict(sample_recorder)
+        build = payload["spans"][0]
+        assert build["counters"] == {"flow_solves": 5}  # own, not subtree
+        assert build["children"][0]["counters"] == {"flow_solves": 2}
+        own_total = build["counters"]["flow_solves"] + build["children"][0]["counters"]["flow_solves"]
+        assert own_total == payload["counters"]["flow_solves"]
+
+    def test_json_round_trip(self, sample_recorder):
+        decoded = json.loads(trace_to_json(sample_recorder))
+        assert decoded == json.loads(json.dumps(trace_to_dict(sample_recorder)))
+        assert decoded["spans"][1]["gauges"] == {"rate": 123.5}
+
+
+class TestPhaseSummary:
+    def test_phases_are_top_level_spans(self, sample_recorder):
+        summary = phase_summary(sample_recorder)
+        assert [p["name"] for p in summary["phases"]] == ["build", "accumulate"]
+        assert summary["phases"][0]["attrs"] == {"side": "source", "links": 3}
+
+    def test_phase_counters_sum_to_trace_total(self, sample_recorder):
+        summary = phase_summary(sample_recorder)
+        per_phase = sum(p["counters"].get("flow_solves", 0) for p in summary["phases"])
+        assert per_phase == summary["counters"]["flow_solves"] == 7
+
+    def test_empty_trace(self):
+        with obs.record() as rec:
+            pass
+        summary = phase_summary(rec)
+        assert summary["phases"] == []
+        assert summary["counters"] == {}

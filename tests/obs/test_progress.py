@@ -1,0 +1,92 @@
+"""Unit tests for the progress layer (repro.obs.progress)."""
+
+import pytest
+
+from repro import obs
+from repro.exceptions import ReproValueError
+from repro.obs.progress import NULL_TICKER, ProgressTicker
+from repro.obs.recorder import Recorder
+
+
+class TestProgressTicker:
+    def test_counts_ticks(self):
+        ticker = ProgressTicker("loop", total=10)
+        ticker.tick()
+        ticker.tick(4)
+        assert ticker.done == 5
+        update = ticker.finish()
+        assert update.done == 5
+        assert update.total == 10
+        assert update.final is True
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ReproValueError):
+            ProgressTicker("loop", total=-1)
+
+    def test_callback_receives_heartbeats(self):
+        updates = []
+        rec = Recorder(progress_callback=updates.append, progress_interval=0.0)
+        ticker = ProgressTicker("loop", total=3, recorder=rec)
+        ticker.tick()
+        ticker.tick()
+        ticker.finish()
+        assert len(updates) == 3
+        assert [u.done for u in updates] == [1, 2, 2]
+        assert updates[-1].final is True
+        assert all(u.label == "loop" for u in updates)
+
+    def test_interval_throttles_heartbeats(self):
+        updates = []
+        rec = Recorder(progress_callback=updates.append, progress_interval=3600.0)
+        ticker = ProgressTicker("loop", total=100, recorder=rec)
+        for _ in range(50):
+            ticker.tick()
+        assert updates == []  # interval far in the future
+        ticker.finish()
+        assert len(updates) == 1  # the final update always fires
+
+    def test_rate_and_eta_shapes(self):
+        updates = []
+        rec = Recorder(progress_callback=updates.append, progress_interval=0.0)
+        ticker = ProgressTicker("loop", total=4, recorder=rec)
+        ticker.tick(2)
+        mid = updates[-1]
+        assert mid.rate >= 0.0
+        if mid.rate > 0:
+            assert mid.eta is not None and mid.eta >= 0.0
+        final = ticker.finish()
+        assert final.eta == 0.0
+        assert final.elapsed >= 0.0
+
+    def test_unknown_total(self):
+        ticker = ProgressTicker("loop")
+        ticker.tick(7)
+        update = ticker.finish()
+        assert update.total is None
+        assert update.eta is None
+        assert update.fraction is None
+
+    def test_fraction(self):
+        ticker = ProgressTicker("loop", total=8)
+        ticker.tick(2)
+        assert ticker._update(ticker._start, final=False).fraction == pytest.approx(0.25)
+
+    def test_finish_leaves_gauges_on_trace(self):
+        with obs.record() as rec:
+            with obs.span("phase"):
+                ticker = obs.progress_ticker("work.items", total=2)
+                assert isinstance(ticker, ProgressTicker)
+                ticker.tick(2)
+                ticker.finish()
+        phase = rec.root.children[0]
+        assert phase.gauges["work.items.items"] == 2
+        assert phase.gauges["work.items.rate"] >= 0.0
+
+    def test_context_manager_finishes(self):
+        with obs.record() as rec:
+            with obs.progress_ticker("cm.loop", total=1) as ticker:
+                ticker.tick()
+        assert rec.root.gauges["cm.loop.items"] == 1
+
+    def test_factory_returns_null_without_recorder(self):
+        assert obs.progress_ticker("loop", total=5) is NULL_TICKER
