@@ -7,10 +7,17 @@ Importing this package registers every rule with
 * :mod:`~repro.analysis.rules.numerics` — RR102, RR103
 * :mod:`~repro.analysis.rules.hygiene` — RR104, RR105, RR106
 * :mod:`~repro.analysis.rules.instrumentation` — RR107
+* :mod:`~repro.analysis.rules.parallelism` — RR108
 """
 
 from __future__ import annotations
 
-from repro.analysis.rules import hygiene, instrumentation, numerics, randomness
+from repro.analysis.rules import (
+    hygiene,
+    instrumentation,
+    numerics,
+    parallelism,
+    randomness,
+)
 
-__all__ = ["hygiene", "instrumentation", "numerics", "randomness"]
+__all__ = ["hygiene", "instrumentation", "numerics", "parallelism", "randomness"]

@@ -1,0 +1,102 @@
+"""RR108 — process-pool use outside the sanctioned parallel modules.
+
+Process-level parallelism is easy to get subtly wrong: a worker
+function that is not module-level fails under the ``spawn`` start
+method, an unpicklable argument (a live :class:`ResidualTemplate`, an
+open solver) fails only on some platforms, and a second pool hidden in
+a leaf module can fork-bomb the machine the benchmarks are calibrating.
+The repository therefore funnels **all** ``multiprocessing`` /
+``ProcessPoolExecutor`` use through two modules — ``repro.core.engine``
+(the shared chunking/worker-bootstrap machinery) and
+``repro.core.parallel`` (the naive scan built on it) — where the
+spawn-safety discipline (networks shipped as :mod:`repro.graph.io`
+dicts, module-level workers, solver registry names instead of
+instances) is enforced and tested once.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register_rule
+
+__all__ = ["ProcessPoolOutsideEngine"]
+
+#: The only modules allowed to touch process-level parallelism.
+_SANCTIONED_FILES = frozenset({"engine.py", "parallel.py"})
+
+
+def _is_sanctioned(ctx: ModuleContext) -> bool:
+    return (
+        bool(ctx.parts)
+        and ctx.parts[-1] in _SANCTIONED_FILES
+        and ctx.in_package("core")
+    )
+
+
+@register_rule
+class ProcessPoolOutsideEngine(Rule):
+    code = "RR108"
+    name = "process-pool-outside-engine"
+    rationale = (
+        "process parallelism (multiprocessing / ProcessPoolExecutor) must go "
+        "through repro.core.engine or repro.core.parallel, where the "
+        "spawn-safety and picklable-argument discipline lives"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_package("repro") and not _is_sanctioned(ctx)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                offending = [
+                    a.name
+                    for a in node.names
+                    if a.name == "multiprocessing"
+                    or a.name.startswith("multiprocessing.")
+                ]
+                if offending:
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        f"import of {', '.join(offending)}; route process "
+                        "parallelism through repro.core.engine "
+                        "(run_chunked / partition_lattice)",
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module == "multiprocessing" or module.startswith(
+                    "multiprocessing."
+                ):
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        f"import from {module}; route process parallelism "
+                        "through repro.core.engine (run_chunked / "
+                        "partition_lattice)",
+                    )
+                elif module == "concurrent.futures" and any(
+                    a.name == "ProcessPoolExecutor" for a in node.names
+                ):
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        "import of ProcessPoolExecutor; route process "
+                        "parallelism through repro.core.engine "
+                        "(run_chunked / partition_lattice)",
+                    )
+            elif (
+                isinstance(node, ast.Attribute)
+                and node.attr == "ProcessPoolExecutor"
+            ):
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    "attribute access to ProcessPoolExecutor; route process "
+                    "parallelism through repro.core.engine "
+                    "(run_chunked / partition_lattice)",
+                )

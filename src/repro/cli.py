@@ -26,7 +26,7 @@ from repro.core.api import available_methods, compute_reliability
 from repro.core.bounds import reliability_bounds
 from repro.core.demand import FlowDemand
 from repro.core.distribution import flow_value_distribution
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, ReproValueError
 from repro.graph.builders import diamond, fujita_fig2_bridge, fujita_fig4
 from repro.graph.generators import bottlenecked_network
 from repro.graph.io import dumps as network_to_json
@@ -79,6 +79,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=10_000,
         help="sample count for --method montecarlo",
     )
+    compute.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --method naive-parallel, bottleneck or auto "
+        "(default: serial)",
+    )
     compute.add_argument("--json", action="store_true", help="machine-readable output")
     compute.add_argument(
         "--trace",
@@ -108,6 +116,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=10_000,
         help="sample count for --method montecarlo",
+    )
+    profile.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --method naive-parallel, bottleneck or auto "
+        "(default: serial)",
     )
     profile.add_argument(
         "--progress",
@@ -183,6 +199,7 @@ def _cmd_compute(args: argparse.Namespace) -> int:
     options = {}
     if args.method in ("montecarlo", "montecarlo-stratified"):
         options["num_samples"] = args.samples
+    options.update(_workers_option(args))
     tracing = args.trace or args.trace_json is not None
     if tracing:
         with record() as recorder:
@@ -223,6 +240,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     options = {}
     if args.method in ("montecarlo", "montecarlo-stratified"):
         options["num_samples"] = args.samples
+    options.update(_workers_option(args))
     recorder = Recorder(progress_callback=_print_progress if args.progress else None)
     with record(recorder):
         result = compute_reliability(net, demand=demand, method=args.method, **options)
@@ -291,6 +309,25 @@ def _cmd_sample_network(args: argparse.Namespace) -> int:
             handle.write(text + "\n")
         print(f"wrote {args.output}", file=sys.stderr)
     return 0
+
+
+#: Methods that accept a ``workers=`` option (``auto`` forwards it to
+#: the bottleneck engine when that path wins).
+_WORKERS_METHODS = ("naive-parallel", "bottleneck", "auto")
+
+
+def _workers_option(args: argparse.Namespace) -> dict[str, int]:
+    """Validate ``--workers`` and turn it into a compute option."""
+    if args.workers is None:
+        return {}
+    if args.workers < 1:
+        raise ReproValueError(f"--workers must be >= 1, got {args.workers}")
+    if args.method not in _WORKERS_METHODS:
+        raise ReproValueError(
+            f"--workers is not supported by method {args.method!r}; "
+            f"use one of: {', '.join(_WORKERS_METHODS)}"
+        )
+    return {"workers": args.workers}
 
 
 _COMMANDS = {

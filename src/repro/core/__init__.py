@@ -19,6 +19,14 @@ from repro.core.bounds import cut_upper_bound, reliability_bounds, route_lower_b
 from repro.core.bridge import bridge_reliability
 from repro.core.chain import ChainStructure, analyze_chain, chain_reliability
 from repro.core.demand import FlowDemand
+from repro.core.engine import (
+    LatticePlan,
+    RealizationScreens,
+    build_realization_arrays,
+    build_side_array_parallel,
+    partition_lattice,
+    run_chunked,
+)
 from repro.core.factoring import factoring_reliability
 from repro.core.feasibility import FeasibilityOracle
 from repro.core.frontier import (
@@ -92,6 +100,12 @@ __all__ = [
     "describe_assignment",
     "RealizationArray",
     "build_side_array",
+    "LatticePlan",
+    "RealizationScreens",
+    "build_realization_arrays",
+    "build_side_array_parallel",
+    "partition_lattice",
+    "run_chunked",
     "accumulate",
     "restrict_masks",
     "side_class_probabilities",

@@ -81,7 +81,10 @@ def compute_reliability(
     or as the positional triple ``source, sink, rate``.
 
     ``options`` are forwarded to the chosen algorithm (e.g. ``solver=``,
-    ``cut=``, ``strategy=``, ``num_samples=``, ``cuts=`` for chain).
+    ``cut=``, ``strategy=``, ``num_samples=``, ``cuts=`` for chain,
+    ``workers=`` for the parallel engines — in ``auto`` mode a
+    ``workers=`` option reaches the bottleneck engine when that path
+    wins, and is dropped by the serial fallbacks).
 
     Examples
     --------
@@ -162,6 +165,7 @@ def _dispatch(
 
     # --- auto dispatch -------------------------------------------------
     solver = options.get("solver")
+    workers = options.get("workers")
     try:
         split = find_bottleneck(
             net, demand.source, demand.sink, max_size=options.get("max_cut_size", 3)
@@ -173,7 +177,7 @@ def _dispatch(
         if side <= _AUTO_SIDE_BITS:
             try:
                 return bottleneck_reliability(
-                    net, demand, cut=split.cut, solver=solver
+                    net, demand, cut=split.cut, solver=solver, workers=workers
                 )
             except DecompositionError:
                 pass

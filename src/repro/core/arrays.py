@@ -28,8 +28,8 @@ import numpy as np
 
 from repro.exceptions import SolverError
 from repro.flow.base import MaxFlowSolver, get_solver
-from repro.flow.residual import build_template
-from repro.graph.network import Node
+from repro.flow.residual import ResidualTemplate, build_template
+from repro.graph.network import FlowNetwork, Node
 from repro.graph.transforms import SubnetworkView
 from repro.obs.progress import progress_ticker
 from repro.obs.recorder import ARRAY_ENTRIES_BUILT, FLOW_SOLVES, count
@@ -39,6 +39,68 @@ from repro.probability.enumeration import check_enumerable, configuration_probab
 __all__ = ["RealizationArray", "build_side_array"]
 
 _VIRTUAL = "__terminal__"
+
+
+def _validate_side_request(
+    net: FlowNetwork,
+    *,
+    role: str,
+    assignments: Sequence[Sequence[int]],
+    ports: Sequence[Node],
+    demand: int,
+) -> None:
+    """Shared §III-C input validation (serial builder and the engine)."""
+    if role not in ("source", "sink"):
+        raise SolverError(f"role must be 'source' or 'sink', got {role!r}")
+    check_enumerable(net.num_links)
+    if len(assignments) > 63:
+        raise SolverError(
+            f"realization masks are uint64-packed; got {len(assignments)} assignments"
+        )
+    for a in assignments:
+        if len(a) != len(ports):
+            raise SolverError("assignment arity does not match the port count")
+        if sum(a) != demand:
+            raise SolverError(f"assignment {tuple(a)} does not sum to demand {demand}")
+
+
+def _side_template(
+    net: FlowNetwork,
+    *,
+    role: str,
+    terminal: Node,
+    ports: Sequence[Node],
+    demand: int,
+) -> tuple[ResidualTemplate, list[str], int, int]:
+    """Residual template with one virtual port arc per cut link.
+
+    Returns ``(template, port_arc_names, source_index, sink_index)`` —
+    everything a realization solve needs besides the per-instance alive
+    mask and port capacities.
+    """
+    template = build_template(net, extra_nodes=[_VIRTUAL])
+    virtual = template.node_index[_VIRTUAL]
+    if terminal not in template.node_index:
+        raise SolverError(f"terminal {terminal!r} is not inside this side")
+    port_names: list[str] = []
+    for l, port in enumerate(ports):
+        if port not in template.node_index:
+            raise SolverError(f"port {port!r} is not inside this side")
+        p = template.node_index[port]
+        name = f"port{l}"
+        if role == "source":
+            template.add_virtual_arc(name, p, virtual, demand)
+        else:
+            template.add_virtual_arc(name, virtual, p, demand)
+        port_names.append(name)
+
+    if role == "source":
+        s_idx = template.node_index[terminal]
+        t_idx = virtual
+    else:
+        s_idx = virtual
+        t_idx = template.node_index[terminal]
+    return template, port_names, s_idx, t_idx
 
 
 @dataclass(frozen=True)
@@ -108,43 +170,15 @@ def build_side_array(
     solver, prune:
         Max-flow solver choice and monotone pruning toggle.
     """
-    if role not in ("source", "sink"):
-        raise SolverError(f"role must be 'source' or 'sink', got {role!r}")
     net = side.network
     m = net.num_links
     check_enumerable(m)
-    if len(assignments) > 63:
-        raise SolverError(
-            f"realization masks are uint64-packed; got {len(assignments)} assignments"
-        )
-    for a in assignments:
-        if len(a) != len(ports):
-            raise SolverError("assignment arity does not match the port count")
-        if sum(a) != demand:
-            raise SolverError(f"assignment {tuple(a)} does not sum to demand {demand}")
-
-    template = build_template(net, extra_nodes=[_VIRTUAL])
-    virtual = template.node_index[_VIRTUAL]
-    if terminal not in template.node_index:
-        raise SolverError(f"terminal {terminal!r} is not inside this side")
-    port_names: list[str] = []
-    for l, port in enumerate(ports):
-        if port not in template.node_index:
-            raise SolverError(f"port {port!r} is not inside this side")
-        p = template.node_index[port]
-        name = f"port{l}"
-        if role == "source":
-            template.add_virtual_arc(name, p, virtual, demand)
-        else:
-            template.add_virtual_arc(name, virtual, p, demand)
-        port_names.append(name)
-
-    if role == "source":
-        s_idx = template.node_index[terminal]
-        t_idx = virtual
-    else:
-        s_idx = virtual
-        t_idx = template.node_index[terminal]
+    _validate_side_request(
+        net, role=role, assignments=assignments, ports=ports, demand=demand
+    )
+    template, port_names, s_idx, t_idx = _side_template(
+        net, role=role, terminal=terminal, ports=ports, demand=demand
+    )
 
     engine = get_solver(solver)
     size = 1 << m

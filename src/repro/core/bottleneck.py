@@ -65,6 +65,8 @@ def bottleneck_reliability(
     strategy: str = "auto",
     prune: bool = True,
     max_cut_size: int = 3,
+    workers: int | None = None,
+    screen: bool = True,
 ) -> ReliabilityResult:
     """Exact reliability via the bottleneck decomposition.
 
@@ -82,6 +84,17 @@ def bottleneck_reliability(
         ACCUMULATION strategy: ``"auto"``, ``"zeta"`` or ``"pairs"``.
     prune:
         Monotone pruning inside the realization arrays.
+    workers:
+        ``None`` (default) keeps the serial §III-C builder with its
+        exact historical ``flow_calls`` accounting.  Any ``workers >= 1``
+        routes both side arrays through
+        :func:`repro.core.engine.build_realization_arrays` — chunked,
+        optionally multi-process, bit-identical masks — and enables the
+        pre-solve ``screen``.
+    screen:
+        Engine path only: cheap certain-negative screens (alive port
+        capacity / connectivity) that skip max-flow solves without
+        changing the result.  Ignored when ``workers`` is ``None``.
 
     Raises
     ------
@@ -124,36 +137,53 @@ def bottleneck_reliability(
             details={**base_details, "reason": "cut capacity below demand"},
         )
 
-    with span(
-        "bottleneck.source_array",
-        links=len(split.source_side.link_map),
-        assignments=len(assignments),
-    ):
-        source_array = build_side_array(
-            split.source_side,
-            role="source",
-            terminal=demand.source,
-            ports=split.source_ports,
-            assignments=assignments,
-            demand=demand.rate,
-            solver=solver,
-            prune=prune,
-        )
-    with span(
-        "bottleneck.sink_array",
-        links=len(split.sink_side.link_map),
-        assignments=len(assignments),
-    ):
-        sink_array = build_side_array(
-            split.sink_side,
-            role="sink",
-            terminal=demand.sink,
-            ports=split.sink_ports,
-            assignments=assignments,
-            demand=demand.rate,
-            solver=solver,
-            prune=prune,
-        )
+    engine_stats: dict[str, object] | None = None
+    if workers is None:
+        with span(
+            "bottleneck.source_array",
+            links=len(split.source_side.link_map),
+            assignments=len(assignments),
+        ):
+            source_array = build_side_array(
+                split.source_side,
+                role="source",
+                terminal=demand.source,
+                ports=split.source_ports,
+                assignments=assignments,
+                demand=demand.rate,
+                solver=solver,
+                prune=prune,
+            )
+        with span(
+            "bottleneck.sink_array",
+            links=len(split.sink_side.link_map),
+            assignments=len(assignments),
+        ):
+            sink_array = build_side_array(
+                split.sink_side,
+                role="sink",
+                terminal=demand.sink,
+                ports=split.sink_ports,
+                assignments=assignments,
+                demand=demand.rate,
+                solver=solver,
+                prune=prune,
+            )
+    else:
+        from repro.core.engine import build_realization_arrays  # local: engine-path only
+
+        with span("bottleneck.arrays", workers=workers, screen=screen):
+            source_array, sink_array, engine_stats = build_realization_arrays(
+                split,
+                source=demand.source,
+                sink=demand.sink,
+                assignments=assignments,
+                demand=demand.rate,
+                solver=solver,
+                prune=prune,
+                screen=screen,
+                workers=workers,
+            )
 
     # Eq. (3): sum over the 2^k bottleneck survival patterns.  r_{E'}
     # depends only on the supported class, so identical classes share
@@ -178,14 +208,17 @@ def bottleneck_reliability(
                 cache[supported] = r
             terms.append(p_pattern * r)
 
+    details = {
+        **base_details,
+        "accumulation_strategy": strategy,
+        "distinct_classes": len(cache),
+    }
+    if engine_stats is not None:
+        details["engine"] = engine_stats
     return ReliabilityResult(
         value=prob_fsum(terms),
         method="bottleneck",
         flow_calls=source_array.flow_calls + sink_array.flow_calls,
         configurations=len(source_array.masks) + len(sink_array.masks),
-        details={
-            **base_details,
-            "accumulation_strategy": strategy,
-            "distinct_classes": len(cache),
-        },
+        details=details,
     )

@@ -19,12 +19,10 @@ work dominates the fork overhead, which the X2 benchmark measures.
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
-
 import numpy as np
 
 from repro.core.demand import FlowDemand
+from repro.core.engine import default_workers, partition_lattice, run_chunked
 from repro.core.feasibility import FeasibilityOracle
 from repro.core.naive import MAX_NAIVE_BITS
 from repro.core.result import ReliabilityResult
@@ -36,11 +34,6 @@ from repro.probability.bitset import popcount_array
 from repro.probability.enumeration import check_enumerable, configuration_probabilities
 
 __all__ = ["parallel_naive_reliability", "default_workers"]
-
-
-def default_workers() -> int:
-    """A sensible worker count: physical parallelism minus one, >= 1."""
-    return max(1, (os.cpu_count() or 2) - 1)
 
 
 def _worker_sum(
@@ -117,22 +110,21 @@ def parallel_naive_reliability(
     if workers < 1:
         raise EstimationError("workers must be >= 1")
 
-    high_bits = 0
-    while (1 << high_bits) < workers and high_bits < m:
-        high_bits += 1
-    low_bits = m - high_bits
-    chunks = 1 << high_bits
-
+    plan = partition_lattice(m, workers)
     net_data = to_dict(net)
     args = [
-        (net_data, demand.source, demand.sink, demand.rate, low_bits, pattern, prune)
-        for pattern in range(chunks)
+        (
+            net_data,
+            demand.source,
+            demand.sink,
+            demand.rate,
+            plan.low_bits,
+            pattern,
+            prune,
+        )
+        for pattern in range(plan.chunks)
     ]
-    if chunks == 1 or workers == 1:
-        results = [_worker_sum(*a) for a in args]
-    else:
-        with ProcessPoolExecutor(max_workers=min(workers, chunks)) as pool:
-            results = list(pool.map(_worker_sum, *zip(*args)))
+    results = run_chunked(_worker_sum, args, workers=workers)
     value = prob_fsum(r[0] for r in results)
     calls = int(sum(r[1] for r in results))
     return ReliabilityResult(
@@ -140,5 +132,5 @@ def parallel_naive_reliability(
         method="naive-parallel",
         flow_calls=calls,
         configurations=1 << m,
-        details={"workers": workers, "chunks": chunks, "pruned": bool(prune)},
+        details={"workers": workers, "chunks": plan.chunks, "pruned": bool(prune)},
     )

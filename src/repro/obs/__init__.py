@@ -42,6 +42,7 @@ from repro.obs.recorder import (
     FLOW_SOLVES,
     KNOWN_COUNTERS,
     MC_SAMPLES,
+    SCREENED_SOLVES,
     Recorder,
     SpanRecord,
     count,
@@ -59,6 +60,7 @@ __all__ = [
     "FLOW_SOLVES",
     "KNOWN_COUNTERS",
     "MC_SAMPLES",
+    "SCREENED_SOLVES",
     "ProgressTicker",
     "ProgressUpdate",
     "Recorder",

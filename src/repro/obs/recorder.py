@@ -37,6 +37,7 @@ __all__ = [
     "CONFIGURATIONS_ENUMERATED",
     "FLOW_SOLVES",
     "MC_SAMPLES",
+    "SCREENED_SOLVES",
     "KNOWN_COUNTERS",
     "Recorder",
     "SpanRecord",
@@ -72,6 +73,11 @@ ASSIGNMENTS_ENUMERATED = "assignments_enumerated"
 ARRAY_ENTRIES_BUILT = "array_entries_built"
 #: Monte-Carlo samples drawn.
 MC_SAMPLES = "mc_samples"
+#: Realization solves skipped by the engine's pre-solve screens
+#: (``repro.core.engine``): entries proven "not realized" from alive
+#: port capacity or terminal/port connectivity alone, so no max-flow
+#: solve was spent and they do **not** count toward ``flow_solves``.
+SCREENED_SOLVES = "screened_solves"
 
 #: The catalogue, for documentation and validation in tests.
 KNOWN_COUNTERS = frozenset(
@@ -81,6 +87,7 @@ KNOWN_COUNTERS = frozenset(
         ASSIGNMENTS_ENUMERATED,
         ARRAY_ENTRIES_BUILT,
         MC_SAMPLES,
+        SCREENED_SOLVES,
     }
 )
 

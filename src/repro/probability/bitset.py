@@ -8,6 +8,7 @@ vectorized (numpy ``uint64``) flavours.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterable, Iterator
 
 import numpy as np
@@ -65,14 +66,15 @@ def _raise_negative(mask: int) -> int:
     raise ReproValueError(f"mask must be non-negative, got {mask}")
 
 
-def popcount_array(n_bits: int) -> np.ndarray:
-    """``uint8`` array ``a`` of length ``2**n_bits`` with ``a[m] = popcount(m)``.
+@lru_cache(maxsize=None)
+def _popcount_table(n_bits: int) -> np.ndarray:
+    """The memoised, **read-only** table behind :func:`popcount_array`.
 
-    Built by doubling: the second half of each prefix is the first half
-    plus one.  ``n_bits`` up to ~26 is practical.
+    Every side array, every worker chunk and every pruned scan asks for
+    the same few widths, so the table is built once per width per
+    process and shared.  It is marked read-only because it is shared:
+    a caller mutating its copy would poison every later caller.
     """
-    if n_bits < 0:
-        raise ReproValueError("n_bits must be non-negative")
     if n_bits > MAX_TABLE_BITS:
         raise IntractableError(
             f"a 2^{n_bits}-entry popcount table exceeds the budget of 2^{MAX_TABLE_BITS}",
@@ -84,7 +86,20 @@ def popcount_array(n_bits: int) -> np.ndarray:
     for _ in range(n_bits):
         counts[size : 2 * size] = counts[:size] + 1
         size *= 2
+    counts.setflags(write=False)
     return counts
+
+
+def popcount_array(n_bits: int) -> np.ndarray:
+    """``uint8`` array ``a`` of length ``2**n_bits`` with ``a[m] = popcount(m)``.
+
+    Built by doubling: the second half of each prefix is the first half
+    plus one.  ``n_bits`` up to ~26 is practical.  The returned array is
+    cached per width and **read-only**; copy before mutating.
+    """
+    if n_bits < 0:
+        raise ReproValueError("n_bits must be non-negative")
+    return _popcount_table(n_bits)
 
 
 def parity_array(n_bits: int) -> np.ndarray:

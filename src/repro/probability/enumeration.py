@@ -13,6 +13,7 @@ algorithms.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -32,6 +33,12 @@ __all__ = [
 #: Refuse to materialise more than ``2**MAX_ENUM_BITS`` configurations
 #: (8 bytes each => 2 GiB of float64 at 28 bits).
 MAX_ENUM_BITS = 28
+
+#: Tables up to this width are memoised by failure-probability vector
+#: (32 MiB of float64 at 22 bits; the cache holds at most 8 tables).
+#: Wider tables are rebuilt per call — at that size the build cost is
+#: dwarfed by whatever enumeration asked for it.
+_PROB_TABLE_CACHE_BITS = 22
 
 
 def check_enumerable(n_bits: int, *, limit: int = MAX_ENUM_BITS) -> None:
@@ -72,13 +79,36 @@ def configuration_probabilities(
     m = len(probs)
     check_enumerable(m)
     with span("probability.table", links=m):
+        # The counter reports configurations *requested*, cache hit or
+        # not — the paper's cost accounting is about the enumeration the
+        # algorithm asked for, not this process's memoisation luck.
         count(CONFIGURATIONS_ENUMERATED, 1 << m)
-        table = np.ones(1, dtype=np.float64)
-        for p in probs:
-            dead = table * p
-            alive = table * (1.0 - p)
-            table = np.concatenate([dead, alive])
-        return table
+        if m <= _PROB_TABLE_CACHE_BITS:
+            return _probability_table(tuple(float(p) for p in probs))
+        return _build_probability_table(tuple(float(p) for p in probs))
+
+
+@lru_cache(maxsize=8)
+def _probability_table(probs: tuple[float, ...]) -> np.ndarray:
+    """Memoised, **read-only** probability table for one prob vector.
+
+    Each side array (and each worker chunk merge) asks for the same
+    table; building it once per process and sharing a read-only view
+    removes an ``O(2^m)`` rebuild from every repeat caller.
+    """
+    table = _build_probability_table(probs)
+    table.setflags(write=False)
+    return table
+
+
+def _build_probability_table(probs: tuple[float, ...]) -> np.ndarray:
+    """The doubling construction (uncached, always a fresh array)."""
+    table = np.ones(1, dtype=np.float64)
+    for p in probs:
+        dead = table * p
+        alive = table * (1.0 - p)
+        table = np.concatenate([dead, alive])
+    return table
 
 
 def configuration_probability(

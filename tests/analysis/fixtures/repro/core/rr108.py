@@ -1,0 +1,44 @@
+"""RR108 fixture — process-pool use outside the sanctioned modules."""
+
+
+def bad_import_multiprocessing():
+    import multiprocessing
+
+    return multiprocessing.cpu_count()
+
+
+def bad_from_multiprocessing():
+    from multiprocessing import Pool
+
+    return Pool
+
+
+def bad_process_pool_import():
+    from concurrent.futures import ProcessPoolExecutor
+
+    return ProcessPoolExecutor
+
+
+def bad_attribute_pool():
+    import concurrent.futures
+
+    with concurrent.futures.ProcessPoolExecutor(max_workers=2) as pool:
+        return pool
+
+
+def ok_thread_pool():
+    from concurrent.futures import ThreadPoolExecutor
+
+    return ThreadPoolExecutor
+
+
+def ok_futures_plumbing():
+    from concurrent.futures import as_completed
+
+    return as_completed
+
+
+def suppressed():
+    from multiprocessing import Pool  # repro: noqa[RR108]
+
+    return Pool

@@ -7,7 +7,7 @@ import pytest
 
 from tests.analysis.conftest import FIXTURES, fixture_findings, flagged_functions
 
-ALL_CODES = ("RR101", "RR102", "RR103", "RR104", "RR105", "RR106", "RR107")
+ALL_CODES = ("RR101", "RR102", "RR103", "RR104", "RR105", "RR106", "RR107", "RR108")
 
 
 @pytest.mark.parametrize("code", ALL_CODES)
@@ -80,6 +80,35 @@ def test_rr107_counts_and_messages():
     assert sum("time.time()" in f.message for f in findings) == 1
     assert sum("time.monotonic()" in f.message for f in findings) == 1
     assert sum("import of perf_counter" in f.message for f in findings) == 1
+
+
+def test_rr108_counts_and_messages():
+    findings = fixture_findings("RR108")
+    # bad_import_multiprocessing, bad_from_multiprocessing,
+    # bad_process_pool_import (ImportFrom), bad_attribute_pool (Attribute).
+    assert len(findings) == 4
+    assert sum("import of multiprocessing" in f.message for f in findings) == 1
+    assert sum("import from multiprocessing" in f.message for f in findings) == 1
+    assert sum("import of ProcessPoolExecutor" in f.message for f in findings) == 1
+    assert sum("attribute access" in f.message for f in findings) == 1
+
+
+def test_rr108_exempts_engine_and_parallel(tmp_path):
+    """The sanctioned modules are where the pools are supposed to live."""
+    from repro.analysis import analyze_source
+
+    source = "from concurrent.futures import ProcessPoolExecutor\n"
+    for sanctioned in ("engine.py", "parallel.py"):
+        path = str(tmp_path / "repro" / "core" / sanctioned)
+        assert not [f for f in analyze_source(source, path) if f.code == "RR108"]
+
+    elsewhere = analyze_source(
+        source, str(tmp_path / "repro" / "core" / "montecarlo.py")
+    )
+    assert [f for f in elsewhere if f.code == "RR108"]
+    # "engine.py" outside a core package is NOT sanctioned.
+    stray = analyze_source(source, str(tmp_path / "repro" / "graph" / "engine.py"))
+    assert [f for f in stray if f.code == "RR108"]
 
 
 def test_rr107_exempts_the_obs_package(tmp_path):

@@ -1,0 +1,318 @@
+"""The parallel realization-array engine (``repro.core.engine``).
+
+The contract under test: for every worker count the engine's masks are
+**bit-identical** to the serial §III-C builder, screens only remove
+max-flow solves (never change a mask), and the flow-solve accounting
+still partitions ``ReliabilityResult.flow_calls`` exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.arrays import build_side_array
+from repro.core.assignments import enumerate_assignments
+from repro.core.bottleneck import bottleneck_reliability
+from repro.core.demand import FlowDemand
+from repro.core.engine import (
+    LatticePlan,
+    RealizationScreens,
+    build_realization_arrays,
+    build_side_array_parallel,
+    partition_lattice,
+    run_chunked,
+)
+from repro.exceptions import ReproValueError
+from repro.graph.builders import fujita_fig4
+from repro.graph.cuts import find_bottleneck
+
+
+def _fig4_split():
+    net = fujita_fig4()
+    split = find_bottleneck(net, "s", "t", max_size=3)
+    assert split is not None
+    capacities = [net.link(i).capacity for i in split.cut]
+    assignments = enumerate_assignments(capacities, 2)
+    return net, split, assignments
+
+
+class TestPartitionLattice:
+    def test_one_worker_is_one_chunk(self):
+        plan = partition_lattice(10, 1)
+        assert plan == LatticePlan(num_bits=10, high_bits=0)
+        assert plan.chunks == 1 and plan.chunk_size == 1024
+
+    def test_chunks_smallest_power_of_two_covering_workers(self):
+        assert partition_lattice(10, 2).chunks == 2
+        assert partition_lattice(10, 3).chunks == 4
+        assert partition_lattice(10, 4).chunks == 4
+        assert partition_lattice(10, 5).chunks == 8
+
+    def test_high_bits_capped_at_num_bits(self):
+        plan = partition_lattice(2, 64)
+        assert plan.high_bits == 2 and plan.low_bits == 0
+
+    def test_chunks_times_chunk_size_covers_lattice(self):
+        for workers in (1, 2, 3, 7, 16):
+            plan = partition_lattice(9, workers)
+            assert plan.chunks * plan.chunk_size == 1 << 9
+
+    @pytest.mark.parametrize("workers", [0, -1])
+    def test_workers_validation(self, workers):
+        with pytest.raises(ReproValueError):
+            partition_lattice(4, workers)
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ReproValueError):
+            partition_lattice(-1, 2)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestRunChunked:
+    def test_serial_path_preserves_task_order(self):
+        assert run_chunked(_square, [(i,) for i in range(5)], workers=1) == [
+            0,
+            1,
+            4,
+            9,
+            16,
+        ]
+
+    def test_single_task_stays_in_process(self):
+        marker = []
+
+        def local_worker(x):  # unpicklable on purpose: must not reach a pool
+            marker.append(x)
+            return x
+
+        assert run_chunked(local_worker, [(7,)], workers=8) == [7]
+        assert marker == [7]
+
+    def test_process_pool_path(self):
+        assert run_chunked(_square, [(i,) for i in range(4)], workers=2) == [
+            0,
+            1,
+            4,
+            9,
+        ]
+
+    def test_workers_validation(self):
+        with pytest.raises(ReproValueError):
+            run_chunked(_square, [(1,)], workers=0)
+
+
+class TestRealizationScreens:
+    def test_budget_screen_rejects_starved_assignment(self):
+        net, split, assignments = _fig4_split()
+        screens = RealizationScreens(
+            split.source_side.network,
+            role="source",
+            terminal="s",
+            ports=split.source_ports,
+            demand=2,
+        )
+        # With no side links alive every non-terminal port has budget 0.
+        budgets = screens.port_budgets(0)
+        reachable = screens.reachable_ports(0)
+        assert any(
+            screens.screened(a, budgets, reachable) for a in assignments
+        )
+
+    def test_full_alive_configuration_passes(self):
+        net, split, assignments = _fig4_split()
+        side_net = split.source_side.network
+        screens = RealizationScreens(
+            side_net,
+            role="source",
+            terminal="s",
+            ports=split.source_ports,
+            demand=2,
+        )
+        full = (1 << side_net.num_links) - 1
+        budgets = screens.port_budgets(full)
+        reachable = screens.reachable_ports(full)
+        # fig4's assignments are all realizable fully-alive, so the
+        # certain-negative screens must pass every one of them.
+        assert all(
+            not screens.screened(a, budgets, reachable) for a in assignments
+        )
+
+    def test_terminal_port_is_unbounded(self):
+        net, split, assignments = _fig4_split()
+        side_net = split.source_side.network
+        ports = ["s" for _ in split.source_ports]
+        screens = RealizationScreens(
+            side_net, role="source", terminal="s", ports=ports, demand=2
+        )
+        budgets = screens.port_budgets(0)
+        reachable = screens.reachable_ports(0)
+        assert all(b is None for b in budgets)
+        assert all(not screens.screened(a, budgets, reachable) for a in assignments)
+
+    def test_screens_never_flip_a_mask(self):
+        _, split, assignments = _fig4_split()
+        kwargs = dict(
+            role="source",
+            terminal="s",
+            ports=split.source_ports,
+            assignments=assignments,
+            demand=2,
+            workers=1,
+        )
+        screened = build_side_array_parallel(split.source_side, **kwargs)
+        unscreened = build_side_array_parallel(
+            split.source_side, screen=False, **kwargs
+        )
+        np.testing.assert_array_equal(screened.masks, unscreened.masks)
+        assert screened.flow_calls < unscreened.flow_calls
+
+
+class TestSideArrayEquivalence:
+    @pytest.mark.parametrize("role", ["source", "sink"])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_masks_bit_identical_to_serial(self, role, workers):
+        _, split, assignments = _fig4_split()
+        side = split.source_side if role == "source" else split.sink_side
+        terminal = "s" if role == "source" else "t"
+        ports = split.source_ports if role == "source" else split.sink_ports
+        serial = build_side_array(
+            side,
+            role=role,
+            terminal=terminal,
+            ports=ports,
+            assignments=assignments,
+            demand=2,
+        )
+        parallel = build_side_array_parallel(
+            side,
+            role=role,
+            terminal=terminal,
+            ports=ports,
+            assignments=assignments,
+            demand=2,
+            workers=workers,
+        )
+        assert parallel.masks.dtype == np.uint64
+        np.testing.assert_array_equal(serial.masks, parallel.masks)
+        np.testing.assert_allclose(
+            serial.probabilities, parallel.probabilities, rtol=0, atol=0
+        )
+
+    def test_workers_one_no_screen_matches_serial_flow_calls(self):
+        """One chunk + no screens must replay the serial solve set exactly."""
+        _, split, assignments = _fig4_split()
+        serial = build_side_array(
+            split.source_side,
+            role="source",
+            terminal="s",
+            ports=split.source_ports,
+            assignments=assignments,
+            demand=2,
+        )
+        engine = build_side_array_parallel(
+            split.source_side,
+            role="source",
+            terminal="s",
+            ports=split.source_ports,
+            assignments=assignments,
+            demand=2,
+            workers=1,
+            screen=False,
+        )
+        assert engine.flow_calls == serial.flow_calls
+
+    def test_workers_validation(self):
+        _, split, assignments = _fig4_split()
+        with pytest.raises(ReproValueError):
+            build_side_array_parallel(
+                split.source_side,
+                role="source",
+                terminal="s",
+                ports=split.source_ports,
+                assignments=assignments,
+                demand=2,
+                workers=0,
+            )
+
+
+class TestBuildRealizationArrays:
+    def test_both_sides_match_serial_and_report_stats(self):
+        _, split, assignments = _fig4_split()
+        source_serial = build_side_array(
+            split.source_side,
+            role="source",
+            terminal="s",
+            ports=split.source_ports,
+            assignments=assignments,
+            demand=2,
+        )
+        sink_serial = build_side_array(
+            split.sink_side,
+            role="sink",
+            terminal="t",
+            ports=split.sink_ports,
+            assignments=assignments,
+            demand=2,
+        )
+        source_arr, sink_arr, stats = build_realization_arrays(
+            split, source="s", sink="t", assignments=assignments, demand=2, workers=2
+        )
+        np.testing.assert_array_equal(source_serial.masks, source_arr.masks)
+        np.testing.assert_array_equal(sink_serial.masks, sink_arr.masks)
+        assert stats["workers"] == 2
+        assert stats["screened_solves"] > 0
+        assert stats["source_chunks"] == stats["sink_chunks"] == 2
+
+
+class TestBottleneckEngineDispatch:
+    def test_default_is_serial_with_historical_flow_calls(self):
+        net = fujita_fig4()
+        demand = FlowDemand("s", "t", 2)
+        result = bottleneck_reliability(net, demand, prune=False)
+        # The pinned serial count: |D| * (2^{|E_s|} + 2^{|E_t|}).
+        assert result.flow_calls == 3 * (2**4 + 2**3)
+        assert "engine" not in result.details
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_engine_value_matches_serial(self, workers):
+        net = fujita_fig4()
+        demand = FlowDemand("s", "t", 2)
+        serial = bottleneck_reliability(net, demand)
+        engine = bottleneck_reliability(net, demand, workers=workers)
+        assert engine.value == pytest.approx(serial.value, abs=1e-12)
+        assert engine.details["engine"]["workers"] == workers
+
+    def test_screens_reduce_flow_calls(self):
+        net = fujita_fig4()
+        demand = FlowDemand("s", "t", 2)
+        unscreened = bottleneck_reliability(net, demand, workers=1, screen=False)
+        screened = bottleneck_reliability(net, demand, workers=1)
+        assert screened.value == pytest.approx(unscreened.value, abs=1e-12)
+        assert screened.flow_calls < unscreened.flow_calls
+        assert screened.details["engine"]["screened_solves"] > 0
+
+    def test_flow_calls_partition_exactly_through_obs(self):
+        net = fujita_fig4()
+        demand = FlowDemand("s", "t", 2)
+        with obs.record() as rec:
+            result = bottleneck_reliability(net, demand, workers=2)
+        assert rec.counter_total(obs.FLOW_SOLVES) == result.flow_calls
+        assert (
+            rec.counter_total(obs.SCREENED_SOLVES)
+            == result.details["engine"]["screened_solves"]
+        )
+        # Per-phase subtree totals must partition flow_calls too.
+        summary = obs.phase_summary(rec)
+        per_phase = sum(
+            p["counters"].get("flow_solves", 0) for p in summary["phases"]
+        )
+        assert per_phase == result.flow_calls
+
+    def test_workers_validation(self):
+        net = fujita_fig4()
+        demand = FlowDemand("s", "t", 2)
+        with pytest.raises(ReproValueError):
+            bottleneck_reliability(net, demand, workers=0)

@@ -1,0 +1,77 @@
+"""CLI integration: the ``--workers`` flag on compute and profile."""
+
+import json
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.graph.builders import fujita_fig4
+from repro.graph.io import save
+
+_FIG4_RELIABILITY = "0.8426357910"
+
+
+@pytest.fixture
+def net_file(tmp_path):
+    path = tmp_path / "net.json"
+    save(fujita_fig4(), path)
+    return str(path)
+
+
+class TestComputeWorkers:
+    @pytest.mark.parametrize("method", ["bottleneck", "naive-parallel", "auto"])
+    def test_workers_two_matches_serial_value(self, net_file, capsys, method):
+        assert main(
+            ["compute", net_file, "-s", "s", "-t", "t", "-d", "2",
+             "--method", method, "--workers", "2"]
+        ) == 0
+        assert _FIG4_RELIABILITY in capsys.readouterr().out
+
+    def test_engine_flow_calls_reported_in_json(self, net_file, capsys):
+        assert main(
+            ["compute", net_file, "-s", "s", "-t", "t", "-d", "2",
+             "--method", "bottleneck", "--workers", "2", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["reliability"] == pytest.approx(0.842635791, abs=1e-9)
+        assert payload["flow_calls"] > 0
+
+    def test_workers_zero_rejected(self, net_file, capsys):
+        assert main(
+            ["compute", net_file, "-s", "s", "-t", "t", "-d", "2",
+             "--method", "bottleneck", "--workers", "0"]
+        ) == 1
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+    def test_workers_rejected_for_serial_method(self, net_file, capsys):
+        assert main(
+            ["compute", net_file, "-s", "s", "-t", "t", "-d", "2",
+             "--method", "naive", "--workers", "2"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "--workers is not supported" in err
+        assert "naive-parallel" in err
+
+
+class TestProfileWorkers:
+    def test_profile_engine_path_partitions_flow_solves(self, net_file, capsys):
+        assert main(
+            ["profile", net_file, "-s", "s", "-t", "t", "-d", "2",
+             "--method", "bottleneck", "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert _FIG4_RELIABILITY in out
+        flow_calls = int(re.search(r"max-flow calls: (\d+)", out).group(1))
+        counted = int(re.search(r"flow_solves = (\d+)", out).group(1))
+        assert counted == flow_calls
+        assert "screened_solves" in out
+        screened = int(re.search(r"screened_solves = (\d+)", out).group(1))
+        assert screened > 0
+
+    def test_profile_workers_zero_rejected(self, net_file, capsys):
+        assert main(
+            ["profile", net_file, "-s", "s", "-t", "t", "-d", "2",
+             "--method", "bottleneck", "--workers", "0"]
+        ) == 1
+        assert "--workers must be >= 1" in capsys.readouterr().err

@@ -1,0 +1,113 @@
+"""Property: engine masks are bit-for-bit worker-count invariant.
+
+The bit-identity argument (sound pruning + certain-negative screens ⇒
+every variant computes the ground-truth realization masks) must hold on
+*arbitrary* bottlenecked instances, not just the paper's figures.  Each
+seed builds a random two-sided network and demands identical ``uint64``
+mask arrays across ``workers ∈ {1, 2, 4}``, with and without screens,
+plus the reliability values the arrays imply.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.arrays import build_side_array
+from repro.core.assignments import enumerate_assignments
+from repro.core.bottleneck import bottleneck_reliability
+from repro.core.demand import FlowDemand
+from repro.core.engine import build_realization_arrays
+from repro.graph.cuts import find_bottleneck
+from repro.graph.generators import bottlenecked_network
+
+WORKERS = (1, 2, 4)
+
+
+def _instance(seed: int):
+    net = bottlenecked_network(
+        source_side_links=5,
+        sink_side_links=4,
+        num_bottlenecks=2,
+        demand=2,
+        seed=seed,
+    )
+    split = find_bottleneck(net, "s", "t", max_size=3)
+    assert split is not None
+    capacities = [net.link(i).capacity for i in split.cut]
+    assignments = enumerate_assignments(capacities, 2)
+    return net, split, assignments
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7, 23, 101])
+def test_masks_bit_identical_across_worker_counts(seed):
+    net, split, assignments = _instance(seed)
+    source_serial = build_side_array(
+        split.source_side,
+        role="source",
+        terminal="s",
+        ports=split.source_ports,
+        assignments=assignments,
+        demand=2,
+    )
+    sink_serial = build_side_array(
+        split.sink_side,
+        role="sink",
+        terminal="t",
+        ports=split.sink_ports,
+        assignments=assignments,
+        demand=2,
+    )
+    for workers in WORKERS:
+        for screen in (True, False):
+            source_arr, sink_arr, _ = build_realization_arrays(
+                split,
+                source="s",
+                sink="t",
+                assignments=assignments,
+                demand=2,
+                screen=screen,
+                workers=workers,
+            )
+            np.testing.assert_array_equal(
+                source_serial.masks,
+                source_arr.masks,
+                err_msg=f"source masks diverge (seed={seed}, workers={workers}, "
+                f"screen={screen})",
+            )
+            np.testing.assert_array_equal(
+                sink_serial.masks,
+                sink_arr.masks,
+                err_msg=f"sink masks diverge (seed={seed}, workers={workers}, "
+                f"screen={screen})",
+            )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7, 23, 101])
+def test_reliability_worker_invariant(seed):
+    net, _, _ = _instance(seed)
+    demand = FlowDemand("s", "t", 2)
+    serial = bottleneck_reliability(net, demand)
+    for workers in WORKERS:
+        engine = bottleneck_reliability(net, demand, workers=workers)
+        assert engine.value == pytest.approx(serial.value, abs=1e-12), (
+            f"value diverges at seed={seed}, workers={workers}"
+        )
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_screen_counter_only_removes_solves(seed):
+    """Screens may only subtract solves; masks already pinned above."""
+    net, split, assignments = _instance(seed)
+    _, _, stats_on = build_realization_arrays(
+        split, source="s", sink="t", assignments=assignments, demand=2, workers=1
+    )
+    src_off, snk_off, stats_off = build_realization_arrays(
+        split,
+        source="s",
+        sink="t",
+        assignments=assignments,
+        demand=2,
+        workers=1,
+        screen=False,
+    )
+    assert stats_off["screened_solves"] == 0
+    assert stats_on["screened_solves"] >= 0
