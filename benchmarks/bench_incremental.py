@@ -1,0 +1,197 @@
+"""I1 — incremental Gray-walk flow repair vs cold lattice solves.
+
+Cold enumeration re-derives the whole flow at every lattice entry; the
+incremental engine (``repro.flow.incremental``) repairs the previous
+entry's flow across the one-link Gray step instead.  The honest metric
+is **augmenting-path work** — the ``solver.<name>.paths`` counter, i.e.
+how many augmenting paths the solver actually traced — not solver
+invocations, because repairs are many tiny solves (``flow_calls`` can
+grow while the path work collapses).
+
+Every row is asserted value-identical to the cold baseline (``==`` on
+the float, not approx) before it is reported; the committed snapshot
+lives in ``benchmarks/BENCH_incremental.json`` and the acceptance bar
+(>= 2x path-work reduction on fig4) is asserted here so a regression
+fails the bench, not just the JSON diff.
+"""
+
+import pytest
+
+from repro.bench.harness import time_call
+from repro.core.bottleneck import bottleneck_reliability
+from repro.core.demand import FlowDemand
+from repro.core.naive import naive_reliability
+from repro.graph.builders import fujita_fig4
+from repro.graph.generators import bottlenecked_network
+from repro.obs import Recorder, record
+
+
+def _measured(fn, *args, **kwargs):
+    """(TimedResult, augmenting paths, counter totals) for one call."""
+    recorder = Recorder()
+    with record(recorder):
+        timing = time_call(fn, *args, repeats=3, **kwargs)
+    totals = recorder.counter_totals()
+    paths = sum(
+        v
+        for name, v in totals.items()
+        if name.startswith("solver.") and name.endswith(".paths")
+    )
+    # time_call ran the target three times inside one recorder; report
+    # the per-call counts.
+    return timing, paths // 3, totals
+
+
+def _rows_for(fn, net, demand, *, variants):
+    rows = []
+    baseline_paths = {}
+    for label, kwargs in variants:
+        timing, paths, totals = _measured(fn, net, demand, **kwargs)
+        result = timing.value
+        key = kwargs.get("prune", True)
+        if not kwargs.get("incremental"):
+            baseline_paths[key] = paths
+            ratio = 1.0
+        else:
+            ratio = baseline_paths[key] / paths if paths else float("inf")
+        rows.append(
+            {
+                "configuration": label,
+                "ms": round(timing.seconds * 1e3, 3),
+                "value": result.value,
+                "flow_calls": result.flow_calls,
+                "augmenting_paths": paths,
+                "flow_repairs": int(totals.get("flow_repairs", 0)) // 3,
+                "paths_saved": int(totals.get("augmenting_paths_saved", 0)) // 3,
+                "path_work_reduction": round(ratio, 2),
+            }
+        )
+    return rows
+
+
+_NAIVE_VARIANTS = [
+    ("cold pruned", {"prune": True, "incremental": False}),
+    ("incremental pruned", {"prune": True, "incremental": True}),
+    ("cold unpruned", {"prune": False, "incremental": False}),
+    ("incremental unpruned", {"prune": False, "incremental": True}),
+]
+
+
+def test_i1_naive_fig4(benchmark, show):
+    """Fig. 4 whole-graph lattice: the acceptance workload."""
+    net = fujita_fig4()
+    demand = FlowDemand("s", "t", 2)
+
+    rows = benchmark.pedantic(
+        lambda: _rows_for(naive_reliability, net, demand, variants=_NAIVE_VARIANTS),
+        rounds=1,
+        iterations=1,
+    )
+    cold = {r["configuration"]: r for r in rows}
+    for r in rows:
+        assert r["value"] == cold["cold pruned"]["value"]
+    # The acceptance bar: >= 2x less augmenting-path work than cold.
+    assert cold["incremental pruned"]["path_work_reduction"] >= 2.0
+    assert cold["incremental unpruned"]["path_work_reduction"] >= 2.0
+    show(
+        ["configuration", "ms", "flow calls", "aug. paths", "repairs", "saved", "reduction"],
+        [
+            [
+                r["configuration"],
+                f"{r['ms']:.2f}",
+                r["flow_calls"],
+                r["augmenting_paths"],
+                r["flow_repairs"],
+                r["paths_saved"],
+                f"{r['path_work_reduction']:.2f}x",
+            ]
+            for r in rows
+        ],
+        title="I1: naive on fujita_fig4 (2^7 configurations)",
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+def test_i1_naive_random(benchmark, show, seed):
+    """Random bottlenecked instances: where the planner's ordering and
+    the two-sided prune bite hardest (8-15x observed)."""
+    net = bottlenecked_network(
+        source_side_links=5, sink_side_links=4, num_bottlenecks=2, demand=2, seed=seed
+    )
+    demand = FlowDemand("s", "t", 2)
+    rows = benchmark.pedantic(
+        lambda: _rows_for(naive_reliability, net, demand, variants=_NAIVE_VARIANTS),
+        rounds=1,
+        iterations=1,
+    )
+    assert len({r["value"] for r in rows}) == 1
+    incremental_pruned = next(r for r in rows if r["configuration"] == "incremental pruned")
+    assert incremental_pruned["path_work_reduction"] >= 2.0
+    show(
+        ["configuration", "ms", "flow calls", "aug. paths", "reduction"],
+        [
+            [
+                r["configuration"],
+                f"{r['ms']:.2f}",
+                r["flow_calls"],
+                r["augmenting_paths"],
+                f"{r['path_work_reduction']:.2f}x",
+            ]
+            for r in rows
+        ],
+        title=f"I1: naive on bottlenecked_network(seed={seed})",
+    )
+
+
+def test_i1_bottleneck_fig4(benchmark, show):
+    """The paper's algorithm end-to-end: both side arrays incremental."""
+    net = fujita_fig4()
+    demand = FlowDemand("s", "t", 2)
+    variants = [
+        ("cold serial", {"incremental": False}),
+        ("incremental serial", {"incremental": True}),
+        ("cold unpruned", {"prune": False, "incremental": False}),
+        ("incremental unpruned", {"prune": False, "incremental": True}),
+    ]
+
+    def sweep():
+        rows = []
+        baseline = {}
+        for label, kwargs in variants:
+            timing, paths, totals = _measured(
+                bottleneck_reliability, net, demand, **kwargs
+            )
+            key = kwargs.get("prune", True)
+            if not kwargs["incremental"]:
+                baseline[key] = paths
+                ratio = 1.0
+            else:
+                ratio = baseline[key] / paths if paths else float("inf")
+            rows.append(
+                {
+                    "configuration": label,
+                    "ms": round(timing.seconds * 1e3, 3),
+                    "value": timing.value.value,
+                    "flow_calls": timing.value.flow_calls,
+                    "augmenting_paths": paths,
+                    "path_work_reduction": round(ratio, 2),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert len({r["value"] for r in rows}) == 1
+    show(
+        ["configuration", "ms", "flow calls", "aug. paths", "reduction"],
+        [
+            [
+                r["configuration"],
+                f"{r['ms']:.2f}",
+                r["flow_calls"],
+                r["augmenting_paths"],
+                f"{r['path_work_reduction']:.2f}x",
+            ]
+            for r in rows
+        ],
+        title="I1: bottleneck_reliability on fujita_fig4",
+    )

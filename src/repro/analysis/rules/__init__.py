@@ -8,6 +8,7 @@ Importing this package registers every rule with
 * :mod:`~repro.analysis.rules.hygiene` — RR104, RR105, RR106
 * :mod:`~repro.analysis.rules.instrumentation` — RR107
 * :mod:`~repro.analysis.rules.parallelism` — RR108
+* :mod:`~repro.analysis.rules.lattices` — RR109
 """
 
 from __future__ import annotations
@@ -15,9 +16,17 @@ from __future__ import annotations
 from repro.analysis.rules import (
     hygiene,
     instrumentation,
+    lattices,
     numerics,
     parallelism,
     randomness,
 )
 
-__all__ = ["hygiene", "instrumentation", "numerics", "parallelism", "randomness"]
+__all__ = [
+    "hygiene",
+    "instrumentation",
+    "lattices",
+    "numerics",
+    "parallelism",
+    "randomness",
+]

@@ -1,0 +1,116 @@
+"""RR109 — exponential enumeration loops should walk the lattice.
+
+The repo's enumeration kernels iterate ``2^m`` failure configurations
+with a max-flow solve per entry.  A raw ``for mask in range(2 ** m)``
+loop hides two costs the shared iterators make explicit: it cannot feed
+an incremental engine (consecutive masks differ in many links, so every
+solve starts cold) and it cannot exploit monotone pruning (no visit
+order discipline).  Inside :mod:`repro.core`, lattice enumeration must
+go through :func:`repro.probability.gray_lattice` /
+:func:`repro.core.latticewalk.gray_walk_table` (or a popcount-ordered
+scan over a precomputed order) — or carry a
+``# repro: noqa[RR109] <why>`` with the justification inline.
+
+The rule flags ``for`` loops whose iterable is a single-argument
+``range`` over a width shift (``1 << m`` / ``2 ** m`` with non-constant
+width), either written inline or bound to a local name earlier in the
+same function (``size = 1 << m`` ... ``for mask in range(size)``).
+Two-argument ranges, constant widths and non-``range`` iterables are
+out of scope: they are chunk slices, fixed tables or already-ordered
+walks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register_rule
+
+__all__ = ["RawExponentialLoop"]
+
+
+def _is_width_shift(node: ast.AST) -> bool:
+    """``1 << X`` or ``2 ** X`` with a non-constant width ``X``."""
+    if not isinstance(node, ast.BinOp):
+        return False
+    if isinstance(node.op, ast.LShift):
+        base_ok = isinstance(node.left, ast.Constant) and node.left.value == 1
+    elif isinstance(node.op, ast.Pow):
+        base_ok = isinstance(node.left, ast.Constant) and node.left.value == 2
+    else:
+        return False
+    return base_ok and not isinstance(node.right, ast.Constant)
+
+
+def _shift_bound_names(body: list[ast.stmt]) -> dict[str, str]:
+    """Names assigned a width shift anywhere in this scope.
+
+    Light dataflow: a plain ``size = 1 << m`` binding taints ``size``
+    for the whole function (no kill analysis — rebinding a tainted name
+    to something harmless is not an idiom this codebase uses, and a
+    false positive still has the noqa escape).
+    """
+    bound: dict[str, str] = {}
+    for node in Rule.walk_scope(body):
+        if isinstance(node, ast.Assign) and _is_width_shift(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bound[target.id] = ast.unparse(node.value)
+    return bound
+
+
+def _exponential_range(
+    loop: ast.For, bound: dict[str, str]
+) -> str | None:
+    """The offending width expression if ``loop`` is a raw 2^m scan."""
+    call = loop.iter
+    if not (
+        isinstance(call, ast.Call)
+        and Rule.terminal_name(call.func) == "range"
+        and len(call.args) == 1
+        and not call.keywords
+    ):
+        return None
+    arg = call.args[0]
+    if _is_width_shift(arg):
+        return ast.unparse(arg)
+    if isinstance(arg, ast.Name) and arg.id in bound:
+        return f"{arg.id} = {bound[arg.id]}"
+    return None
+
+
+@register_rule
+class RawExponentialLoop(Rule):
+    code = "RR109"
+    name = "raw-exponential-loop"
+    rationale = (
+        "for ... in range(2 ** m) scans the lattice in an order that defeats "
+        "incremental repair and pruning; use gray_lattice/gray_walk_table or "
+        "a popcount-ordered walk (or noqa with justification)"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_package("core")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        scopes: list[list[ast.stmt]] = [ctx.tree.body]
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node.body)
+        for body in scopes:
+            bound = _shift_bound_names(body)
+            for node in Rule.walk_scope(body):
+                if not isinstance(node, ast.For):
+                    continue
+                witness = _exponential_range(node, bound)
+                if witness is not None:
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        f"raw exponential enumeration loop over range({witness}); "
+                        "walk the lattice via gray_lattice/gray_walk_table or a "
+                        "popcount-ordered scan",
+                    )

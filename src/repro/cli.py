@@ -62,6 +62,24 @@ def build_parser() -> argparse.ArgumentParser:
         if with_rate:
             p.add_argument("--rate", "-d", type=int, required=True, help="demand d")
 
+    def _add_incremental_flags(p: argparse.ArgumentParser) -> None:
+        group = p.add_mutually_exclusive_group()
+        group.add_argument(
+            "--incremental",
+            action="store_true",
+            default=None,
+            dest="incremental",
+            help="force the Gray-walk flow-repair kernels for --method "
+            "naive, bottleneck or auto (default: on when the solver "
+            "supports warm starts)",
+        )
+        group.add_argument(
+            "--no-incremental",
+            action="store_false",
+            dest="incremental",
+            help="force cold solves for every lattice entry",
+        )
+
     describe = sub.add_parser("describe", help="print a network summary")
     describe.add_argument("network")
 
@@ -87,6 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for --method naive-parallel, bottleneck or auto "
         "(default: serial)",
     )
+    _add_incremental_flags(compute)
     compute.add_argument("--json", action="store_true", help="machine-readable output")
     compute.add_argument(
         "--trace",
@@ -125,6 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for --method naive-parallel, bottleneck or auto "
         "(default: serial)",
     )
+    _add_incremental_flags(profile)
     profile.add_argument(
         "--progress",
         action="store_true",
@@ -194,12 +214,15 @@ def _print_progress(update: ProgressUpdate) -> None:
 
 
 def _cmd_compute(args: argparse.Namespace) -> int:
-    net = load(args.network)
-    demand = FlowDemand(args.source, args.sink, args.rate)
+    # Validate the option/method pairing before load(): a bad pairing
+    # must not be masked by (or ordered after) file-system side effects.
     options = {}
     if args.method in ("montecarlo", "montecarlo-stratified"):
         options["num_samples"] = args.samples
     options.update(_workers_option(args))
+    options.update(_incremental_option(args))
+    net = load(args.network)
+    demand = FlowDemand(args.source, args.sink, args.rate)
     tracing = args.trace or args.trace_json is not None
     if tracing:
         with record() as recorder:
@@ -235,12 +258,14 @@ def _cmd_compute(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    net = load(args.network)
-    demand = FlowDemand(args.source, args.sink, args.rate)
+    # Same eager option validation as compute: fail before load().
     options = {}
     if args.method in ("montecarlo", "montecarlo-stratified"):
         options["num_samples"] = args.samples
     options.update(_workers_option(args))
+    options.update(_incremental_option(args))
+    net = load(args.network)
+    demand = FlowDemand(args.source, args.sink, args.rate)
     recorder = Recorder(progress_callback=_print_progress if args.progress else None)
     with record(recorder):
         result = compute_reliability(net, demand=demand, method=args.method, **options)
@@ -328,6 +353,24 @@ def _workers_option(args: argparse.Namespace) -> dict[str, int]:
             f"use one of: {', '.join(_WORKERS_METHODS)}"
         )
     return {"workers": args.workers}
+
+
+#: Methods with a Gray-walk flow-repair path (``auto`` forwards the
+#: toggle to whichever of them wins the dispatch).
+_INCREMENTAL_METHODS = ("naive", "bottleneck", "auto")
+
+
+def _incremental_option(args: argparse.Namespace) -> dict[str, bool]:
+    """Validate ``--incremental``/``--no-incremental`` into an option."""
+    if args.incremental is None:
+        return {}
+    flag = "--incremental" if args.incremental else "--no-incremental"
+    if args.method not in _INCREMENTAL_METHODS:
+        raise ReproValueError(
+            f"{flag} is not supported by method {args.method!r}; "
+            f"use one of: {', '.join(_INCREMENTAL_METHODS)}"
+        )
+    return {"incremental": args.incremental}
 
 
 _COMMANDS = {

@@ -82,9 +82,11 @@ def compute_reliability(
 
     ``options`` are forwarded to the chosen algorithm (e.g. ``solver=``,
     ``cut=``, ``strategy=``, ``num_samples=``, ``cuts=`` for chain,
-    ``workers=`` for the parallel engines — in ``auto`` mode a
-    ``workers=`` option reaches the bottleneck engine when that path
-    wins, and is dropped by the serial fallbacks).
+    ``workers=`` for the parallel engines, ``incremental=`` for the
+    Gray-walk flow-repair kernels — in ``auto`` mode the ``workers=``
+    and ``incremental=`` options reach the bottleneck engine when that
+    path wins; ``incremental=`` also reaches the naive fallback, and
+    both are dropped by factoring).
 
     Examples
     --------
@@ -166,6 +168,7 @@ def _dispatch(
     # --- auto dispatch -------------------------------------------------
     solver = options.get("solver")
     workers = options.get("workers")
+    incremental = options.get("incremental")
     try:
         split = find_bottleneck(
             net, demand.source, demand.sink, max_size=options.get("max_cut_size", 3)
@@ -177,10 +180,15 @@ def _dispatch(
         if side <= _AUTO_SIDE_BITS:
             try:
                 return bottleneck_reliability(
-                    net, demand, cut=split.cut, solver=solver, workers=workers
+                    net,
+                    demand,
+                    cut=split.cut,
+                    solver=solver,
+                    workers=workers,
+                    incremental=incremental,
                 )
             except DecompositionError:
                 pass
     if net.num_links <= _AUTO_NAIVE_BITS:
-        return naive_reliability(net, demand, solver=solver)
+        return naive_reliability(net, demand, solver=solver, incremental=incremental)
     return factoring_reliability(net, demand, solver=solver)

@@ -136,7 +136,7 @@ def classify_by_support(
     check_enumerable(num_links)
     supports_of = [support_mask(a) for a in assignments]
     table: dict[int, tuple[int, ...]] = {}
-    for subset in range(1 << num_links):
+    for subset in range(1 << num_links):  # repro: noqa[RR109] pure bitmask arithmetic, no solver behind each entry
         table[subset] = tuple(
             j for j, s in enumerate(supports_of) if s & ~subset == 0
         )
@@ -149,7 +149,7 @@ def iter_support_classes(
     """Yield ``(subset_mask, supported indices)`` pairs lazily."""
     check_enumerable(num_links)
     supports_of = [support_mask(a) for a in assignments]
-    for subset in range(1 << num_links):
+    for subset in range(1 << num_links):  # repro: noqa[RR109] pure bitmask arithmetic, no solver behind each entry
         yield subset, tuple(j for j, s in enumerate(supports_of) if s & ~subset == 0)
 
 

@@ -27,6 +27,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.core.arrays import build_side_array
 from repro.core.assignments import (
     classify_by_support,
@@ -37,13 +39,14 @@ from repro.core.result import ReliabilityResult
 from repro.core.summation import prob_fsum
 from repro.exceptions import DecompositionError
 from repro.flow.base import MaxFlowSolver
+from repro.flow.incremental import resolve_incremental
 from repro.graph.cuts import find_bottleneck, verify_bottleneck
 from repro.graph.network import FlowNetwork
 from repro.graph.transforms import SideSplit
 from repro.obs.recorder import ASSIGNMENTS_ENUMERATED, count, span
 from repro.probability.enumeration import check_enumerable
 
-__all__ = ["bottleneck_reliability", "pattern_probability"]
+__all__ = ["bottleneck_reliability", "pattern_probabilities", "pattern_probability"]
 
 
 def pattern_probability(net: FlowNetwork, cut: Sequence[int], pattern: int) -> float:
@@ -54,6 +57,25 @@ def pattern_probability(net: FlowNetwork, cut: Sequence[int], pattern: int) -> f
         link = net.link(index)
         value *= link.availability if (pattern >> i) & 1 else link.failure_probability
     return value
+
+
+def pattern_probabilities(net: FlowNetwork, cut: Sequence[int]) -> np.ndarray:
+    """Eq. (2) for all ``2^k`` survival patterns at once.
+
+    Built by the same doubling scheme as
+    :func:`repro.probability.configuration_probabilities`: one
+    concatenation per cut link, in cut order.  Entry ``pattern`` is the
+    product ``((1.0 * f_0) * f_1) * ...`` with exactly the left-to-right
+    associativity of :func:`pattern_probability`, so every entry is
+    bit-identical to the scalar — not merely close.
+    """
+    table = np.ones(1, dtype=np.float64)
+    for index in cut:
+        link = net.link(index)
+        table = np.concatenate(
+            [table * link.failure_probability, table * link.availability]
+        )
+    return table
 
 
 def bottleneck_reliability(
@@ -67,6 +89,7 @@ def bottleneck_reliability(
     max_cut_size: int = 3,
     workers: int | None = None,
     screen: bool = True,
+    incremental: bool | None = None,
 ) -> ReliabilityResult:
     """Exact reliability via the bottleneck decomposition.
 
@@ -95,6 +118,12 @@ def bottleneck_reliability(
         Engine path only: cheap certain-negative screens (alive port
         capacity / connectivity) that skip max-flow solves without
         changing the result.  Ignored when ``workers`` is ``None``.
+    incremental:
+        Walk the realization lattices in Gray-code order with flow
+        repair instead of cold-solving every entry (``None`` = auto: on
+        whenever the solver supports the warm-start contract; see
+        :mod:`repro.flow.incremental`).  Bit-identical masks and value;
+        only the solve accounting changes.
 
     Raises
     ------
@@ -103,6 +132,7 @@ def bottleneck_reliability(
         verification).
     """
     demand.validate_against(net)
+    use_incremental = resolve_incremental(solver, incremental)
     with span("bottleneck.cut_search", given=cut is not None):
         if cut is None:
             split = find_bottleneck(
@@ -153,6 +183,7 @@ def bottleneck_reliability(
                 demand=demand.rate,
                 solver=solver,
                 prune=prune,
+                incremental=use_incremental,
             )
         with span(
             "bottleneck.sink_array",
@@ -168,6 +199,7 @@ def bottleneck_reliability(
                 demand=demand.rate,
                 solver=solver,
                 prune=prune,
+                incremental=use_incremental,
             )
     else:
         from repro.core.engine import build_realization_arrays  # local: engine-path only
@@ -183,6 +215,7 @@ def bottleneck_reliability(
                 prune=prune,
                 screen=screen,
                 workers=workers,
+                incremental=use_incremental,
             )
 
     # Eq. (3): sum over the 2^k bottleneck survival patterns.  r_{E'}
@@ -193,13 +226,13 @@ def bottleneck_reliability(
     check_enumerable(k)
     with span("bottleneck.accumulate", patterns=1 << k, strategy=strategy):
         classes = classify_by_support(assignments, k)
+        p_patterns = pattern_probabilities(net, cut_links)
         cache: dict[tuple[int, ...], float] = {}
         terms: list[float] = []
-        for pattern in range(1 << k):
-            supported = classes[pattern]
+        for pattern, supported in classes.items():
             if not supported:
                 continue
-            p_pattern = pattern_probability(net, cut_links, pattern)
+            p_pattern = float(p_patterns[pattern])
             if p_pattern == 0.0:
                 continue
             r = cache.get(supported)
@@ -212,6 +245,7 @@ def bottleneck_reliability(
         **base_details,
         "accumulation_strategy": strategy,
         "distinct_classes": len(cache),
+        "incremental": use_incremental,
     }
     if engine_stats is not None:
         details["engine"] = engine_stats

@@ -43,7 +43,7 @@ def _cut_survival_probability(net: FlowNetwork, cut: tuple[int, ...], demand: in
     caps = [net.link(i).capacity for i in cut]
     probs = [net.link(i).failure_probability for i in cut]
     terms: list[float] = []
-    for pattern in range(1 << k):
+    for pattern in range(1 << k):  # repro: noqa[RR109] closed-form term per pattern, nothing to repair
         alive_capacity = sum(c for i, c in enumerate(caps) if (pattern >> i) & 1)
         if alive_capacity < demand:
             continue

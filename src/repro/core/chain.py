@@ -275,7 +275,7 @@ def _cross_cut(
     check_enumerable(q)
     supports = [support_mask(a) for a in assignments]
     new = np.zeros_like(dist)
-    for pattern in range(1 << len(cut)):
+    for pattern in range(1 << len(cut)):  # repro: noqa[RR109] mask intersection per pattern, no solver state to carry
         p = pattern_probability(net, cut, pattern)
         if p == 0.0:
             continue
@@ -284,7 +284,7 @@ def _cross_cut(
             if s & ~pattern == 0:
                 allowed |= 1 << j
         # R -> R ∩ allowed for every state R.
-        for state in range(1 << q):
+        for state in range(1 << q):  # repro: noqa[RR109] distribution redistribution, one multiply-add per state
             value = dist[state]
             if value != 0.0:
                 new[state & allowed] += value * p
@@ -310,7 +310,7 @@ def _through_segment(
             continue
         matrix = relation[c]  # (q_in, q_out) bool
         col_masks = (in_weights @ matrix.astype(np.int64)).astype(np.int64)  # per b
-        for state in range(1 << q_in):
+        for state in range(1 << q_in):  # repro: noqa[RR109] frontier DP transition, no flow solves inside
             value = dist[state]
             if value == 0.0:
                 continue
@@ -419,7 +419,7 @@ def chain_reliability(
     zeta_t = subset_zeta(q_t, inplace=True)
     full = (1 << qr) - 1
     terms: list[float] = []
-    for state in range(1 << qr):
+    for state in range(1 << qr):  # repro: noqa[RR109] zeta-table lookup per state, order-free
         value = dist[state]
         if value == 0.0 or state == 0:
             continue

@@ -49,13 +49,17 @@ from repro.core.arrays import (
     _side_template,
     _validate_side_request,
 )
+from repro.core.latticewalk import gray_walk_table
 from repro.exceptions import ReproValueError
 from repro.flow.base import MaxFlowSolver, get_solver
+from repro.flow.incremental import IncrementalMaxFlow, plan_gray_order, resolve_incremental
 from repro.graph.io import from_dict, to_dict
 from repro.graph.network import FlowNetwork, Node
 from repro.graph.transforms import SideSplit, SubnetworkView
 from repro.obs.recorder import (
     ARRAY_ENTRIES_BUILT,
+    AUGMENTING_PATHS_SAVED,
+    FLOW_REPAIRS,
     FLOW_SOLVES,
     SCREENED_SOLVES,
     count,
@@ -298,12 +302,15 @@ def _build_chunk_masks(
     screen: bool,
     low_bits: int,
     high_pattern: int,
-) -> tuple[np.ndarray, int, int]:
+    incremental: bool = False,
+) -> tuple[np.ndarray, int, int, int, int]:
     """Realization masks for one high-bit chunk of one side's lattice.
 
-    Returns ``(masks, flow_calls, screened)`` where ``masks`` is the
-    ``uint64`` array for the chunk's ``2^low_bits`` configurations in
-    low-bit order.  Runs identically in-process and inside a worker.
+    Returns ``(masks, flow_calls, screened, repairs, paths_saved)``
+    where ``masks`` is the ``uint64`` array for the chunk's
+    ``2^low_bits`` configurations in low-bit order (``repairs`` /
+    ``paths_saved`` are zero on the cold path).  Runs identically
+    in-process and inside a worker.
     """
     template, port_names, s_idx, t_idx = _side_template(
         net, role=role, terminal=terminal, ports=ports, demand=demand
@@ -323,6 +330,21 @@ def _build_chunk_masks(
     num_assignments = len(assignments)
     flow_calls = 0
     screened = 0
+
+    if incremental:
+        return _chunk_masks_gray(
+            template,
+            port_names,
+            s_idx,
+            t_idx,
+            screens,
+            assignments=assignments,
+            demand=demand,
+            solver=engine,
+            prune=prune,
+            low_bits=low_bits,
+            base=base,
+        )
 
     if prune and low_bits > 0:
         counts = popcount_array(low_bits)
@@ -387,7 +409,84 @@ def _build_chunk_masks(
         rows[low] = row
 
     masks = np.asarray(rows, dtype=np.uint64)
-    return masks, flow_calls, screened
+    return masks, flow_calls, screened, 0, 0
+
+
+def _chunk_masks_gray(
+    template: Any,
+    port_names: Sequence[str],
+    s_idx: int,
+    t_idx: int,
+    screens: "RealizationScreens | None",
+    *,
+    assignments: Sequence[Sequence[int]],
+    demand: int,
+    solver: MaxFlowSolver,
+    prune: bool,
+    low_bits: int,
+    base: int,
+) -> tuple[np.ndarray, int, int, int, int]:
+    """Incremental variant of the chunk build: chunk-local Gray walks.
+
+    One :class:`~repro.flow.incremental.IncrementalMaxFlow` per
+    assignment walks the chunk's complete low-bit sub-lattice in
+    Gray-code order (the high bits stay pinned to the chunk pattern), so
+    consecutive solves repair a one-link delta.  The screens run
+    unchanged — a screened entry is recorded unrealized without moving
+    the engine — and their per-configuration state is cached across the
+    ``|D|`` walks exactly as the cold path shares it across the inner
+    assignment loop.  Masks are bit-identical to the cold chunk build.
+    """
+    check_enumerable(low_bits)
+    size = 1 << low_bits
+    num_assignments = len(assignments)
+    realized = np.zeros((size, num_assignments), dtype=bool)
+    flow_calls = screened = repairs = paths_saved = 0
+    budgets_cache: dict[int, list[int | None]] = {}
+    reachable_cache: dict[int, tuple[bool, ...]] = {}
+
+    for j, assignment in enumerate(assignments):
+        caps = {name: int(a) for name, a in zip(port_names, assignment)}
+        engine = IncrementalMaxFlow(
+            template,
+            s_idx,
+            t_idx,
+            solver=solver,
+            limit=demand,
+            alive=base,
+            virtual_capacities=caps,
+        )
+        order = plan_gray_order(
+            template, s_idx, t_idx, low_bits,
+            solver=solver, limit=demand or None, virtual_capacities=caps,
+        )
+
+        def decide(low: int, _engine: IncrementalMaxFlow = engine, _a=assignment) -> bool:
+            nonlocal flow_calls, screened
+            full_mask = base | low
+            if screens is not None:
+                budgets = budgets_cache.get(low)
+                if budgets is None:
+                    budgets = budgets_cache[low] = screens.port_budgets(full_mask)
+                if screens.budget_screened(_a, budgets):
+                    screened += 1
+                    return False
+                reachable = reachable_cache.get(low)
+                if reachable is None:
+                    reachable = reachable_cache[low] = screens.reachable_ports(full_mask)
+                if screens.connectivity_screened(_a, reachable):
+                    screened += 1
+                    return False
+            return _engine.goto(full_mask) >= demand
+
+        gray_walk_table(realized[:, j], low_bits, decide, order=order, prune=prune)
+        flow_calls += engine.solver_calls
+        repairs += engine.repairs
+        paths_saved += engine.paths_saved
+
+    weights = (np.uint64(1) << np.arange(num_assignments, dtype=np.uint64)).astype(np.uint64)
+    masks = (realized.astype(np.uint64) @ weights).astype(np.uint64)
+    return masks, flow_calls, screened, repairs, paths_saved
 
 
 def _chunk_worker(payload: dict[str, Any]) -> dict[str, Any]:
@@ -400,7 +499,7 @@ def _chunk_worker(payload: dict[str, Any]) -> dict[str, Any]:
     """
     start = wallclock()
     net = from_dict(payload["net"])
-    masks, flow_calls, screened = _build_chunk_masks(
+    masks, flow_calls, screened, repairs, paths_saved = _build_chunk_masks(
         net,
         role=payload["role"],
         terminal=payload["terminal"],
@@ -412,6 +511,7 @@ def _chunk_worker(payload: dict[str, Any]) -> dict[str, Any]:
         screen=payload["screen"],
         low_bits=payload["low_bits"],
         high_pattern=payload["high_pattern"],
+        incremental=payload["incremental"],
     )
     return {
         "side": payload["side"],
@@ -419,6 +519,8 @@ def _chunk_worker(payload: dict[str, Any]) -> dict[str, Any]:
         "masks": masks,
         "flow_calls": flow_calls,
         "screened": screened,
+        "repairs": repairs,
+        "paths_saved": paths_saved,
         "entries": len(payload["assignments"]) * (1 << payload["low_bits"]),
         "seconds": wallclock() - start,
     }
@@ -443,6 +545,7 @@ def _side_payloads(
     solver: str | MaxFlowSolver | None,
     prune: bool,
     screen: bool,
+    incremental: bool,
     plan: LatticePlan,
 ) -> list[dict[str, Any]]:
     """One :func:`_chunk_worker` payload per chunk of one side."""
@@ -459,6 +562,7 @@ def _side_payloads(
             "solver": _solver_token(solver),
             "prune": prune,
             "screen": screen,
+            "incremental": incremental,
             "low_bits": plan.low_bits,
             "high_pattern": pattern,
         }
@@ -493,6 +597,10 @@ def _merge_side(
             count(FLOW_SOLVES, int(r["flow_calls"]))
             count(SCREENED_SOLVES, int(r["screened"]))
             count(ARRAY_ENTRIES_BUILT, int(r["entries"]))
+            if r.get("repairs"):
+                count(FLOW_REPAIRS, int(r["repairs"]))
+            if r.get("paths_saved"):
+                count(AUGMENTING_PATHS_SAVED, int(r["paths_saved"]))
         screened_total += int(r["screened"])
         flow_total += int(r["flow_calls"])
     masks = np.concatenate([np.asarray(r["masks"], dtype=np.uint64) for r in ordered])
@@ -518,14 +626,17 @@ def build_side_array_parallel(
     prune: bool = True,
     screen: bool = True,
     workers: int | None = None,
+    incremental: bool | None = None,
 ) -> RealizationArray:
     """Chunked (optionally multi-process) drop-in for ``build_side_array``.
 
     Produces masks bit-identical to
     :func:`repro.core.arrays.build_side_array` for every ``workers``
-    value — only ``flow_calls`` differs (chunked pruning spends more
-    solves, the screens fewer).  ``workers=None`` uses
-    :func:`default_workers`.
+    value — only ``flow_calls`` differs (chunked pruning sees only
+    same-chunk supersets, so more solves; screens, fewer).
+    ``workers=None`` uses :func:`default_workers`; ``incremental=None``
+    auto-enables the per-chunk Gray walk whenever the solver supports
+    the warm-start contract.
     """
     if workers is None:
         workers = default_workers()
@@ -533,6 +644,7 @@ def build_side_array_parallel(
     _validate_side_request(
         net, role=role, assignments=assignments, ports=ports, demand=demand
     )
+    use_incremental = resolve_incremental(solver, incremental)
     plan = partition_lattice(net.num_links, workers)
     payloads = _side_payloads(
         side,
@@ -545,6 +657,7 @@ def build_side_array_parallel(
         solver=solver,
         prune=prune,
         screen=screen,
+        incremental=use_incremental,
         plan=plan,
     )
     with span(
@@ -572,14 +685,16 @@ def build_realization_arrays(
     prune: bool = True,
     screen: bool = True,
     workers: int | None = None,
+    incremental: bool | None = None,
 ) -> tuple[RealizationArray, RealizationArray, dict[str, Any]]:
     """Both §III-C side arrays through one process pool.
 
     The two sides are independent, so every chunk of ``G_s`` and
     ``G_t`` goes into the same pool and the slow side cannot serialize
     behind the fast one.  Returns ``(source_array, sink_array, stats)``
-    with ``stats`` carrying the engine accounting
-    (``workers``, ``screened_solves``, per-side chunk counts).
+    with ``stats`` carrying the engine accounting (``workers``,
+    ``screened_solves``, per-side chunk counts, and the incremental
+    repair totals when the Gray walk is on).
     """
     if workers is None:
         workers = default_workers()
@@ -594,6 +709,7 @@ def build_realization_arrays(
             ports=ports,
             demand=demand,
         )
+    use_incremental = resolve_incremental(solver, incremental)
     source_plan = partition_lattice(split.source_side.network.num_links, workers)
     sink_plan = partition_lattice(split.sink_side.network.num_links, workers)
     payloads = _side_payloads(
@@ -607,6 +723,7 @@ def build_realization_arrays(
         solver=solver,
         prune=prune,
         screen=screen,
+        incremental=use_incremental,
         plan=source_plan,
     ) + _side_payloads(
         split.sink_side,
@@ -619,6 +736,7 @@ def build_realization_arrays(
         solver=solver,
         prune=prune,
         screen=screen,
+        incremental=use_incremental,
         plan=sink_plan,
     )
     with span(
@@ -658,5 +776,8 @@ def build_realization_arrays(
         "screened_solves": source_screened + sink_screened,
         "source_chunks": source_plan.chunks,
         "sink_chunks": sink_plan.chunks,
+        "incremental": use_incremental,
+        "flow_repairs": sum(int(r.get("repairs", 0)) for r in results),
+        "augmenting_paths_saved": sum(int(r.get("paths_saved", 0)) for r in results),
     }
     return source_array, sink_array, stats

@@ -15,9 +15,11 @@ from typing import Iterable
 
 from repro.exceptions import SolverError
 from repro.flow.base import MaxFlowSolver, get_solver
+from repro.flow.incremental import IncrementalMaxFlow
 from repro.flow.residual import build_template
 from repro.graph.network import FlowNetwork, Node
 from repro.obs.recorder import FLOW_SOLVES, count
+from repro.probability.bitset import mask_from_indices
 
 __all__ = ["FeasibilityOracle"]
 
@@ -31,11 +33,18 @@ class FeasibilityOracle:
         The fixed problem; only the alive set varies per query.
     solver:
         Registry name or instance; default Dinic.
+    incremental:
+        Route :meth:`feasible` queries through a long-lived
+        :class:`~repro.flow.incremental.IncrementalMaxFlow` that repairs
+        the previous flow instead of cold-solving; exact for any query
+        sequence, cheapest when consecutive alive sets are Gray-adjacent.
+        Requires a solver supporting the warm-start contract.
 
     Attributes
     ----------
     calls:
-        Number of max-flow solves performed so far.
+        Number of max-flow solves performed so far (in incremental mode,
+        solver invocations by the repair engine — augments and repairs).
     """
 
     def __init__(
@@ -46,6 +55,7 @@ class FeasibilityOracle:
         demand: int,
         *,
         solver: str | MaxFlowSolver | None = None,
+        incremental: bool = False,
     ) -> None:
         if demand < 0:
             raise SolverError("demand must be non-negative")
@@ -61,6 +71,29 @@ class FeasibilityOracle:
         except KeyError as exc:
             raise SolverError(f"terminal {exc.args[0]!r} is not in the network") from exc
         self.calls = 0
+        self.incremental = bool(incremental)
+        self._engine: IncrementalMaxFlow | None = None
+        if self.incremental and self.demand > 0:
+            self._engine = IncrementalMaxFlow(
+                self.template,
+                self._s,
+                self._t,
+                solver=self.solver,
+                limit=self.demand,
+                alive=0,
+            )
+
+    @property
+    def engine(self) -> IncrementalMaxFlow | None:
+        """The repair engine behind incremental queries (``None`` when cold)."""
+        return self._engine
+
+    def _alive_mask(self, alive: int | Iterable[int] | None) -> int:
+        if alive is None:
+            return (1 << self.net.num_links) - 1
+        if isinstance(alive, int):
+            return alive
+        return mask_from_indices(alive)
 
     def flow_value(self, alive: int | Iterable[int] | None, *, limit: int | None = None) -> int:
         """The (possibly limited) max-flow value for an alive set."""
@@ -70,9 +103,23 @@ class FeasibilityOracle:
         return self.solver.solve(graph, self._s, self._t, limit=limit)
 
     def feasible(self, alive: int | Iterable[int] | None) -> bool:
-        """Whether the alive subgraph admits the demand."""
+        """Whether the alive subgraph admits the demand.
+
+        In incremental mode the long-lived engine repairs its previous
+        flow toward the queried alive set instead of cold-solving; the
+        answer is identical, only the amount of solver work differs.
+        """
         if self.demand == 0:
             return True
+        if self._engine is not None:
+            engine = self._engine
+            before = engine.solver_calls
+            value = engine.goto(self._alive_mask(alive))
+            delta = engine.solver_calls - before
+            if delta:
+                self.calls += delta
+                count(FLOW_SOLVES, delta)
+            return value >= self.demand
         return self.flow_value(alive, limit=self.demand) >= self.demand
 
     def used_links(

@@ -58,7 +58,7 @@ def _worker_sum(
     base = high_pattern << low_bits
     total = KahanSum()
     if not prune:
-        for low in range(size):
+        for low in range(size):  # repro: noqa[RR109] cold ablation path of the chunk worker, kept byte-identical
             if oracle.feasible(base | low):
                 total.add(float(probabilities[base | low]))
         return total.value, oracle.calls

@@ -72,6 +72,23 @@ class MaxFlowSolver(ABC):
     #: Registry key, set by subclasses.
     name: str = ""
 
+    #: Whether the solver honours the *warm-start contract* below well
+    #: enough to drive :class:`repro.flow.incremental.IncrementalMaxFlow`:
+    #: called on a residual graph that already carries flow, it must (a)
+    #: return only the **additional** flow pushed by this call and (b)
+    #: stop pushing the moment ``limit`` is reached, leaving the residual
+    #: state at exactly that flow.  All augmenting-path solvers satisfy
+    #: both for free; preflow solvers (push–relabel) cannot satisfy (b)
+    #: — they cap the *reported* value after running to completion — and
+    #: must set this to ``False``.
+    supports_incremental: bool = True
+
+    #: Augmenting paths found by the most recent :meth:`solve_residual`
+    #: call (one per push).  Solvers that do not augment along paths
+    #: leave it at 0.  Surfaced as the ``solver.<name>.paths`` counter —
+    #: the "augmenting-path work" measure the incremental benches compare.
+    last_paths: int = 0
+
     @abstractmethod
     def solve_residual(
         self, graph: ResidualGraph, source: int, sink: int, limit: int | None = None
@@ -79,8 +96,16 @@ class MaxFlowSolver(ABC):
         """Compute (possibly limited) max flow on a residual graph.
 
         Mutates ``graph.cap`` to the residual state and returns the flow
-        value.  ``limit`` stops augmenting once that much flow has been
-        pushed; implementations must never exceed it.
+        value *pushed by this call*.  ``limit`` stops augmenting once
+        that much flow has been pushed; implementations must never
+        exceed it.
+
+        Warm-start contract: the input graph may already be a residual
+        state carrying flow (the incremental engine's repair loop calls
+        solvers on warm graphs, with arbitrary node pairs as terminals).
+        Implementations must treat whatever capacities they find as the
+        ground truth and report only the delta they push — never the
+        total flow the graph carries.
         """
 
     def solve(
@@ -102,6 +127,8 @@ class MaxFlowSolver(ABC):
         finally:
             recorder.count(f"solver.{self.name}.solves")
             recorder.count(f"solver.{self.name}.seconds", wallclock() - start)
+            if self.last_paths:
+                recorder.count(f"solver.{self.name}.paths", self.last_paths)
 
     def max_flow(
         self,

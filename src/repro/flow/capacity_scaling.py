@@ -29,6 +29,7 @@ class CapacityScalingSolver(MaxFlowSolver):
         adj = graph.adj
         n = graph.num_nodes
 
+        self.last_paths = 0
         max_cap = max((c for c in cap if c > 0), default=0)
         if max_cap == 0:
             return 0
@@ -74,5 +75,6 @@ class CapacityScalingSolver(MaxFlowSolver):
                     cap[a ^ 1] += push
                     v = head[a ^ 1]
                 total += push
+                self.last_paths += 1
             delta //= 2
         return total

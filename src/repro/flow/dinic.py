@@ -28,6 +28,7 @@ class DinicSolver(MaxFlowSolver):
         adj = graph.adj
         n = graph.num_nodes
         total = 0
+        self.last_paths = 0
         INF = float("inf")
 
         while limit is None or total < limit:
@@ -85,6 +86,7 @@ class DinicSolver(MaxFlowSolver):
                     cap[a] -= push
                     cap[a ^ 1] += push
                 total += push
+                self.last_paths += 1
                 if limit is not None and total >= limit:
                     return total
         return total

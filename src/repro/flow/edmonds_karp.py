@@ -28,6 +28,7 @@ class EdmondsKarpSolver(MaxFlowSolver):
         adj = graph.adj
         n = graph.num_nodes
         total = 0
+        self.last_paths = 0
         parent_arc = [-1] * n
         while limit is None or total < limit:
             # BFS for one shortest augmenting path.
@@ -66,4 +67,5 @@ class EdmondsKarpSolver(MaxFlowSolver):
                 cap[a ^ 1] += push
                 v = head[a ^ 1]
             total += push
+            self.last_paths += 1
         return total

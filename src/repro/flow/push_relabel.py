@@ -24,6 +24,10 @@ __all__ = ["PushRelabelSolver"]
 class PushRelabelSolver(MaxFlowSolver):
     """FIFO push–relabel with the gap heuristic."""
 
+    # A preflow solver cannot stop at a limit in-state (it only caps the
+    # reported value), so it must not drive the incremental repair engine.
+    supports_incremental = False
+
     def solve_residual(
         self, graph: ResidualGraph, source: int, sink: int, limit: int | None = None
     ) -> int:

@@ -74,6 +74,22 @@ class ResidualGraph:
         """Total directed arc count (forward + reverse)."""
         return len(self.head)
 
+    def copy(self) -> "ResidualGraph":
+        """A capacity-private clone sharing the immutable arc structure.
+
+        ``head`` and ``adj`` never change after construction, so clones
+        alias them; only ``cap`` (the per-instance mutable state) is
+        copied.  This is what lets a long-lived incremental engine own
+        its residual state while the template keeps serving cold solves
+        from the original graph.
+        """
+        clone = ResidualGraph.__new__(ResidualGraph)
+        clone.num_nodes = self.num_nodes
+        clone.head = self.head
+        clone.adj = self.adj
+        clone.cap = list(self.cap)
+        return clone
+
     def residual_reachable(self, source: int) -> list[bool]:
         """Nodes reachable from ``source`` along positive-residual arcs.
 
@@ -149,6 +165,8 @@ class ResidualTemplate:
         self,
         alive: int | Iterable[int] | None = None,
         virtual_capacities: Mapping[str, int] | None = None,
+        *,
+        graph: ResidualGraph | None = None,
     ) -> ResidualGraph:
         """Reset all arc capacities for a fresh solve.
 
@@ -162,7 +180,16 @@ class ResidualTemplate:
         virtual_capacities:
             New capacities for named virtual arcs; unnamed virtual arcs
             keep their design capacity.
+        graph:
+            Write the capacities into this graph instead of the shared
+            :attr:`graph` — must be a :meth:`ResidualGraph.copy` of it
+            (same arc structure).  Lets an incremental engine get a
+            configured private residual without disturbing the
+            template's own state.
         """
+        target = self.graph if graph is None else graph
+        if target.num_arcs != self.graph.num_arcs:
+            raise SolverError("graph is not a copy of this template's graph")
         if alive is None:
             alive_test = None
         elif isinstance(alive, int):
@@ -171,7 +198,7 @@ class ResidualTemplate:
         else:
             alive_set = set(alive)
             alive_test = lambda i: i in alive_set  # noqa: E731
-        cap = self.graph.cap
+        cap = target.cap
         for record in self.records:
             a = record.arc
             if record.link_index is not None and alive_test is not None and not alive_test(record.link_index):
@@ -188,7 +215,22 @@ class ResidualTemplate:
                     raise SolverError(f"unknown virtual arc {name!r}") from exc
                 cap[arc] = value
                 cap[arc ^ 1] = 0
-        return self.graph
+        return target
+
+    def link_arcs(self, link_index: int) -> list[_ArcRecord]:
+        """The arc records modelling one original link (usually one).
+
+        Empty for self-loops (never added to the residual structure) and
+        unknown indices.  This is the delta hook the incremental engine
+        uses to kill / revive exactly one link's capacities.
+        """
+        arcs = self._arcs_by_link.get(link_index, [])
+        by_arc = {record.arc: record for record in self.records}
+        return [by_arc[a] for a in arcs]
+
+    def link_indices(self) -> list[int]:
+        """Sorted indices of the original links present in the template."""
+        return sorted(self._arcs_by_link)
 
     def link_flow(self, link_index: int) -> int:
         """Net flow currently on an original link (after a solve).

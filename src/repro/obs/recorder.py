@@ -35,7 +35,9 @@ __all__ = [
     "ASSIGNMENTS_ENUMERATED",
     "ARRAY_ENTRIES_BUILT",
     "CONFIGURATIONS_ENUMERATED",
+    "FLOW_REPAIRS",
     "FLOW_SOLVES",
+    "AUGMENTING_PATHS_SAVED",
     "MC_SAMPLES",
     "SCREENED_SOLVES",
     "KNOWN_COUNTERS",
@@ -78,6 +80,14 @@ MC_SAMPLES = "mc_samples"
 #: port capacity or terminal/port connectivity alone, so no max-flow
 #: solve was spent and they do **not** count toward ``flow_solves``.
 SCREENED_SOLVES = "screened_solves"
+#: Flow-crossing repairs performed by the incremental engine
+#: (``repro.flow.incremental``): one per killed/shrunk arc that carried
+#: flow.  The repair solves themselves are counted in ``flow_solves``.
+FLOW_REPAIRS = "flow_repairs"
+#: Flow units already carried when the incremental engine evaluated a
+#: configuration — augmenting-path work a cold solve would have redone
+#: from scratch.  The headline saving of the Gray-code walk.
+AUGMENTING_PATHS_SAVED = "augmenting_paths_saved"
 
 #: The catalogue, for documentation and validation in tests.
 KNOWN_COUNTERS = frozenset(
@@ -88,6 +98,8 @@ KNOWN_COUNTERS = frozenset(
         ARRAY_ENTRIES_BUILT,
         MC_SAMPLES,
         SCREENED_SOLVES,
+        FLOW_REPAIRS,
+        AUGMENTING_PATHS_SAVED,
     }
 )
 

@@ -4,6 +4,7 @@ subset-lattice transforms, inclusion–exclusion and sampling."""
 from repro.probability.bitset import (
     gray_code,
     gray_flip_position,
+    gray_lattice,
     indices_from_mask,
     iter_submasks,
     iter_supermasks,
@@ -34,6 +35,7 @@ from repro.probability.zeta import (
 __all__ = [
     "gray_code",
     "gray_flip_position",
+    "gray_lattice",
     "indices_from_mask",
     "iter_submasks",
     "iter_supermasks",

@@ -9,7 +9,7 @@ vectorized (numpy ``uint64``) flavours.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -29,6 +29,7 @@ __all__ = [
     "iter_supermasks",
     "gray_code",
     "gray_flip_position",
+    "gray_lattice",
     "parity_array",
 ]
 
@@ -150,3 +151,38 @@ def gray_flip_position(i: int) -> int:
     if i <= 0:
         raise ReproValueError("gray_flip_position is defined for i >= 1")
     return (i & -i).bit_length() - 1
+
+
+def gray_lattice(n_bits: int, order: "Sequence[int] | None" = None) -> Iterator[int]:
+    """Every mask in ``[0, 2**n_bits)`` exactly once, in Gray-code order.
+
+    Consecutive masks differ in exactly one bit
+    (:func:`gray_flip_position`), which is what lets the incremental
+    max-flow engine repair one link per lattice step instead of
+    cold-solving each configuration.
+
+    ``order`` relabels walk positions to bits: position ``p`` of the
+    walk flips bit ``order[p]`` instead of bit ``p``.  Any permutation
+    of ``range(n_bits)`` still visits every mask exactly once with
+    one-bit steps.  Walk position ``p`` flips ``2**(n_bits - 1 - p)``
+    times, so callers park expensive-to-flip bits at high positions.
+    """
+    if n_bits < 0:
+        raise ReproValueError("n_bits must be non-negative")
+    if n_bits > MAX_TABLE_BITS:
+        raise IntractableError(
+            f"a 2^{n_bits}-step Gray walk exceeds the budget of 2^{MAX_TABLE_BITS}",
+            required=n_bits,
+            limit=MAX_TABLE_BITS,
+        )
+    if order is not None:
+        shifts = [1 << b for b in order]
+        if len(shifts) != n_bits or sorted(order) != list(range(n_bits)):
+            raise ReproValueError("order must be a permutation of range(n_bits)")
+    else:
+        shifts = [1 << p for p in range(n_bits)]
+    code = 0
+    yield code
+    for i in range(1, 1 << n_bits):
+        code ^= shifts[gray_flip_position(i)]
+        yield code

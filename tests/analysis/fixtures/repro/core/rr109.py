@@ -1,0 +1,57 @@
+"""RR109 fixture: raw exponential loops — positives, negatives, noqa."""
+
+
+def bad_inline_shift(m: int) -> int:
+    total = 0
+    for mask in range(1 << m):
+        total += mask
+    return total
+
+
+def bad_inline_pow(n_bits: int) -> int:
+    total = 0
+    for mask in range(2**n_bits):
+        total += mask
+    return total
+
+
+def bad_bound_size(m: int) -> int:
+    size = 1 << m
+    total = 0
+    for mask in range(size):
+        total += mask
+    return total
+
+
+def ok_two_arg_range(m: int) -> int:
+    total = 0
+    for mask in range(1, 1 << m):
+        total += mask
+    return total
+
+
+def ok_constant_width() -> int:
+    total = 0
+    for mask in range(1 << 8):
+        total += mask
+    return total
+
+
+def ok_chunk_count(chunks: int) -> list[int]:
+    return [c for c in range(chunks)]
+
+
+def ok_gray_walk(m: int) -> list[int]:
+    return list(gray_lattice(m))
+
+
+def suppressed(m: int) -> int:
+    total = 0
+    for mask in range(1 << m):  # repro: noqa[RR109] fixture: justified raw scan
+        total += mask
+    return total
+
+
+def gray_lattice(m: int) -> list[int]:
+    """Stand-in so the fixture parses plausibly; never executed."""
+    return []

@@ -14,7 +14,17 @@ from repro.analysis.reporters import render_json, render_report, render_text
 from repro.analysis.suppressions import SuppressionIndex
 from repro.exceptions import AnalysisError, ReproError
 
-EXPECTED_CODES = ["RR101", "RR102", "RR103", "RR104", "RR105", "RR106", "RR107", "RR108"]
+EXPECTED_CODES = [
+    "RR101",
+    "RR102",
+    "RR103",
+    "RR104",
+    "RR105",
+    "RR106",
+    "RR107",
+    "RR108",
+    "RR109",
+]
 
 
 class TestRegistry:

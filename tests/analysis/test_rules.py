@@ -7,7 +7,17 @@ import pytest
 
 from tests.analysis.conftest import FIXTURES, fixture_findings, flagged_functions
 
-ALL_CODES = ("RR101", "RR102", "RR103", "RR104", "RR105", "RR106", "RR107", "RR108")
+ALL_CODES = (
+    "RR101",
+    "RR102",
+    "RR103",
+    "RR104",
+    "RR105",
+    "RR106",
+    "RR107",
+    "RR108",
+    "RR109",
+)
 
 
 @pytest.mark.parametrize("code", ALL_CODES)
@@ -91,6 +101,29 @@ def test_rr108_counts_and_messages():
     assert sum("import from multiprocessing" in f.message for f in findings) == 1
     assert sum("import of ProcessPoolExecutor" in f.message for f in findings) == 1
     assert sum("attribute access" in f.message for f in findings) == 1
+
+
+def test_rr109_counts_and_messages():
+    findings = fixture_findings("RR109")
+    # bad_inline_shift, bad_inline_pow, bad_bound_size.
+    assert len(findings) == 3
+    assert sum("range(1 << m)" in f.message for f in findings) == 1
+    assert sum("range(2 ** n_bits)" in f.message for f in findings) == 1
+    assert sum("size = 1 << m" in f.message for f in findings) == 1
+
+
+def test_rr109_scoped_to_core(tmp_path):
+    """Probability-layer table builders iterate their own ranges freely."""
+    from repro.analysis import analyze_source
+
+    source = "def f(m):\n    for mask in range(1 << m):\n        pass\n"
+    outside = analyze_source(
+        source, str(tmp_path / "repro" / "probability" / "mod.py")
+    )
+    assert not [f for f in outside if f.code == "RR109"]
+
+    inside = analyze_source(source, str(tmp_path / "repro" / "core" / "mod.py"))
+    assert [f for f in inside if f.code == "RR109"]
 
 
 def test_rr108_exempts_engine_and_parallel(tmp_path):

@@ -41,4 +41,14 @@ def test_fixture_tree_is_deliberately_dirty():
     fixtures = REPO_ROOT / "tests" / "analysis" / "fixtures"
     report = analyze_paths([str(fixtures)])
     codes = {f.code for f in report.findings}
-    assert codes == {"RR101", "RR102", "RR103", "RR104", "RR105", "RR106", "RR107", "RR108"}
+    assert codes == {
+        "RR101",
+        "RR102",
+        "RR103",
+        "RR104",
+        "RR105",
+        "RR106",
+        "RR107",
+        "RR108",
+        "RR109",
+    }

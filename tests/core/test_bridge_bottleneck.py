@@ -3,7 +3,11 @@ algorithm."""
 
 import pytest
 
-from repro.core.bottleneck import bottleneck_reliability, pattern_probability
+from repro.core.bottleneck import (
+    bottleneck_reliability,
+    pattern_probabilities,
+    pattern_probability,
+)
 from repro.core.bridge import bridge_reliability
 from repro.core.demand import FlowDemand
 from repro.core.naive import naive_reliability
@@ -32,6 +36,30 @@ class TestPatternProbability:
     def test_all_dead(self):
         net = fujita_fig4(failure_probability=0.1)
         assert pattern_probability(net, (0, 1), 0) == pytest.approx(0.01)
+
+    @pytest.mark.parametrize("seed", [0, 7, 23])
+    def test_vectorized_table_is_ulp_identical(self, seed):
+        """The doubling table multiplies in the same left-to-right order
+        as the scalar product, so every entry must be *bit*-equal — the
+        Eq. (3) terms (and hence the prob_fsum total) are unchanged by
+        the vectorization."""
+        net = bottlenecked_network(
+            source_side_links=4,
+            sink_side_links=3,
+            num_bottlenecks=3,
+            demand=2,
+            seed=seed,
+        )
+        cut = tuple(range(3))
+        table = pattern_probabilities(net, cut)
+        assert len(table) == 8
+        for pattern in range(8):
+            assert float(table[pattern]) == pattern_probability(net, cut, pattern)
+
+    def test_vectorized_table_empty_cut(self):
+        net = fujita_fig4()
+        table = pattern_probabilities(net, ())
+        assert list(table) == [1.0]
 
 
 class TestBridgeReliability:
@@ -140,7 +168,7 @@ class TestBottleneckReliability:
         """Cost matches §III-C: at most |D| (2^{|E_s|} + 2^{|E_t|}) solves."""
         net = fujita_fig4()
         result = bottleneck_reliability(
-            net, FlowDemand("s", "t", 2), cut=[0, 1], prune=False
+            net, FlowDemand("s", "t", 2), cut=[0, 1], prune=False, incremental=False
         )
         assert result.flow_calls == 3 * (2**4 + 2**3)
 

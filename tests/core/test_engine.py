@@ -202,7 +202,11 @@ class TestSideArrayEquivalence:
         )
 
     def test_workers_one_no_screen_matches_serial_flow_calls(self):
-        """One chunk + no screens must replay the serial solve set exactly."""
+        """One chunk + no screens must replay the serial solve set exactly.
+
+        A cold-path accounting property: the incremental engines walk
+        chunk-local Gray lattices, so both sides pin ``incremental=False``.
+        """
         _, split, assignments = _fig4_split()
         serial = build_side_array(
             split.source_side,
@@ -211,6 +215,7 @@ class TestSideArrayEquivalence:
             ports=split.source_ports,
             assignments=assignments,
             demand=2,
+            incremental=False,
         )
         engine = build_side_array_parallel(
             split.source_side,
@@ -221,6 +226,7 @@ class TestSideArrayEquivalence:
             demand=2,
             workers=1,
             screen=False,
+            incremental=False,
         )
         assert engine.flow_calls == serial.flow_calls
 
@@ -271,7 +277,7 @@ class TestBottleneckEngineDispatch:
     def test_default_is_serial_with_historical_flow_calls(self):
         net = fujita_fig4()
         demand = FlowDemand("s", "t", 2)
-        result = bottleneck_reliability(net, demand, prune=False)
+        result = bottleneck_reliability(net, demand, prune=False, incremental=False)
         # The pinned serial count: |D| * (2^{|E_s|} + 2^{|E_t|}).
         assert result.flow_calls == 3 * (2**4 + 2**3)
         assert "engine" not in result.details

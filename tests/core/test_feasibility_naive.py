@@ -72,8 +72,10 @@ class TestFeasibilityTable:
     def test_pruning_saves_calls(self):
         demand = FlowDemand("s", "t", 2)
         net = diamond()
-        _, oracle_pruned = feasibility_table(net, demand, prune=True)
-        _, oracle_plain = feasibility_table(net, demand, prune=False)
+        _, oracle_pruned = feasibility_table(net, demand, prune=True, incremental=False)
+        _, oracle_plain = feasibility_table(
+            net, demand, prune=False, incremental=False
+        )
         assert oracle_pruned.calls < oracle_plain.calls
         assert oracle_plain.calls == 16
 

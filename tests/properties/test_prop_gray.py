@@ -1,0 +1,90 @@
+"""Properties of the Gray-code machinery behind the incremental walk.
+
+The incremental engine's exactness argument leans on three facts:
+``gray_code`` is a bijection on ``[0, 2^n)``, consecutive codes differ
+in exactly the bit ``gray_flip_position`` names, and ``gray_lattice``
+(with any position permutation) visits every mask exactly once with
+one-bit steps.  Each is pinned here independently of any flow solver.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import IntractableError, ReproValueError
+from repro.probability.bitset import gray_code, gray_flip_position, gray_lattice
+
+widths = st.integers(min_value=0, max_value=12)
+
+
+class TestGrayCode:
+    @given(widths)
+    def test_bijection_on_range(self, n):
+        codes = [gray_code(i) for i in range(1 << n)]
+        assert sorted(codes) == list(range(1 << n))
+
+    @given(st.integers(min_value=1, max_value=(1 << 24) - 1))
+    def test_adjacent_codes_differ_in_flip_position(self, i):
+        delta = gray_code(i) ^ gray_code(i - 1)
+        assert delta == 1 << gray_flip_position(i)
+
+    @given(st.integers(min_value=1, max_value=(1 << 24) - 1))
+    def test_flip_position_is_trailing_zeros(self, i):
+        assert i % (1 << gray_flip_position(i)) == 0
+        assert (i >> gray_flip_position(i)) & 1 == 1
+
+    def test_flip_position_rejects_nonpositive(self):
+        with pytest.raises(ReproValueError):
+            gray_flip_position(0)
+        with pytest.raises(ReproValueError):
+            gray_flip_position(-3)
+
+
+class TestGrayLattice:
+    @given(widths)
+    def test_visits_every_mask_exactly_once(self, n):
+        walk = list(gray_lattice(n))
+        assert len(walk) == 1 << n
+        assert sorted(walk) == list(range(1 << n))
+
+    @given(widths)
+    def test_consecutive_masks_differ_in_one_bit(self, n):
+        walk = list(gray_lattice(n))
+        for previous, current in zip(walk, walk[1:]):
+            assert (previous ^ current).bit_count() == 1
+
+    @given(widths.flatmap(lambda n: st.permutations(range(n))))
+    def test_any_order_keeps_coverage_and_one_bit_steps(self, order):
+        n = len(order)
+        walk = list(gray_lattice(n, order))
+        assert sorted(walk) == list(range(1 << n))
+        for previous, current in zip(walk, walk[1:]):
+            assert (previous ^ current).bit_count() == 1
+
+    def test_order_controls_flip_frequencies(self):
+        # Walk position p flips 2^(n-1-p) times; the permutation decides
+        # which bit sits at which position.  This is what plan_gray_order
+        # exploits to park flow-carrying links at rarely-flipped slots.
+        n = 4
+        order = [2, 0, 3, 1]
+        walk = list(gray_lattice(n, order))
+        flips = [0] * n
+        for previous, current in zip(walk, walk[1:]):
+            flips[(previous ^ current).bit_length() - 1] += 1
+        for position, bit in enumerate(order):
+            assert flips[bit] == 1 << (n - 1 - position)
+
+    def test_rejects_non_permutations(self):
+        with pytest.raises(ReproValueError):
+            list(gray_lattice(3, [0, 1]))
+        with pytest.raises(ReproValueError):
+            list(gray_lattice(3, [0, 1, 1]))
+        with pytest.raises(ReproValueError):
+            list(gray_lattice(-1))
+
+    def test_rejects_over_budget_widths(self):
+        with pytest.raises(IntractableError):
+            next(gray_lattice(40))
+
+    def test_zero_width_walk_is_the_empty_mask(self):
+        assert list(gray_lattice(0)) == [0]
