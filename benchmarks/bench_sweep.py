@@ -1,0 +1,117 @@
+"""S1 — sweep engine: cached realization arrays vs pointwise rebuilds.
+
+The fig-4 availability curve (the paper's Fig. 6 shape) evaluates the
+same bottleneck decomposition at 33 per-link availabilities.  The
+pointwise baseline rebuilds both §III-C realization arrays at every
+point; the sweep engine builds the columns once into a
+content-addressed ``ArrayCache`` and evaluates Eq. 2 / Eq. 3 for the
+whole grid vectorized — a warm sweep performs **zero** max-flow solves.
+
+Every sweep point is asserted bit-identical to the fresh pointwise call
+(``==`` on the float, not approx) before timings are reported; the
+committed snapshot lives in ``benchmarks/BENCH_sweep.json`` and the
+acceptance bar (warm sweep >= 10x faster than the pointwise curve, with
+``flow_calls == 0``) is asserted here so a regression fails the bench,
+not just the JSON diff.
+"""
+
+import numpy as np
+
+from repro.bench.harness import time_call
+from repro.core.bottleneck import bottleneck_reliability
+from repro.core.demand import FlowDemand
+from repro.core.sweep import ArrayCache, SweepSpec, compute_reliability_sweep
+from repro.obs import Recorder, record
+
+POINTS = 33
+DEMAND = FlowDemand("s", "t", 2)
+
+
+def _spec():
+    return SweepSpec.availability([float(v) for v in np.linspace(0.7, 0.99, POINTS)])
+
+
+def _pointwise_curve(net, spec):
+    results = []
+    for i in range(len(spec)):
+        results.append(bottleneck_reliability(spec.point_network(net, i), DEMAND))
+    return results
+
+
+def _measured(fn, *args, **kwargs):
+    recorder = Recorder()
+    with record(recorder):
+        timing = time_call(fn, *args, repeats=3, **kwargs)
+    return timing, recorder.counter_totals()
+
+
+def test_s1_fig4_availability_curve(benchmark, show):
+    from repro.graph.builders import fujita_fig4
+
+    net = fujita_fig4()
+    spec = _spec()
+
+    def run():
+        cold_timing, cold_totals = _measured(_pointwise_curve, net, spec)
+        pointwise = cold_timing.value
+
+        # Cold sweep: one array build for the whole curve (a fresh cache
+        # per repetition, or repetitions 2..n would time the warm path).
+        sweep_cold_timing, _ = _measured(
+            lambda: compute_reliability_sweep(
+                net, DEMAND, sweep=spec, cache=ArrayCache()
+            )
+        )
+        # Warm sweep: every column served from the cache, zero solves.
+        cache = ArrayCache()
+        compute_reliability_sweep(net, DEMAND, sweep=spec, cache=cache)
+        warm_timing, warm_totals = _measured(
+            lambda: compute_reliability_sweep(net, DEMAND, sweep=spec, cache=cache)
+        )
+        return {
+            "pointwise": cold_timing,
+            "pointwise_flow_calls": sum(r.flow_calls for r in pointwise),
+            "pointwise_results": pointwise,
+            "sweep_cold": sweep_cold_timing,
+            "sweep_warm": warm_timing,
+            "warm_cache_hits": int(warm_totals.get("array_cache_hits", 0)) // 3,
+            "cold_flow_solves": int(cold_totals.get("flow_solves", 0)) // 3,
+        }
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    pointwise = data["pointwise_results"]
+    cold_sweep = data["sweep_cold"].value
+    warm_sweep = data["sweep_warm"].value
+
+    # Bit-identity at every point, cold and warm.
+    assert [r.value for r in pointwise] == cold_sweep.values == warm_sweep.values
+    # The acceptance bar: a warm sweep solves nothing and is >= 10x faster.
+    assert warm_sweep.flow_calls == 0
+    speedup = data["pointwise"].seconds / data["sweep_warm"].seconds
+    assert speedup >= 10.0
+
+    rows = [
+        [
+            "pointwise x33",
+            f"{data['pointwise'].seconds * 1e3:.2f}",
+            data["pointwise_flow_calls"],
+            "1.00x",
+        ],
+        [
+            "sweep (cold cache)",
+            f"{data['sweep_cold'].seconds * 1e3:.2f}",
+            cold_sweep.flow_calls,
+            f"{data['pointwise'].seconds / data['sweep_cold'].seconds:.2f}x",
+        ],
+        [
+            "sweep (warm cache)",
+            f"{data['sweep_warm'].seconds * 1e3:.2f}",
+            warm_sweep.flow_calls,
+            f"{speedup:.2f}x",
+        ],
+    ]
+    show(
+        ["configuration", "ms", "flow calls", "speedup"],
+        rows,
+        title=f"S1: {POINTS}-point fig4 availability curve",
+    )

@@ -42,6 +42,7 @@ from repro._version import __version__
 from repro.core.api import available_methods, compute_reliability
 from repro.core.demand import FlowDemand
 from repro.core.result import EstimateResult, ReliabilityResult
+from repro.core.sweep import ArrayCache, SweepResult, SweepSpec, compute_reliability_sweep
 from repro.graph.network import FlowNetwork, Link
 
 __all__ = [
@@ -53,5 +54,9 @@ __all__ = [
     "EstimateResult",
     "compute_reliability",
     "available_methods",
+    "ArrayCache",
+    "SweepSpec",
+    "SweepResult",
+    "compute_reliability_sweep",
     "obs",
 ]

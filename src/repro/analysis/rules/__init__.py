@@ -9,11 +9,13 @@ Importing this package registers every rule with
 * :mod:`~repro.analysis.rules.instrumentation` — RR107
 * :mod:`~repro.analysis.rules.parallelism` — RR108
 * :mod:`~repro.analysis.rules.lattices` — RR109
+* :mod:`~repro.analysis.rules.caching` — RR110
 """
 
 from __future__ import annotations
 
 from repro.analysis.rules import (
+    caching,
     hygiene,
     instrumentation,
     lattices,
@@ -23,6 +25,7 @@ from repro.analysis.rules import (
 )
 
 __all__ = [
+    "caching",
     "hygiene",
     "instrumentation",
     "lattices",

@@ -26,6 +26,7 @@ from repro.core.api import available_methods, compute_reliability
 from repro.core.bounds import reliability_bounds
 from repro.core.demand import FlowDemand
 from repro.core.distribution import flow_value_distribution
+from repro.core.sweep import ArrayCache, SweepSpec, compute_reliability_sweep
 from repro.exceptions import ReproError, ReproValueError
 from repro.graph.builders import diamond, fujita_fig2_bridge, fujita_fig4
 from repro.graph.generators import bottlenecked_network
@@ -157,6 +158,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the JSON trace to FILE ('-' = stdout)",
     )
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="reliability curve over an availability / failure-scale / "
+        "demand grid (one cached array build, vectorized points)",
+    )
+    add_demand_args(sweep)
+    axis = sweep.add_mutually_exclusive_group(required=True)
+    axis.add_argument(
+        "--availability",
+        metavar="SPEC",
+        help="uniform link availability per point: 'start:stop:n' "
+        "(n evenly spaced points) or a comma-separated list",
+    )
+    axis.add_argument(
+        "--failure-scale",
+        metavar="SPEC",
+        help="multiply every link failure probability by a per-point "
+        "factor: 'start:stop:n' or a comma-separated list",
+    )
+    axis.add_argument(
+        "--rates",
+        metavar="LIST",
+        help="comma-separated demand rates to sweep (probabilities fixed; "
+        "--rate is ignored)",
+    )
+    sweep.add_argument(
+        "--override",
+        action="append",
+        default=[],
+        metavar="LINK=P",
+        help="set link LINK's failure probability to P before sweeping "
+        "(repeatable)",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the realization-array build (default: serial)",
+    )
+    _add_incremental_flags(sweep)
+    sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed on-disk realization-array cache; a second "
+        "run against the same DIR performs zero max-flow solves",
+    )
+    sweep.add_argument("--json", action="store_true", help="machine-readable output")
+
     bounds = sub.add_parser("bounds", help="cheap lower/upper bounds")
     add_demand_args(bounds)
 
@@ -287,6 +338,110 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_grid(spec: str, option: str) -> list[float]:
+    """Sweep grid syntax: ``start:stop:n`` (evenly spaced) or ``a,b,c``."""
+    text = spec.strip()
+    if ":" in text:
+        parts = text.split(":")
+        if len(parts) != 3:
+            raise ReproValueError(
+                f"{option} grid must be 'start:stop:n', got {spec!r}"
+            )
+        try:
+            start, stop, n = float(parts[0]), float(parts[1]), int(parts[2])
+        except ValueError as exc:
+            raise ReproValueError(f"cannot parse {option} grid {spec!r}") from exc
+        if n < 1:
+            raise ReproValueError(f"{option} grid needs n >= 1, got {n}")
+        if n == 1:
+            return [start]
+        return [start + (stop - start) * i / (n - 1) for i in range(n)]
+    try:
+        values = [float(p) for p in text.split(",") if p.strip()]
+    except ValueError as exc:
+        raise ReproValueError(f"cannot parse {option} grid {spec!r}") from exc
+    if not values:
+        raise ReproValueError(f"{option} grid {spec!r} is empty")
+    return values
+
+
+def _parse_link_overrides(pairs: list[str]) -> dict[int, float]:
+    """``--override LINK=P`` arguments into a failure-probability patch."""
+    overrides: dict[int, float] = {}
+    for pair in pairs:
+        head, sep, tail = pair.partition("=")
+        if not sep:
+            raise ReproValueError(f"--override must be LINK=P, got {pair!r}")
+        try:
+            overrides[int(head)] = float(tail)
+        except ValueError as exc:
+            raise ReproValueError(f"--override must be LINK=P, got {pair!r}") from exc
+    return overrides
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    # Eager option validation before load(), like compute/profile.
+    if args.workers is not None and args.workers < 1:
+        raise ReproValueError(f"--workers must be >= 1, got {args.workers}")
+    overrides = _parse_link_overrides(args.override)
+    if args.availability is not None:
+        spec = SweepSpec.availability(_parse_grid(args.availability, "--availability"))
+    elif args.failure_scale is not None:
+        spec = SweepSpec.failure_scale(
+            _parse_grid(args.failure_scale, "--failure-scale")
+        )
+    else:
+        try:
+            rates = [int(r) for r in args.rates.split(",") if r.strip()]
+        except ValueError as exc:
+            raise ReproValueError(f"cannot parse --rates list {args.rates!r}") from exc
+        spec = SweepSpec.demand_rates(rates)
+    net = load(args.network)
+    if overrides:
+        net = net.with_failure_probabilities(overrides)
+    demand = FlowDemand(args.source, args.sink, args.rate)
+    cache = ArrayCache(args.cache_dir) if args.cache_dir is not None else None
+    result = compute_reliability_sweep(
+        net,
+        demand,
+        sweep=spec,
+        workers=args.workers,
+        incremental=args.incremental,
+        cache=cache,
+    )
+    stats = result.cache_stats
+    if args.json:
+        payload = {
+            "kind": result.kind,
+            "source": args.source,
+            "sink": args.sink,
+            "rate": args.rate,
+            "points": [
+                {"x": x, "reliability": r.value}
+                for x, r in zip(result.xs, result.results)
+            ],
+            "flow_calls": result.flow_calls,
+            "cache": stats,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        label = {
+            "availability": "availability",
+            "failure-scale": "scale",
+            "demand": "rate",
+        }[result.kind]
+        print(f"{label:>14}  reliability")
+        for x, r in zip(result.xs, result.results):
+            shown = f"{x:.6g}" if isinstance(x, float) else str(x)
+            print(f"{shown:>14}  {r.value:.10f}")
+        print(f"max-flow calls: {result.flow_calls}")
+        print(
+            f"array cache: {stats['hits']} hits, {stats['misses']} misses, "
+            f"{stats['bytes_read'] + stats['bytes_written']} bytes"
+        )
+    return 0
+
+
 def _cmd_bounds(args: argparse.Namespace) -> int:
     net = load(args.network)
     demand = FlowDemand(args.source, args.sink, args.rate)
@@ -377,6 +532,7 @@ _COMMANDS = {
     "describe": _cmd_describe,
     "compute": _cmd_compute,
     "profile": _cmd_profile,
+    "sweep": _cmd_sweep,
     "bounds": _cmd_bounds,
     "distribution": _cmd_distribution,
     "importance": _cmd_importance,

@@ -68,6 +68,13 @@ from repro.core.stratified import (
     sample_with_alive_count,
     stratified_montecarlo_reliability,
 )
+from repro.core.sweep import (
+    ArrayCache,
+    SweepResult,
+    SweepSpec,
+    cached_side_array,
+    compute_reliability_sweep,
+)
 
 __all__ = [
     "FlowDemand",
@@ -109,6 +116,11 @@ __all__ = [
     "accumulate",
     "restrict_masks",
     "side_class_probabilities",
+    "ArrayCache",
+    "SweepSpec",
+    "SweepResult",
+    "cached_side_array",
+    "compute_reliability_sweep",
     # extensions
     "FlowValueDistribution",
     "flow_value_distribution",

@@ -83,10 +83,12 @@ def compute_reliability(
     ``options`` are forwarded to the chosen algorithm (e.g. ``solver=``,
     ``cut=``, ``strategy=``, ``num_samples=``, ``cuts=`` for chain,
     ``workers=`` for the parallel engines, ``incremental=`` for the
-    Gray-walk flow-repair kernels — in ``auto`` mode the ``workers=``
-    and ``incremental=`` options reach the bottleneck engine when that
-    path wins; ``incremental=`` also reaches the naive fallback, and
-    both are dropped by factoring).
+    Gray-walk flow-repair kernels, ``cache=`` an
+    :class:`repro.core.sweep.ArrayCache` for realization-array reuse —
+    in ``auto`` mode the ``workers=``, ``incremental=`` and ``cache=``
+    options reach the bottleneck engine when that path wins;
+    ``incremental=`` also reaches the naive fallback, and all are
+    dropped by factoring).
 
     Examples
     --------
@@ -169,6 +171,7 @@ def _dispatch(
     solver = options.get("solver")
     workers = options.get("workers")
     incremental = options.get("incremental")
+    cache = options.get("cache")
     try:
         split = find_bottleneck(
             net, demand.source, demand.sink, max_size=options.get("max_cut_size", 3)
@@ -186,6 +189,7 @@ def _dispatch(
                     solver=solver,
                     workers=workers,
                     incremental=incremental,
+                    cache=cache,
                 )
             except DecompositionError:
                 pass

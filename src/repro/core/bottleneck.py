@@ -25,7 +25,8 @@ source-to-sink) and are not counted.
 
 from __future__ import annotations
 
-from typing import Sequence
+import operator
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -37,7 +38,7 @@ from repro.core.assignments import (
 from repro.core.demand import FlowDemand
 from repro.core.result import ReliabilityResult
 from repro.core.summation import prob_fsum
-from repro.exceptions import DecompositionError
+from repro.exceptions import DecompositionError, ReproValueError
 from repro.flow.base import MaxFlowSolver
 from repro.flow.incremental import resolve_incremental
 from repro.graph.cuts import find_bottleneck, verify_bottleneck
@@ -46,12 +47,39 @@ from repro.graph.transforms import SideSplit
 from repro.obs.recorder import ASSIGNMENTS_ENUMERATED, count, span
 from repro.probability.enumeration import check_enumerable
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.sweep import ArrayCache
+
 __all__ = ["bottleneck_reliability", "pattern_probabilities", "pattern_probability"]
+
+
+def _validate_cut_indices(net: FlowNetwork, cut: Sequence[int]) -> None:
+    """Eq. 2 inputs must name real links — reject instead of mis-indexing."""
+    for index in cut:
+        try:
+            i = operator.index(index)
+        except TypeError as exc:
+            raise ReproValueError(
+                f"cut link index {index!r} is not an integer"
+            ) from exc
+        if not 0 <= i < net.num_links:
+            raise ReproValueError(
+                f"cut link index {i} out of range for a network with "
+                f"{net.num_links} links"
+            )
 
 
 def pattern_probability(net: FlowNetwork, cut: Sequence[int], pattern: int) -> float:
     """Eq. (2): probability that exactly the cut links in ``pattern``
     survive (bit ``i`` of ``pattern`` refers to ``cut[i]``)."""
+    _validate_cut_indices(net, cut)
+    k = len(cut)
+    check_enumerable(k)
+    if not 0 <= pattern < 1 << k:
+        raise ReproValueError(
+            f"pattern {pattern} out of range for a {k}-link cut "
+            f"(need 0 <= pattern < 2^{k})"
+        )
     value = 1.0
     for i, index in enumerate(cut):
         link = net.link(index)
@@ -69,6 +97,8 @@ def pattern_probabilities(net: FlowNetwork, cut: Sequence[int]) -> np.ndarray:
     associativity of :func:`pattern_probability`, so every entry is
     bit-identical to the scalar — not merely close.
     """
+    _validate_cut_indices(net, cut)
+    check_enumerable(len(cut))
     table = np.ones(1, dtype=np.float64)
     for index in cut:
         link = net.link(index)
@@ -90,6 +120,7 @@ def bottleneck_reliability(
     workers: int | None = None,
     screen: bool = True,
     incremental: bool | None = None,
+    cache: "ArrayCache | None" = None,
 ) -> ReliabilityResult:
     """Exact reliability via the bottleneck decomposition.
 
@@ -124,6 +155,14 @@ def bottleneck_reliability(
         whenever the solver supports the warm-start contract; see
         :mod:`repro.flow.incremental`).  Bit-identical masks and value;
         only the solve accounting changes.
+    cache:
+        A :class:`repro.core.sweep.ArrayCache`.  When given, both side
+        arrays are resolved per-assignment-column through the
+        content-addressed cache (serial or engine build for the misses,
+        per ``workers``): a warm call spends zero max-flow solves and
+        reports ``flow_calls == 0``.  Value and ``details`` are
+        unchanged; the cache traffic of this call is reported under
+        ``details["array_cache"]``.
 
     Raises
     ------
@@ -168,7 +207,43 @@ def bottleneck_reliability(
         )
 
     engine_stats: dict[str, object] | None = None
-    if workers is None:
+    cache_delta: dict[str, int] | None = None
+    if cache is not None:
+        from repro.core.sweep import cached_side_array  # local: avoids cycle
+
+        before = cache.stats()
+        with span("bottleneck.arrays", cached=True, workers=workers or 0):
+            source_array = cached_side_array(
+                split.source_side,
+                role="source",
+                terminal=demand.source,
+                ports=split.source_ports,
+                assignments=assignments,
+                demand=demand.rate,
+                solver=solver,
+                prune=prune,
+                screen=screen,
+                workers=workers,
+                incremental=use_incremental,
+                cache=cache,
+            )
+            sink_array = cached_side_array(
+                split.sink_side,
+                role="sink",
+                terminal=demand.sink,
+                ports=split.sink_ports,
+                assignments=assignments,
+                demand=demand.rate,
+                solver=solver,
+                prune=prune,
+                screen=screen,
+                workers=workers,
+                incremental=use_incremental,
+                cache=cache,
+            )
+        after = cache.stats()
+        cache_delta = {key: after[key] - before[key] for key in after}
+    elif workers is None:
         with span(
             "bottleneck.source_array",
             links=len(split.source_side.link_map),
@@ -249,6 +324,8 @@ def bottleneck_reliability(
     }
     if engine_stats is not None:
         details["engine"] = engine_stats
+    if cache_delta is not None:
+        details["array_cache"] = cache_delta
     return ReliabilityResult(
         value=prob_fsum(terms),
         method="bottleneck",

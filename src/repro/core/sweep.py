@@ -1,0 +1,922 @@
+"""Sweep engine: content-addressed array reuse + vectorized multi-point Eq. 2/3.
+
+The paper's §III-C realization arrays are purely combinatorial: whether a
+side configuration realizes an assignment is a max-flow question over the
+side topology, capacities, ports and the assignment tuple — link failure
+probabilities never enter.  Yet every :func:`bottleneck_reliability` call
+(and every point of a fig-4-style availability curve) rebuilds both
+``2^{|E_side|}`` arrays from scratch; only Eq. 2 (pattern probabilities)
+and Eq. 3 (the accumulation) change across a probability sweep.
+
+This module splits the two phases:
+
+:class:`ArrayCache`
+    A content-addressed store of realization *columns* (one assignment's
+    bool vector over the side lattice), in memory with an optional
+    on-disk tier.  The key fingerprints everything that determines the
+    bits — side topology, capacities, directedness, role, terminal,
+    ports, and the assignment tuple (the demand is its component sum) —
+    and deliberately **excludes** failure probabilities, solver, prune,
+    screens, the incremental toggle and worker counts: the columns are
+    ground truth ("max-flow ≥ d" per configuration), so every build path
+    produces identical bits (pinned by the engine/incremental property
+    suites).
+
+:func:`cached_side_array`
+    Cache-aware front door to both §III-C builders (serial
+    :func:`repro.core.arrays.build_side_array` and the parallel
+    :func:`repro.core.engine.build_side_array_parallel`): columns are
+    looked up per assignment, only the misses are built (the builders
+    accept assignment subsets), and the result is packed exactly like
+    the direct builders.
+
+:func:`compute_reliability_sweep`
+    One array build, then Eq. 2 + Eq. 3 for a whole grid of per-link
+    failure vectors in a vectorized pass: 2-D doubling tables
+    (:func:`probability_grid`), row-wise class aggregation, the batched
+    superset zeta (:func:`repro.probability.zeta.superset_zeta_rows`)
+    and per-point reductions that reuse the *same scalar operations* as
+    :mod:`repro.core.accumulate` on bit-equal inputs — so every sweep
+    point is bit-identical to a fresh pointwise call (a property suite
+    enforces value and ``details`` equality).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.accumulate import MAX_ZETA_ASSIGNMENTS, restrict_masks
+from repro.core.arrays import (
+    RealizationArray,
+    _validate_side_request,
+    build_side_array,
+)
+from repro.core.assignments import classify_by_support, enumerate_assignments
+from repro.core.demand import FlowDemand
+from repro.core.result import ReliabilityResult
+from repro.core.summation import prob_fsum
+from repro.exceptions import DecompositionError, IntractableError, ReproValueError
+from repro.flow.base import MaxFlowSolver
+from repro.flow.incremental import resolve_incremental
+from repro.graph.cuts import find_bottleneck, verify_bottleneck
+from repro.graph.network import FlowNetwork, Node
+from repro.graph.transforms import SideSplit, SubnetworkView
+from repro.obs.recorder import (
+    ARRAY_CACHE_BYTES,
+    ARRAY_CACHE_HITS,
+    ARRAY_CACHE_MISSES,
+    ASSIGNMENTS_ENUMERATED,
+    count,
+    span,
+)
+from repro.probability.bitset import parity_array
+from repro.probability.enumeration import check_enumerable, configuration_probabilities
+from repro.probability.zeta import superset_zeta_rows
+
+__all__ = [
+    "ArrayCache",
+    "SweepSpec",
+    "SweepResult",
+    "cached_side_array",
+    "compute_reliability_sweep",
+    "probability_grid",
+    "side_fingerprint",
+]
+
+#: Bump when the fingerprint payload layout changes (invalidates disk caches).
+_FINGERPRINT_VERSION = 1
+
+#: Grid batches are sized so ``batch_points * 2^{m_side}`` table entries
+#: stay below this budget (the 2-D doubling tables are the peak).
+_MAX_GRID_ENTRIES = 1 << 22
+
+
+def side_fingerprint(
+    net: FlowNetwork, *, role: str, terminal: Node, ports: Sequence[Node]
+) -> str:
+    """Canonical digest of everything that determines a side's realization bits.
+
+    Covers the side topology in link-index order (tail, head, capacity,
+    directedness), the node list, the role, the terminal and the port
+    sequence.  Failure probabilities are deliberately excluded — the
+    §III-C combinatorics never read them — which is exactly what lets
+    one array serve a whole availability sweep.  Node labels are
+    canonicalised via ``repr`` (str/int/tuple labels all have
+    deterministic reprs).
+    """
+    payload = {
+        "v": _FINGERPRINT_VERSION,
+        "role": role,
+        "terminal": repr(terminal),
+        "ports": [repr(p) for p in ports],
+        "nodes": [repr(n) for n in net.nodes()],
+        "links": [
+            [repr(link.tail), repr(link.head), int(link.capacity), bool(link.directed)]
+            for link in net.links()
+        ],
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _column_key(side_digest: str, assignment: Sequence[int]) -> str:
+    """Key of one realization column: the side digest + the assignment.
+
+    The demand rate is implied (it is the component sum), so demand
+    sweeps sharing assignment tuples across rates reuse columns too.
+    """
+    tail = ",".join(str(int(a)) for a in assignment)
+    return hashlib.sha256(f"{side_digest}|{tail}".encode("utf-8")).hexdigest()
+
+
+class ArrayCache:
+    """Content-addressed store of §III-C realization columns.
+
+    Columns live bit-packed (``numpy.packbits``) in memory; with a
+    ``directory`` every stored column is also written as a ``.npy`` file
+    named by its key, so later processes (or a second CLI run) start
+    warm.  Disk writes are atomic (temp file + ``os.replace``).
+
+    The cache is safe to share across *every* build path — serial,
+    engine, any worker count, screens on/off, incremental on/off —
+    because the columns are ground truth and those knobs are pinned
+    bit-identical by the property suites; none of them is part of the
+    key.
+    """
+
+    def __init__(self, directory: str | os.PathLike[str] | None = None) -> None:
+        self._memory: dict[str, np.ndarray] = {}
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def stats(self) -> dict[str, int]:
+        """Cumulative counters since construction."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+        }
+
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.npy"
+
+    def get(self, key: str, num_configurations: int) -> np.ndarray | None:
+        """The bool column for ``key`` (length ``num_configurations``), or None."""
+        packed = self._memory.get(key)
+        if packed is None and self.directory is not None:
+            path = self._path(key)
+            if path.is_file():
+                packed = np.load(path)
+                self._memory[key] = packed
+        if packed is None:
+            self.misses += 1
+            count(ARRAY_CACHE_MISSES, 1)
+            return None
+        self.hits += 1
+        self.bytes_read += int(packed.nbytes)
+        count(ARRAY_CACHE_HITS, 1)
+        count(ARRAY_CACHE_BYTES, int(packed.nbytes))
+        return np.unpackbits(
+            packed, count=num_configurations, bitorder="little"
+        ).astype(bool)
+
+    def put(self, key: str, column: np.ndarray) -> None:
+        """Store one bool column under ``key`` (memory + optional disk)."""
+        packed = np.packbits(np.asarray(column, dtype=bool), bitorder="little")
+        self._memory[key] = packed
+        self.stores += 1
+        self.bytes_written += int(packed.nbytes)
+        count(ARRAY_CACHE_BYTES, int(packed.nbytes))
+        if self.directory is not None:
+            path = self._path(key)
+            if not path.is_file():
+                tmp = path.with_name(path.name + ".tmp")
+                with open(tmp, "wb") as handle:
+                    np.save(handle, packed)
+                os.replace(tmp, path)
+
+
+def _build_missing(
+    side: SubnetworkView,
+    *,
+    role: str,
+    terminal: Node,
+    ports: Sequence[Node],
+    assignments: Sequence[Sequence[int]],
+    demand: int,
+    solver: str | MaxFlowSolver | None,
+    prune: bool,
+    screen: bool,
+    workers: int | None,
+    incremental: bool | None,
+) -> RealizationArray:
+    """Build a (possibly partial) assignment subset through the usual builders."""
+    if workers is None:
+        return build_side_array(
+            side,
+            role=role,
+            terminal=terminal,
+            ports=ports,
+            assignments=assignments,
+            demand=demand,
+            solver=solver,
+            prune=prune,
+            incremental=incremental,
+        )
+    from repro.core.engine import build_side_array_parallel  # local: pools live there
+
+    return build_side_array_parallel(
+        side,
+        role=role,
+        terminal=terminal,
+        ports=ports,
+        assignments=assignments,
+        demand=demand,
+        solver=solver,
+        prune=prune,
+        screen=screen,
+        workers=workers,
+        incremental=incremental,
+    )
+
+
+def cached_side_array(
+    side: SubnetworkView,
+    *,
+    role: str,
+    terminal: Node,
+    ports: Sequence[Node],
+    assignments: Sequence[Sequence[int]],
+    demand: int,
+    solver: str | MaxFlowSolver | None = None,
+    prune: bool = True,
+    screen: bool = True,
+    workers: int | None = None,
+    incremental: bool | None = None,
+    cache: ArrayCache | None = None,
+) -> RealizationArray:
+    """§III-C side array with per-assignment column caching.
+
+    Every assignment's column is looked up in ``cache`` first; only the
+    misses go through :func:`_build_missing` (columns are independent,
+    so building a subset yields the same bits as building all of them),
+    then the full matrix is packed exactly like the direct builders.
+    ``flow_calls`` counts only the solves spent on misses — a fully warm
+    call reports 0.  With ``cache=None`` this is a plain dispatch to the
+    serial or parallel builder.
+    """
+    if cache is None:
+        return _build_missing(
+            side,
+            role=role,
+            terminal=terminal,
+            ports=ports,
+            assignments=assignments,
+            demand=demand,
+            solver=solver,
+            prune=prune,
+            screen=screen,
+            workers=workers,
+            incremental=incremental,
+        )
+    net = side.network
+    m = net.num_links
+    check_enumerable(m)
+    _validate_side_request(
+        net, role=role, assignments=assignments, ports=ports, demand=demand
+    )
+    size = 1 << m
+    num_assignments = len(assignments)
+    digest = side_fingerprint(net, role=role, terminal=terminal, ports=ports)
+    keys = [_column_key(digest, a) for a in assignments]
+    realized = np.zeros((size, num_assignments), dtype=bool)
+    flow_calls = 0
+    with span("sweep.array_cache", role=role, links=m, assignments=num_assignments):
+        missing: list[int] = []
+        for j, key in enumerate(keys):
+            column = cache.get(key, size)
+            if column is None:
+                missing.append(j)
+            else:
+                realized[:, j] = column
+        if missing:
+            built = _build_missing(
+                side,
+                role=role,
+                terminal=terminal,
+                ports=ports,
+                assignments=[assignments[j] for j in missing],
+                demand=demand,
+                solver=solver,
+                prune=prune,
+                screen=screen,
+                workers=workers,
+                incremental=incremental,
+            )
+            flow_calls = built.flow_calls
+            for local, j in enumerate(missing):
+                column = (
+                    (built.masks >> np.uint64(local)) & np.uint64(1)
+                ).astype(bool)
+                realized[:, j] = column
+                cache.put(keys[j], column)
+    weights = (
+        np.uint64(1) << np.arange(num_assignments, dtype=np.uint64)
+    ).astype(np.uint64)
+    masks = (realized.astype(np.uint64) @ weights).astype(np.uint64)
+    return RealizationArray(
+        masks=masks,
+        probabilities=configuration_probabilities(net),
+        num_assignments=num_assignments,
+        flow_calls=flow_calls,
+    )
+
+
+# -- the vectorized probability phase -------------------------------------
+
+
+def probability_grid(failure_grid: np.ndarray) -> np.ndarray:
+    """2-D doubling table: row ``s`` is the configuration-probability
+    table of failure vector ``failure_grid[s]``.
+
+    One concatenation per link, dead half first — the same scheme (and
+    the same left-to-right multiply order) as
+    :func:`repro.probability.configuration_probabilities` and the cut
+    table of :func:`repro.core.bottleneck.pattern_probabilities`, so
+    every row is bit-identical to its scalar counterpart.
+    """
+    grid = np.ascontiguousarray(np.asarray(failure_grid, dtype=np.float64))
+    if grid.ndim != 2:
+        raise ReproValueError("failure grid must be two-dimensional (points x links)")
+    if grid.size and (np.any(grid < 0.0) or np.any(grid >= 1.0)):
+        raise ReproValueError("failure probabilities must lie in [0, 1)")
+    points, m = grid.shape
+    check_enumerable(m)
+    table = np.ones((points, 1), dtype=np.float64)
+    for i in range(m):
+        p = grid[:, i : i + 1]
+        table = np.concatenate([table * p, table * (1.0 - p)], axis=1)
+    return table
+
+
+def _class_grid(
+    masks: np.ndarray,
+    probability_rows: np.ndarray,
+    assignment_indices: Sequence[int],
+) -> np.ndarray:
+    """Row-wise :func:`repro.core.accumulate.side_class_probabilities`.
+
+    Row ``s`` aggregates ``probability_rows[s]`` by restricted realized
+    mask with the same sequential ``np.add.at`` scatter as the scalar
+    path, so each row is bit-identical to the pointwise aggregate.
+    """
+    q = len(assignment_indices)
+    if q > MAX_ZETA_ASSIGNMENTS:
+        raise IntractableError(
+            f"zeta accumulation over {q} assignments needs 2^{q} table entries",
+            required=q,
+            limit=MAX_ZETA_ASSIGNMENTS,
+        )
+    restricted = restrict_masks(masks, assignment_indices).astype(np.int64)
+    points = probability_rows.shape[0]
+    table = np.zeros((points, 1 << q), dtype=np.float64)
+    for s in range(points):
+        np.add.at(table[s], restricted, probability_rows[s])
+    return table
+
+
+def _zeta_r_grid(
+    source_masks: np.ndarray,
+    sink_masks: np.ndarray,
+    source_probability_rows: np.ndarray,
+    sink_probability_rows: np.ndarray,
+    assignment_indices: Sequence[int],
+) -> np.ndarray:
+    """Per-point ``r_{E'}`` via the zeta strategy, one value per grid row."""
+    q = len(assignment_indices)
+    qs = _class_grid(source_masks, source_probability_rows, assignment_indices)
+    qt = _class_grid(sink_masks, sink_probability_rows, assignment_indices)
+    ps = superset_zeta_rows(qs, inplace=True)
+    pt = superset_zeta_rows(qt, inplace=True)
+    signs = -parity_array(q).astype(np.float64)
+    signs[0] = 0.0
+    prod = ps * pt
+    points = prod.shape[0]
+    return np.array(
+        [float(np.dot(signs, prod[s])) for s in range(points)], dtype=np.float64
+    )
+
+
+def _pairs_r_grid(
+    source_masks: np.ndarray,
+    sink_masks: np.ndarray,
+    source_probability_rows: np.ndarray,
+    sink_probability_rows: np.ndarray,
+    assignment_indices: Sequence[int],
+) -> np.ndarray:
+    """Per-point ``r_{E'}`` via the pairs strategy, one value per grid row."""
+    restricted_s = restrict_masks(source_masks, assignment_indices)
+    restricted_t = restrict_masks(sink_masks, assignment_indices)
+    values_s, inverse_s = np.unique(restricted_s, return_inverse=True)
+    values_t, inverse_t = np.unique(restricted_t, return_inverse=True)
+    hit = ((values_s[:, None] & values_t[None, :]) != 0).astype(np.float64)
+    points = source_probability_rows.shape[0]
+    out = np.empty(points, dtype=np.float64)
+    for s in range(points):
+        qs = np.bincount(
+            inverse_s, weights=source_probability_rows[s], minlength=len(values_s)
+        )
+        qt = np.bincount(
+            inverse_t, weights=sink_probability_rows[s], minlength=len(values_t)
+        )
+        out[s] = float(qs @ hit @ qt)
+    return out
+
+
+def _r_grid(
+    source: RealizationArray,
+    sink: RealizationArray,
+    assignment_indices: Sequence[int],
+    source_probability_rows: np.ndarray,
+    sink_probability_rows: np.ndarray,
+    strategy: str,
+) -> np.ndarray:
+    """Grid twin of :func:`repro.core.accumulate.accumulate` — same
+    strategy resolution, same per-point arithmetic."""
+    if strategy == "auto":
+        strategy = "zeta" if len(assignment_indices) <= 12 else "pairs"
+    if strategy == "zeta":
+        return _zeta_r_grid(
+            source.masks,
+            sink.masks,
+            source_probability_rows,
+            sink_probability_rows,
+            assignment_indices,
+        )
+    if strategy == "pairs":
+        return _pairs_r_grid(
+            source.masks,
+            sink.masks,
+            source_probability_rows,
+            sink_probability_rows,
+            assignment_indices,
+        )
+    raise ReproValueError(f"unknown accumulation strategy {strategy!r}")
+
+
+# -- the sweep specification ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """What varies across the sweep points.
+
+    Construct through the classmethods:
+
+    * :meth:`availability` — one uniform link availability per point
+      (every link's failure probability becomes ``1 - value``);
+    * :meth:`failure_scale` — every link's base failure probability
+      multiplied by a per-point factor;
+    * :meth:`overrides` — per-point ``{link_index: failure_probability}``
+      patches on top of the base probabilities;
+    * :meth:`demand_rates` — the probabilities stay fixed and the demand
+      ``d`` varies (arrays are rebuilt per rate, but shared assignment
+      tuples reuse cached columns).
+    """
+
+    kind: str
+    values: tuple
+
+    @classmethod
+    def availability(cls, values: Sequence[float]) -> "SweepSpec":
+        points = tuple(float(v) for v in values)
+        if not points:
+            raise ReproValueError("sweep needs at least one point")
+        for v in points:
+            if not 0.0 < v <= 1.0:
+                raise ReproValueError(f"availability {v} outside (0, 1]")
+        return cls(kind="availability", values=points)
+
+    @classmethod
+    def failure_scale(cls, factors: Sequence[float]) -> "SweepSpec":
+        points = tuple(float(f) for f in factors)
+        if not points:
+            raise ReproValueError("sweep needs at least one point")
+        for f in points:
+            if f < 0.0:
+                raise ReproValueError(f"failure scale factor {f} is negative")
+        return cls(kind="failure-scale", values=points)
+
+    @classmethod
+    def overrides(cls, maps: Sequence[Mapping[int, float]]) -> "SweepSpec":
+        points = tuple(dict(m) for m in maps)
+        if not points:
+            raise ReproValueError("sweep needs at least one point")
+        return cls(kind="overrides", values=points)
+
+    @classmethod
+    def demand_rates(cls, rates: Sequence[int]) -> "SweepSpec":
+        points = tuple(int(r) for r in rates)
+        if not points:
+            raise ReproValueError("sweep needs at least one point")
+        return cls(kind="demand", values=points)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def failure_matrix(self, net: FlowNetwork) -> np.ndarray:
+        """The ``(points, num_links)`` failure-probability grid.
+
+        Only defined for the probability kinds; validates every entry
+        into ``[0, 1)`` with :class:`ReproValueError`.
+        """
+        if self.kind == "demand":
+            raise ReproValueError("demand sweeps do not define a failure matrix")
+        base = np.asarray(net.failure_probabilities(), dtype=np.float64)
+        m = len(base)
+        rows: list[np.ndarray] = []
+        if self.kind == "availability":
+            for v in self.values:
+                rows.append(np.full(m, 1.0 - v, dtype=np.float64))
+        elif self.kind == "failure-scale":
+            for f in self.values:
+                row = base * f
+                if row.size and float(row.max()) >= 1.0:
+                    raise ReproValueError(
+                        f"failure scale factor {f} pushes a link failure "
+                        "probability to 1 or beyond"
+                    )
+                rows.append(row)
+        else:  # overrides
+            for mapping in self.values:
+                row = base.copy()
+                for index, p in mapping.items():
+                    i = int(index)
+                    if not 0 <= i < m:
+                        raise ReproValueError(
+                            f"override link index {i} out of range for a "
+                            f"network with {m} links"
+                        )
+                    p = float(p)
+                    if not 0.0 <= p < 1.0:
+                        raise ReproValueError(
+                            f"override failure probability {p} outside [0, 1)"
+                        )
+                    row[i] = p
+                rows.append(row)
+        return np.array(rows, dtype=np.float64).reshape(len(self.values), m)
+
+    def point_network(self, net: FlowNetwork, index: int) -> FlowNetwork:
+        """The network a pointwise call would see at sweep point ``index``.
+
+        The bit-identity property suite compares
+        ``compute_reliability_sweep(net, ...).results[i]`` against
+        ``bottleneck_reliability(spec.point_network(net, i), ...)``.
+        """
+        if self.kind == "demand":
+            return net
+        row = self.failure_matrix(net)[index]
+        return net.with_failure_probabilities([float(p) for p in row])
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """An evaluated sweep: one :class:`ReliabilityResult` per point."""
+
+    kind: str
+    xs: tuple
+    results: tuple[ReliabilityResult, ...]
+    #: Max-flow solves spent by this call (0 on a fully warm cache).
+    flow_calls: int
+    #: :meth:`ArrayCache.stats` delta accumulated by this call.
+    cache_stats: dict[str, int]
+
+    @property
+    def values(self) -> list[float]:
+        return [r.value for r in self.results]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[ReliabilityResult]:
+        return iter(self.results)
+
+
+def _resolve_split(
+    net: FlowNetwork,
+    demand: FlowDemand,
+    cut: Sequence[int] | None,
+    max_cut_size: int,
+) -> SideSplit:
+    with span("sweep.cut_search", given=cut is not None):
+        if cut is None:
+            split = find_bottleneck(
+                net, demand.source, demand.sink, max_size=max_cut_size
+            )
+            if split is None:
+                raise DecompositionError(
+                    f"no admissible bottleneck cut of size <= {max_cut_size} found"
+                )
+            return split
+        return verify_bottleneck(net, demand.source, demand.sink, cut)
+
+
+def compute_reliability_sweep(
+    net: FlowNetwork,
+    demand: FlowDemand,
+    *,
+    sweep: SweepSpec,
+    cut: Sequence[int] | None = None,
+    solver: str | MaxFlowSolver | None = None,
+    strategy: str = "auto",
+    prune: bool = True,
+    max_cut_size: int = 3,
+    workers: int | None = None,
+    screen: bool = True,
+    incremental: bool | None = None,
+    cache: ArrayCache | None = None,
+) -> SweepResult:
+    """Reliability at every sweep point for the cost of ~one array build.
+
+    For the probability kinds the bottleneck cut, the assignment set and
+    both realization arrays are computed once (through ``cache``; a
+    private in-memory :class:`ArrayCache` is used when none is given) and
+    Eq. 2 / Eq. 3 are evaluated for the whole failure grid in batched
+    vectorized passes.  Every point's value and ``details`` are
+    bit-identical to a fresh :func:`bottleneck_reliability` call on
+    :meth:`SweepSpec.point_network` — only the solve accounting differs
+    (the per-point ``flow_calls`` is 0; this call's total is reported on
+    the :class:`SweepResult`).
+
+    Demand sweeps loop the full bottleneck pipeline per rate with the
+    shared cache, so assignment tuples common to several rates are built
+    once.
+
+    Parameters mirror :func:`bottleneck_reliability`; ``demand.rate`` is
+    ignored (and may be any valid rate) for ``kind="demand"`` sweeps.
+    """
+    the_cache = cache if cache is not None else ArrayCache()
+    before = the_cache.stats()
+    with span("sweep.run", kind=sweep.kind, points=len(sweep)):
+        if sweep.kind == "demand":
+            result = _demand_sweep(
+                net,
+                demand,
+                sweep=sweep,
+                cut=cut,
+                solver=solver,
+                strategy=strategy,
+                prune=prune,
+                max_cut_size=max_cut_size,
+                workers=workers,
+                screen=screen,
+                incremental=incremental,
+                cache=the_cache,
+            )
+        else:
+            result = _probability_sweep(
+                net,
+                demand,
+                sweep=sweep,
+                cut=cut,
+                solver=solver,
+                strategy=strategy,
+                prune=prune,
+                max_cut_size=max_cut_size,
+                workers=workers,
+                screen=screen,
+                incremental=incremental,
+                cache=the_cache,
+            )
+    after = the_cache.stats()
+    delta = {key: after[key] - before[key] for key in after}
+    return SweepResult(
+        kind=result.kind,
+        xs=result.xs,
+        results=result.results,
+        flow_calls=result.flow_calls,
+        cache_stats=delta,
+    )
+
+
+def _demand_sweep(
+    net: FlowNetwork,
+    demand: FlowDemand,
+    *,
+    sweep: SweepSpec,
+    cut: Sequence[int] | None,
+    solver: str | MaxFlowSolver | None,
+    strategy: str,
+    prune: bool,
+    max_cut_size: int,
+    workers: int | None,
+    screen: bool,
+    incremental: bool | None,
+    cache: ArrayCache,
+) -> SweepResult:
+    from repro.core.bottleneck import bottleneck_reliability  # local: avoids cycle
+
+    # One structural cut search serves every rate (admissibility does
+    # not depend on the demand); each pointwise call then verifies it,
+    # which yields the same split a fresh discovery would.
+    split = _resolve_split(net, demand, cut, max_cut_size)
+    results: list[ReliabilityResult] = []
+    flow_calls = 0
+    for rate in sweep.values:
+        point = bottleneck_reliability(
+            net,
+            FlowDemand(demand.source, demand.sink, rate),
+            cut=split.cut,
+            solver=solver,
+            strategy=strategy,
+            prune=prune,
+            max_cut_size=max_cut_size,
+            workers=workers,
+            screen=screen,
+            incremental=incremental,
+            cache=cache,
+        )
+        flow_calls += point.flow_calls
+        results.append(point)
+    return SweepResult(
+        kind=sweep.kind,
+        xs=sweep.values,
+        results=tuple(results),
+        flow_calls=flow_calls,
+        cache_stats={},
+    )
+
+
+def _probability_sweep(
+    net: FlowNetwork,
+    demand: FlowDemand,
+    *,
+    sweep: SweepSpec,
+    cut: Sequence[int] | None,
+    solver: str | MaxFlowSolver | None,
+    strategy: str,
+    prune: bool,
+    max_cut_size: int,
+    workers: int | None,
+    screen: bool,
+    incremental: bool | None,
+    cache: ArrayCache,
+) -> SweepResult:
+    demand.validate_against(net)
+    failure_grid = sweep.failure_matrix(net)  # validates the grid up front
+    num_points = len(sweep)
+    use_incremental = resolve_incremental(solver, incremental)
+    split = _resolve_split(net, demand, cut, max_cut_size)
+    cut_links = split.cut
+    k = len(cut_links)
+    capacities = [net.link(i).capacity for i in cut_links]
+    with span("sweep.assignments", k=k, demand=demand.rate):
+        assignments = enumerate_assignments(capacities, demand.rate)
+        count(ASSIGNMENTS_ENUMERATED, len(assignments))
+    base_details = {
+        "cut": tuple(cut_links),
+        "alpha": split.alpha,
+        "num_assignments": len(assignments),
+        "source_side_links": len(split.source_side.link_map),
+        "sink_side_links": len(split.sink_side.link_map),
+    }
+    if not assignments:
+        # Mirrors the pointwise early return (c(cut) < d): identical
+        # details at every point, no arrays, no solves.
+        zero = tuple(
+            ReliabilityResult(
+                value=0.0,
+                method="bottleneck",
+                details={**base_details, "reason": "cut capacity below demand"},
+            )
+            for _ in range(num_points)
+        )
+        return SweepResult(
+            kind=sweep.kind,
+            xs=sweep.values,
+            results=zero,
+            flow_calls=0,
+            cache_stats={},
+        )
+
+    with span(
+        "sweep.arrays",
+        source_links=len(split.source_side.link_map),
+        sink_links=len(split.sink_side.link_map),
+        assignments=len(assignments),
+    ):
+        source_array = cached_side_array(
+            split.source_side,
+            role="source",
+            terminal=demand.source,
+            ports=split.source_ports,
+            assignments=assignments,
+            demand=demand.rate,
+            solver=solver,
+            prune=prune,
+            screen=screen,
+            workers=workers,
+            incremental=use_incremental,
+            cache=cache,
+        )
+        sink_array = cached_side_array(
+            split.sink_side,
+            role="sink",
+            terminal=demand.sink,
+            ports=split.sink_ports,
+            assignments=assignments,
+            demand=demand.rate,
+            solver=solver,
+            prune=prune,
+            screen=screen,
+            workers=workers,
+            incremental=use_incremental,
+            cache=cache,
+        )
+
+    source_columns = list(split.source_side.link_map)
+    sink_columns = list(split.sink_side.link_map)
+    source_fail = failure_grid[:, source_columns]
+    sink_fail = failure_grid[:, sink_columns]
+    cut_fail = failure_grid[:, list(cut_links)]
+
+    check_enumerable(k)
+    classes = classify_by_support(assignments, k)
+    configurations = len(source_array.masks) + len(sink_array.masks)
+    widest = max(
+        len(split.source_side.link_map), len(split.sink_side.link_map), k
+    )
+    batch = max(1, _MAX_GRID_ENTRIES >> widest)
+    results: list[ReliabilityResult] = []
+    with span(
+        "sweep.accumulate", points=num_points, strategy=strategy, patterns=1 << k
+    ):
+        for start in range(0, num_points, batch):
+            stop = min(num_points, start + batch)
+            source_rows = probability_grid(source_fail[start:stop])
+            sink_rows = probability_grid(sink_fail[start:stop])
+            pattern_rows = probability_grid(cut_fail[start:stop])
+            r_grids: dict[tuple[int, ...], np.ndarray] = {}
+            for local in range(stop - start):
+                terms: list[float] = []
+                used: set[tuple[int, ...]] = set()
+                for pattern, supported in classes.items():
+                    if not supported:
+                        continue
+                    p_pattern = float(pattern_rows[local, pattern])
+                    if p_pattern == 0.0:
+                        continue
+                    r_vector = r_grids.get(supported)
+                    if r_vector is None:
+                        r_vector = _r_grid(
+                            source_array,
+                            sink_array,
+                            supported,
+                            source_rows,
+                            sink_rows,
+                            strategy,
+                        )
+                        r_grids[supported] = r_vector
+                    used.add(supported)
+                    terms.append(p_pattern * float(r_vector[local]))
+                details = {
+                    **base_details,
+                    "accumulation_strategy": strategy,
+                    "distinct_classes": len(used),
+                    "incremental": use_incremental,
+                }
+                results.append(
+                    ReliabilityResult(
+                        value=prob_fsum(terms),
+                        method="bottleneck",
+                        flow_calls=0,
+                        configurations=configurations,
+                        details=details,
+                    )
+                )
+    return SweepResult(
+        kind=sweep.kind,
+        xs=sweep.values,
+        results=tuple(results),
+        flow_calls=source_array.flow_calls + sink_array.flow_calls,
+        cache_stats={},
+    )

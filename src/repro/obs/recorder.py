@@ -32,6 +32,9 @@ from typing import Any, Callable, Iterator
 from repro.exceptions import ReproValueError
 
 __all__ = [
+    "ARRAY_CACHE_BYTES",
+    "ARRAY_CACHE_HITS",
+    "ARRAY_CACHE_MISSES",
     "ASSIGNMENTS_ENUMERATED",
     "ARRAY_ENTRIES_BUILT",
     "CONFIGURATIONS_ENUMERATED",
@@ -88,6 +91,15 @@ FLOW_REPAIRS = "flow_repairs"
 #: configuration — augmenting-path work a cold solve would have redone
 #: from scratch.  The headline saving of the Gray-code walk.
 AUGMENTING_PATHS_SAVED = "augmenting_paths_saved"
+#: Realization columns served from the content-addressed
+#: :class:`repro.core.sweep.ArrayCache` — each hit replaces a full
+#: ``2^{m_side}`` column build (and its max-flow solves) with a lookup.
+ARRAY_CACHE_HITS = "array_cache_hits"
+#: Realization columns the cache had to build (and then stored).
+ARRAY_CACHE_MISSES = "array_cache_misses"
+#: Bytes of bit-packed realization columns moved through the cache
+#: (read on hits + written on stores).
+ARRAY_CACHE_BYTES = "array_cache_bytes"
 
 #: The catalogue, for documentation and validation in tests.
 KNOWN_COUNTERS = frozenset(
@@ -100,6 +112,9 @@ KNOWN_COUNTERS = frozenset(
         SCREENED_SOLVES,
         FLOW_REPAIRS,
         AUGMENTING_PATHS_SAVED,
+        ARRAY_CACHE_HITS,
+        ARRAY_CACHE_MISSES,
+        ARRAY_CACHE_BYTES,
     }
 )
 

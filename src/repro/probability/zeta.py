@@ -26,6 +26,7 @@ __all__ = [
     "subset_moebius",
     "superset_zeta",
     "superset_moebius",
+    "superset_zeta_rows",
 ]
 
 
@@ -69,6 +70,31 @@ def superset_zeta(values: np.ndarray, *, inplace: bool = False) -> np.ndarray:
         step = 1 << i
         view = out.reshape(-1, 2, step)
         view[:, 0, :] += view[:, 1, :]
+    return out
+
+
+def superset_zeta_rows(values: np.ndarray, *, inplace: bool = False) -> np.ndarray:
+    """Row-wise :func:`superset_zeta` over a 2-D batch.
+
+    Each row is transformed independently with exactly the scalar
+    butterfly schedule — the per-row additions pair the same operands
+    in the same order — so every output row is bit-identical to
+    ``superset_zeta(values[i])``.  Used by the sweep engine to evaluate
+    the ACCUMULATION step for a whole grid of availability points in
+    one pass.
+    """
+    out = values if inplace else values.copy()
+    if out.ndim != 2:
+        raise ReproValueError("row transform input must be two-dimensional")
+    size = out.shape[1]
+    n = size.bit_length() - 1
+    if size != 1 << n:
+        raise ReproValueError(f"row length must be a power of two, got {size}")
+    rows = out.shape[0]
+    for i in range(n):
+        step = 1 << i
+        view = out.reshape(rows, -1, 2, step)
+        view[:, :, 0, :] += view[:, :, 1, :]
     return out
 
 

@@ -24,6 +24,7 @@ EXPECTED_CODES = [
     "RR107",
     "RR108",
     "RR109",
+    "RR110",
 ]
 
 

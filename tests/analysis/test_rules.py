@@ -17,6 +17,7 @@ ALL_CODES = (
     "RR107",
     "RR108",
     "RR109",
+    "RR110",
 )
 
 
@@ -110,6 +111,46 @@ def test_rr109_counts_and_messages():
     assert sum("range(1 << m)" in f.message for f in findings) == 1
     assert sum("range(2 ** n_bits)" in f.message for f in findings) == 1
     assert sum("size = 1 << m" in f.message for f in findings) == 1
+
+
+def test_rr110_counts_and_messages():
+    findings = fixture_findings("RR110")
+    # bad_rebuild_per_point (for), bad_engine_rebuild (while),
+    # bad_comprehension_rebuild (listcomp).
+    assert len(findings) == 3
+    assert sum("build_side_array()" in f.message for f in findings) == 1
+    assert sum("build_realization_arrays()" in f.message for f in findings) == 1
+    assert sum("build_side_array_parallel()" in f.message for f in findings) == 1
+    assert all("cached_side_array" in f.message for f in findings)
+
+
+def test_rr110_scoped_to_core(tmp_path):
+    """Outside repro.core a loop of builds is some caller's business."""
+    from repro.analysis import analyze_source
+
+    source = (
+        "def f(split, points):\n"
+        "    return [build_side_array(split) for _ in points]\n"
+    )
+    outside = analyze_source(source, str(tmp_path / "repro" / "p2p" / "mod.py"))
+    assert not [f for f in outside if f.code == "RR110"]
+
+    inside = analyze_source(source, str(tmp_path / "repro" / "core" / "mod.py"))
+    assert [f for f in inside if f.code == "RR110"]
+
+
+def test_rr110_ignores_straight_line_builds(tmp_path):
+    from repro.analysis import analyze_source
+
+    source = (
+        "def f(split):\n"
+        "    source = build_side_array(split.source_side)\n"
+        "    for x in range(3):\n"
+        "        use(source, x)\n"
+        "    return source\n"
+    )
+    findings = analyze_source(source, str(tmp_path / "repro" / "core" / "mod.py"))
+    assert not [f for f in findings if f.code == "RR110"]
 
 
 def test_rr109_scoped_to_core(tmp_path):

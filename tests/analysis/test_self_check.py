@@ -51,4 +51,5 @@ def test_fixture_tree_is_deliberately_dirty():
         "RR107",
         "RR108",
         "RR109",
+        "RR110",
     }

@@ -11,7 +11,7 @@ from repro.core.bottleneck import (
 from repro.core.bridge import bridge_reliability
 from repro.core.demand import FlowDemand
 from repro.core.naive import naive_reliability
-from repro.exceptions import DecompositionError
+from repro.exceptions import DecompositionError, ReproValueError
 from repro.graph.builders import (
     diamond,
     fujita_fig2_bridge,
@@ -60,6 +60,27 @@ class TestPatternProbability:
         net = fujita_fig4()
         table = pattern_probabilities(net, ())
         assert list(table) == [1.0]
+
+    @pytest.mark.parametrize("pattern", [-1, 4, 1 << 10])
+    def test_pattern_out_of_range(self, pattern):
+        net = fujita_fig4()
+        with pytest.raises(ReproValueError, match="out of range for a 2-link cut"):
+            pattern_probability(net, (0, 1), pattern)
+
+    @pytest.mark.parametrize("index", [-1, 99])
+    def test_cut_index_out_of_range(self, index):
+        net = fujita_fig4()
+        with pytest.raises(ReproValueError, match="out of range"):
+            pattern_probability(net, (0, index), 0)
+        with pytest.raises(ReproValueError, match="out of range"):
+            pattern_probabilities(net, (0, index))
+
+    def test_cut_index_not_an_integer(self):
+        net = fujita_fig4()
+        with pytest.raises(ReproValueError, match="not an integer"):
+            pattern_probability(net, (0, "e1"), 0)
+        with pytest.raises(ReproValueError, match="not an integer"):
+            pattern_probabilities(net, (0.5,))
 
 
 class TestBridgeReliability:

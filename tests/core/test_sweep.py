@@ -1,0 +1,382 @@
+"""Unit tests for the sweep engine: the content-addressed ArrayCache,
+the cache-aware side-array builder and the vectorized multi-point
+accumulation (`repro.core.sweep`)."""
+
+import numpy as np
+import pytest
+
+from repro.core.arrays import build_side_array
+from repro.core.assignments import enumerate_assignments
+from repro.core.bottleneck import bottleneck_reliability
+from repro.core.demand import FlowDemand
+from repro.core.sweep import (
+    ArrayCache,
+    SweepSpec,
+    cached_side_array,
+    compute_reliability_sweep,
+    probability_grid,
+    side_fingerprint,
+)
+from repro.exceptions import ReproValueError
+from repro.graph.builders import fujita_fig4
+from repro.graph.transforms import split_on_cut
+from repro.probability.enumeration import configuration_probabilities
+from repro.probability.zeta import superset_zeta, superset_zeta_rows
+
+DEMAND = FlowDemand("s", "t", 2)
+
+
+def fig4_split(**kwargs):
+    net = fujita_fig4(**kwargs)
+    return net, split_on_cut(net, "s", "t", [0, 1])
+
+
+def source_kwargs(split, assignments):
+    return dict(
+        role="source",
+        terminal="s",
+        ports=split.source_ports,
+        assignments=assignments,
+        demand=2,
+    )
+
+
+class TestSideFingerprint:
+    def test_excludes_failure_probabilities(self):
+        _, lossy = fig4_split(failure_probability=0.3)
+        _, robust = fig4_split(failure_probability=0.01)
+        args = dict(role="source", terminal="s", ports=lossy.source_ports)
+        assert side_fingerprint(lossy.source_side.network, **args) == side_fingerprint(
+            robust.source_side.network, **args
+        )
+
+    def test_sensitive_to_capacity(self):
+        def tiny(capacity):
+            from repro.graph.network import FlowNetwork
+
+            net = FlowNetwork()
+            net.add_link("s", "a", capacity, 0.1)
+            net.add_link("a", "t", 2, 0.1)
+            return net
+
+        args = dict(role="source", terminal="s", ports=["t"])
+        assert side_fingerprint(tiny(2), **args) != side_fingerprint(
+            tiny(3), **args
+        )
+
+    def test_sensitive_to_role_terminal_ports(self):
+        _, split = fig4_split()
+        net = split.source_side.network
+        base = side_fingerprint(
+            net, role="source", terminal="s", ports=split.source_ports
+        )
+        assert base != side_fingerprint(
+            net, role="sink", terminal="s", ports=split.source_ports
+        )
+        assert base != side_fingerprint(
+            net, role="source", terminal="a", ports=split.source_ports
+        )
+        assert base != side_fingerprint(
+            net,
+            role="source",
+            terminal="s",
+            ports=list(reversed(list(split.source_ports))),
+        )
+
+
+class TestArrayCache:
+    def test_memory_round_trip(self):
+        cache = ArrayCache()
+        column = np.array([True, False, True, True, False], dtype=bool)
+        cache.put("k", column)
+        assert len(cache) == 1
+        got = cache.get("k", 5)
+        assert got is not None and got.dtype == bool
+        assert np.array_equal(got, column)
+
+    def test_miss_counts(self):
+        cache = ArrayCache()
+        assert cache.get("absent", 4) is None
+        stats = cache.stats()
+        assert stats["misses"] == 1 and stats["hits"] == 0
+
+    def test_disk_persistence_across_instances(self, tmp_path):
+        column = np.arange(16) % 3 == 0
+        first = ArrayCache(tmp_path)
+        first.put("k", column)
+        assert first.bytes_written > 0
+        # a brand-new instance (fresh process stand-in) starts warm
+        second = ArrayCache(tmp_path)
+        assert len(second) == 0
+        got = second.get("k", 16)
+        assert got is not None and np.array_equal(got, column)
+        assert second.stats()["hits"] == 1 and second.bytes_read > 0
+
+    def test_disk_files_are_content_addressed(self, tmp_path):
+        cache = ArrayCache(tmp_path)
+        cache.put("deadbeef", np.ones(4, dtype=bool))
+        assert (tmp_path / "deadbeef.npy").is_file()
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestCachedSideArray:
+    def test_no_cache_matches_direct_builder(self):
+        _, split = fig4_split()
+        assignments = enumerate_assignments([2, 2], 2)
+        kwargs = source_kwargs(split, assignments)
+        direct = build_side_array(split.source_side, **kwargs)
+        dispatched = cached_side_array(split.source_side, **kwargs)
+        assert np.array_equal(direct.masks, dispatched.masks)
+        assert direct.flow_calls == dispatched.flow_calls
+
+    def test_cold_then_warm_bit_identity(self):
+        _, split = fig4_split()
+        assignments = enumerate_assignments([2, 2], 2)
+        kwargs = source_kwargs(split, assignments)
+        direct = build_side_array(split.source_side, **kwargs)
+        cache = ArrayCache()
+        cold = cached_side_array(split.source_side, cache=cache, **kwargs)
+        warm = cached_side_array(split.source_side, cache=cache, **kwargs)
+        for built in (cold, warm):
+            assert np.array_equal(built.masks, direct.masks)
+            assert np.array_equal(built.probabilities, direct.probabilities)
+            assert built.num_assignments == direct.num_assignments
+        assert cold.flow_calls > 0
+        assert warm.flow_calls == 0
+        assert cache.stats()["hits"] == len(assignments)
+
+    def test_partial_warm_builds_only_missing_columns(self):
+        _, split = fig4_split()
+        assignments = enumerate_assignments([2, 2], 2)
+        kwargs = source_kwargs(split, assignments)
+        cache = ArrayCache()
+        cached_side_array(
+            split.source_side,
+            cache=cache,
+            **{**kwargs, "assignments": assignments[:1]},
+        )
+        full = cached_side_array(split.source_side, cache=cache, **kwargs)
+        direct = build_side_array(split.source_side, **kwargs)
+        assert np.array_equal(full.masks, direct.masks)
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["stores"] == len(assignments)
+
+    def test_cache_shared_between_serial_and_parallel_paths(self):
+        _, split = fig4_split()
+        assignments = enumerate_assignments([2, 2], 2)
+        kwargs = source_kwargs(split, assignments)
+        cache = ArrayCache()
+        serial = cached_side_array(split.source_side, cache=cache, **kwargs)
+        parallel = cached_side_array(
+            split.source_side, cache=cache, workers=2, **kwargs
+        )
+        assert np.array_equal(serial.masks, parallel.masks)
+        assert parallel.flow_calls == 0
+
+
+class TestProbabilityGrid:
+    def test_rows_match_scalar_tables(self):
+        rng = np.random.default_rng(7)
+        grid = rng.uniform(0.0, 0.6, size=(5, 4))
+        table = probability_grid(grid)
+        assert table.shape == (5, 16)
+        for s in range(5):
+            scalar = configuration_probabilities(list(grid[s]))
+            assert np.array_equal(table[s], scalar)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ReproValueError, match="two-dimensional"):
+            probability_grid(np.array([0.1, 0.2]))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ReproValueError, match=r"\[0, 1\)"):
+            probability_grid(np.array([[0.1, 1.0]]))
+        with pytest.raises(ReproValueError, match=r"\[0, 1\)"):
+            probability_grid(np.array([[-0.1, 0.5]]))
+
+
+class TestSupersetZetaRows:
+    def test_matches_scalar_per_row(self):
+        rng = np.random.default_rng(11)
+        values = rng.uniform(size=(6, 8))
+        rows = superset_zeta_rows(values)
+        for s in range(6):
+            assert np.array_equal(rows[s], superset_zeta(values[s]))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ReproValueError):
+            superset_zeta_rows(np.ones(8))
+        with pytest.raises(ReproValueError):
+            superset_zeta_rows(np.ones((2, 3)))
+
+    def test_inplace(self):
+        values = np.ones((2, 4))
+        out = superset_zeta_rows(values, inplace=True)
+        assert out is values
+
+
+class TestSweepSpec:
+    def test_empty_rejected(self):
+        for factory in (
+            SweepSpec.availability,
+            SweepSpec.failure_scale,
+            SweepSpec.overrides,
+            SweepSpec.demand_rates,
+        ):
+            with pytest.raises(ReproValueError, match="at least one point"):
+                factory([])
+
+    def test_availability_bounds(self):
+        with pytest.raises(ReproValueError, match="outside"):
+            SweepSpec.availability([0.9, 0.0])
+        with pytest.raises(ReproValueError, match="outside"):
+            SweepSpec.availability([1.5])
+
+    def test_scale_validation(self):
+        with pytest.raises(ReproValueError, match="negative"):
+            SweepSpec.failure_scale([-0.5])
+        net = fujita_fig4(failure_probability=0.4)
+        spec = SweepSpec.failure_scale([3.0])
+        with pytest.raises(ReproValueError, match="pushes a link"):
+            spec.failure_matrix(net)
+
+    def test_override_validation(self):
+        net = fujita_fig4()
+        with pytest.raises(ReproValueError, match="out of range"):
+            SweepSpec.overrides([{99: 0.5}]).failure_matrix(net)
+        with pytest.raises(ReproValueError, match=r"outside \[0, 1\)"):
+            SweepSpec.overrides([{0: 1.0}]).failure_matrix(net)
+
+    def test_demand_sweep_has_no_failure_matrix(self):
+        with pytest.raises(ReproValueError, match="do not define"):
+            SweepSpec.demand_rates([1, 2]).failure_matrix(fujita_fig4())
+
+    def test_point_network_applies_rows(self):
+        net = fujita_fig4(failure_probability=0.1)
+        spec = SweepSpec.availability([0.8, 0.95])
+        point = spec.point_network(net, 1)
+        assert point.failure_probabilities() == pytest.approx(
+            [0.05] * net.num_links
+        )
+        matrix = spec.failure_matrix(net)
+        assert matrix.shape == (2, net.num_links)
+        assert np.array_equal(matrix[0], np.full(net.num_links, 1.0 - 0.8))
+
+
+class TestComputeReliabilitySweep:
+    def pointwise(self, net, spec, index, **kwargs):
+        return bottleneck_reliability(
+            spec.point_network(net, index), DEMAND, **kwargs
+        )
+
+    def test_availability_sweep_bit_identical_to_pointwise(self):
+        net = fujita_fig4(failure_probability=0.1)
+        spec = SweepSpec.availability(list(np.linspace(0.7, 0.99, 7)))
+        swept = compute_reliability_sweep(net, DEMAND, sweep=spec)
+        assert len(swept) == 7
+        for i, result in enumerate(swept):
+            point = self.pointwise(net, spec, i)
+            assert result.value == point.value  # bit-equal, not approx
+            assert result.method == point.method
+            assert result.configurations == point.configurations
+            assert result.details == point.details
+
+    def test_warm_cache_sweep_zero_solves(self):
+        net = fujita_fig4(failure_probability=0.1)
+        spec = SweepSpec.availability([0.8, 0.9, 0.97])
+        cache = ArrayCache()
+        cold = compute_reliability_sweep(net, DEMAND, sweep=spec, cache=cache)
+        warm = compute_reliability_sweep(net, DEMAND, sweep=spec, cache=cache)
+        assert cold.flow_calls > 0
+        assert warm.flow_calls == 0
+        assert warm.cache_stats["misses"] == 0
+        assert warm.cache_stats["hits"] == cold.cache_stats["stores"]
+        assert warm.values == cold.values
+
+    def test_disk_cache_carries_between_sweeps(self, tmp_path):
+        net = fujita_fig4(failure_probability=0.1)
+        spec = SweepSpec.availability([0.8, 0.9])
+        first = compute_reliability_sweep(
+            net, DEMAND, sweep=spec, cache=ArrayCache(tmp_path)
+        )
+        second = compute_reliability_sweep(
+            net, DEMAND, sweep=spec, cache=ArrayCache(tmp_path)
+        )
+        assert first.flow_calls > 0
+        assert second.flow_calls == 0
+        assert second.values == first.values
+
+    def test_failure_scale_and_override_kinds(self):
+        net = fujita_fig4(failure_probability=0.1)
+        for spec in (
+            SweepSpec.failure_scale([0.5, 1.0, 2.0]),
+            SweepSpec.overrides([{0: 0.3}, {5: 0.0}, {}]),
+        ):
+            swept = compute_reliability_sweep(net, DEMAND, sweep=spec)
+            for i, result in enumerate(swept):
+                assert result.value == self.pointwise(net, spec, i).value
+
+    @pytest.mark.parametrize("strategy", ["zeta", "pairs"])
+    def test_explicit_strategies_match_pointwise(self, strategy):
+        net = fujita_fig4(failure_probability=0.15)
+        spec = SweepSpec.availability([0.8, 0.92])
+        swept = compute_reliability_sweep(
+            net, DEMAND, sweep=spec, strategy=strategy
+        )
+        for i, result in enumerate(swept):
+            point = self.pointwise(net, spec, i, strategy=strategy)
+            assert result.value == point.value
+            assert result.details["accumulation_strategy"] == strategy
+
+    def test_unknown_strategy_rejected(self):
+        net = fujita_fig4()
+        with pytest.raises(ReproValueError, match="unknown accumulation strategy"):
+            compute_reliability_sweep(
+                net,
+                DEMAND,
+                sweep=SweepSpec.availability([0.9]),
+                strategy="magic",
+            )
+
+    def test_demand_above_cut_capacity_all_zero(self):
+        net = fujita_fig4()
+        swept = compute_reliability_sweep(
+            net,
+            FlowDemand("s", "t", 5),
+            sweep=SweepSpec.availability([0.8, 0.9]),
+        )
+        assert swept.flow_calls == 0
+        for result in swept:
+            assert result.value == 0.0
+            assert result.details["reason"] == "cut capacity below demand"
+
+    def test_demand_sweep_matches_pointwise(self):
+        net = fujita_fig4(failure_probability=0.1)
+        spec = SweepSpec.demand_rates([1, 2, 3, 4])
+        swept = compute_reliability_sweep(net, DEMAND, sweep=spec)
+        assert swept.kind == "demand"
+        for rate, result in zip(spec.values, swept):
+            point = bottleneck_reliability(net, FlowDemand("s", "t", rate))
+            assert result.value == point.value
+
+    def test_demand_sweep_shares_columns_across_rates(self):
+        # Rates 2 and 3 over a capacity-2 pair share the assignment
+        # tuples (0,2)/(2,0) etc. only partially; a repeated sweep with
+        # the same cache must be fully warm either way.
+        net = fujita_fig4(failure_probability=0.1)
+        spec = SweepSpec.demand_rates([1, 2, 3])
+        cache = ArrayCache()
+        compute_reliability_sweep(net, DEMAND, sweep=spec, cache=cache)
+        warm = compute_reliability_sweep(net, DEMAND, sweep=spec, cache=cache)
+        assert warm.flow_calls == 0
+
+    def test_cached_pointwise_call_reports_cache_delta(self):
+        net = fujita_fig4(failure_probability=0.1)
+        cache = ArrayCache()
+        cold = bottleneck_reliability(net, DEMAND, cache=cache)
+        warm = bottleneck_reliability(net, DEMAND, cache=cache)
+        assert warm.value == cold.value
+        assert cold.flow_calls > 0
+        assert warm.flow_calls == 0
+        assert warm.details["array_cache"]["misses"] == 0
+        assert warm.details["array_cache"]["hits"] > 0
