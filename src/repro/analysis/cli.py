@@ -17,7 +17,7 @@ from typing import Sequence
 from repro.analysis.engine import analyze_paths
 from repro.analysis.registry import all_rules
 from repro.analysis.reporters import render_report
-from repro.exceptions import AnalysisError
+from repro.exceptions import ReproError
 
 __all__ = ["main"]
 
@@ -47,11 +47,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="report format (default: text)",
     )
     parser.add_argument(
+        "--tier",
+        choices=("syntax", "dataflow", "all"),
+        default="all",
+        help="restrict to one analysis tier (default: all)",
+    )
+    parser.add_argument(
         "--select",
         action="append",
         default=None,
         metavar="CODES",
         help="comma-separated rule codes to run exclusively (e.g. RR101,RR103)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="CODES",
+        help="alias for --select: comma-separated rule codes to run exclusively",
     )
     parser.add_argument(
         "--ignore",
@@ -73,19 +86,26 @@ def main(argv: Sequence[str] | None = None) -> int:
     options = parser.parse_args(argv)
 
     if options.list_rules:
-        for rule in all_rules():
-            print(f"{rule.code}  {rule.name}")
+        rules = all_rules()
+        if options.tier != "all":
+            rules = [r for r in rules if r.tier == options.tier]
+        for rule in rules:
+            print(f"{rule.code}  [{rule.tier}]  {rule.name}")
             print(f"       {rule.rationale}")
         return 0
 
-    select = _split_codes(options.select) if options.select is not None else None
+    select: list[str] | None = None
+    if options.select is not None or options.rule is not None:
+        select = _split_codes((options.select or []) + (options.rule or []))
     ignore = _split_codes(options.ignore) if options.ignore is not None else None
-    if options.select is not None and not select:
-        print("error: --select given but no rule codes supplied", file=sys.stderr)
+    if (options.select is not None or options.rule is not None) and not select:
+        print("error: --select/--rule given but no rule codes supplied", file=sys.stderr)
         return 2
     try:
-        report = analyze_paths(options.paths, select=select, ignore=ignore)
-    except AnalysisError as exc:
+        report = analyze_paths(
+            options.paths, select=select, ignore=ignore, tier=options.tier
+        )
+    except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(render_report(report, options.format))

@@ -11,9 +11,13 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import PurePath
+from typing import TYPE_CHECKING
 
 from repro.analysis.findings import Finding
 from repro.exceptions import AnalysisError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.dataflow.cfg import CFG
 
 __all__ = ["ModuleContext"]
 
@@ -27,6 +31,10 @@ class ModuleContext:
     tree: ast.Module
     #: Path components, used for package scoping (``("src", "repro", "core", ...)``).
     parts: tuple[str, ...] = field(default_factory=tuple)
+    #: Memoized CFGs, built on first dataflow-rule access (one build, five rules).
+    _cfgs: "list[tuple[str, ast.AST, CFG]] | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     @classmethod
     def from_source(cls, source: str, path: str = "<string>") -> "ModuleContext":
@@ -48,6 +56,18 @@ class ModuleContext:
         """
         wanted = set(names)
         return any(part in wanted for part in self.parts)
+
+    def function_cfgs(self) -> "list[tuple[str, ast.AST, CFG]]":
+        """``(qualname, def node, CFG)`` for every function in the module.
+
+        Built lazily and memoized: all five dataflow rules share one CFG
+        construction pass per module instead of five.
+        """
+        if self._cfgs is None:
+            from repro.analysis.dataflow.cfg import function_cfgs
+
+            self._cfgs = list(function_cfgs(self.tree))
+        return self._cfgs
 
     def finding(self, node: ast.AST, code: str, message: str) -> Finding:
         """Build a :class:`Finding` anchored at ``node``'s location."""

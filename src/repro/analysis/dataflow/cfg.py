@@ -1,0 +1,486 @@
+"""Intraprocedural control-flow graphs for Python functions.
+
+One :class:`CFG` per function: a synthetic ``entry`` node (index 0), a
+synthetic ``exit`` node (index 1) that both normal returns and
+escaping exceptions reach, and one node per statement (compound
+statements contribute one node for their header — the evaluated
+test/iterator/context expression — plus nodes for every statement in
+their bodies).  Edges carry a ``kind`` so analyses and golden tests can
+tell branch polarity, loop back-edges and exception flow apart.
+
+Handled control flow:
+
+* ``if`` / ``elif`` / ``else`` — ``true`` / ``false`` edges;
+* ``while`` and ``for`` with ``else`` — back-edges (``loop``), the
+  ``false`` / ``exhausted`` edge into the ``else`` suite, ``break``
+  jumping past it, ``continue`` back to the header;
+* ``try`` / ``except`` / ``else`` / ``finally`` — every statement that
+  can raise gets an ``exception`` edge to each handler (plus the
+  unmatched-type continuation), handlers and the ``finally`` suite are
+  wired on both the normal and the exceptional path, and ``finally``
+  re-raises toward the enclosing handler/exit;
+* ``with`` / ``async with`` — one header node for the context
+  expressions, body wired through;
+* ``match`` — one ``case`` edge per case plus a ``nomatch``
+  fall-through unless an unguarded wildcard case is present;
+* ``return`` / ``raise`` / ``break`` / ``continue`` — routed through
+  every enclosing ``finally`` suite before reaching their target.
+
+Deliberate approximations (conservative for may-analyses, documented
+for the golden tests):
+
+* a statement *can raise* when it contains a call, attribute access,
+  subscript, arithmetic, comparison, ``assert``, ``await`` or
+  ``yield`` — pure constant/name moves get no exception edge;
+* loop and ``match`` headers always keep their not-taken edge (a
+  ``while True`` still has a ``false`` edge), so the exit stays
+  reachable;
+* a ``finally`` suite is built once; every continuation that entered
+  it (normal, exceptional, ``return``, ``break``, ``continue``) leaves
+  from its last frontier, so paths are a superset of the real ones;
+* comprehensions are expression-level and stay atomic inside their
+  statement's node.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["CFG", "CFGNode", "Edge", "build_cfg", "function_cfgs"]
+
+ENTRY = 0
+EXIT = 1
+
+#: Expression constituents that make a statement "can raise".
+_RAISING_EXPRS = (
+    ast.Call,
+    ast.Attribute,
+    ast.Subscript,
+    ast.BinOp,
+    ast.Compare,
+    ast.Await,
+    ast.Yield,
+    ast.YieldFrom,
+)
+
+_FUNCTIONS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One directed control-flow edge with a branch/exception kind."""
+
+    src: int
+    dst: int
+    kind: str
+
+
+@dataclass
+class CFGNode:
+    """One CFG node: a statement, a handler header, or entry/exit."""
+
+    index: int
+    stmt: ast.AST | None
+    label: str
+
+    @property
+    def line(self) -> int:
+        return getattr(self.stmt, "lineno", 0)
+
+
+class CFG:
+    """The finished graph: nodes, deduplicated edges, adjacency."""
+
+    def __init__(self, nodes: list[CFGNode], edges: list[Edge]) -> None:
+        self.nodes = nodes
+        seen: dict[tuple[int, int, str], Edge] = {}
+        for edge in edges:
+            seen.setdefault((edge.src, edge.dst, edge.kind), edge)
+        self.edges = sorted(seen.values(), key=lambda e: (e.src, e.dst, e.kind))
+        self.succs: dict[int, list[Edge]] = {n.index: [] for n in nodes}
+        self.preds: dict[int, list[Edge]] = {n.index: [] for n in nodes}
+        for edge in self.edges:
+            self.succs[edge.src].append(edge)
+            self.preds[edge.dst].append(edge)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node_for(self, stmt: ast.AST) -> CFGNode | None:
+        """The node whose statement is ``stmt`` (identity), or None."""
+        for node in self.nodes:
+            if node.stmt is stmt:
+                return node
+        return None
+
+    def reachable(self, start: int = ENTRY) -> set[int]:
+        """Node indices reachable from ``start`` along edges."""
+        seen = {start}
+        queue = [start]
+        while queue:
+            current = queue.pop()
+            for edge in self.succs[current]:
+                if edge.dst not in seen:
+                    seen.add(edge.dst)
+                    queue.append(edge.dst)
+        return seen
+
+    def reaches_exit(self, start: int) -> bool:
+        """Whether ``exit`` is reachable from ``start``."""
+        return EXIT in self.reachable(start)
+
+    def render(self) -> str:
+        """Deterministic text form used by the golden snapshot tests."""
+        lines = []
+        for node in self.nodes:
+            if node.stmt is None:
+                lines.append(f"{node.index} {node.label}")
+            else:
+                lines.append(f"{node.index} L{node.line} {node.label}")
+        lines.append("edges:")
+        for edge in self.edges:
+            lines.append(f"{edge.src} -> {edge.dst} [{edge.kind}]")
+        return "\n".join(lines)
+
+
+def _expr_can_raise(node: ast.AST | None) -> bool:
+    if node is None:
+        return False
+    return any(isinstance(sub, _RAISING_EXPRS) for sub in ast.walk(node))
+
+
+def _stmt_can_raise(stmt: ast.stmt) -> bool:
+    """Whether a *simple* statement can raise (compound headers are
+    judged on their evaluated expression only, by the builder)."""
+    if isinstance(stmt, (ast.Pass, ast.Break, ast.Continue, ast.Global, ast.Nonlocal)):
+        return False
+    if isinstance(stmt, (ast.Raise, ast.Assert, ast.Delete)):
+        return True
+    if isinstance(stmt, _FUNCTIONS + (ast.ClassDef, ast.Import, ast.ImportFrom)):
+        return False
+    return any(
+        isinstance(sub, _RAISING_EXPRS)
+        for sub in ast.walk(stmt)
+        if not isinstance(sub, _FUNCTIONS)
+    )
+
+
+class _Target:
+    """A deferred edge destination (resolved once its node exists)."""
+
+    __slots__ = ("pends", "resolved")
+
+    def __init__(self) -> None:
+        self.pends: list[tuple[int, str]] = []
+        self.resolved: int | None = None
+
+    def add(self, builder: "_Builder", src: int, kind: str) -> None:
+        if self.resolved is not None:
+            builder.edges.append(Edge(src, self.resolved, kind))
+        else:
+            self.pends.append((src, kind))
+
+    def resolve(self, builder: "_Builder", index: int) -> None:
+        self.resolved = index
+        for src, kind in self.pends:
+            builder.edges.append(Edge(src, index, kind))
+        self.pends.clear()
+
+
+@dataclass
+class _Loop:
+    """Break/continue bookkeeping for one enclosing loop."""
+
+    head: int
+    breaks: list[tuple[int, str]] = field(default_factory=list)
+    finally_depth: int = 0
+
+
+@dataclass
+class _FinallyFrame:
+    """One enclosing ``finally`` suite still being routed through."""
+
+    entry: _Target
+    #: ``(kind, target)`` continuations that entered this finally and
+    #: must leave from its end frontier.  ``target`` is the exit index,
+    #: a :class:`_Loop` (break), or a loop head index (continue).
+    continuations: list[tuple[str, object, int]] = field(default_factory=list)
+
+
+Frontier = list[tuple[int, str]]
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.nodes: list[CFGNode] = [
+            CFGNode(ENTRY, None, "entry"),
+            CFGNode(EXIT, None, "exit"),
+        ]
+        self.edges: list[Edge] = []
+        self.loops: list[_Loop] = []
+        self.finallies: list[_FinallyFrame] = []
+        # Innermost exception sinks: ints (node indices) or _Targets.
+        self.exc_stack: list[list[object]] = [[EXIT]]
+
+    # -- plumbing ---------------------------------------------------------
+
+    def new_node(self, stmt: ast.AST, label: str | None = None) -> int:
+        index = len(self.nodes)
+        self.nodes.append(CFGNode(index, stmt, label or type(stmt).__name__))
+        return index
+
+    def connect(self, frontier: Frontier, dst: int) -> None:
+        for src, kind in frontier:
+            self.edges.append(Edge(src, dst, kind))
+
+    def raise_from(self, src: int) -> None:
+        """Exception edges from ``src`` to every innermost sink."""
+        for sink in self.exc_stack[-1]:
+            if isinstance(sink, _Target):
+                sink.add(self, src, "exception")
+            else:
+                self.edges.append(Edge(src, int(sink), "exception"))
+
+    def jump(self, src: int, kind: str, target: object, target_depth: int) -> None:
+        """Route a return/break/continue through enclosing finallies."""
+        if len(self.finallies) > target_depth:
+            frame = self.finallies[-1]
+            frame.entry.add(self, src, kind)
+            frame.continuations.append((kind, target, target_depth))
+        else:
+            self._jump_edge([(src, kind)], kind, target)
+
+    def _jump_edge(self, frontier: Frontier, kind: str, target: object) -> None:
+        if isinstance(target, _Loop):
+            target.breaks.extend((src, kind) for src, _ in frontier)
+        else:
+            for src, _ in frontier:
+                self.edges.append(Edge(src, int(target), kind))
+
+    # -- statement dispatch ----------------------------------------------
+
+    def build_body(self, stmts: list[ast.stmt], frontier: Frontier) -> Frontier:
+        for stmt in stmts:
+            frontier = self.build_stmt(stmt, frontier)
+        return frontier
+
+    def build_stmt(self, stmt: ast.stmt, frontier: Frontier) -> Frontier:
+        if isinstance(stmt, ast.If):
+            return self._build_if(stmt, frontier)
+        if isinstance(stmt, ast.While):
+            return self._build_while(stmt, frontier)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._build_for(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._build_with(stmt, frontier)
+        if isinstance(stmt, ast.Try):
+            return self._build_try(stmt, frontier)
+        if isinstance(stmt, ast.Match):
+            return self._build_match(stmt, frontier)
+        return self._build_simple(stmt, frontier)
+
+    def _build_simple(self, stmt: ast.stmt, frontier: Frontier) -> Frontier:
+        node = self.new_node(stmt)
+        self.connect(frontier, node)
+        if _stmt_can_raise(stmt):
+            self.raise_from(node)
+        if isinstance(stmt, ast.Return):
+            self.jump(node, "return", EXIT, 0)
+            return []
+        if isinstance(stmt, ast.Raise):
+            return []
+        if isinstance(stmt, ast.Break):
+            loop = self.loops[-1] if self.loops else None
+            if loop is not None:
+                self.jump(node, "break", loop, loop.finally_depth)
+            return []
+        if isinstance(stmt, ast.Continue):
+            loop = self.loops[-1] if self.loops else None
+            if loop is not None:
+                self.jump(node, "continue", loop.head, loop.finally_depth)
+            return []
+        return [(node, "next")]
+
+    def _build_if(self, stmt: ast.If, frontier: Frontier) -> Frontier:
+        node = self.new_node(stmt)
+        self.connect(frontier, node)
+        if _expr_can_raise(stmt.test):
+            self.raise_from(node)
+        body_frontier = self.build_body(stmt.body, [(node, "true")])
+        if stmt.orelse:
+            else_frontier = self.build_body(stmt.orelse, [(node, "false")])
+        else:
+            else_frontier = [(node, "false")]
+        return body_frontier + else_frontier
+
+    def _build_while(self, stmt: ast.While, frontier: Frontier) -> Frontier:
+        node = self.new_node(stmt)
+        self.connect(frontier, node)
+        if _expr_can_raise(stmt.test):
+            self.raise_from(node)
+        loop = _Loop(head=node, finally_depth=len(self.finallies))
+        self.loops.append(loop)
+        body_frontier = self.build_body(stmt.body, [(node, "true")])
+        for src, _ in body_frontier:
+            self.edges.append(Edge(src, node, "loop"))
+        self.loops.pop()
+        if stmt.orelse:
+            else_frontier = self.build_body(stmt.orelse, [(node, "false")])
+        else:
+            else_frontier = [(node, "false")]
+        return else_frontier + loop.breaks
+
+    def _build_for(self, stmt: ast.For | ast.AsyncFor, frontier: Frontier) -> Frontier:
+        node = self.new_node(stmt)
+        self.connect(frontier, node)
+        # Iterator creation and each __next__ can raise.
+        self.raise_from(node)
+        loop = _Loop(head=node, finally_depth=len(self.finallies))
+        self.loops.append(loop)
+        body_frontier = self.build_body(stmt.body, [(node, "iter")])
+        for src, _ in body_frontier:
+            self.edges.append(Edge(src, node, "loop"))
+        self.loops.pop()
+        if stmt.orelse:
+            else_frontier = self.build_body(stmt.orelse, [(node, "exhausted")])
+        else:
+            else_frontier = [(node, "exhausted")]
+        return else_frontier + loop.breaks
+
+    def _build_with(self, stmt: ast.With | ast.AsyncWith, frontier: Frontier) -> Frontier:
+        node = self.new_node(stmt)
+        self.connect(frontier, node)
+        if any(_expr_can_raise(item.context_expr) for item in stmt.items):
+            self.raise_from(node)
+        return self.build_body(stmt.body, [(node, "next")])
+
+    def _build_match(self, stmt: ast.Match, frontier: Frontier) -> Frontier:
+        node = self.new_node(stmt)
+        self.connect(frontier, node)
+        if _expr_can_raise(stmt.subject):
+            self.raise_from(node)
+        out: Frontier = []
+        exhaustive = False
+        for case in stmt.cases:
+            out.extend(self.build_body(case.body, [(node, "case")]))
+            if (
+                case.guard is None
+                and isinstance(case.pattern, (ast.MatchAs, ast.MatchOr))
+                and _pattern_is_wildcard(case.pattern)
+            ):
+                exhaustive = True
+        if not exhaustive:
+            out.append((node, "nomatch"))
+        return out
+
+    def _build_try(self, stmt: ast.Try, frontier: Frontier) -> Frontier:
+        frame: _FinallyFrame | None = None
+        if stmt.finalbody:
+            frame = _FinallyFrame(entry=_Target())
+            self.finallies.append(frame)
+
+        after_body_sink: object
+        if frame is not None:
+            after_body_sink = frame.entry
+        else:
+            after_body_sink = None
+
+        handler_targets = [_Target() for _ in stmt.handlers]
+        # Exceptions inside the body reach every handler plus the
+        # unmatched-type continuation (finally, or the enclosing sinks).
+        body_sinks: list[object] = list(handler_targets)
+        if after_body_sink is not None:
+            body_sinks.append(after_body_sink)
+        elif not handler_targets:
+            body_sinks = list(self.exc_stack[-1])
+        else:
+            body_sinks.extend(self.exc_stack[-1])
+        self.exc_stack.append(body_sinks)
+        body_frontier = self.build_body(stmt.body, frontier)
+        self.exc_stack.pop()
+
+        # Handlers and the else suite raise toward finally/enclosing.
+        region_sinks = [after_body_sink] if after_body_sink is not None else self.exc_stack[-1]
+        self.exc_stack.append(list(region_sinks))
+        normal_frontier: Frontier = []
+        for handler, target in zip(stmt.handlers, handler_targets):
+            handler_node = self.new_node(handler, "ExceptHandler")
+            target.resolve(self, handler_node)
+            normal_frontier.extend(self.build_body(handler.body, [(handler_node, "next")]))
+        if stmt.orelse:
+            normal_frontier.extend(self.build_body(stmt.orelse, body_frontier))
+        else:
+            normal_frontier.extend(body_frontier)
+        self.exc_stack.pop()
+
+        if frame is None:
+            return normal_frontier
+
+        self.finallies.pop()
+        finally_incoming = normal_frontier
+        # The first node created while building the finalbody is where
+        # control enters it, whatever the first statement's shape (a
+        # ``try`` contributes no node of its own — its body's first
+        # statement is the entry).  Every suite creates at least one
+        # node, so the index is always valid.
+        head = len(self.nodes)
+        finally_frontier = self.build_body(stmt.finalbody, finally_incoming)
+        frame.entry.resolve(self, head)
+        # Exceptional entries re-raise after the finally completes.
+        for src, _ in finally_frontier:
+            for sink in self.exc_stack[-1]:
+                if isinstance(sink, _Target):
+                    sink.add(self, src, "exception")
+                else:
+                    self.edges.append(Edge(src, int(sink), "exception"))
+        # return/break/continue continuations leave from the end too.
+        for kind, target, target_depth in frame.continuations:
+            if len(self.finallies) > target_depth:
+                outer = self.finallies[-1]
+                for src, _ in finally_frontier:
+                    outer.entry.add(self, src, kind)
+                    outer.continuations.append((kind, target, target_depth))
+            else:
+                self._jump_edge(finally_frontier, kind, target)
+        return finally_frontier
+
+
+def _pattern_is_wildcard(pattern: ast.pattern) -> bool:
+    """Whether a case pattern matches anything (``case _:`` / ``case x:``)."""
+    if isinstance(pattern, ast.MatchAs):
+        return pattern.pattern is None or _pattern_is_wildcard(pattern.pattern)
+    if isinstance(pattern, ast.MatchOr):
+        return any(_pattern_is_wildcard(p) for p in pattern.patterns)
+    return False
+
+
+def build_cfg(body: list[ast.stmt]) -> CFG:
+    """Build the CFG of one statement suite (usually a function body)."""
+    builder = _Builder()
+    frontier = builder.build_body(body, [(ENTRY, "next")])
+    builder.connect(frontier, EXIT)
+    return CFG(builder.nodes, builder.edges)
+
+
+def function_cfgs(tree: ast.Module) -> list[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef, CFG]]:
+    """``(qualname, def-node, CFG)`` for every function in a module.
+
+    Nested functions get their own independent CFG (intraprocedural
+    analyses treat each scope separately), named ``outer.inner``.
+    """
+    out: list[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef, CFG]] = []
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                out.append((qualname, child, build_cfg(child.body)))
+                visit(child, f"{qualname}.")
+            elif isinstance(child, ast.ClassDef):
+                visit(child, f"{prefix}{child.name}.")
+            else:
+                visit(child, prefix)
+
+    visit(tree, "")
+    return out

@@ -1,0 +1,119 @@
+"""A generic monotone worklist fixpoint solver over a :class:`CFG`.
+
+An analysis supplies the lattice — ``bottom``, ``join``, the boundary
+``initial`` state and a per-node ``transfer`` function — and the solver
+iterates to the least fixpoint.  Direction is a property of the
+analysis: ``forward`` propagates entry→exit along edges, ``backward``
+exit→entry against them.
+
+States must be immutable values with a meaningful ``==`` (frozensets,
+tuples, frozen dataclasses); ``join`` must be commutative, associative
+and monotone, and ``transfer`` monotone in its state argument —
+standard monotone-framework conditions, under which the worklist
+terminates for finite-height lattices.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, TypeVar
+
+from repro.analysis.dataflow.cfg import CFG, ENTRY, EXIT, CFGNode
+from repro.exceptions import AnalysisError
+
+__all__ = ["DataflowAnalysis", "solve_fixpoint"]
+
+S = TypeVar("S")
+
+
+class DataflowAnalysis(Generic[S]):
+    """Base class for one dataflow analysis (the lattice + transfer).
+
+    Subclasses set :attr:`direction` and implement the four hooks.
+    """
+
+    #: ``"forward"`` or ``"backward"``.
+    direction: str = "forward"
+
+    def bottom(self) -> S:
+        """The least element (state of not-yet-reached nodes)."""
+        raise NotImplementedError
+
+    def initial(self) -> S:
+        """The boundary state (at entry forward, at exit backward)."""
+        raise NotImplementedError
+
+    def join(self, a: S, b: S) -> S:
+        """Least upper bound of two states."""
+        raise NotImplementedError
+
+    def transfer(self, node: CFGNode, state: S) -> S:
+        """The effect of one node on the state flowing through it."""
+        raise NotImplementedError
+
+
+def solve_fixpoint(
+    cfg: CFG,
+    analysis: DataflowAnalysis[S],
+    *,
+    max_iterations: int | None = None,
+) -> dict[int, tuple[S, S]]:
+    """Least-fixpoint ``{node_index: (state_in, state_out)}``.
+
+    ``state_in`` is the join over predecessor outs (successor ins for a
+    backward analysis); ``state_out`` is ``transfer(node, state_in)``.
+    ``max_iterations`` (default ``64 * |nodes|``) guards against a
+    non-monotone transfer looping forever — exceeding it raises
+    :class:`AnalysisError` instead of hanging the lint run.
+    """
+    if analysis.direction not in ("forward", "backward"):
+        raise AnalysisError(f"unknown analysis direction {analysis.direction!r}")
+    forward = analysis.direction == "forward"
+    boundary = ENTRY if forward else EXIT
+    into: Callable[[int], list[int]]
+    outof: Callable[[int], list[int]]
+    if forward:
+        into = lambda i: [e.src for e in cfg.preds[i]]  # noqa: E731
+        outof = lambda i: [e.dst for e in cfg.succs[i]]  # noqa: E731
+    else:
+        into = lambda i: [e.dst for e in cfg.succs[i]]  # noqa: E731
+        outof = lambda i: [e.src for e in cfg.preds[i]]  # noqa: E731
+
+    state_in: dict[int, S] = {n.index: analysis.bottom() for n in cfg.nodes}
+    state_out: dict[int, S] = {}
+    state_in[boundary] = analysis.initial()
+    for node in cfg.nodes:
+        state_out[node.index] = analysis.transfer(node, state_in[node.index])
+
+    budget = max_iterations if max_iterations is not None else 64 * max(1, len(cfg.nodes))
+    worklist = [n.index for n in cfg.nodes]
+    pending = set(worklist)
+    iterations = 0
+    while worklist:
+        iterations += 1
+        if iterations > budget + len(cfg.nodes):
+            raise AnalysisError(
+                f"fixpoint did not converge within {budget} iterations "
+                "(non-monotone transfer function?)"
+            )
+        index = worklist.pop(0)
+        pending.discard(index)
+        incoming = into(index)
+        if incoming:
+            state = state_out[incoming[0]]
+            for other in incoming[1:]:
+                state = analysis.join(state, state_out[other])
+            if index == boundary:
+                state = analysis.join(state, analysis.initial())
+        elif index == boundary:
+            state = analysis.initial()
+        else:
+            state = analysis.bottom()
+        new_out = analysis.transfer(cfg.nodes[index], state)
+        if state != state_in[index] or new_out != state_out[index]:
+            state_in[index] = state
+            state_out[index] = new_out
+            for succ in outof(index):
+                if succ not in pending:
+                    pending.add(succ)
+                    worklist.append(succ)
+    return {i: (state_in[i], state_out[i]) for i in state_in}

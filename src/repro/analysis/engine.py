@@ -13,9 +13,9 @@ from typing import Iterable, Sequence
 
 from repro.analysis.context import ModuleContext
 from repro.analysis.findings import Finding
-from repro.analysis.registry import Rule, all_rules
+from repro.analysis.registry import TIERS, Rule, all_rules
 from repro.analysis.suppressions import SuppressionIndex
-from repro.exceptions import AnalysisError
+from repro.exceptions import AnalysisError, ReproValueError
 
 __all__ = ["AnalysisReport", "analyze_paths", "analyze_source", "iter_python_files"]
 
@@ -52,12 +52,18 @@ class AnalysisReport:
 
 
 def _select_rules(
-    select: Iterable[str] | None, ignore: Iterable[str] | None
+    select: Iterable[str] | None,
+    ignore: Iterable[str] | None,
+    tier: str = "all",
 ) -> list[Rule]:
+    if tier not in (*TIERS, "all"):
+        raise AnalysisError(f"unknown tier {tier!r} (expected one of {TIERS + ('all',)})")
     rules = all_rules()
+    if tier != "all":
+        rules = [r for r in rules if r.tier == tier]
     if select is not None:
         wanted = {c.upper() for c in select}
-        unknown = wanted - {r.code for r in rules}
+        unknown = wanted - {r.code for r in all_rules()}
         if unknown:
             raise AnalysisError(f"unknown rule code(s) in --select: {sorted(unknown)}")
         rules = [r for r in rules if r.code in wanted]
@@ -100,8 +106,9 @@ def analyze_source(
 def iter_python_files(paths: Sequence[str]) -> list[str]:
     """Expand files and directories into a sorted list of ``.py`` files.
 
-    Raises :class:`AnalysisError` for a path that does not exist — a
-    typo'd path silently scanning nothing would defeat a CI gate.
+    Raises :class:`ReproValueError` for a path that does not exist or a
+    scan that matches zero Python files — a typo'd path silently
+    scanning nothing would defeat a CI gate.
     """
     result: list[str] = []
     for path in paths:
@@ -114,7 +121,11 @@ def iter_python_files(paths: Sequence[str]) -> list[str]:
                     if filename.endswith(".py"):
                         result.append(os.path.join(root, filename))
         else:
-            raise AnalysisError(f"path does not exist: {path}")
+            raise ReproValueError(f"path does not exist: {path}")
+    if paths and not result:
+        raise ReproValueError(
+            f"no Python files found under: {', '.join(paths)}"
+        )
     return sorted(dict.fromkeys(result))
 
 
@@ -123,9 +134,10 @@ def analyze_paths(
     *,
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
+    tier: str = "all",
 ) -> AnalysisReport:
     """Analyze every ``.py`` file under ``paths``."""
-    rules = _select_rules(select, ignore)
+    rules = _select_rules(select, ignore, tier)
     report = AnalysisReport()
     for filename in iter_python_files(paths):
         try:

@@ -35,6 +35,9 @@ class Rule:
     name: str = ""
     #: One-line rationale tied to the repo's correctness invariants.
     rationale: str = ""
+    #: Analysis tier: ``"syntax"`` (per-node, RR1xx) or ``"dataflow"``
+    #: (flow-sensitive over the CFG, RR2xx).  ``--tier`` filters on this.
+    tier: str = "syntax"
 
     def applies_to(self, ctx: ModuleContext) -> bool:
         """Whether this rule runs on ``ctx`` at all (default: always)."""
@@ -96,12 +99,17 @@ _REGISTRY: dict[str, type[Rule]] = {}
 R = TypeVar("R", bound=type[Rule])
 
 
+TIERS = ("syntax", "dataflow")
+
+
 def register_rule(cls: R) -> R:
     """Class decorator: add ``cls`` to the global registry."""
     if not _CODE_PATTERN.match(cls.code):
         raise AnalysisError(f"rule {cls.__name__} has malformed code {cls.code!r}")
     if cls.code in _REGISTRY:
         raise AnalysisError(f"duplicate rule code {cls.code}")
+    if cls.tier not in TIERS:
+        raise AnalysisError(f"rule {cls.code} has unknown tier {cls.tier!r}")
     _REGISTRY[cls.code] = cls
     return cls
 

@@ -3,6 +3,8 @@
 Importing this package registers every rule with
 :mod:`repro.analysis.registry`; the modules group related invariants:
 
+Syntax tier (per-node):
+
 * :mod:`~repro.analysis.rules.randomness` — RR101
 * :mod:`~repro.analysis.rules.numerics` — RR102, RR103
 * :mod:`~repro.analysis.rules.hygiene` — RR104, RR105, RR106
@@ -10,12 +12,25 @@ Importing this package registers every rule with
 * :mod:`~repro.analysis.rules.parallelism` — RR108
 * :mod:`~repro.analysis.rules.lattices` — RR109
 * :mod:`~repro.analysis.rules.caching` — RR110
+
+Dataflow tier (flow-sensitive, CFG + fixpoint):
+
+* :mod:`~repro.analysis.rules.df_determinism` — RR201
+* :mod:`~repro.analysis.rules.df_aliasing` — RR202
+* :mod:`~repro.analysis.rules.df_spans` — RR203
+* :mod:`~repro.analysis.rules.df_domains` — RR204
+* :mod:`~repro.analysis.rules.df_payloads` — RR205
 """
 
 from __future__ import annotations
 
 from repro.analysis.rules import (
     caching,
+    df_aliasing,
+    df_determinism,
+    df_domains,
+    df_payloads,
+    df_spans,
     hygiene,
     instrumentation,
     lattices,
@@ -26,6 +41,11 @@ from repro.analysis.rules import (
 
 __all__ = [
     "caching",
+    "df_aliasing",
+    "df_determinism",
+    "df_domains",
+    "df_payloads",
+    "df_spans",
     "hygiene",
     "instrumentation",
     "lattices",

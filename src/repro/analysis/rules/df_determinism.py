@@ -1,0 +1,114 @@
+"""RR201 — determinism taint (dataflow tier).
+
+RR101 bans the legacy global-state RNG APIs syntactically; RR201 closes
+the remaining hole *flow-sensitively*: a generator created by a
+zero-argument ``default_rng()`` is unseeded, and any value derived from
+it that escapes — through a ``return``, an :class:`ArrayCache` write,
+or a :class:`ReliabilityResult` — makes the result unreplayable even
+though every individual call was "allowed".  The sanctioned shape is
+``repro.graph.generators.as_rng(seed)``: the seed is threaded, so the
+taint never exists.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.dataflow.fixpoint import solve_fixpoint
+from repro.analysis.dataflow.reaching import (
+    NameTaint,
+    call_name,
+    is_taint_derived,
+    own_exprs,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register_rule
+
+__all__ = ["DeterminismTaint"]
+
+#: Result-constructor sinks: tainted arguments poison the published value.
+_RESULT_SINKS = frozenset({"ReliabilityResult"})
+
+
+def _is_unseeded_rng(node: ast.AST) -> bool:
+    """``default_rng()`` with no seed argument at all."""
+    return (
+        isinstance(node, ast.Call)
+        and call_name(node) == "default_rng"
+        and not node.args
+        and not node.keywords
+    )
+
+
+def _is_cache_write(node: ast.Call) -> bool:
+    """``<cache>.put(...)`` — an ArrayCache-style persistent write."""
+    func = node.func
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "put"
+        and isinstance(func.value, ast.Name)
+        and "cache" in func.value.id.lower()
+    )
+
+
+@register_rule
+class DeterminismTaint(Rule):
+    code = "RR201"
+    name = "determinism-taint"
+    tier = "dataflow"
+    rationale = (
+        "a value derived from an unseeded default_rng() reaching a return, "
+        "a cache write, or a ReliabilityResult makes the run unreplayable; "
+        "thread a seed via repro.graph.generators.as_rng instead"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for qualname, _func, cfg in ctx.function_cfgs():
+            if not any(_is_unseeded_rng(sub) for node in cfg.nodes if node.stmt is not None
+                       for sub in ast.walk(node.stmt)):
+                continue
+            states = solve_fixpoint(cfg, NameTaint(_is_unseeded_rng))
+            for node in cfg.nodes:
+                stmt = node.stmt
+                if stmt is None:
+                    continue
+                state = states[node.index][0]
+                if isinstance(stmt, ast.Return) and stmt.value is not None:
+                    if is_taint_derived(stmt.value, state, _is_unseeded_rng):
+                        yield ctx.finding(
+                            stmt,
+                            self.code,
+                            f"{qualname}() returns a value derived from an unseeded "
+                            "default_rng(); the result cannot be replayed — accept a "
+                            "seed/Generator parameter (as_rng) instead",
+                        )
+                    continue
+                for part in own_exprs(stmt):
+                    yield from self._check_calls(ctx, qualname, part, state)
+
+    def _check_calls(
+        self, ctx: ModuleContext, qualname: str, part: ast.AST, state: frozenset
+    ) -> Iterator[Finding]:
+        for call in ast.walk(part):
+            if not isinstance(call, ast.Call):
+                continue
+            sink: str | None = None
+            if _is_cache_write(call):
+                sink = "a cache write"
+            elif call_name(call) in _RESULT_SINKS:
+                sink = "a ReliabilityResult"
+            if sink is None:
+                continue
+            arguments = list(call.args) + [kw.value for kw in call.keywords]
+            if any(
+                is_taint_derived(arg, state, _is_unseeded_rng) for arg in arguments
+            ):
+                yield ctx.finding(
+                    call,
+                    self.code,
+                    f"{qualname}() feeds a value derived from an unseeded "
+                    f"default_rng() into {sink}; downstream consumers can "
+                    "never reproduce it — thread an explicit seed (as_rng)",
+                )

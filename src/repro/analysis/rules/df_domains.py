@@ -1,0 +1,168 @@
+"""RR204 — probability parameters must be validated before accumulation.
+
+Eq. (2)/(3) accumulation is a sum of products of probabilities; a
+single out-of-domain input (a negative "probability", an availability
+above 1) produces a result that *looks* plausible — no NaN, no raise —
+which is why every public entry point in the library guards its domain
+(``network.py``, ``polynomial.py``, ``_as_failure_probs``).  The rule
+enforces the same discipline flow-sensitively: a probability-named
+parameter that reaches one of the accumulation sinks must pass through
+a validating call or a raising range guard on the way, in the function
+under analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.dataflow.cfg import CFGNode
+from repro.analysis.dataflow.fixpoint import DataflowAnalysis, solve_fixpoint
+from repro.analysis.dataflow.reaching import assigned_names, own_exprs
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register_rule
+
+__all__ = ["UnvalidatedProbabilityDomain"]
+
+#: Parameter names that carry raw probabilities.
+_PROB_PARAM = re.compile(
+    r"^(p|q|prob|probs|probabilit(y|ies)|availability|availabilities|p_values?)$"
+    r"|(_prob|_probs|_probability|_probabilities|_availability)$"
+)
+
+#: The Eq.2/Eq.3 accumulation entry points (probability-vector sinks).
+_SINKS = frozenset(
+    {
+        "pattern_probability",
+        "pattern_probabilities",
+        "configuration_probability",
+        "configuration_probabilities",
+        "conditional_configuration_probabilities",
+        "union_probability",
+        "union_probability_from_intersections",
+    }
+)
+
+
+def _is_validator(call: ast.Call) -> bool:
+    name = Rule.terminal_name(call.func) or ""
+    return "validate" in name or name in {"_as_failure_probs", "as_probability"}
+
+
+def _is_range_guard(stmt: ast.AST, name: str) -> bool:
+    """``if <test mentioning name and a 0/1 bound>: raise`` (or assert)."""
+    if isinstance(stmt, ast.Assert):
+        test = stmt.test
+        raises = True
+    elif isinstance(stmt, ast.If):
+        test = stmt.test
+        raises = any(isinstance(s, ast.Raise) for s in ast.walk(stmt))
+    else:
+        return False
+    if not raises:
+        return False
+    mentions = any(
+        isinstance(sub, ast.Name) and sub.id == name for sub in ast.walk(test)
+    )
+    has_bound = any(
+        isinstance(sub, ast.Constant) and sub.value in (0, 1, 0.0, 1.0)
+        for sub in ast.walk(test)
+    )
+    return mentions and has_bound
+
+
+class _Unvalidated(DataflowAnalysis[frozenset]):
+    """Forward must-analysis: probability names still unvalidated.
+
+    Seeded with the probability-named parameters; a validating call or
+    a raising range guard kills the name.  The join is set *union*
+    (a name unvalidated on any path into a sink is a finding), while
+    rebinding from an unrelated expression also kills — the value is no
+    longer the raw parameter.
+    """
+
+    direction = "forward"
+
+    def __init__(self, seed: frozenset[str]) -> None:
+        self.seed = seed
+
+    def bottom(self) -> frozenset:
+        return frozenset()
+
+    def initial(self) -> frozenset:
+        return self.seed
+
+    def join(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b
+
+    def transfer(self, node: CFGNode, state: frozenset) -> frozenset:
+        stmt = node.stmt
+        if stmt is None or isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return state
+        result = set(state)
+        for part in own_exprs(stmt):
+            for sub in ast.walk(part):
+                if isinstance(sub, ast.Call) and _is_validator(sub):
+                    for arg in list(sub.args) + [kw.value for kw in sub.keywords]:
+                        if isinstance(arg, ast.Name):
+                            result.discard(arg.id)
+        for name in list(result):
+            if _is_range_guard(stmt, name):
+                result.discard(name)
+        result.difference_update(assigned_names(stmt))
+        return frozenset(result)
+
+
+@register_rule
+class UnvalidatedProbabilityDomain(Rule):
+    code = "RR204"
+    name = "unvalidated-probability-domain"
+    tier = "dataflow"
+    rationale = (
+        "an out-of-domain probability reaching Eq.2/Eq.3 accumulation yields "
+        "a plausible-looking wrong result instead of an error; validate the "
+        "[0, 1] domain (guard + raise, or a validate_* call) before the sink"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for qualname, func, cfg in ctx.function_cfgs():
+            params = frozenset(
+                arg.arg
+                for arg in (
+                    func.args.posonlyargs + func.args.args + func.args.kwonlyargs
+                )
+                if _PROB_PARAM.search(arg.arg)
+            )
+            if not params:
+                continue
+            states = solve_fixpoint(cfg, _Unvalidated(params))
+            for node in cfg.nodes:
+                stmt = node.stmt
+                if stmt is None or isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                state = states[node.index][0]
+                for part in own_exprs(stmt):
+                    yield from self._check_sinks(ctx, qualname, part, state)
+
+    def _check_sinks(
+        self, ctx: ModuleContext, qualname: str, part: ast.AST, state: frozenset
+    ) -> Iterator[Finding]:
+        for call in ast.walk(part):
+            if (
+                not isinstance(call, ast.Call)
+                or Rule.terminal_name(call.func) not in _SINKS
+            ):
+                continue
+            arguments = list(call.args) + [kw.value for kw in call.keywords]
+            for arg in arguments:
+                if isinstance(arg, ast.Name) and arg.id in state:
+                    yield ctx.finding(
+                        call,
+                        self.code,
+                        f"{qualname}(): probability parameter {arg.id!r} "
+                        f"reaches {Rule.terminal_name(call.func)}() without "
+                        "a dominating [0, 1] validation — guard the domain "
+                        "(raise on violation) before accumulating",
+                    )

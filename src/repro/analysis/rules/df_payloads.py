@@ -1,0 +1,165 @@
+"""RR205 — worker payloads must be spawn-safe (dataflow tier).
+
+``run_chunked`` documents the contract PR 3 established: workers are
+module-level (picklable) functions, networks travel as
+:func:`repro.graph.io` dicts, solvers travel by registry name.  A
+closure, lambda, or locally-constructed callable submitted to a
+``ProcessPoolExecutor`` breaks under the spawn start method — often
+only on the platform CI doesn't run — with an unpicklable-object error
+at best and silently stale captured state at worst.  The rule tracks
+locally-defined callables and executor handles flow-sensitively and
+flags local callables entering a ``submit``/``map``/``run_chunked``
+dispatch.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.dataflow.cfg import CFGNode
+from repro.analysis.dataflow.fixpoint import DataflowAnalysis, solve_fixpoint
+from repro.analysis.dataflow.reaching import call_name, own_exprs
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register_rule
+
+__all__ = ["SpawnUnsafePayload"]
+
+_LOCAL_CALLABLE = "C"
+_EXECUTOR = "E"
+
+
+def _is_executor_ctor(value: ast.expr) -> bool:
+    return isinstance(value, ast.Call) and call_name(value) == "ProcessPoolExecutor"
+
+
+def _wraps_local(call: ast.Call, state: frozenset) -> bool:
+    """``partial(f, ...)`` / similar wrapping a local callable or lambda."""
+    for arg in list(call.args) + [kw.value for kw in call.keywords]:
+        if isinstance(arg, ast.Lambda):
+            return True
+        if isinstance(arg, ast.Name) and (_LOCAL_CALLABLE, arg.id) in state:
+            return True
+    return False
+
+
+class _LocalCallables(DataflowAnalysis[frozenset]):
+    """Forward analysis over tagged names: locally-defined callables
+    (nested ``def``, lambdas, partials over them) and executor handles."""
+
+    direction = "forward"
+
+    def bottom(self) -> frozenset:
+        return frozenset()
+
+    def initial(self) -> frozenset:
+        return frozenset()
+
+    def join(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b
+
+    def transfer(self, node: CFGNode, state: frozenset) -> frozenset:
+        stmt = node.stmt
+        if stmt is None:
+            return state
+        result = set(state)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            result.add((_LOCAL_CALLABLE, stmt.name))
+            return frozenset(result)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if _is_executor_ctor(item.context_expr) and isinstance(
+                    item.optional_vars, ast.Name
+                ):
+                    result.add((_EXECUTOR, item.optional_vars.id))
+            return frozenset(result)
+        if isinstance(stmt, ast.Assign):
+            plain = [t.id for t in stmt.targets if isinstance(t, ast.Name)]
+            value = stmt.value
+            for name in plain:
+                result.discard((_LOCAL_CALLABLE, name))
+                result.discard((_EXECUTOR, name))
+            if isinstance(value, ast.Lambda):
+                result.update((_LOCAL_CALLABLE, n) for n in plain)
+            elif _is_executor_ctor(value):
+                result.update((_EXECUTOR, n) for n in plain)
+            elif isinstance(value, ast.Name):
+                for tag in (_LOCAL_CALLABLE, _EXECUTOR):
+                    if (tag, value.id) in state:
+                        result.update((tag, n) for n in plain)
+            elif isinstance(value, ast.Call) and _wraps_local(value, state):
+                result.update((_LOCAL_CALLABLE, n) for n in plain)
+        return frozenset(result)
+
+
+@register_rule
+class SpawnUnsafePayload(Rule):
+    code = "RR205"
+    name = "spawn-unsafe-payload"
+    tier = "dataflow"
+    rationale = (
+        "closures/lambdas submitted to ProcessPoolExecutor or run_chunked "
+        "break under the spawn start method; use a module-level worker with "
+        "graph.io dict payloads and solver registry names (the run_chunked "
+        "contract)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for qualname, _func, cfg in ctx.function_cfgs():
+            states: dict[int, tuple[frozenset, frozenset]] | None = None
+            for node in cfg.nodes:
+                stmt = node.stmt
+                if stmt is None:
+                    continue
+                for part in own_exprs(stmt):
+                    for call in ast.walk(part):
+                        if not isinstance(call, ast.Call):
+                            continue
+                        dispatch = self._dispatch_kind(call)
+                        if dispatch is None or not call.args:
+                            continue
+                        if states is None:
+                            states = solve_fixpoint(cfg, _LocalCallables())
+                        state = states[node.index][0]
+                        if dispatch == "method" and not self._on_executor(
+                            call, state
+                        ):
+                            continue
+                        worker = call.args[0]
+                        label: str | None = None
+                        if isinstance(worker, ast.Lambda):
+                            label = "a lambda"
+                        elif (
+                            isinstance(worker, ast.Name)
+                            and (_LOCAL_CALLABLE, worker.id) in state
+                        ):
+                            label = f"locally-defined callable {worker.id!r}"
+                        elif isinstance(worker, ast.Call) and _wraps_local(
+                            worker, state
+                        ):
+                            label = "a partial over a local callable"
+                        if label is None:
+                            continue
+                        yield ctx.finding(
+                            call,
+                            self.code,
+                            f"{qualname}() dispatches {label} to worker processes; "
+                            "closures are not spawn-safe — use a module-level "
+                            "worker taking graph.io dict payloads and a solver "
+                            "registry name",
+                        )
+
+    @staticmethod
+    def _dispatch_kind(call: ast.Call) -> str | None:
+        name = call_name(call)
+        if name == "run_chunked":
+            return "function"
+        if name in ("submit", "map") and isinstance(call.func, ast.Attribute):
+            return "method"
+        return None
+
+    @staticmethod
+    def _on_executor(call: ast.Call, state: frozenset) -> bool:
+        receiver = call.func.value if isinstance(call.func, ast.Attribute) else None
+        return isinstance(receiver, ast.Name) and (_EXECUTOR, receiver.id) in state

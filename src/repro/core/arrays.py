@@ -223,28 +223,27 @@ def build_side_array(
     else:
         order = list(range(size))
 
-    ticker = progress_ticker(f"arrays.{role}", total=num_assignments * size)
-    for j, assignment in enumerate(assignments):
-        caps = {name: int(a) for name, a in zip(port_names, assignment)}
-        column = realized[:, j]
-        for mask in order:
-            ticker.tick()
-            if prune:
-                doomed = False
-                bits = ~mask & (size - 1)
-                while bits:
-                    low = bits & -bits
-                    if not column[mask | low]:
-                        doomed = True
-                        break
-                    bits ^= low
-                if doomed:
-                    continue
-            graph = template.configure(alive=mask, virtual_capacities=caps)
-            flow_calls += 1
-            value = engine.solve(graph, s_idx, t_idx, limit=demand)
-            column[mask] = value >= demand
-    ticker.finish()
+    with progress_ticker(f"arrays.{role}", total=num_assignments * size) as ticker:
+        for j, assignment in enumerate(assignments):
+            caps = {name: int(a) for name, a in zip(port_names, assignment)}
+            column = realized[:, j]
+            for mask in order:
+                ticker.tick()
+                if prune:
+                    doomed = False
+                    bits = ~mask & (size - 1)
+                    while bits:
+                        low = bits & -bits
+                        if not column[mask | low]:
+                            doomed = True
+                            break
+                        bits ^= low
+                    if doomed:
+                        continue
+                graph = template.configure(alive=mask, virtual_capacities=caps)
+                flow_calls += 1
+                value = engine.solve(graph, s_idx, t_idx, limit=demand)
+                column[mask] = value >= demand
     count(FLOW_SOLVES, flow_calls)
     count(ARRAY_ENTRIES_BUILT, num_assignments * size)
     return _pack_array(net, realized, num_assignments, flow_calls)
@@ -301,25 +300,24 @@ def _build_side_array_gray(
         alive=0,
         virtual_capacities={name: 0 for name in port_names},
     )
-    ticker = progress_ticker(f"arrays.{role}", total=num_assignments * size)
-    with span("incremental.walk", kernel="arrays", role=role, links=m):
-        for j, assignment in enumerate(assignments):
-            caps = {name: int(a) for name, a in zip(port_names, assignment)}
-            engine.retarget(caps)
-            order = plan_gray_order(
-                template, s_idx, t_idx, m,
-                solver=solver, limit=demand or None, virtual_capacities=caps,
-            )
-            column = realized[:, j]
-            gray_walk_table(
-                column,
-                m,
-                lambda mask: engine.goto(mask) >= demand,
-                order=order,
-                prune=prune,
-                tick=ticker.tick,
-            )
-    ticker.finish()
+    with progress_ticker(f"arrays.{role}", total=num_assignments * size) as ticker:
+        with span("incremental.walk", kernel="arrays", role=role, links=m):
+            for j, assignment in enumerate(assignments):
+                caps = {name: int(a) for name, a in zip(port_names, assignment)}
+                engine.retarget(caps)
+                order = plan_gray_order(
+                    template, s_idx, t_idx, m,
+                    solver=solver, limit=demand or None, virtual_capacities=caps,
+                )
+                column = realized[:, j]
+                gray_walk_table(
+                    column,
+                    m,
+                    lambda mask: engine.goto(mask) >= demand,
+                    order=order,
+                    prune=prune,
+                    tick=ticker.tick,
+                )
     count(FLOW_SOLVES, engine.solver_calls)
     if engine.repairs:
         count(FLOW_REPAIRS, engine.repairs)

@@ -87,21 +87,20 @@ def montecarlo_reliability(
     hits = 0
     drawn = 0
     with span("montecarlo.sample", samples=num_samples, batch_size=batch_size):
-        ticker = progress_ticker("montecarlo.samples", total=num_samples)
-        while drawn < num_samples:
-            batch = min(batch_size, num_samples - drawn)
-            masks = sample_alive_masks(net, batch, rng=rng)
-            for mask_np in masks:
-                mask = int(mask_np)
-                verdict = cache.get(mask)
-                if verdict is None:
-                    verdict = oracle.feasible(mask)
-                    cache[mask] = verdict
-                if verdict:
-                    hits += 1
-            drawn += batch
-            ticker.tick(batch)
-        ticker.finish()
+        with progress_ticker("montecarlo.samples", total=num_samples) as ticker:
+            while drawn < num_samples:
+                batch = min(batch_size, num_samples - drawn)
+                masks = sample_alive_masks(net, batch, rng=rng)
+                for mask_np in masks:
+                    mask = int(mask_np)
+                    verdict = cache.get(mask)
+                    if verdict is None:
+                        verdict = oracle.feasible(mask)
+                        cache[mask] = verdict
+                    if verdict:
+                        hits += 1
+                drawn += batch
+                ticker.tick(batch)
         count(MC_SAMPLES, drawn)
     low, high = wilson_interval(hits, num_samples, confidence)
     return EstimateResult(

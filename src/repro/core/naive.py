@@ -85,34 +85,32 @@ def feasibility_table(
         return _feasibility_table_gray(table, oracle, m, prune=prune), oracle
 
     with span("naive.enumerate", links=m, prune=bool(prune)):
-        ticker = progress_ticker("naive.configurations", total=size)
-        if not prune:
-            for mask in range(size):  # repro: noqa[RR109] cold reference path, kept byte-identical for ablations
-                ticker.tick()
-                table[mask] = oracle.feasible(mask)
-            ticker.finish()
-            return table, oracle
+        with progress_ticker("naive.configurations", total=size) as ticker:
+            if not prune:
+                for mask in range(size):  # repro: noqa[RR109] cold reference path, kept byte-identical for ablations
+                    ticker.tick()
+                    table[mask] = oracle.feasible(mask)
+                return table, oracle
 
-        counts = popcount_array(m)
-        # Stable argsort on -popcount visits high-popcount masks first, so
-        # every one-bit superset of the current mask is already decided.
-        order = np.argsort(-counts.astype(np.int16), kind="stable")
-        for mask_np in order:
-            mask = int(mask_np)
-            ticker.tick()
-            doomed = False
-            bits = ~mask & (size - 1)  # links missing from this configuration
-            while bits:
-                low = bits & -bits
-                if not table[mask | low]:
-                    # Some one-link superset is infeasible, hence so is this
-                    # subset (feasibility is monotone); skip the solve.
-                    doomed = True
-                    break
-                bits ^= low
-            if not doomed:
-                table[mask] = oracle.feasible(mask)
-        ticker.finish()
+            counts = popcount_array(m)
+            # Stable argsort on -popcount visits high-popcount masks first, so
+            # every one-bit superset of the current mask is already decided.
+            order = np.argsort(-counts.astype(np.int16), kind="stable")
+            for mask_np in order:
+                mask = int(mask_np)
+                ticker.tick()
+                doomed = False
+                bits = ~mask & (size - 1)  # links missing from this configuration
+                while bits:
+                    low = bits & -bits
+                    if not table[mask | low]:
+                        # Some one-link superset is infeasible, hence so is this
+                        # subset (feasibility is monotone); skip the solve.
+                        doomed = True
+                        break
+                    bits ^= low
+                if not doomed:
+                    table[mask] = oracle.feasible(mask)
     return table, oracle
 
 
@@ -139,11 +137,10 @@ def _feasibility_table_gray(
     )
     with span("naive.enumerate", links=m, prune=bool(prune)):
         with span("incremental.walk", kernel="naive", links=m):
-            ticker = progress_ticker("naive.configurations", total=size)
-            gray_walk_table(
-                table, m, oracle.feasible, order=order, prune=prune, tick=ticker.tick
-            )
-            ticker.finish()
+            with progress_ticker("naive.configurations", total=size) as ticker:
+                gray_walk_table(
+                    table, m, oracle.feasible, order=order, prune=prune, tick=ticker.tick
+                )
             if engine is not None:
                 if engine.repairs:
                     count(FLOW_REPAIRS, engine.repairs)

@@ -180,12 +180,20 @@ class ArrayCache:
         return self.directory / f"{key}.npy"
 
     def get(self, key: str, num_configurations: int) -> np.ndarray | None:
-        """The bool column for ``key`` (length ``num_configurations``), or None."""
+        """The bool column for ``key`` (length ``num_configurations``), or None.
+
+        The returned array is **read-only** (``writeable=False``): the
+        packed buffer is shared by every later hit, so an in-place store
+        must fail loudly instead of silently poisoning the next sweep
+        point.  Callers that need a private writable column take a
+        ``.copy()`` — the invariant lint rule RR202 checks statically.
+        """
         packed = self._memory.get(key)
         if packed is None and self.directory is not None:
             path = self._path(key)
             if path.is_file():
                 packed = np.load(path)
+                packed.setflags(write=False)
                 self._memory[key] = packed
         if packed is None:
             self.misses += 1
@@ -195,13 +203,16 @@ class ArrayCache:
         self.bytes_read += int(packed.nbytes)
         count(ARRAY_CACHE_HITS, 1)
         count(ARRAY_CACHE_BYTES, int(packed.nbytes))
-        return np.unpackbits(
+        column = np.unpackbits(
             packed, count=num_configurations, bitorder="little"
         ).astype(bool)
+        column.setflags(write=False)
+        return column
 
     def put(self, key: str, column: np.ndarray) -> None:
         """Store one bool column under ``key`` (memory + optional disk)."""
         packed = np.packbits(np.asarray(column, dtype=bool), bitorder="little")
+        packed.setflags(write=False)
         self._memory[key] = packed
         self.stores += 1
         self.bytes_written += int(packed.nbytes)

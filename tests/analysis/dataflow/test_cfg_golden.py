@@ -1,0 +1,144 @@
+"""Golden-snapshot tests for the CFG builder.
+
+Each snippet exercises one control-flow construct the dataflow rules
+depend on; the rendered graph is compared byte-for-byte against the
+checked-in snapshot.  A deliberate builder change regenerates with::
+
+    PYTHONPATH=src python tests/analysis/dataflow/test_cfg_golden.py
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.dataflow import build_cfg
+from repro.analysis.dataflow.cfg import ENTRY, EXIT
+
+SNAPSHOTS = Path(__file__).parent / "snapshots"
+
+SNIPPETS = {
+    "try_finally": (
+        "def f(x):\n"
+        "    t = acquire(x)\n"
+        "    try:\n"
+        "        use(t)\n"
+        "    except ValueError:\n"
+        "        handle(t)\n"
+        "    finally:\n"
+        "        t.close()\n"
+        "    return t\n"
+    ),
+    "while_else": (
+        "def f(n):\n"
+        "    i = 0\n"
+        "    while i < n:\n"
+        "        if found(i):\n"
+        "            break\n"
+        "        i = i + 1\n"
+        "    else:\n"
+        '        log("exhausted")\n'
+        "    return i\n"
+    ),
+    "nested_with": (
+        "def f(net, size):\n"
+        '    with span("outer"):\n'
+        '        with progress_ticker("scan", total=size) as t:\n'
+        "            for mask in range(size):\n"
+        "                t.tick()\n"
+        "    return size\n"
+    ),
+    "match": (
+        "def f(cmd):\n"
+        "    match cmd.kind:\n"
+        '        case "solve":\n'
+        "            run(cmd)\n"
+        '        case "sweep" if cmd.ready:\n'
+        "            sweep(cmd)\n"
+        "        case _:\n"
+        "            fallback(cmd)\n"
+        "    return cmd\n"
+    ),
+}
+
+
+def _cfg_of(source: str):
+    func = ast.parse(source).body[0]
+    assert isinstance(func, ast.FunctionDef)
+    return build_cfg(func.body)
+
+
+@pytest.mark.parametrize("name", sorted(SNIPPETS))
+def test_golden_cfg(name):
+    rendered = _cfg_of(SNIPPETS[name]).render() + "\n"
+    expected = (SNAPSHOTS / f"{name}.txt").read_text()
+    assert rendered == expected, (
+        f"CFG for {name!r} drifted from its snapshot; if the builder "
+        "change is deliberate, regenerate (see module docstring)"
+    )
+
+
+def test_try_finally_structure():
+    """The properties the RR203 rule relies on, independent of layout:
+    the body's exception path runs the handler *and* the finally, and
+    the finally re-raises toward the exit."""
+    cfg = _cfg_of(SNIPPETS["try_finally"])
+    by_label = {}
+    for node in cfg.nodes:
+        by_label.setdefault(node.label, []).append(node.index)
+    (finally_node,) = [
+        n.index for n in cfg.nodes if n.label == "Expr" and n.line == 8
+    ]
+    (handler,) = by_label["ExceptHandler"]
+    (body_use,) = [n.index for n in cfg.nodes if n.line == 4]
+    kinds = {(e.src, e.dst, e.kind) for e in cfg.edges}
+    assert (body_use, handler, "exception") in kinds
+    assert (body_use, finally_node, "exception") in kinds  # unmatched type
+    assert (finally_node, EXIT, "exception") in kinds  # re-raise
+
+
+def test_while_else_structure():
+    cfg = _cfg_of(SNIPPETS["while_else"])
+    (while_node,) = [n.index for n in cfg.nodes if n.label == "While"]
+    (break_node,) = [n.index for n in cfg.nodes if n.label == "Break"]
+    (else_node,) = [n.index for n in cfg.nodes if n.line == 8]
+    (return_node,) = [n.index for n in cfg.nodes if n.label == "Return"]
+    kinds = {(e.src, e.dst, e.kind) for e in cfg.edges}
+    assert (while_node, else_node, "false") in kinds  # normal exhaustion
+    assert (break_node, return_node, "break") in kinds  # break skips else
+    assert any(e.kind == "loop" and e.dst == while_node for e in cfg.edges)
+
+
+def test_match_with_wildcard_has_no_nomatch_edge():
+    cfg = _cfg_of(SNIPPETS["match"])
+    assert not any(e.kind == "nomatch" for e in cfg.edges)
+    assert sum(e.kind == "case" for e in cfg.edges) == 3
+
+
+def test_match_without_wildcard_keeps_fallthrough():
+    source = (
+        "def f(cmd):\n"
+        "    match cmd:\n"
+        '        case "solve":\n'
+        "            run(cmd)\n"
+        "    return cmd\n"
+    )
+    cfg = _cfg_of(source)
+    assert any(e.kind == "nomatch" for e in cfg.edges)
+
+
+def test_entry_and_exit_are_fixed_indices():
+    for source in SNIPPETS.values():
+        cfg = _cfg_of(source)
+        assert cfg.nodes[ENTRY].label == "entry"
+        assert cfg.nodes[EXIT].label == "exit"
+        assert cfg.reaches_exit(ENTRY)
+
+
+if __name__ == "__main__":  # pragma: no cover - snapshot regeneration
+    for name, source in SNIPPETS.items():
+        path = SNAPSHOTS / f"{name}.txt"
+        path.write_text(_cfg_of(source).render() + "\n")
+        print(f"regenerated {path}")

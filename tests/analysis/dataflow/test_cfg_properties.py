@@ -1,0 +1,171 @@
+"""Property-based tests for the CFG builder.
+
+Hypothesis generates small but adversarial function bodies (nested
+branches, loops with ``break``/``continue``, ``try``/``finally``,
+``with``, ``match``) and checks the structural invariants every
+dataflow analysis relies on: exactly one entry, a reachable exit, and
+an edge set consistent with the adjacency maps.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.dataflow import build_cfg
+from repro.analysis.dataflow.cfg import ENTRY, EXIT
+
+SIMPLE_STATEMENTS = [
+    "x = f()",
+    "y = x + 1",
+    "pass",
+    "x = y",
+    "use(x, y)",
+    "return x",
+    "raise ValueError(x)",
+]
+
+#: Extra statements that are only legal inside a loop body.
+LOOP_ONLY = ["break", "continue"]
+
+
+def _indent(lines: list[str]) -> list[str]:
+    return ["    " + line for line in lines]
+
+
+def _statement(depth: int, in_loop: bool) -> st.SearchStrategy[list[str]]:
+    pool = SIMPLE_STATEMENTS + (LOOP_ONLY if in_loop else [])
+    simple = st.sampled_from(pool).map(lambda s: [s])
+    if depth <= 0:
+        return simple
+    return st.one_of(
+        simple,
+        _if_stmt(depth, in_loop),
+        _while_stmt(depth),
+        _for_stmt(depth),
+        _with_stmt(depth, in_loop),
+        _try_stmt(depth, in_loop),
+        _match_stmt(depth, in_loop),
+    )
+
+
+def _suite(depth: int, in_loop: bool) -> st.SearchStrategy[list[str]]:
+    return st.lists(_statement(depth, in_loop), min_size=1, max_size=3).map(
+        lambda blocks: [line for block in blocks for line in block]
+    )
+
+
+@st.composite
+def _if_stmt(draw, depth: int, in_loop: bool) -> list[str]:
+    lines = ["if cond(x):"] + _indent(draw(_suite(depth - 1, in_loop)))
+    if draw(st.booleans()):
+        lines += ["else:"] + _indent(draw(_suite(depth - 1, in_loop)))
+    return lines
+
+
+@st.composite
+def _while_stmt(draw, depth: int) -> list[str]:
+    lines = ["while cond(x):"] + _indent(draw(_suite(depth - 1, True)))
+    if draw(st.booleans()):
+        lines += ["else:"] + _indent(draw(_suite(depth - 1, False)))
+    return lines
+
+
+@st.composite
+def _for_stmt(draw, depth: int) -> list[str]:
+    lines = ["for item in items:"] + _indent(draw(_suite(depth - 1, True)))
+    if draw(st.booleans()):
+        lines += ["else:"] + _indent(draw(_suite(depth - 1, False)))
+    return lines
+
+
+@st.composite
+def _with_stmt(draw, depth: int, in_loop: bool) -> list[str]:
+    return ["with ctx() as c:"] + _indent(draw(_suite(depth - 1, in_loop)))
+
+
+@st.composite
+def _try_stmt(draw, depth: int, in_loop: bool) -> list[str]:
+    lines = ["try:"] + _indent(draw(_suite(depth - 1, in_loop)))
+    has_handler = draw(st.booleans())
+    if has_handler:
+        lines += ["except ValueError:"] + _indent(draw(_suite(depth - 1, in_loop)))
+    if not has_handler or draw(st.booleans()):
+        lines += ["finally:"] + _indent(draw(_suite(depth - 1, in_loop)))
+    return lines
+
+
+@st.composite
+def _match_stmt(draw, depth: int, in_loop: bool) -> list[str]:
+    lines = ["match x:"]
+    for pattern in draw(
+        st.lists(st.sampled_from(['case "a":', "case _:"]), min_size=1, max_size=2)
+    ):
+        lines += _indent([pattern] + _indent(draw(_suite(depth - 1, in_loop))))
+    return lines
+
+
+function_bodies = _suite(depth=2, in_loop=False)
+
+
+def _build(lines: list[str]):
+    source = "def f(x, y, items):\n" + "\n".join(_indent(lines)) + "\n"
+    func = ast.parse(source).body[0]
+    assert isinstance(func, ast.FunctionDef)
+    return build_cfg(func.body)
+
+
+@settings(max_examples=200, deadline=None)
+@given(function_bodies)
+def test_single_entry_and_exit(lines):
+    cfg = _build(lines)
+    assert cfg.nodes[ENTRY].stmt is None and cfg.nodes[ENTRY].label == "entry"
+    assert cfg.nodes[EXIT].stmt is None and cfg.nodes[EXIT].label == "exit"
+    assert sum(n.label == "entry" for n in cfg.nodes) == 1
+    assert sum(n.label == "exit" for n in cfg.nodes) == 1
+    # The entry is a pure source, the exit a pure sink.
+    assert not cfg.preds[ENTRY]
+    assert not cfg.succs[EXIT]
+
+
+@settings(max_examples=200, deadline=None)
+@given(function_bodies)
+def test_exit_reachable_from_entry(lines):
+    cfg = _build(lines)
+    assert cfg.reaches_exit(ENTRY)
+
+
+@settings(max_examples=200, deadline=None)
+@given(function_bodies)
+def test_edges_consistent_with_degrees(lines):
+    cfg = _build(lines)
+    # Deduplicated and bounded by the node set.
+    keys = [(e.src, e.dst, e.kind) for e in cfg.edges]
+    assert len(keys) == len(set(keys))
+    indices = {n.index for n in cfg.nodes}
+    assert all(e.src in indices and e.dst in indices for e in cfg.edges)
+    # The adjacency maps partition the edge set exactly.
+    assert sum(len(v) for v in cfg.succs.values()) == len(cfg.edges)
+    assert sum(len(v) for v in cfg.preds.values()) == len(cfg.edges)
+    for index, out_edges in cfg.succs.items():
+        assert all(e.src == index for e in out_edges)
+    for index, in_edges in cfg.preds.items():
+        assert all(e.dst == index for e in in_edges)
+
+
+@settings(max_examples=100, deadline=None)
+@given(function_bodies)
+def test_build_is_deterministic(lines):
+    assert _build(lines).render() == _build(lines).render()
+
+
+@settings(max_examples=100, deadline=None)
+@given(function_bodies)
+def test_reachable_statement_nodes_reach_exit(lines):
+    """No reachable black holes: any node the entry reaches can itself
+    reach the exit (loops keep their not-taken edge by design)."""
+    cfg = _build(lines)
+    for index in cfg.reachable(ENTRY):
+        assert cfg.reaches_exit(index)

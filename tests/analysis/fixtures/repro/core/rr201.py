@@ -1,0 +1,45 @@
+"""RR201 fixture: unseeded randomness flowing into results — positives,
+negatives, noqa."""
+
+import numpy as np
+
+
+def bad_return_sample(n):
+    rng = np.random.default_rng()
+    samples = rng.random(n)
+    return samples.mean()
+
+
+def bad_result_payload(masks):
+    rng = np.random.default_rng()
+    noise = rng.normal(size=len(masks))
+    ReliabilityResult(value=float(noise.sum()), details={})
+
+
+def bad_cache_write(cache, key, size):
+    rng = np.random.default_rng()
+    column = rng.random(size) < 0.5
+    cache.put(key, column)
+
+
+def ok_seeded(seed, n):
+    rng = np.random.default_rng(seed)
+    return rng.random(n).mean()
+
+
+def ok_taint_never_escapes(n):
+    rng = np.random.default_rng()
+    probe = rng.random(n)
+    float(probe.max())
+    return n
+
+
+def ok_taint_killed_by_rebinding(n):
+    samples = np.random.default_rng().random(n)
+    samples = np.zeros(n)
+    return samples
+
+
+def suppressed(n):
+    rng = np.random.default_rng()
+    return rng.random(n).mean()  # repro: noqa[RR201] entropy smoke probe, value unchecked

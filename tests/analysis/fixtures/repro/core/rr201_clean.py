@@ -1,0 +1,19 @@
+"""RR201 clean fixture: the sanctioned seeded-randomness shapes."""
+
+import numpy as np
+
+
+def seeded_samples(seed, n):
+    rng = np.random.default_rng(seed)
+    return rng.random(n)
+
+
+def threaded_generator(rng, n):
+    return rng.normal(size=n).mean()
+
+
+def seeded_result(seed, cache, key, size):
+    rng = np.random.default_rng(seed)
+    column = rng.random(size) < 0.5
+    cache.put(key, column)
+    return column

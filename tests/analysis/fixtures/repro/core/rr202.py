@@ -1,0 +1,59 @@
+"""RR202 fixture: in-place mutation of cache-owned arrays — positives,
+negatives, noqa."""
+
+import numpy as np
+
+
+def bad_store_into_hit(cache, key, size):
+    column = cache.get(key, size)
+    column[0] = True
+    return column
+
+
+def bad_mutation_through_view(n_bits):
+    counts = popcount_array(n_bits)
+    view = counts[1:]
+    view += 1
+    return counts
+
+
+def bad_inplace_sort(cache, key, size):
+    data = cache.get(key, size)
+    data.sort()
+    return data
+
+
+def bad_out_kwarg(cache, key, size, other):
+    hit = cache.get(key, size)
+    np.logical_and(hit, other, out=hit)
+    return hit
+
+
+def bad_cached_side_array_fill(split, point_cache):
+    arr = cached_side_array(split.source_side, cache=point_cache)
+    arr.fill(0)
+    return arr
+
+
+def ok_copy_then_mutate(cache, key, size):
+    column = cache.get(key, size).copy()
+    column[0] = True
+    return column
+
+
+def ok_fresh_derived_array(n_bits):
+    signs = -popcount_array(n_bits).astype(np.float64)
+    signs[0] = 0.0
+    return signs
+
+
+def ok_read_only_use(cache, key, size, realized, j):
+    column = cache.get(key, size)
+    realized[:, j] = column
+    return realized
+
+
+def suppressed(cache, key, size):
+    column = cache.get(key, size)
+    column[0] = True  # repro: noqa[RR202] cache instance private to this scope
+    return column

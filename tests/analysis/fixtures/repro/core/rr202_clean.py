@@ -1,0 +1,24 @@
+"""RR202 clean fixture: cache-owned arrays used read-only or copied."""
+
+import numpy as np
+
+
+def accumulate_from_hits(cache, keys, size):
+    total = np.zeros(size, dtype=np.int64)
+    for key in keys:
+        column = cache.get(key, size)
+        if column is not None:
+            total = total + column
+    return total
+
+
+def private_writable_copy(cache, key, size):
+    column = cache.get(key, size)
+    scratch = column.copy()
+    scratch[0] = False
+    return scratch
+
+
+def weights_from_table(n_bits):
+    counts = popcount_array(n_bits)
+    return np.float64(2.0) ** counts

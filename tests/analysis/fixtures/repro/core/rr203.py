@@ -1,0 +1,58 @@
+"""RR203 fixture: span/ticker handles leaking on some path — positives,
+negatives, noqa."""
+
+
+def bad_leak_on_exception_path(net, size):
+    ticker = progress_ticker("fixture.scan", total=size)
+    for mask in range(size):
+        ticker.tick()
+        solve(net, mask)
+    ticker.finish()
+    return size
+
+
+def bad_early_return_skips_finish(size):
+    ticker = progress_ticker("fixture.scan", total=size)
+    if size == 0:
+        return 0
+    ticker.tick(size)
+    ticker.finish()
+    return size
+
+
+def bad_span_handle_never_closed(net):
+    handle = span("fixture.region")
+    configure(net)
+    return net
+
+
+def ok_with_block(net, size):
+    with progress_ticker("fixture.scan", total=size) as ticker:
+        for mask in range(size):
+            ticker.tick()
+            solve(net, mask)
+    return size
+
+
+def ok_handle_entered_as_context(net):
+    handle = span("fixture.region")
+    with handle:
+        configure(net)
+    return net
+
+
+def ok_ownership_handed_off(recorder):
+    ticker = ProgressTicker("fixture.scan", total=4)
+    recorder.adopt(ticker)
+    return recorder
+
+
+def ok_returned_to_caller(size):
+    ticker = progress_ticker("fixture.scan", total=size)
+    return ticker
+
+
+def suppressed(size):
+    ticker = progress_ticker("fixture.scan", total=size)  # repro: noqa[RR203] process exits immediately after
+    ticker.tick(size)
+    return size

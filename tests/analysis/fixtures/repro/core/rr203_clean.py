@@ -1,0 +1,27 @@
+"""RR203 clean fixture: instrumentation handles managed by ``with``."""
+
+
+def scan_with_ticker(net, size):
+    with progress_ticker("fixture.scan", total=size) as ticker:
+        for mask in range(size):
+            ticker.tick()
+            solve(net, mask)
+    return size
+
+
+def nested_span_and_ticker(net, size):
+    with span("fixture.region", links=size):
+        with progress_ticker("fixture.scan", total=size) as ticker:
+            for mask in range(size):
+                ticker.tick()
+                solve(net, mask)
+    return size
+
+
+def try_finally_close(net, size):
+    ticker = progress_ticker("fixture.scan", total=size)
+    try:
+        solve(net, size)
+    finally:
+        ticker.finish()
+    return size

@@ -1,0 +1,44 @@
+"""RR204 fixture: unvalidated probability parameters reaching Eq.2/Eq.3
+accumulation — positives, negatives, noqa."""
+
+
+def bad_raw_parameter(probs):
+    return configuration_probabilities(probs)
+
+
+def bad_kwarg_flow(net, p_values):
+    table = conditional_configuration_probabilities(net, probs=p_values)
+    return table
+
+
+def bad_partially_guarded(probs, flag):
+    if flag:
+        if min(probs) < 0.0:
+            raise ReproValueError("negative probability")
+        return configuration_probabilities(probs)
+    return configuration_probabilities(probs)
+
+
+def ok_range_guard(probs):
+    if min(probs) < 0.0 or max(probs) >= 1.0:
+        raise ReproValueError("probabilities must lie in [0, 1)")
+    return configuration_probabilities(probs)
+
+
+def ok_assert_guard(p):
+    assert 0.0 <= p <= 1.0
+    return pattern_probability(p)
+
+
+def ok_validator_call(probs):
+    validate_probabilities(probs)
+    return configuration_probabilities(probs)
+
+
+def ok_derived_not_raw(net, probs):
+    table = configuration_probabilities(net)
+    return table
+
+
+def suppressed(probs):
+    return configuration_probabilities(probs)  # repro: noqa[RR204] caller validates at the API boundary

@@ -1,0 +1,23 @@
+"""RR204 clean fixture: every probability parameter is validated before
+reaching Eq.2/Eq.3 accumulation."""
+
+
+def guarded_sweep(net, probs):
+    if min(probs) < 0.0 or max(probs) >= 1.0:
+        raise ReproValueError("probabilities must lie in [0, 1)")
+    return configuration_probabilities(probs)
+
+
+def validator_first(net, p_values):
+    validate_probabilities(p_values)
+    return conditional_configuration_probabilities(net, probs=p_values)
+
+
+def asserted_scalar(p):
+    assert 0.0 <= p <= 1.0
+    return pattern_probability(p)
+
+
+def derived_vector(net, availability):
+    failures = [1.0 - a for a in availability]
+    return union_probability(net, failures)

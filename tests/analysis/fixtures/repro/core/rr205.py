@@ -1,0 +1,62 @@
+"""RR205 fixture: spawn-unsafe worker payloads — positives, negatives,
+noqa."""
+
+
+def bad_lambda_to_run_chunked(net, payloads):
+    return run_chunked(lambda payload: solve(net, payload), payloads)
+
+
+def bad_nested_def_submitted(net, items):
+    def worker(item):
+        return solve(net, item)
+
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(worker, item) for item in items]
+    return futures
+
+
+def bad_partial_over_local(net, chunks):
+    def helper(graph, chunk):
+        return solve(graph, chunk)
+
+    with ProcessPoolExecutor() as pool:
+        results = list(pool.map(partial(helper, net), chunks))
+    return results
+
+
+def bad_executor_variable(items):
+    pool = ProcessPoolExecutor()
+    future = pool.submit(lambda: len(items))
+    pool.shutdown()
+    return future
+
+
+def ok_module_level_worker(payloads):
+    return run_chunked(solve_chunk, payloads)
+
+
+def ok_submit_module_worker(payload):
+    with ProcessPoolExecutor() as pool:
+        future = pool.submit(solve_chunk, payload)
+    return future
+
+
+def ok_partial_over_module(net, chunks):
+    with ProcessPoolExecutor() as pool:
+        results = list(pool.map(partial(solve_chunk, net), chunks))
+    return results
+
+
+def ok_non_executor_map(recorder, items):
+    return recorder.map(lambda x: x, items)
+
+
+def ok_local_callable_stays_local(net, items):
+    def score(item):
+        return solve(net, item)
+
+    return [score(item) for item in items]
+
+
+def suppressed(net, payloads):
+    return run_chunked(lambda payload: solve(net, payload), payloads)  # repro: noqa[RR205] single-process test harness

@@ -1,0 +1,17 @@
+"""RR205 clean fixture: every worker dispatched to processes is a
+module-level callable (the run_chunked contract)."""
+
+
+def chunked_sweep(payloads):
+    return run_chunked(solve_chunk, payloads, chunk_size=64)
+
+
+def explicit_pool(payloads):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        results = list(pool.map(solve_chunk, payloads))
+    return results
+
+
+def registry_name_payload(net, masks):
+    payloads = [(net_to_dict(net), "gray", mask) for mask in masks]
+    return run_chunked(solve_chunk, payloads)

@@ -35,6 +35,11 @@ class TestExitCodes:
         assert main([str(tmp_path / "nowhere")]) == 2
         assert "nowhere" in capsys.readouterr().err
 
+    def test_empty_directory_exits_two(self, tmp_path, capsys):
+        (tmp_path / "empty").mkdir()
+        assert main([str(tmp_path / "empty")]) == 2
+        assert "no Python files" in capsys.readouterr().err
+
     def test_unknown_select_exits_two(self, tmp_path, capsys):
         _write(tmp_path, "clean.py", "x = 1\n")
         assert main([str(tmp_path), "--select", "RR777"]) == 2
@@ -83,3 +88,60 @@ class TestOptions:
         with pytest.raises(SystemExit) as excinfo:
             main([str(tmp_path), "--format", "yaml"])
         assert excinfo.value.code == 2
+
+
+class TestTiers:
+    DIRTY_BOTH = (
+        "def f(xs=[], probs=()):\n"
+        "    return configuration_probabilities(probs)\n"
+    )
+
+    def test_syntax_tier_skips_dataflow_rules(self, tmp_path, capsys):
+        _write(tmp_path, "mod.py", self.DIRTY_BOTH)
+        assert main([str(tmp_path), "--tier", "syntax"]) == 1
+        out = capsys.readouterr().out
+        assert "RR105" in out and "RR204" not in out
+
+    def test_dataflow_tier_skips_syntax_rules(self, tmp_path, capsys):
+        _write(tmp_path, "mod.py", self.DIRTY_BOTH)
+        assert main([str(tmp_path), "--tier", "dataflow"]) == 1
+        out = capsys.readouterr().out
+        assert "RR204" in out and "RR105" not in out
+
+    def test_bad_tier_rejected(self, tmp_path):
+        _write(tmp_path, "clean.py", "x = 1\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main([str(tmp_path), "--tier", "psychic"])
+        assert excinfo.value.code == 2
+
+    def test_rule_is_an_alias_for_select(self, tmp_path, capsys):
+        _write(
+            tmp_path,
+            "dirty.py",
+            "import random\n\ndef f(xs=[]):\n    return random.random()\n",
+        )
+        assert main([str(tmp_path), "--rule", "RR101"]) == 1
+        out = capsys.readouterr().out
+        assert "RR101" in out and "RR105" not in out
+
+    def test_rule_and_select_combine(self, tmp_path, capsys):
+        _write(
+            tmp_path,
+            "dirty.py",
+            "import random\n\ndef f(xs=[]):\n    return random.random()\n",
+        )
+        assert main([str(tmp_path), "--select", "RR105", "--rule", "RR101"]) == 1
+        out = capsys.readouterr().out
+        assert "RR101" in out and "RR105" in out
+
+    def test_list_rules_shows_tiers(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "[syntax]" in out and "[dataflow]" in out
+        for code in ("RR201", "RR202", "RR203", "RR204", "RR205"):
+            assert code in out
+
+    def test_list_rules_filters_by_tier(self, capsys):
+        assert main(["--list-rules", "--tier", "dataflow"]) == 0
+        out = capsys.readouterr().out
+        assert "RR201" in out and "RR101" not in out

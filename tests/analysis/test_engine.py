@@ -12,7 +12,7 @@ from repro.analysis.findings import Finding
 from repro.analysis.registry import Rule, register_rule
 from repro.analysis.reporters import render_json, render_report, render_text
 from repro.analysis.suppressions import SuppressionIndex
-from repro.exceptions import AnalysisError, ReproError
+from repro.exceptions import AnalysisError, ReproError, ReproValueError
 
 EXPECTED_CODES = [
     "RR101",
@@ -25,6 +25,11 @@ EXPECTED_CODES = [
     "RR108",
     "RR109",
     "RR110",
+    "RR201",
+    "RR202",
+    "RR203",
+    "RR204",
+    "RR205",
 ]
 
 
@@ -128,8 +133,23 @@ class TestAnalyzePaths:
             analyze_paths([str(tmp_path)], select=["RR102"], ignore=["RR102"])
 
     def test_missing_path_raises(self, tmp_path):
-        with pytest.raises(AnalysisError, match="does not exist"):
+        with pytest.raises(ReproValueError, match="does not exist"):
             iter_python_files([str(tmp_path / "nope")])
+
+    def test_empty_scan_raises(self, tmp_path):
+        # Zero matched files would make a CI gate vacuously green.
+        with pytest.raises(ReproValueError, match="no Python files"):
+            iter_python_files([str(tmp_path)])
+
+    def test_tier_filter(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text("import random\n\ndef f(xs=[]):\n    return random.random()\n")
+        syntax = analyze_paths([str(tmp_path)], tier="syntax")
+        assert {f.code for f in syntax.findings} == {"RR101", "RR105"}
+        dataflow = analyze_paths([str(tmp_path)], tier="dataflow")
+        assert dataflow.clean
+        with pytest.raises(AnalysisError, match="unknown tier"):
+            analyze_paths([str(tmp_path)], tier="quantum")
 
     def test_parse_error_collected(self, tmp_path):
         (tmp_path / "broken.py").write_text("def broken(:\n")

@@ -18,7 +18,15 @@ ALL_CODES = (
     "RR108",
     "RR109",
     "RR110",
+    "RR201",
+    "RR202",
+    "RR203",
+    "RR204",
+    "RR205",
 )
+
+#: Dataflow-tier rules ship a second, entirely clean fixture module.
+DATAFLOW_CODES = ("RR201", "RR202", "RR203", "RR204", "RR205")
 
 
 @pytest.mark.parametrize("code", ALL_CODES)
@@ -34,6 +42,18 @@ def test_every_rule_catches_its_seeded_violations(code):
     offenders = {n for n in names if not n.startswith("bad_")}
     assert not offenders, f"{code} flagged non-positive fixtures: {sorted(offenders)}"
     assert "suppressed" not in names, f"{code} ignored its noqa suppression"
+
+
+@pytest.mark.parametrize("code", DATAFLOW_CODES)
+def test_dataflow_clean_fixtures_stay_silent(code):
+    """Each dataflow rule ships a realistic clean module it must not flag."""
+    from repro.analysis import analyze_paths
+
+    path = FIXTURES / f"{code.lower()}_clean.py"
+    assert path.is_file(), f"missing clean fixture {path}"
+    report = analyze_paths([str(path)], select=[code])
+    assert not report.parse_errors, report.parse_errors
+    assert not report.findings, [f.render() for f in report.findings]
 
 
 def test_rr101_counts_and_messages():
@@ -219,3 +239,65 @@ def test_rr104_scoped_to_repro_tree(tmp_path):
 
     inside = analyze_source(source, str(tmp_path / "repro" / "tool.py"))
     assert [f for f in inside if f.code == "RR104"]
+
+
+def test_rr201_counts_and_messages():
+    findings = fixture_findings("RR201")
+    # bad_return_sample (return), bad_result_payload (ReliabilityResult),
+    # bad_cache_write (cache .put).
+    assert len(findings) == 3
+    assert sum("returns a value" in f.message for f in findings) == 1
+    assert sum("a ReliabilityResult" in f.message for f in findings) == 1
+    assert sum("a cache write" in f.message for f in findings) == 1
+
+
+def test_rr202_counts_and_messages():
+    findings = fixture_findings("RR202")
+    # subscript store, view augmented-assign, .sort(), out=, .fill().
+    assert len(findings) == 5
+    assert sum("subscript store" in f.message for f in findings) == 1
+    assert sum("augmented assignment" in f.message for f in findings) == 1
+    assert sum(".sort()" in f.message for f in findings) == 1
+    assert sum("out= write" in f.message for f in findings) == 1
+    assert sum(".fill()" in f.message for f in findings) == 1
+
+
+def test_rr203_anchors_on_the_acquire_line():
+    findings = fixture_findings("RR203")
+    assert len(findings) == 3
+    # Every finding points at the ``x = progress_ticker(...)`` / ``span``
+    # acquisition so the `with` fix-it lands on the right line.
+    import re
+
+    source = (FIXTURES / "rr203.py").read_text().splitlines()
+    for finding in findings:
+        line = source[finding.line - 1]
+        assert re.search(r"=\s*(progress_ticker|ProgressTicker|span)\(", line), line
+
+
+def test_rr204_is_flow_sensitive():
+    """The partially-guarded fixture is the point of the CFG: the guarded
+    branch's sink is clean, the unguarded branch's sink is flagged."""
+    findings = fixture_findings("RR204")
+    assert len(findings) == 3
+    source = (FIXTURES / "rr204.py").read_text().splitlines()
+    partial = [
+        f for f in findings
+        if "bad_partially_guarded" in source[f.line - 1]
+        or f.line in range(15, 20)
+    ]
+    guarded_sink_lines = [
+        i + 1 for i, text in enumerate(source[:20]) if "raise" in text
+    ]
+    flagged_lines = {f.line for f in findings}
+    assert not flagged_lines.intersection(guarded_sink_lines)
+
+
+def test_rr205_counts_and_messages():
+    findings = fixture_findings("RR205")
+    # lambda→run_chunked, nested def→submit, partial(local)→map,
+    # lambda→submit on an assigned executor.
+    assert len(findings) == 4
+    assert sum("a lambda" in f.message for f in findings) == 2
+    assert sum("locally-defined callable 'worker'" in f.message for f in findings) == 1
+    assert sum("partial over a local callable" in f.message for f in findings) == 1

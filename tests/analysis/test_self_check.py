@@ -35,6 +35,23 @@ def test_module_entry_point_exits_zero():
     assert "clean" in proc.stdout
 
 
+def test_dataflow_tier_entry_point_exits_zero():
+    """Acceptance criterion: the flow-sensitive tier alone is clean on
+    ``src/repro`` (the CI ``analysis-dataflow`` job runs exactly this)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "--tier", "dataflow", "src/repro"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean" in proc.stdout
+
+
 def test_fixture_tree_is_deliberately_dirty():
     """The seeded fixtures must keep violating every rule so the suite
     can detect a rule that silently stops firing."""
@@ -52,4 +69,9 @@ def test_fixture_tree_is_deliberately_dirty():
         "RR108",
         "RR109",
         "RR110",
+        "RR201",
+        "RR202",
+        "RR203",
+        "RR204",
+        "RR205",
     }

@@ -118,6 +118,30 @@ class TestArrayCache:
         assert (tmp_path / "deadbeef.npy").is_file()
         assert not list(tmp_path.glob("*.tmp"))
 
+    def test_cold_hit_is_read_only(self):
+        # An in-place store into a cache hit must raise instead of
+        # silently poisoning the buffer the next sweep point reads.
+        cache = ArrayCache()
+        cache.put("k", np.array([True, False, True, False], dtype=bool))
+        got = cache.get("k", 4)
+        assert got is not None and not got.flags.writeable
+        with pytest.raises(ValueError, match="read-only"):
+            got[0] = False
+        again = cache.get("k", 4)
+        assert again is not None
+        assert np.array_equal(again, [True, False, True, False])
+
+    def test_warm_disk_hit_is_read_only(self, tmp_path):
+        column = np.arange(8) % 2 == 0
+        ArrayCache(tmp_path).put("k", column)
+        warm = ArrayCache(tmp_path)  # fresh instance: served from disk
+        got = warm.get("k", 8)
+        assert got is not None and not got.flags.writeable
+        with pytest.raises(ValueError, match="read-only"):
+            got[:2] = False
+        again = warm.get("k", 8)
+        assert again is not None and np.array_equal(again, column)
+
 
 class TestCachedSideArray:
     def test_no_cache_matches_direct_builder(self):
