@@ -6,20 +6,34 @@ Usage::
     python -m repro compute network.json --source s --sink t --rate 2
     python -m repro compute network.json -s s -t t -d 2 --method bottleneck
     python -m repro compute network.json -s s -t t -d 2 --trace
+    python -m repro sweep network.json -s s -t t -d 2 --availability 0.7:0.99:9 \
+        --metrics-port 0 --events telemetry/
     python -m repro profile network.json -s s -t t -d 2 --method naive
     python -m repro distribution network.json -s s -t t
     python -m repro bounds network.json -s s -t t -d 2
+    python -m repro runs list
+    python -m repro runs diff -2 -1
+    python -m repro top http://127.0.0.1:9100
     python -m repro sample-network --kind fig4 -o network.json
 
 Networks are the JSON documents produced by :mod:`repro.graph.io`.
+
+Every ``compute`` / ``sweep`` invocation appends a content-addressed
+run record to the ledger under ``.repro/runs/`` (disable with
+``--no-ledger``); ``repro runs list|show|diff`` reads it back and
+``runs diff`` exits nonzero on counter regressions.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import signal
 import sys
-from typing import Sequence
+import time
+from datetime import datetime
+from typing import Any, Sequence
 
 from repro._version import __version__
 from repro.core.api import available_methods, compute_reliability
@@ -28,11 +42,25 @@ from repro.core.demand import FlowDemand
 from repro.core.distribution import flow_value_distribution
 from repro.core.sweep import ArrayCache, SweepSpec, compute_reliability_sweep
 from repro.exceptions import ReproError, ReproValueError
+from repro.flow import DEFAULT_SOLVER
 from repro.graph.builders import diamond, fujita_fig2_bridge, fujita_fig4
 from repro.graph.generators import bottlenecked_network
 from repro.graph.io import dumps as network_to_json
-from repro.graph.io import load
-from repro.obs import ProgressUpdate, Recorder, format_tree, record, trace_to_json
+from repro.graph.io import load, to_dict
+from repro.graph.network import FlowNetwork
+from repro.obs import (
+    MetricsServer,
+    ProgressUpdate,
+    Recorder,
+    RunLedger,
+    diff_records,
+    format_tree,
+    make_run_record,
+    record,
+    telemetry_session,
+    trace_to_json,
+)
+from repro.obs.ledger import DEFAULT_LEDGER_DIR, content_hash
 
 __all__ = ["main", "build_parser"]
 
@@ -81,6 +109,45 @@ def build_parser() -> argparse.ArgumentParser:
             help="force cold solves for every lattice entry",
         )
 
+    def _add_telemetry_flags(p: argparse.ArgumentParser) -> None:
+        group = p.add_argument_group("telemetry")
+        group.add_argument(
+            "--events",
+            metavar="DIR",
+            default=None,
+            help="stream repro.obs/events/v1 JSONL telemetry into DIR "
+            "(parent trace in main.jsonl, one worker-*.jsonl per chunk)",
+        )
+        group.add_argument(
+            "--metrics-port",
+            type=int,
+            default=None,
+            metavar="PORT",
+            help="serve live Prometheus metrics + /trace.json on PORT "
+            "while the run executes (0 = ephemeral; the bound URL is "
+            "printed to stderr)",
+        )
+        group.add_argument(
+            "--metrics-linger",
+            type=float,
+            default=0.0,
+            metavar="SECONDS",
+            help="keep the metrics endpoint up this long after the run "
+            "completes (for scrapers that poll on their own schedule)",
+        )
+        group.add_argument(
+            "--ledger-dir",
+            default=os.environ.get("REPRO_LEDGER_DIR", DEFAULT_LEDGER_DIR),
+            metavar="DIR",
+            help="run-ledger directory (default: $REPRO_LEDGER_DIR or "
+            f"{DEFAULT_LEDGER_DIR})",
+        )
+        group.add_argument(
+            "--no-ledger",
+            action="store_true",
+            help="do not append this run to the run ledger",
+        )
+
     describe = sub.add_parser("describe", help="print a network summary")
     describe.add_argument("network")
 
@@ -119,6 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="record the computation and write the JSON trace to FILE ('-' = stdout)",
     )
+    _add_telemetry_flags(compute)
 
     profile = sub.add_parser(
         "profile",
@@ -207,6 +275,73 @@ def build_parser() -> argparse.ArgumentParser:
         "run against the same DIR performs zero max-flow solves",
     )
     sweep.add_argument("--json", action="store_true", help="machine-readable output")
+    _add_telemetry_flags(sweep)
+
+    runs = sub.add_parser("runs", help="inspect and compare the run ledger")
+    # Shared by every runs subcommand so the flag may appear after the
+    # subcommand name (``repro runs list --ledger-dir DIR``).
+    runs_common = argparse.ArgumentParser(add_help=False)
+    runs_common.add_argument(
+        "--ledger-dir",
+        default=DEFAULT_LEDGER_DIR,
+        metavar="DIR",
+        help=f"run-ledger directory (default: {DEFAULT_LEDGER_DIR})",
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_sub.add_parser(
+        "list", parents=[runs_common], help="list recorded runs, oldest first"
+    )
+    runs_list.add_argument("--json", action="store_true", help="machine-readable output")
+    runs_show = runs_sub.add_parser(
+        "show", parents=[runs_common], help="print one full run record"
+    )
+    runs_show.add_argument(
+        "ref",
+        help="run reference: id prefix, negative index (-1 = latest), "
+        "or a path to a record JSON file",
+    )
+    runs_diff = runs_sub.add_parser(
+        "diff",
+        parents=[runs_common],
+        help="compare two runs; exits 1 when counters regressed "
+        "(latency regressions are advisory unless --strict-latency)",
+    )
+    runs_diff.add_argument("base", help="baseline run reference (or BENCH_*.json path)")
+    runs_diff.add_argument("other", help="candidate run reference")
+    runs_diff.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.25,
+        metavar="RATIO",
+        help="growth ratio above which a counter/phase is a regression "
+        "(default: 1.25)",
+    )
+    runs_diff.add_argument(
+        "--strict-latency",
+        action="store_true",
+        help="treat wallclock regressions as fatal too",
+    )
+    runs_diff.add_argument("--json", action="store_true", help="machine-readable output")
+
+    top = sub.add_parser(
+        "top",
+        help="in-terminal phase/worker/cache view of a live metrics endpoint",
+    )
+    top.add_argument("url", help="endpoint base URL, e.g. http://127.0.0.1:9100")
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="refresh interval (default: 1.0)",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="render N frames then exit (default: until the endpoint goes away)",
+    )
 
     bounds = sub.add_parser("bounds", help="cheap lower/upper bounds")
     add_demand_args(bounds)
@@ -242,6 +377,149 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+class _Terminated(Exception):
+    """Raised by the SIGTERM handler so the run unwinds cleanly.
+
+    Unwinding as an exception (instead of dying mid-write) is what lets
+    the telemetry sink flush its final lines and the ledger append an
+    ``interrupted`` record — the kill-safety contract.
+    """
+
+
+def _raise_terminated(signum: int, frame: Any) -> None:
+    raise _Terminated(f"terminated by signal {signum}")
+
+
+class _ObsSession:
+    """Per-invocation observability plumbing for compute/sweep.
+
+    Owns everything the telemetry flags switch on: the recorder (plain
+    or streaming to ``--events DIR``), the ``--metrics-port`` endpoint,
+    the SIGTERM handler, and the ledger append.  The command body runs
+    inside the ``with`` block and reports its outcome through
+    :meth:`complete`; a missing ``complete`` (exception or SIGTERM)
+    lands in the ledger as ``interrupted`` rather than not at all.
+
+    With ``--no-ledger`` and no tracing/events/metrics flags the session
+    is inert — no recorder is installed, preserving the zero-overhead
+    path the obs benchmarks guard.
+    """
+
+    def __init__(
+        self,
+        args: argparse.Namespace,
+        *,
+        command: str,
+        net: FlowNetwork,
+        demand: FlowDemand,
+        params: dict[str, Any],
+    ) -> None:
+        self.args = args
+        self.command = command
+        self.params = {k: v for k, v in params.items() if v is not None}
+        self.tracing = bool(
+            getattr(args, "trace", False) or getattr(args, "trace_json", None)
+        )
+        self.recorder: Recorder | None = None
+        self.server: MetricsServer | None = None
+        self._record_cm: Any = None
+        self._old_sigterm: Any = None
+        self._value: Any = None
+        self._flow_calls: int | None = None
+        self._completed = False
+        # The input fingerprint covers the network and the demand, not
+        # the method/options: diffing "same computation, different
+        # engine" is exactly what the ledger is for.
+        self._input_fp = content_hash(
+            {
+                "net": to_dict(net),
+                "source": demand.source,
+                "sink": demand.sink,
+                "rate": demand.rate,
+            }
+        )
+
+    @property
+    def active(self) -> bool:
+        return (
+            not self.args.no_ledger
+            or self.tracing
+            or self.args.events is not None
+            or self.args.metrics_port is not None
+        )
+
+    def __enter__(self) -> "_ObsSession":
+        if not self.active:
+            return self
+        if self.args.events is not None:
+            self._record_cm = telemetry_session(
+                self.args.events,
+                meta={"command": self.command, **self.params},
+            )
+        else:
+            self._record_cm = record()
+        self.recorder = self._record_cm.__enter__()
+        if self.args.metrics_port is not None:
+            self.server = MetricsServer(
+                self.recorder,
+                port=self.args.metrics_port,
+                spool_dir=self.args.events,
+            )
+            print(f"metrics endpoint: {self.server.url}", file=sys.stderr, flush=True)
+        try:
+            self._old_sigterm = signal.signal(signal.SIGTERM, _raise_terminated)
+        except ValueError:  # not the main thread (embedded use)
+            self._old_sigterm = None
+        return self
+
+    def complete(self, *, value: Any = None, flow_calls: int | None = None) -> None:
+        """Mark the run completed and stash its headline outcome."""
+        self._value = value
+        self._flow_calls = flow_calls
+        self._completed = True
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        if self._old_sigterm is not None:
+            signal.signal(signal.SIGTERM, self._old_sigterm)
+        if not self.active:
+            return False
+        interrupted = exc_type is _Terminated
+        if self._record_cm is not None:
+            # Finishes the recorder (emitting the telemetry ``finish``
+            # event) and closes the sink — before the ledger reads the
+            # totals, and before any linger window starts.
+            self._record_cm.__exit__(exc_type, exc, tb)
+        if not self.args.no_ledger and (interrupted or exc_type is None):
+            self._append_ledger(interrupted=interrupted)
+        if self.server is not None:
+            if exc_type is None and self.args.metrics_linger > 0:
+                time.sleep(self.args.metrics_linger)
+            self.server.stop()
+        return False
+
+    def _append_ledger(self, *, interrupted: bool) -> None:
+        rec = self.recorder
+        assert rec is not None  # active sessions always install one
+        status = "interrupted" if interrupted or not self._completed else "completed"
+        run_record = make_run_record(
+            command=self.command,
+            input_fingerprint=self._input_fp,
+            params=self.params,
+            status=status,
+            seconds=rec.root.seconds,
+            counters=rec.counter_totals(),
+            phases=[
+                {"name": child.name, "seconds": child.seconds}
+                for child in rec.root.children
+            ],
+            value=self._value,
+            flow_calls=self._flow_calls,
+            solver=DEFAULT_SOLVER,
+        )
+        run_id = RunLedger(self.args.ledger_dir).append(run_record)
+        print(f"run {run_id} recorded ({status})", file=sys.stderr)
+
+
 def _write_trace_json(recorder: Recorder, destination: str) -> None:
     text = trace_to_json(recorder)
     if destination == "-":
@@ -274,18 +552,27 @@ def _cmd_compute(args: argparse.Namespace) -> int:
     options.update(_incremental_option(args))
     net = load(args.network)
     demand = FlowDemand(args.source, args.sink, args.rate)
-    tracing = args.trace or args.trace_json is not None
-    if tracing:
-        with record() as recorder:
-            result = compute_reliability(
-                net, demand=demand, method=args.method, **options
-            )
-        if args.trace:
-            print(format_tree(recorder, title=f"phases ({result.method})"), file=sys.stderr)
-        if args.trace_json is not None:
-            _write_trace_json(recorder, args.trace_json)
-    else:
+    session = _ObsSession(
+        args,
+        command="compute",
+        net=net,
+        demand=demand,
+        params={
+            "method": args.method,
+            "workers": args.workers,
+            "incremental": args.incremental,
+        },
+    )
+    with session:
         result = compute_reliability(net, demand=demand, method=args.method, **options)
+        session.complete(
+            value=result.value, flow_calls=getattr(result, "flow_calls", None)
+        )
+    recorder = session.recorder
+    if args.trace and recorder is not None:
+        print(format_tree(recorder, title=f"phases ({result.method})"), file=sys.stderr)
+    if args.trace_json is not None and recorder is not None:
+        _write_trace_json(recorder, args.trace_json)
     if args.json:
         payload = {
             "reliability": result.value,
@@ -401,14 +688,29 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         net = net.with_failure_probabilities(overrides)
     demand = FlowDemand(args.source, args.sink, args.rate)
     cache = ArrayCache(args.cache_dir) if args.cache_dir is not None else None
-    result = compute_reliability_sweep(
-        net,
-        demand,
-        sweep=spec,
-        workers=args.workers,
-        incremental=args.incremental,
-        cache=cache,
+    session = _ObsSession(
+        args,
+        command="sweep",
+        net=net,
+        demand=demand,
+        params={
+            "kind": spec.kind,
+            "points": len(spec),
+            "workers": args.workers,
+            "incremental": args.incremental,
+            "cache_dir": args.cache_dir,
+        },
     )
+    with session:
+        result = compute_reliability_sweep(
+            net,
+            demand,
+            sweep=spec,
+            workers=args.workers,
+            incremental=args.incremental,
+            cache=cache,
+        )
+        session.complete(flow_calls=result.flow_calls)
     stats = result.cache_stats
     if args.json:
         payload = {
@@ -440,6 +742,159 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"{stats['bytes_read'] + stats['bytes_written']} bytes"
         )
     return 0
+
+
+def _format_unix(stamp: Any) -> str:
+    if not isinstance(stamp, (int, float)):
+        return "-"
+    return datetime.fromtimestamp(float(stamp)).strftime("%Y-%m-%d %H:%M:%S")
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    ledger = RunLedger(args.ledger_dir)
+    if args.runs_command == "list":
+        entries = ledger.entries()
+        if args.json:
+            print(json.dumps(entries, indent=2))
+            return 0
+        if not entries:
+            print(f"no runs recorded under {ledger.directory}")
+            return 0
+        print(
+            f"{'id':<13} {'when':<19}  {'command':<8} {'status':<12} "
+            f"{'seconds':>9} {'solves':>8}  value"
+        )
+        for entry in entries:
+            seconds = entry.get("seconds")
+            shown_seconds = (
+                f"{seconds:.3f}" if isinstance(seconds, (int, float)) else "-"
+            )
+            solves = entry.get("flow_calls")
+            value = entry.get("value")
+            shown_value = f"{value:.10g}" if isinstance(value, float) else value
+            print(
+                f"{str(entry.get('id', '?')):<13} "
+                f"{_format_unix(entry.get('unix')):<19}  "
+                f"{str(entry.get('command', '?')):<8} "
+                f"{str(entry.get('status', '?')):<12} "
+                f"{shown_seconds:>9} "
+                f"{solves if solves is not None else '-':>8}  "
+                f"{shown_value if shown_value is not None else '-'}"
+            )
+        return 0
+    if args.runs_command == "show":
+        print(json.dumps(ledger.resolve(args.ref), indent=2, default=str))
+        return 0
+    # diff
+    base = ledger.resolve(args.base)
+    other = ledger.resolve(args.other)
+    diff = diff_records(base, other, tolerance=args.tolerance)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "base": diff.base_id,
+                    "other": diff.other_id,
+                    "same_input": diff.same_input,
+                    "counter_regressions": diff.counter_regressions,
+                    "counter_improvements": diff.counter_improvements,
+                    "latency_regressions": diff.latency_regressions,
+                    "ok": diff.ok_strict if args.strict_latency else diff.ok,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(f"base  {diff.base_id}  ->  other  {diff.other_id}")
+        if not diff.same_input:
+            print("note: the two runs fingerprint different inputs")
+        for entry in diff.counter_regressions:
+            ratio = f"{entry['ratio']:.2f}x" if entry["ratio"] else "new"
+            print(
+                f"REGRESSION  {entry['name']}: {entry['base']:g} -> "
+                f"{entry['other']:g} ({ratio})"
+            )
+        for entry in diff.counter_improvements:
+            print(
+                f"improved    {entry['name']}: {entry['base']:g} -> "
+                f"{entry['other']:g}"
+            )
+        for entry in diff.latency_regressions:
+            tag = "LATENCY" if args.strict_latency else "latency (advisory)"
+            print(
+                f"{tag}  {entry['name']}: {entry['base']:.3f}s -> "
+                f"{entry['other']:.3f}s"
+            )
+        if diff.ok and not diff.latency_regressions:
+            print("no regressions")
+    ok = diff.ok_strict if args.strict_latency else diff.ok
+    return 0 if ok else 1
+
+
+def _fetch_json(url: str) -> dict[str, Any]:
+    import urllib.request
+
+    with urllib.request.urlopen(url, timeout=5.0) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _render_top_frame(payload: dict[str, Any]) -> str:
+    lines: list[str] = []
+    seconds = payload.get("seconds", 0.0)
+    lines.append(f"repro top — trace {seconds:.2f}s")
+    lines.append("")
+    lines.append(f"{'phase':<28} {'seconds':>9}  counters")
+    for phase in payload.get("spans", []):
+        own = phase.get("counters", {})
+        shown = ", ".join(f"{k}={v:g}" for k, v in sorted(own.items())) or "-"
+        lines.append(f"{phase.get('name', '?'):<28} {phase.get('seconds', 0.0):>9.3f}  {shown}")
+    counters = payload.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append("totals:")
+        for name in sorted(counters):
+            lines.append(f"  {name:<28} {counters[name]:g}")
+    cache = {k: v for k, v in counters.items() if k.startswith("array_cache_")}
+    if cache:
+        lines.append("")
+        lines.append(
+            "cache: "
+            + ", ".join(f"{k.removeprefix('array_cache_')}={v:g}" for k, v in sorted(cache.items()))
+        )
+    workers = payload.get("workers")
+    if workers:
+        lines.append("")
+        lines.append(
+            f"workers: {workers.get('files', 0)} chunk streams, "
+            f"{workers.get('events', 0)} events"
+        )
+        for name, value in sorted((workers.get("counters") or {}).items()):
+            lines.append(f"  worker {name:<21} {value:g}")
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    base = args.url.rstrip("/")
+    if "://" not in base:
+        base = "http://" + base
+    frames = 0
+    while True:
+        try:
+            payload = _fetch_json(base + "/trace.json")
+        except ValueError as exc:
+            raise ReproValueError(f"bad endpoint URL {args.url!r}: {exc}") from exc
+        except OSError as exc:
+            if frames == 0:
+                raise ReproValueError(f"cannot reach {base}: {exc}") from exc
+            print("endpoint gone; exiting", file=sys.stderr)
+            return 0
+        if frames and sys.stdout.isatty():
+            print("\x1b[2J\x1b[H", end="")
+        print(_render_top_frame(payload))
+        frames += 1
+        if args.iterations is not None and frames >= args.iterations:
+            return 0
+        time.sleep(max(0.0, args.interval))
 
 
 def _cmd_bounds(args: argparse.Namespace) -> int:
@@ -533,6 +988,8 @@ _COMMANDS = {
     "compute": _cmd_compute,
     "profile": _cmd_profile,
     "sweep": _cmd_sweep,
+    "runs": _cmd_runs,
+    "top": _cmd_top,
     "bounds": _cmd_bounds,
     "distribution": _cmd_distribution,
     "importance": _cmd_importance,
@@ -546,6 +1003,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
+    except _Terminated:
+        # The telemetry sink was flushed and the ledger already holds
+        # the ``interrupted`` record (see _ObsSession.__exit__).
+        print("terminated", file=sys.stderr)
+        return 130
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
     except (ReproError, OSError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

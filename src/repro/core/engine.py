@@ -66,6 +66,7 @@ from repro.obs.recorder import (
     span,
     wallclock,
 )
+from repro.obs.telemetry import current_spool_dir, spool_chunk_events
 from repro.probability.bitset import popcount_array
 from repro.probability.enumeration import check_enumerable, configuration_probabilities
 
@@ -513,7 +514,7 @@ def _chunk_worker(payload: dict[str, Any]) -> dict[str, Any]:
         high_pattern=payload["high_pattern"],
         incremental=payload["incremental"],
     )
-    return {
+    result = {
         "side": payload["side"],
         "chunk": payload["high_pattern"],
         "masks": masks,
@@ -524,6 +525,29 @@ def _chunk_worker(payload: dict[str, Any]) -> dict[str, Any]:
         "entries": len(payload["assignments"]) * (1 << payload["low_bits"]),
         "seconds": wallclock() - start,
     }
+    spool_dir = payload.get("spool_dir")
+    if spool_dir:
+        # Mirror _merge_side's replay exactly (same names, same
+        # zero-suppression for the optional counters) so summing the
+        # worker streams reproduces the parent's replayed totals
+        # bit-for-bit — the invariant the telemetry property suite pins.
+        counters: dict[str, int | float] = {
+            FLOW_SOLVES: flow_calls,
+            SCREENED_SOLVES: screened,
+            ARRAY_ENTRIES_BUILT: result["entries"],
+        }
+        if repairs:
+            counters[FLOW_REPAIRS] = repairs
+        if paths_saved:
+            counters[AUGMENTING_PATHS_SAVED] = paths_saved
+        spool_chunk_events(
+            spool_dir,
+            "engine.chunk",
+            attrs={"side": payload["side"], "chunk": payload["high_pattern"]},
+            seconds=result["seconds"],
+            counters=counters,
+        )
+    return result
 
 
 def _solver_token(solver: str | MaxFlowSolver | None) -> str | None:
@@ -550,9 +574,11 @@ def _side_payloads(
 ) -> list[dict[str, Any]]:
     """One :func:`_chunk_worker` payload per chunk of one side."""
     net_data = to_dict(side.network)
+    spool = current_spool_dir()
     return [
         {
             "side": side_name,
+            "spool_dir": str(spool) if spool is not None else None,
             "role": role,
             "net": net_data,
             "terminal": terminal,
@@ -660,8 +686,11 @@ def build_side_array_parallel(
         incremental=use_incremental,
         plan=plan,
     )
+    # Literal span names (not f"engine.{role}_array"): RR111 keeps the
+    # span vocabulary closed to the KNOWN_SPANS catalogue.
+    span_name = "engine.source_array" if role == "source" else "engine.sink_array"
     with span(
-        f"engine.{role}_array",
+        span_name,
         links=net.num_links,
         assignments=len(assignments),
         workers=workers,

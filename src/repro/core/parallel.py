@@ -30,6 +30,8 @@ from repro.core.summation import KahanSum, prob_fsum
 from repro.exceptions import EstimationError
 from repro.graph.io import from_dict, to_dict
 from repro.graph.network import FlowNetwork
+from repro.obs.recorder import FLOW_SOLVES, count, span, wallclock
+from repro.obs.telemetry import current_spool_dir, spool_chunk_events
 from repro.probability.bitset import popcount_array
 from repro.probability.enumeration import check_enumerable, configuration_probabilities
 
@@ -44,12 +46,16 @@ def _worker_sum(
     low_bits: int,
     high_pattern: int,
     prune: bool,
+    spool_dir: str | None = None,
 ) -> tuple[float, int]:
     """Sum feasible-configuration probability over one high-bit chunk.
 
     Runs in a separate process; receives the network as a plain dict
-    (cheap, avoids pickling library objects across versions).
+    (cheap, avoids pickling library objects across versions).  When a
+    telemetry session is open, the chunk's solve count is spooled as a
+    ``parallel.chunk`` worker stream before returning.
     """
+    start = wallclock()
     net = from_dict(net_data)
     oracle = FeasibilityOracle(net, source, sink, rate)
     probabilities = configuration_probabilities(net)
@@ -61,6 +67,7 @@ def _worker_sum(
         for low in range(size):  # repro: noqa[RR109] cold ablation path of the chunk worker, kept byte-identical
             if oracle.feasible(base | low):
                 total.add(float(probabilities[base | low]))
+        _spool_parallel_chunk(spool_dir, high_pattern, wallclock() - start, oracle.calls)
         return total.value, oracle.calls
 
     counts = popcount_array(low_bits)
@@ -81,7 +88,28 @@ def _worker_sum(
         if oracle.feasible(base | low):
             feasible[low] = True
             total.add(float(probabilities[base | low]))
+    _spool_parallel_chunk(spool_dir, high_pattern, wallclock() - start, oracle.calls)
     return total.value, oracle.calls
+
+
+def _spool_parallel_chunk(
+    spool_dir: str | None, chunk: int, seconds: float, calls: int
+) -> None:
+    """Write one chunk's solve count as a worker telemetry stream.
+
+    The counters here are exactly what the parent replays onto its
+    ``parallel.chunk`` span for pooled chunks — and exactly what the
+    in-process oracle already counted live for unpooled ones — so the
+    merged worker totals always equal the recorded totals.
+    """
+    if spool_dir:
+        spool_chunk_events(
+            spool_dir,
+            "parallel.chunk",
+            attrs={"chunk": chunk},
+            seconds=seconds,
+            counters={FLOW_SOLVES: calls},
+        )
 
 
 def parallel_naive_reliability(
@@ -112,6 +140,7 @@ def parallel_naive_reliability(
 
     plan = partition_lattice(m, workers)
     net_data = to_dict(net)
+    spool = current_spool_dir()
     args = [
         (
             net_data,
@@ -121,10 +150,22 @@ def parallel_naive_reliability(
             plan.low_bits,
             pattern,
             prune,
+            str(spool) if spool is not None else None,
         )
         for pattern in range(plan.chunks)
     ]
+    pooled = workers > 1 and len(args) > 1
     results = run_chunked(_worker_sum, args, workers=workers)
+    if pooled:
+        # Pooled chunks solved in processes where the recorder contextvar
+        # is invisible, so their oracle counts never reached the trace —
+        # replay them here, one span per chunk, exactly as the
+        # realization-array engine does.  Unpooled chunks already counted
+        # live through the in-process FeasibilityOracle; replaying those
+        # too would double-count.
+        for pattern, result in enumerate(results):
+            with span("parallel.chunk", chunk=pattern):
+                count(FLOW_SOLVES, int(result[1]))
     value = prob_fsum(r[0] for r in results)
     calls = int(sum(r[1] for r in results))
     return ReliabilityResult(

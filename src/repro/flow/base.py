@@ -89,6 +89,21 @@ class MaxFlowSolver(ABC):
     #: the "augmenting-path work" measure the incremental benches compare.
     last_paths: int = 0
 
+    # The per-solver counter family, formatted once per *class* rather
+    # than per solve: the sanctioned shape for dynamic metric names
+    # under RR111 (call sites must pass a bound name, not build one),
+    # and it keeps string formatting out of the hot solve path.
+    _metric_solves: str = "solver.unnamed.solves"
+    _metric_seconds: str = "solver.unnamed.seconds"
+    _metric_paths: str = "solver.unnamed.paths"
+
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        super().__init_subclass__(**kwargs)
+        if cls.name:
+            cls._metric_solves = f"solver.{cls.name}.solves"
+            cls._metric_seconds = f"solver.{cls.name}.seconds"
+            cls._metric_paths = f"solver.{cls.name}.paths"
+
     @abstractmethod
     def solve_residual(
         self, graph: ResidualGraph, source: int, sink: int, limit: int | None = None
@@ -125,10 +140,10 @@ class MaxFlowSolver(ABC):
         try:
             return self.solve_residual(graph, source, sink, limit=limit)
         finally:
-            recorder.count(f"solver.{self.name}.solves")
-            recorder.count(f"solver.{self.name}.seconds", wallclock() - start)
+            recorder.count(self._metric_solves)
+            recorder.count(self._metric_seconds, wallclock() - start)
             if self.last_paths:
-                recorder.count(f"solver.{self.name}.paths", self.last_paths)
+                recorder.count(self._metric_paths, self.last_paths)
 
     def max_flow(
         self,

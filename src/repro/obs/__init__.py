@@ -34,6 +34,7 @@ the counter catalogue.
 from __future__ import annotations
 
 from repro.obs.export import format_tree, phase_summary, trace_to_dict, trace_to_json
+from repro.obs.ledger import RUN_SCHEMA, RunDiff, RunLedger, diff_records, make_run_record
 from repro.obs.progress import ProgressTicker, ProgressUpdate, progress_ticker
 from repro.obs.recorder import (
     ARRAY_ENTRIES_BUILT,
@@ -41,6 +42,8 @@ from repro.obs.recorder import (
     CONFIGURATIONS_ENUMERATED,
     FLOW_SOLVES,
     KNOWN_COUNTERS,
+    KNOWN_SPANS,
+    KNOWN_TICKER_LABELS,
     MC_SAMPLES,
     SCREENED_SOLVES,
     Recorder,
@@ -52,27 +55,55 @@ from repro.obs.recorder import (
     span,
     wallclock,
 )
+from repro.obs.serve import MetricsServer, render_prometheus
+from repro.obs.sink import JsonlSink, SpoolSummary, SpoolTailer, merge_spool, read_events
+from repro.obs.telemetry import (
+    EVENTS_SCHEMA,
+    TelemetryRecorder,
+    current_spool_dir,
+    spool_chunk_events,
+    telemetry_session,
+)
 
 __all__ = [
     "ARRAY_ENTRIES_BUILT",
     "ASSIGNMENTS_ENUMERATED",
     "CONFIGURATIONS_ENUMERATED",
+    "EVENTS_SCHEMA",
     "FLOW_SOLVES",
+    "JsonlSink",
     "KNOWN_COUNTERS",
+    "KNOWN_SPANS",
+    "KNOWN_TICKER_LABELS",
     "MC_SAMPLES",
-    "SCREENED_SOLVES",
+    "MetricsServer",
     "ProgressTicker",
     "ProgressUpdate",
+    "RUN_SCHEMA",
     "Recorder",
+    "RunDiff",
+    "RunLedger",
+    "SCREENED_SOLVES",
     "SpanRecord",
+    "SpoolSummary",
+    "SpoolTailer",
+    "TelemetryRecorder",
     "count",
     "current_recorder",
+    "current_spool_dir",
+    "diff_records",
     "format_tree",
     "gauge",
+    "make_run_record",
+    "merge_spool",
     "phase_summary",
     "progress_ticker",
+    "read_events",
     "record",
+    "render_prometheus",
     "span",
+    "spool_chunk_events",
+    "telemetry_session",
     "trace_to_dict",
     "trace_to_json",
     "wallclock",

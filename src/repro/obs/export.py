@@ -89,18 +89,30 @@ def _span_to_dict(record: SpanRecord) -> dict[str, Any]:
     }
 
 
+def _final_gauges(source: Recorder | SpanRecord) -> dict[str, Any]:
+    """Trace-wide last-value-wins gauge state.
+
+    A :class:`Recorder` records gauge arrival order exactly
+    (:meth:`Recorder.gauge_values`); a bare subtree falls back to the
+    entry-order approximation of :meth:`SpanRecord.gauge_values`.
+    """
+    return source.gauge_values()
+
+
 def trace_to_dict(source: Recorder | SpanRecord) -> dict[str, Any]:
     """The full trace as a JSON-serialisable nested dict.
 
     Per-span ``counters`` here are *own* amounts (not subtree totals),
     so the structure round-trips losslessly; aggregate with
-    :func:`phase_summary` when totals are wanted.
+    :func:`phase_summary` when totals are wanted.  ``gauges`` is the
+    final last-value-wins state across the whole trace.
     """
     root = source.root if isinstance(source, Recorder) else source
     return {
         "schema": "repro.obs/trace/v1",
         "seconds": root.seconds,
         "counters": root.totals(),
+        "gauges": _final_gauges(source),
         "spans": [_span_to_dict(child) for child in root.children],
     }
 
@@ -131,5 +143,6 @@ def phase_summary(source: Recorder | SpanRecord) -> dict[str, Any]:
     return {
         "seconds": root.seconds,
         "counters": root.totals(),
+        "gauges": _final_gauges(source),
         "phases": phases,
     }

@@ -44,6 +44,8 @@ __all__ = [
     "MC_SAMPLES",
     "SCREENED_SOLVES",
     "KNOWN_COUNTERS",
+    "KNOWN_SPANS",
+    "KNOWN_TICKER_LABELS",
     "Recorder",
     "SpanRecord",
     "count",
@@ -118,6 +120,56 @@ KNOWN_COUNTERS = frozenset(
     }
 )
 
+#: The span taxonomy: every span name instrumented code may open.  Lint
+#: rule RR111 rejects ``span()`` calls whose name literal is not listed
+#: here (and any dynamically built name), so the vocabulary that
+#: ``repro profile`` trees, the live metrics endpoint, and the run
+#: ledger agree on stays closed.  Per-solver dynamic families
+#: (``solver.<name>.*``) are counters, not spans, and are precomputed
+#: once at solver construction — see ``repro.flow.base``.
+KNOWN_SPANS = frozenset(
+    {
+        "bench.call",
+        "bottleneck.accumulate",
+        "bottleneck.arrays",
+        "bottleneck.assignments",
+        "bottleneck.cut_search",
+        "bottleneck.sink_array",
+        "bottleneck.source_array",
+        "bounds.cut_upper",
+        "bounds.route_lower",
+        "engine.build",
+        "engine.chunk",
+        "engine.sink_array",
+        "engine.source_array",
+        "incremental.walk",
+        "montecarlo.sample",
+        "naive.accumulate",
+        "naive.enumerate",
+        "parallel.chunk",
+        "probability.table",
+        "sweep.accumulate",
+        "sweep.array_cache",
+        "sweep.arrays",
+        "sweep.assignments",
+        "sweep.cut_search",
+        "sweep.run",
+    }
+)
+
+#: Labels :func:`repro.obs.progress.progress_ticker` may be created
+#: with.  The ticker derives its gauge names (``<label>.items`` /
+#: ``<label>.rate``) from the label, so closing this set closes the
+#: gauge vocabulary too (also enforced by RR111).
+KNOWN_TICKER_LABELS = frozenset(
+    {
+        "arrays.sink",
+        "arrays.source",
+        "montecarlo.samples",
+        "naive.configurations",
+    }
+)
+
 
 class SpanRecord:
     """One node of the captured span tree.
@@ -176,6 +228,21 @@ class SpanRecord:
         yield self
         for child in self.children:
             yield from child.iter_spans()
+
+    def gauge_values(self) -> dict[str, Any]:
+        """Last value per gauge name over this span's subtree.
+
+        Gauges are *last-value-wins*: spans entered later override
+        earlier settings of the same name.  Subtree order approximates
+        chronology (children are stored in entry order); for the exact
+        trace-wide chronological view use
+        :meth:`Recorder.gauge_values`, which records every ``gauge()``
+        call in arrival order.
+        """
+        out: dict[str, Any] = dict(self.gauges)
+        for child in self.children:
+            out.update(child.gauge_values())
+        return out
 
 
 class _LiveSpan:
@@ -238,6 +305,8 @@ class Recorder:
         self.root = SpanRecord("<root>", {})
         self.root.start = wallclock()
         self._stack: list[SpanRecord] = [self.root]
+        self._gauge_values: dict[str, Any] = {}
+        self._counter_totals: dict[str, int | float] = {}
         self.progress_callback = progress_callback
         self.progress_interval = progress_interval
 
@@ -285,18 +354,39 @@ class Recorder:
         """Add ``amount`` to counter ``name`` on the innermost span."""
         counters = self._stack[-1].counters
         counters[name] = counters.get(name, 0) + amount
+        totals = self._counter_totals
+        totals[name] = totals.get(name, 0) + amount
 
     def gauge(self, name: str, value: Any) -> None:
         """Set gauge ``name`` on the innermost span (last value wins)."""
         self._stack[-1].gauges[name] = value
+        self._gauge_values[name] = value
 
     def counter_total(self, name: str) -> int | float:
         """Total of one counter over the whole trace."""
-        return self.root.total(name)
+        return self._counter_totals.get(name, 0)
 
     def counter_totals(self) -> dict[str, int | float]:
-        """All counter totals over the whole trace."""
-        return self.root.totals()
+        """All counter totals over the whole trace.
+
+        Maintained incrementally by :meth:`count` (it mirrors every
+        increment into one trace-wide map), so reading the totals is
+        O(#counters) — the telemetry heartbeat and the live metrics
+        endpoint poll this on every phase close / scrape and must not
+        pay a span-tree walk that grows with the trace.
+        """
+        return dict(self._counter_totals)
+
+    def gauge_values(self) -> dict[str, Any]:
+        """Last value per gauge name over the whole trace.
+
+        The trace-wide companion of :meth:`counter_totals`: exporters
+        and the live metrics endpoint read the final gauge state from
+        here instead of walking the span tree.  Exactly chronological —
+        every :meth:`gauge` call updates this map in arrival order, so
+        "last" means last *set*, not last in tree order.
+        """
+        return dict(self._gauge_values)
 
 
 # -- context-var scoping ------------------------------------------------

@@ -1,0 +1,201 @@
+"""Live metrics endpoint: Prometheus-style text exposition + trace JSON.
+
+A :class:`MetricsServer` wraps a :class:`~repro.obs.recorder.Recorder`
+(usually the :class:`~repro.obs.telemetry.TelemetryRecorder` of an open
+session) in a stdlib-only ``ThreadingHTTPServer`` running on a daemon
+thread, so ``repro compute|sweep --metrics-port`` can be scraped while
+the enumeration is still running.
+
+Routes
+------
+``/metrics``
+    Prometheus text exposition (version 0.0.4):
+
+    * ``repro_<counter>_total`` — live trace-wide counter totals;
+    * ``repro_<gauge>`` — last-value-wins gauges;
+    * ``repro_phase_seconds{phase="..."}`` — wall time per top-level
+      span (still-open phases report elapsed-so-far);
+    * ``repro_worker_<counter>_total`` — counters tailed live from the
+      worker spool files (kept separate from the parent's replayed
+      totals: during a chunked build the worker view runs *ahead* of
+      the parent, and after the merge the two agree — summing them
+      would double-count);
+    * ``repro_worker_files`` / ``repro_worker_events`` — spool tailer
+      progress.
+
+``/trace.json``
+    The full live trace (:func:`repro.obs.export.trace_to_dict`) plus a
+    ``workers`` snapshot — the feed ``repro top`` renders.
+
+Counter/gauge names are sanitised for Prometheus by mapping every
+non-``[a-zA-Z0-9_]`` character to ``_`` (so ``array_cache_hits`` stays
+itself and ``arrays.source.rate`` becomes ``arrays_source_rate``).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any
+
+from repro.obs.export import trace_to_dict
+from repro.obs.recorder import Recorder
+from repro.obs.sink import SpoolTailer
+
+__all__ = ["MetricsServer", "render_prometheus"]
+
+_NAME_SANITISE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str) -> str:
+    sanitised = _NAME_SANITISE.sub("_", name)
+    if sanitised and sanitised[0].isdigit():
+        sanitised = "_" + sanitised
+    return sanitised
+
+
+def _format_value(value: Any) -> str | None:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        return repr(float(value)) if isinstance(value, float) else str(value)
+    return None  # non-numeric gauges have no Prometheus representation
+
+
+def render_prometheus(
+    recorder: Recorder, tailer: SpoolTailer | None = None
+) -> str:
+    """Render the live state of ``recorder`` as Prometheus text."""
+    lines: list[str] = []
+
+    counters = recorder.counter_totals()
+    for name in sorted(counters):
+        metric = f"repro_{_metric_name(name)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(counters[name])}")
+
+    gauges = recorder.gauge_values()
+    for name in sorted(gauges):
+        value = _format_value(gauges[name])
+        if value is None:
+            continue
+        metric = f"repro_{_metric_name(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value}")
+
+    phases = [child for child in recorder.root.children]
+    if phases:
+        lines.append("# TYPE repro_phase_seconds gauge")
+        for phase in phases:
+            label = phase.name.replace("\\", "\\\\").replace('"', '\\"')
+            lines.append(
+                f'repro_phase_seconds{{phase="{label}"}} '
+                f"{_format_value(phase.seconds)}"
+            )
+
+    if tailer is not None:
+        tailer.poll()
+        for name in sorted(tailer.totals):
+            metric = f"repro_worker_{_metric_name(name)}_total"
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {_format_value(tailer.totals[name])}")
+        lines.append("# TYPE repro_worker_files gauge")
+        lines.append(f"repro_worker_files {tailer.files_seen}")
+        lines.append("# TYPE repro_worker_events gauge")
+        lines.append(f"repro_worker_events {tailer.events_seen}")
+
+    return "\n".join(lines) + "\n"
+
+
+class MetricsServer:
+    """Serve one recorder's live state over HTTP until :meth:`stop`.
+
+    Parameters
+    ----------
+    recorder:
+        The recorder to expose; it keeps being written by the run while
+        this server reads it (reads are snapshot-style dict copies).
+    port:
+        TCP port; ``0`` binds an ephemeral port (read :attr:`port`).
+    spool_dir:
+        Optional telemetry directory whose worker files are tailed into
+        the ``repro_worker_*`` metrics.
+    host:
+        Bind address, loopback by default.
+    """
+
+    def __init__(
+        self,
+        recorder: Recorder,
+        *,
+        port: int = 0,
+        spool_dir: str | Path | None = None,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.recorder = recorder
+        self.tailer = SpoolTailer(spool_dir) if spool_dir is not None else None
+        server = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                path = self.path.split("?", 1)[0]
+                if path in ("/", "/metrics"):
+                    body = render_prometheus(server.recorder, server.tailer)
+                    self._reply(body, "text/plain; version=0.0.4; charset=utf-8")
+                elif path == "/trace.json":
+                    payload = trace_to_dict(server.recorder)
+                    if server.tailer is not None:
+                        server.tailer.poll()
+                        payload["workers"] = server.tailer.snapshot()
+                    self._reply(
+                        json.dumps(payload, default=str),
+                        "application/json; charset=utf-8",
+                    )
+                else:
+                    self.send_error(404, "unknown path (try /metrics or /trace.json)")
+
+            def _reply(self, body: str, content_type: str) -> None:
+                data = body.encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
+
+            def log_message(self, *args: Any) -> None:
+                return  # scrapes must not spam the CLI's stderr
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with ``port=0``)."""
+        return int(self._httpd.server_address[1])
+
+    @property
+    def url(self) -> str:
+        host = self._httpd.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread (idempotent)."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread.is_alive():
+            self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

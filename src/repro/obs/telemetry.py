@@ -1,0 +1,255 @@
+"""Durable telemetry: the ``repro.obs/events/v1`` stream and its plumbing.
+
+:class:`TelemetryRecorder` is a :class:`~repro.obs.recorder.Recorder`
+that additionally *streams* what it captures: every span open/close is
+emitted as one JSONL event through a :class:`~repro.obs.sink.JsonlSink`,
+so the trace exists on disk while the run is still going — and survives
+the run being killed.
+
+Event vocabulary (``ev`` field), one JSON object per line:
+
+``start``
+    Stream header: ``schema``, ``pid``, ``unix`` epoch stamp and
+    free-form ``meta`` (CLI command, input path, ...).
+``span_open``
+    ``name``, entry ``attrs``, ``t`` seconds since the stream started.
+``span_close``
+    ``name``, ``seconds``, the span's **own** ``counters`` and
+    ``gauges`` (children report themselves) and ``t``.  Summing
+    ``span_close`` counters over a stream therefore reproduces the
+    recorder's :meth:`~repro.obs.recorder.Recorder.counter_totals`.
+``counters``
+    Cumulative counter snapshot, emitted at phase boundaries as a
+    recovery point for interrupted runs.
+``finish``
+    Final cumulative ``counters`` / ``gauges`` and total ``seconds``.
+    Present exactly when the run completed cleanly.
+
+Cross-process spooling
+----------------------
+A telemetry *session* (:func:`telemetry_session`) owns a directory: the
+parent streams to ``main.jsonl`` and publishes the directory through a
+context variable.  Chunk workers in :mod:`repro.core.engine` /
+:mod:`repro.core.parallel` cannot share the parent's recorder (they may
+be separate processes), so each chunk writes its counters as a tiny
+``worker-<pid>-<seq>.jsonl`` stream via :func:`spool_chunk_events` —
+carrying *exactly* the amounts the parent replays onto its
+``engine.chunk`` / ``parallel.chunk`` spans.  That makes the merge
+invariant (worker-file totals == replayed totals, bit-exact) true by
+construction; ``tests/properties/test_prop_telemetry.py`` pins it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.obs.recorder import Recorder, SpanRecord, record, wallclock
+from repro.obs.sink import PARENT_SPOOL_NAME, WORKER_SPOOL_GLOB, JsonlSink
+
+__all__ = [
+    "EVENTS_SCHEMA",
+    "TelemetryRecorder",
+    "current_spool_dir",
+    "spool_chunk_events",
+    "telemetry_session",
+]
+
+#: Schema tag stamped on the ``start`` event of every stream.
+EVENTS_SCHEMA = "repro.obs/events/v1"
+
+#: Per-process sequence for worker spool filenames; combined with the
+#: pid it is unique across the whole worker pool.
+_SPOOL_SEQ = itertools.count()
+
+#: The active telemetry directory, if a session is open.  Read by the
+#: chunked engines when building worker payloads.
+_SPOOL: ContextVar[str | None] = ContextVar("repro_obs_spool_dir", default=None)
+
+
+def current_spool_dir() -> Path | None:
+    """The active session's spool directory, or ``None``."""
+    value = _SPOOL.get()
+    return Path(value) if value is not None else None
+
+
+class TelemetryRecorder(Recorder):
+    """A recorder that streams its trace as ``events/v1`` JSONL.
+
+    Everything the base :class:`Recorder` captures in memory still
+    happens (the span tree, ``counter_totals()``, exporters); this class
+    only adds emission.  The sink is flushed at phase closes (direct
+    children of the root) that land at least ``flush_interval`` seconds
+    after the previous flush, and whenever its bounded buffer fills —
+    so the durable stream trails the live trace by at most
+    ``flush_interval`` seconds plus one open phase (sub-interval phases
+    batch their events instead of paying a write() each).  Any unwind,
+    including the SIGTERM-raised one, flushes the remainder
+    (``telemetry_session`` closes the sink).
+    """
+
+    def __init__(
+        self,
+        sink: JsonlSink,
+        *,
+        meta: Mapping[str, Any] | None = None,
+        flush_interval: float = 0.05,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(**kwargs)
+        self.sink = sink
+        self.flush_interval = flush_interval
+        self._suppress_finish = False
+        self._last_flush = wallclock()
+        sink.emit(
+            {
+                "schema": EVENTS_SCHEMA,
+                "ev": "start",
+                "pid": os.getpid(),
+                "unix": time.time(),
+                "meta": dict(meta or {}),
+            }
+        )
+        sink.flush()
+
+    def _elapsed(self) -> float:
+        return wallclock() - self.root.start
+
+    def _push(self, record: SpanRecord) -> None:
+        super()._push(record)
+        self.sink.emit(
+            {
+                "ev": "span_open",
+                "name": record.name,
+                "attrs": dict(record.attrs),
+                "t": self._elapsed(),
+            }
+        )
+
+    def _pop(self, record: SpanRecord) -> None:
+        was_phase = len(self._stack) == 2 and self._stack[-1] is record
+        super()._pop(record)
+        self.sink.emit(
+            {
+                "ev": "span_close",
+                "name": record.name,
+                "seconds": record.seconds,
+                "counters": dict(record.counters),
+                "gauges": dict(record.gauges),
+                "t": self._elapsed(),
+            }
+        )
+        if was_phase:
+            # Phase boundary: drop a cumulative recovery point so an
+            # interrupted stream still yields totals up to the last
+            # completed phase, and make everything up to here durable —
+            # unless the last flush was moments ago (a grid of sub-ms
+            # phases must not pay one write() per point).
+            self.sink.emit(
+                {
+                    "ev": "counters",
+                    "counters": self.counter_totals(),
+                    "t": self._elapsed(),
+                }
+            )
+            now = wallclock()
+            if now - self._last_flush >= self.flush_interval:
+                self.sink.flush()
+                self._last_flush = now
+
+    def finish(self) -> SpanRecord:
+        already = self.root.end is not None
+        root = super().finish()
+        if not already and not self._suppress_finish:
+            self.sink.emit(
+                {
+                    "ev": "finish",
+                    "seconds": root.seconds,
+                    "counters": self.counter_totals(),
+                    "gauges": self.gauge_values(),
+                }
+            )
+        if not already:
+            self.sink.flush()
+        return root
+
+
+@contextmanager
+def telemetry_session(
+    directory: str | Path,
+    *,
+    meta: Mapping[str, Any] | None = None,
+    capacity: int = 256,
+    recorder: TelemetryRecorder | None = None,
+) -> Iterator[TelemetryRecorder]:
+    """Open a telemetry directory and record into it.
+
+    Creates ``directory``, streams the parent trace to ``main.jsonl``
+    inside it, installs the recorder (as :func:`repro.obs.record` does)
+    and publishes the directory so the chunked engines spool worker
+    events next to it.  On exit — normal or via exception, including
+    the SIGTERM-raised one — the trace is finished and the sink closed,
+    so the directory is always left readable.
+    """
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    # A fresh session truncates main.jsonl; stale worker spools from a
+    # previous run in the same directory would then break the merge
+    # invariant (their totals belong to a trace that no longer exists).
+    for stale in root.glob(WORKER_SPOOL_GLOB):
+        stale.unlink(missing_ok=True)
+    sink = JsonlSink(root / PARENT_SPOOL_NAME, capacity=capacity)
+    rec = (
+        TelemetryRecorder(sink, meta=meta) if recorder is None else recorder
+    )
+    token = _SPOOL.set(str(root))
+    try:
+        with record(rec):
+            try:
+                yield rec
+            except BaseException:
+                # An exceptional unwind (including the SIGTERM-raised
+                # one) must not stamp a clean ``finish`` event: its
+                # absence is how readers recognise an interrupted run.
+                rec._suppress_finish = True
+                raise
+    finally:
+        _SPOOL.reset(token)
+        sink.close()
+
+
+def spool_chunk_events(
+    directory: str | Path,
+    name: str,
+    *,
+    attrs: Mapping[str, Any] | None = None,
+    seconds: float,
+    counters: Mapping[str, int | float],
+) -> Path:
+    """Write one chunk's counters as a standalone worker stream.
+
+    Called at the end of a chunk worker (possibly in a separate
+    process).  The file carries a ``start`` header plus a single
+    ``span_close`` whose ``counters`` are exactly what the parent
+    replays for this chunk — the unit of the merge invariant.
+    """
+    path = Path(directory) / f"worker-{os.getpid()}-{next(_SPOOL_SEQ):06d}.jsonl"
+    with JsonlSink(path, capacity=1) as sink:
+        sink.emit({"schema": EVENTS_SCHEMA, "ev": "start", "pid": os.getpid(), "unix": time.time(), "meta": {}})
+        sink.emit(
+            {
+                "ev": "span_close",
+                "name": name,
+                "attrs": dict(attrs or {}),
+                "seconds": seconds,
+                "counters": dict(counters),
+                "gauges": {},
+                "t": seconds,
+            }
+        )
+    return path

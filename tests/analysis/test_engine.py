@@ -25,6 +25,7 @@ EXPECTED_CODES = [
     "RR108",
     "RR109",
     "RR110",
+    "RR111",
     "RR201",
     "RR202",
     "RR203",

@@ -18,6 +18,7 @@ ALL_CODES = (
     "RR108",
     "RR109",
     "RR110",
+    "RR111",
     "RR201",
     "RR202",
     "RR203",
@@ -142,6 +143,47 @@ def test_rr110_counts_and_messages():
     assert sum("build_realization_arrays()" in f.message for f in findings) == 1
     assert sum("build_side_array_parallel()" in f.message for f in findings) == 1
     assert all("cached_side_array" in f.message for f in findings)
+
+
+def test_rr111_counts_and_messages():
+    findings = fixture_findings("RR111")
+    # bad_fstring_span, bad_concat_count, bad_format_gauge,
+    # bad_percent_ticker, bad_unknown_span_literal,
+    # bad_unknown_ticker_label, bad_recorder_attribute_fstring.
+    assert len(findings) == 7
+    assert sum("an f-string" in f.message for f in findings) == 2
+    assert sum("string concatenation" in f.message for f in findings) == 1
+    assert sum(".format() call" in f.message for f in findings) == 1
+    assert sum("%-formatting" in f.message for f in findings) == 1
+    assert sum("KNOWN_SPANS" in f.message for f in findings) == 1
+    assert sum("KNOWN_TICKER_LABELS" in f.message for f in findings) == 1
+
+
+def test_rr111_clean_fixture_stays_silent():
+    """Realistic catalogued instrumentation must pass untouched."""
+    from repro.analysis import analyze_paths
+
+    path = FIXTURES / "rr111_clean.py"
+    report = analyze_paths([str(path)], select=["RR111"])
+    assert not report.parse_errors, report.parse_errors
+    assert not report.findings, [f.render() for f in report.findings]
+
+
+def test_rr111_exempts_obs_itself(tmp_path):
+    """repro.obs derives ticker gauge names from catalogued labels."""
+    from repro.analysis import analyze_source
+
+    source = (
+        "from repro.obs.recorder import gauge, span\n"
+        "def f(label, done):\n"
+        "    with span(f'{label}.window'):\n"
+        "        gauge(f'{label}.items', done)\n"
+    )
+    inside = analyze_source(source, str(tmp_path / "repro" / "obs" / "progress.py"))
+    assert not [f for f in inside if f.code == "RR111"]
+
+    outside = analyze_source(source, str(tmp_path / "repro" / "core" / "mod.py"))
+    assert [f for f in outside if f.code == "RR111"]
 
 
 def test_rr110_scoped_to_core(tmp_path):

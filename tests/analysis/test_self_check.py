@@ -69,6 +69,7 @@ def test_fixture_tree_is_deliberately_dirty():
         "RR108",
         "RR109",
         "RR110",
+        "RR111",
         "RR201",
         "RR202",
         "RR203",

@@ -21,6 +21,19 @@ def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
 
 
+@pytest.fixture(autouse=True)
+def _ledger_in_tmpdir(monkeypatch, tmp_path_factory):
+    """Keep CLI run-ledger writes out of the working tree.
+
+    The ``compute`` / ``sweep`` subcommands append to ``.repro/runs``
+    by default; tests drive ``main()`` from the repo checkout, so point
+    the default at a throwaway directory instead.
+    """
+    monkeypatch.setenv(
+        "REPRO_LEDGER_DIR", str(tmp_path_factory.mktemp("ledger"))
+    )
+
+
 @pytest.fixture
 def diamond_net() -> FlowNetwork:
     return diamond()

@@ -123,12 +123,47 @@ class TestCounters:
                 obs.gauge("rate", 20.0)
         assert rec.root.children[0].gauges == {"rate": 20.0}
 
+    def test_gauge_values_chronological_last_wins(self):
+        # Unlike counters, gauges do not sum: gauge_values() reports the
+        # last value set anywhere in the trace, across sibling spans.
+        with obs.record() as rec:
+            with obs.span("phase_a"):
+                obs.gauge("rate", 10.0)
+            with obs.span("phase_b"):
+                obs.gauge("rate", 20.0)
+                obs.gauge("depth", 3)
+        assert rec.gauge_values() == {"rate": 20.0, "depth": 3}
+
+    def test_gauge_values_returns_a_copy(self):
+        with obs.record() as rec:
+            with obs.span("phase"):
+                obs.gauge("rate", 1.0)
+        snapshot = rec.gauge_values()
+        snapshot["rate"] = 99.0
+        assert rec.gauge_values() == {"rate": 1.0}
+
+    def test_span_gauge_values_covers_subtree(self):
+        with obs.record() as rec:
+            with obs.span("outer"):
+                obs.gauge("outer.g", 1)
+                with obs.span("inner"):
+                    obs.gauge("inner.g", 2)
+        outer = rec.root.children[0]
+        assert outer.gauge_values() == {"outer.g": 1, "inner.g": 2}
+
     def test_known_counter_catalogue(self):
         assert obs.FLOW_SOLVES in obs.KNOWN_COUNTERS
         assert obs.CONFIGURATIONS_ENUMERATED in obs.KNOWN_COUNTERS
         assert obs.ASSIGNMENTS_ENUMERATED in obs.KNOWN_COUNTERS
         assert obs.ARRAY_ENTRIES_BUILT in obs.KNOWN_COUNTERS
         assert obs.MC_SAMPLES in obs.KNOWN_COUNTERS
+
+    def test_known_span_and_ticker_catalogues(self):
+        assert "sweep.run" in obs.KNOWN_SPANS
+        assert "engine.source_array" in obs.KNOWN_SPANS
+        assert "parallel.chunk" in obs.KNOWN_SPANS
+        assert "arrays.source" in obs.KNOWN_TICKER_LABELS
+        assert "naive.configurations" in obs.KNOWN_TICKER_LABELS
 
 
 class TestScoping:

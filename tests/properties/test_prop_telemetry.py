@@ -1,0 +1,122 @@
+"""Property: the worker event spool is a faithful mirror of the trace.
+
+The cross-process aggregation contract (ISSUE PR 7): when a chunked
+build runs under a :func:`repro.obs.telemetry_session`, every chunk —
+in-process or in a pool worker — spools its counters as a
+``worker-*.jsonl`` stream carrying *exactly* what the parent replays
+onto its ``engine.chunk`` span.  Summing the spool files must therefore
+reproduce the parent recorder's ``flow_solves`` / ``screened_solves`` /
+``array_entries_built`` totals **bit-exactly**, at every worker count —
+(Solve *counts* are not worker-count invariant — each chunk cold-starts
+its own incremental walk, so more chunks mean more solves.  What is
+invariant is the reliability value, and that each run's spool mirrors
+that run's trace.)
+"""
+
+import pytest
+
+from repro import obs
+from repro.core.bottleneck import bottleneck_reliability
+from repro.core.demand import FlowDemand
+from repro.core.parallel import parallel_naive_reliability
+from repro.graph.builders import fujita_fig4
+from repro.graph.generators import bottlenecked_network
+from repro.obs import merge_spool, telemetry_session
+
+WORKERS = (1, 2, 4)
+
+#: Counters every engine chunk spools; the heart of the merge invariant.
+SPOOLED = ("flow_solves", "screened_solves", "array_entries_built")
+
+
+def _instances():
+    yield "fig4", fujita_fig4(), FlowDemand("s", "t", 2)
+    net = bottlenecked_network(
+        source_side_links=5,
+        sink_side_links=4,
+        num_bottlenecks=2,
+        demand=2,
+        seed=23,
+    )
+    yield "random-23", net, FlowDemand("s", "t", 2)
+
+
+def _run(net, demand, workers, tmp_path, tag):
+    spool = tmp_path / f"ev-{tag}-w{workers}"
+    with telemetry_session(spool, meta={"case": tag, "workers": workers}) as rec:
+        result = bottleneck_reliability(net, demand, workers=workers)
+    return result, rec.counter_totals(), merge_spool(spool)
+
+
+@pytest.mark.parametrize("tag_net_demand", list(_instances()), ids=lambda t: t[0])
+def test_merged_spool_equals_replayed_totals(tag_net_demand, tmp_path):
+    tag, net, demand = tag_net_demand
+    reference = None
+    for workers in WORKERS:
+        result, totals, summary = _run(net, demand, workers, tmp_path, tag)
+
+        # 1. Merge invariant: worker spool totals == parent replayed
+        #    totals, bit-exact (== on ints, no approx).
+        for name in SPOOLED:
+            assert summary.worker_totals.get(name, 0) == totals.get(name, 0), (
+                f"{tag} workers={workers}: spool/{name} "
+                f"{summary.worker_totals.get(name)} != trace {totals.get(name)}"
+            )
+
+        # 2. The parent stream finished cleanly and its final snapshot
+        #    agrees with the in-memory recorder.
+        assert summary.parent_finished
+        for name in SPOOLED:
+            assert summary.parent_totals.get(name, 0) == totals.get(name, 0)
+
+        # 3. flow_solves partitions the result's solve accounting.
+        assert totals.get("flow_solves", 0) == result.flow_calls
+
+        # 4. The reliability value is worker-count invariant (solve
+        #    counts are not: each chunk cold-starts its own walk).
+        if reference is None:
+            reference = result.value
+        else:
+            assert result.value == reference, f"{tag} workers={workers}"
+
+
+def test_parallel_naive_chunks_spool_their_solves(tmp_path):
+    """The naive-parallel engine honours the same spool contract."""
+    net = fujita_fig4()
+    demand = FlowDemand("s", "t", 2)
+    reference = None
+    for workers in WORKERS:
+        spool = tmp_path / f"ev-naive-w{workers}"
+        with telemetry_session(spool) as rec:
+            result = parallel_naive_reliability(net, demand, workers=workers)
+        totals = rec.counter_totals()
+        summary = merge_spool(spool)
+        assert summary.worker_totals.get("flow_solves", 0) == totals.get(
+            "flow_solves", 0
+        )
+        assert totals.get("flow_solves", 0) == result.flow_calls
+        if reference is None:
+            reference = result.value
+        else:
+            assert result.value == reference
+
+
+def test_session_totals_match_sessionless_run():
+    """Telemetry must observe, never perturb: counters are unchanged."""
+    net = fujita_fig4()
+    demand = FlowDemand("s", "t", 2)
+    with obs.record() as rec:
+        bare = bottleneck_reliability(net, demand, workers=2)
+    bare_totals = rec.counter_totals()
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as directory:
+        with telemetry_session(directory) as rec:
+            traced = bottleneck_reliability(net, demand, workers=2)
+        traced_totals = rec.counter_totals()
+
+    assert traced.value == bare.value
+    assert {k: v for k, v in traced_totals.items() if not k.startswith("solver.")} == {
+        k: v for k, v in bare_totals.items() if not k.startswith("solver.")
+    }
