@@ -36,7 +36,7 @@ class Rule:
     #: One-line rationale tied to the repo's correctness invariants.
     rationale: str = ""
     #: Analysis tier: ``"syntax"`` (per-node, RR1xx) or ``"dataflow"``
-    #: (flow-sensitive over the CFG, RR2xx).  ``--tier`` filters on this.
+    #: (flow-sensitive over the CFG, RR112 and RR2xx).  ``--tier`` filters on this.
     tier: str = "syntax"
 
     def applies_to(self, ctx: ModuleContext) -> bool:

@@ -15,6 +15,7 @@ Syntax tier (per-node):
 
 Dataflow tier (flow-sensitive, CFG + fixpoint):
 
+* :mod:`~repro.analysis.rules.df_masks` — RR112
 * :mod:`~repro.analysis.rules.df_determinism` — RR201
 * :mod:`~repro.analysis.rules.df_aliasing` — RR202
 * :mod:`~repro.analysis.rules.df_spans` — RR203
@@ -29,6 +30,7 @@ from repro.analysis.rules import (
     df_aliasing,
     df_determinism,
     df_domains,
+    df_masks,
     df_payloads,
     df_spans,
     hygiene,
@@ -44,6 +46,7 @@ __all__ = [
     "df_aliasing",
     "df_determinism",
     "df_domains",
+    "df_masks",
     "df_payloads",
     "df_spans",
     "hygiene",

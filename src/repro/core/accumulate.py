@@ -42,7 +42,7 @@ import numpy as np
 
 from repro.core.arrays import RealizationArray
 from repro.exceptions import IntractableError, ReproValueError
-from repro.probability.bitset import parity_array
+from repro.probability.bitset import bitplanes, pack_bitplanes, parity_array
 from repro.probability.zeta import superset_zeta
 
 __all__ = ["accumulate", "restrict_masks", "side_class_probabilities"]
@@ -55,12 +55,10 @@ def restrict_masks(masks: np.ndarray, assignment_indices: Sequence[int]) -> np.n
     """Project realization masks onto a subset of assignment bits.
 
     Bit ``j`` of the output is bit ``assignment_indices[j]`` of the
-    input — the mask over ``D_{E'}`` in class-local numbering.
+    input — the mask over ``D_{E'}`` in class-local numbering.  One
+    bit-plane transpose plus one packing matmul; no per-bit Python loop.
     """
-    out = np.zeros_like(masks, dtype=np.uint64)
-    for j, source_bit in enumerate(assignment_indices):
-        out |= ((masks >> np.uint64(source_bit)) & np.uint64(1)) << np.uint64(j)
-    return out
+    return pack_bitplanes(bitplanes(masks, list(assignment_indices)))
 
 
 def side_class_probabilities(

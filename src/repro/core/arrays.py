@@ -26,7 +26,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.latticewalk import gray_walk_table
+from repro.core.latticewalk import gray_walk_table, popcount_descending_order
 from repro.exceptions import SolverError
 from repro.flow.base import MaxFlowSolver, get_solver
 from repro.flow.incremental import IncrementalMaxFlow, plan_gray_order, resolve_incremental
@@ -42,7 +42,7 @@ from repro.obs.recorder import (
     count,
     span,
 )
-from repro.probability.bitset import popcount_array
+from repro.probability.bitset import pack_bitplanes
 from repro.probability.enumeration import check_enumerable, configuration_probabilities
 
 __all__ = ["RealizationArray", "build_side_array"]
@@ -218,8 +218,7 @@ def build_side_array(
         )
 
     if prune and m > 0:
-        counts = popcount_array(m)
-        order = [int(x) for x in np.argsort(-counts.astype(np.int16), kind="stable")]
+        order = [int(x) for x in popcount_descending_order(m)]
     else:
         order = list(range(size))
 
@@ -255,8 +254,7 @@ def _pack_array(
     net: FlowNetwork, realized: np.ndarray, num_assignments: int, flow_calls: int
 ) -> RealizationArray:
     """uint64-pack the realized matrix and attach probabilities."""
-    weights = (np.uint64(1) << np.arange(num_assignments, dtype=np.uint64)).astype(np.uint64)
-    masks = (realized.astype(np.uint64) @ weights).astype(np.uint64)
+    masks = pack_bitplanes(realized)
     probabilities = configuration_probabilities(net)
     return RealizationArray(
         masks=masks,

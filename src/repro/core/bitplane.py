@@ -1,0 +1,460 @@
+"""Bit-parallel §III-C realization kernel (block-vectorized lattice walk).
+
+The serial builder (:func:`repro.core.arrays.build_side_array`) and the
+chunked engine (:mod:`repro.core.engine`) both settle the side lattice
+one configuration at a time: per entry, a Python pruning loop, a Python
+screen evaluation, and only then (maybe) a max-flow solve.  Once screens
+and pruning settle most of the lattice — exactly the regime the engine's
+benches show — that per-entry Python overhead dominates the build.
+
+This module walks the lattice in fixed-size **blocks** of
+``2^block_bits`` configurations and keeps every certain decision
+array-at-a-time:
+
+* the realization masks themselves live as one ``uint64`` column per
+  configuration (bit ``j`` = assignment ``j`` realized) — the final
+  :class:`~repro.core.arrays.RealizationArray` storage, built in place;
+* blocks are visited in **descending popcount of their high pattern**
+  (:func:`repro.core.latticewalk.popcount_descending_order`) and levels
+  inside a block in descending popcount too, so every immediate superset
+  of a configuration — same-block *and* cross-block — is settled before
+  the configuration itself.  The *doom* half of monotone pruning is then
+  a handful of vectorized gathers: per missing bit, one ``AND`` of the
+  superset masks into the block's viable column;
+* the engine's **budget screen** becomes one matmul per block: the
+  block's alive matrix (:func:`repro.probability.bitset.lattice_bitplanes`)
+  times the per-port low-bit feeder capacities, plus the constant
+  high-bit/external contribution, gives every configuration's per-port
+  budget at once; ``sum_l min(a_l, budget_l) < d`` screens whole
+  ``(configuration, assignment)`` planes without touching Python;
+* only the survivors fall through to the max-flow solver — cold solves,
+  or per-assignment :class:`~repro.flow.incremental.IncrementalMaxFlow`
+  engines fed through :meth:`~repro.flow.incremental.IncrementalMaxFlow.goto_batch`
+  (the connectivity screen stays lazy and per-configuration, exactly as
+  in the engine);
+* realized bits are scattered back with one fancy-indexed ``OR`` per
+  ``(level, assignment)`` group.
+
+Soundness is unchanged — pruning consults only settled entries and the
+screens are exact negatives — so the masks are **bit-identical** to the
+serial scalar path at every block size (the property suite in
+``tests/properties/test_prop_bitplane.py`` pins masks, values and
+details); only ``flow_calls`` may differ.  The kernel also serves the
+chunked engine: a chunk is just a sub-lattice with the chunk's high
+pattern as a fixed external base, so ``--workers`` and ``--block-bits``
+compose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.arrays import (
+    RealizationArray,
+    _side_template,
+    _validate_side_request,
+)
+from repro.core.engine import RealizationScreens
+from repro.core.latticewalk import popcount_descending_order
+from repro.exceptions import ReproValueError
+from repro.flow.base import MaxFlowSolver, get_solver
+from repro.flow.incremental import IncrementalMaxFlow, resolve_incremental
+from repro.flow.residual import ResidualTemplate
+from repro.graph.network import FlowNetwork, Node
+from repro.graph.transforms import SubnetworkView
+from repro.obs.progress import progress_ticker
+from repro.obs.recorder import (
+    ARRAY_ENTRIES_BUILT,
+    AUGMENTING_PATHS_SAVED,
+    BLOCK_SCREENED,
+    FLOW_REPAIRS,
+    FLOW_SOLVES,
+    SCREENED_SOLVES,
+    count,
+    span,
+)
+from repro.probability.bitset import (
+    MAX_PLANE_BITS,
+    lattice_bitplanes,
+    pack_bitplanes,
+    popcount_array,
+)
+from repro.probability.enumeration import check_enumerable, configuration_probabilities
+
+__all__ = [
+    "DEFAULT_BLOCK_BITS",
+    "BlockStats",
+    "blocked_side_masks",
+    "build_side_array_blocked",
+    "resolve_block_bits",
+]
+
+#: Default block size (``2^14`` configurations), per the sizing table in
+#: ``docs/PERFORMANCE.md``: big enough that the per-block Python overhead
+#: vanishes, small enough that the block working set stays cache-sized.
+DEFAULT_BLOCK_BITS = 14
+
+
+def resolve_block_bits(block_bits: int | None) -> int | None:
+    """Validate a ``block_bits`` option (``None`` = scalar kernels).
+
+    The accepted range is ``1..MAX_PLANE_BITS`` — the alive matrix of a
+    block must stay materialisable.  Used eagerly by the CLI so a bad
+    flag fails before any network is loaded.
+    """
+    if block_bits is None:
+        return None
+    value = int(block_bits)
+    if not 1 <= value <= MAX_PLANE_BITS:
+        raise ReproValueError(
+            f"block_bits must be in [1, {MAX_PLANE_BITS}], got {block_bits}"
+        )
+    return value
+
+
+@dataclass
+class BlockStats:
+    """Accounting of one :func:`blocked_side_masks` run.
+
+    ``screened`` counts every (configuration, assignment) pair settled
+    by a screen — the same quantity the engine reports as
+    ``screened_solves`` — while ``block_screened`` is the subset the
+    vectorized block-level budget matmul settled (the rest is the lazy
+    per-configuration connectivity screen).
+    """
+
+    flow_calls: int = 0
+    screened: int = 0
+    block_screened: int = 0
+    repairs: int = 0
+    paths_saved: int = 0
+    blocks: int = 0
+
+
+def _port_capacity_model(
+    screens: RealizationScreens,
+    *,
+    n_bits: int,
+    block_bits: int,
+    external_base: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, list[int]]:
+    """Split every port's feeder capacities by where their link bit lives.
+
+    Returns ``(low_caps, high_caps, const_caps, unbounded)`` where
+    ``low_caps`` is ``(block_bits, L)`` (feeders on in-block bits),
+    ``high_caps`` is ``(n_bits - block_bits, L)`` (feeders on block-high
+    bits) and ``const_caps[l]`` is the contribution of external-base
+    bits, so a block's per-port budgets are one matmul plus a constant.
+    ``unbounded`` lists terminal ports (no budget bound).
+    """
+    feeders = screens.feeders
+    num_ports = len(feeders)
+    low_caps = np.zeros((block_bits, num_ports), dtype=np.int64)
+    high_caps = np.zeros((n_bits - block_bits, num_ports), dtype=np.int64)
+    const_caps = np.zeros(num_ports, dtype=np.int64)
+    unbounded: list[int] = []
+    for l, feeder in enumerate(feeders):
+        if feeder is None:
+            unbounded.append(l)
+            continue
+        for index, capacity in feeder:
+            if index < block_bits:
+                low_caps[index, l] += capacity
+            elif index < n_bits:
+                high_caps[index - block_bits, l] += capacity
+            elif (external_base >> index) & 1:
+                const_caps[l] += capacity
+    return low_caps, high_caps, const_caps, unbounded
+
+
+def _screen_bits_for_block(
+    budgets: np.ndarray,
+    assignment_matrix: np.ndarray,
+    *,
+    demand: int,
+    unbounded: Sequence[int],
+) -> np.ndarray:
+    """uint64 column: bit ``j`` set = assignment ``j`` budget-screened.
+
+    ``budgets`` is the block's ``(2^b, L)`` per-port alive capacity;
+    terminal ports are unbounded, and since ``min(a_l, demand) = a_l``
+    always, clamping their column to ``demand`` reproduces the engine's
+    ``None`` handling exactly.
+    """
+    if unbounded:
+        budgets[:, list(unbounded)] = demand
+    planes = np.empty((budgets.shape[0], assignment_matrix.shape[0]), dtype=bool)
+    for j in range(assignment_matrix.shape[0]):
+        bounds = np.minimum(budgets, assignment_matrix[j][None, :]).sum(axis=1)
+        planes[:, j] = bounds < demand
+    return pack_bitplanes(planes)
+
+
+def blocked_side_masks(
+    net: FlowNetwork,
+    template: ResidualTemplate,
+    port_names: Sequence[str],
+    s_idx: int,
+    t_idx: int,
+    *,
+    role: str,
+    terminal: Node,
+    ports: Sequence[Node],
+    assignments: Sequence[Sequence[int]],
+    demand: int,
+    solver: MaxFlowSolver,
+    prune: bool = True,
+    screen: bool = True,
+    incremental: bool = False,
+    n_bits: int,
+    external_base: int = 0,
+    block_bits: int = DEFAULT_BLOCK_BITS,
+    tick: Callable[[int], None] | None = None,
+) -> tuple[np.ndarray, BlockStats]:
+    """Fill one (sub-)lattice's realization masks block-vectorized.
+
+    The lattice spans bits ``[0, n_bits)``; ``external_base`` pins any
+    higher bits of the full configuration (the chunked engine passes its
+    chunk pattern here, the serial front door passes 0).  Returns the
+    ``uint64`` mask column for all ``2^n_bits`` configurations in index
+    order plus the :class:`BlockStats` accounting.
+    """
+    check_enumerable(n_bits)
+    b = min(resolve_block_bits(block_bits) or DEFAULT_BLOCK_BITS, n_bits)
+    size = 1 << n_bits
+    bsize = 1 << b
+    num_high = n_bits - b
+    num_assignments = len(assignments)
+    all_viable = np.uint64((1 << num_assignments) - 1)
+    one = np.uint64(1)
+
+    rows = np.zeros(size, dtype=np.uint64)
+    stats = BlockStats()
+
+    counts_low = popcount_array(b)
+    # Levels descending: every in-block immediate superset of a level-l
+    # configuration lives at level l+1, already settled.
+    level_indices = [
+        np.nonzero(counts_low == level)[0].astype(np.int64)
+        for level in range(b, -1, -1)
+    ]
+    alive_matrix = lattice_bitplanes(b).astype(np.int64)
+
+    screens = (
+        RealizationScreens(net, role=role, terminal=terminal, ports=ports, demand=demand)
+        if screen
+        else None
+    )
+    if screens is not None:
+        low_caps, high_caps, const_caps, unbounded = _port_capacity_model(
+            screens, n_bits=n_bits, block_bits=b, external_base=external_base
+        )
+        low_budgets = alive_matrix @ low_caps  # shared across blocks
+        assignment_matrix = np.asarray(
+            [[int(a) for a in assignment] for assignment in assignments],
+            dtype=np.int64,
+        )
+
+    caps_by_assignment = [
+        {name: int(a) for name, a in zip(port_names, assignment)}
+        for assignment in assignments
+    ]
+    engines: list[IncrementalMaxFlow | None] = [None] * num_assignments
+
+    def incremental_engine(j: int) -> IncrementalMaxFlow:
+        engine = engines[j]
+        if engine is None:
+            engine = IncrementalMaxFlow(
+                template,
+                s_idx,
+                t_idx,
+                solver=solver,
+                limit=demand,
+                alive=0,
+                virtual_capacities=caps_by_assignment[j],
+            )
+            engines[j] = engine
+        return engine
+
+    # Cross-block pruning is complete because blocks run most-alive
+    # high pattern first: flipping a high bit on lands in an
+    # already-settled block.
+    if prune:
+        high_order = popcount_descending_order(num_high)
+    else:
+        high_order = np.arange(1 << num_high)
+
+    for high in high_order:
+        high_pattern = int(high)
+        block_base = high_pattern << b
+        ext_base_block = external_base | block_base
+
+        viable_block = np.full(bsize, all_viable, dtype=np.uint64)
+        if prune:
+            for q in range(num_high):
+                if (high_pattern >> q) & 1:
+                    continue
+                sup_base = (high_pattern | (1 << q)) << b
+                viable_block &= rows[sup_base : sup_base + bsize]
+
+        if screens is not None:
+            budgets = low_budgets + (
+                const_caps
+                + np.asarray(
+                    [(high_pattern >> q) & 1 for q in range(num_high)], dtype=np.int64
+                )
+                @ high_caps
+            )[None, :]
+            screen_bits = _screen_bits_for_block(
+                budgets, assignment_matrix, demand=demand, unbounded=unbounded
+            )
+        else:
+            screen_bits = None
+
+        with span("bitplane.block", block=high_pattern, size=bsize):
+            reachable_cache: dict[int, tuple[bool, ...]] = {}
+            for idx in level_indices:
+                viable = viable_block[idx].copy()
+                if prune:
+                    for p in range(b):
+                        bit = 1 << p
+                        absent = (idx & bit) == 0
+                        if absent.any():
+                            viable[absent] &= rows[block_base + (idx[absent] | bit)]
+                if screen_bits is not None:
+                    hits = int(np.bitwise_count(viable & screen_bits[idx]).sum())
+                    if hits:
+                        stats.block_screened += hits
+                        stats.screened += hits
+                        viable &= ~screen_bits[idx]
+                live = np.nonzero(viable)[0]
+                if live.size == 0:
+                    continue
+                lows = idx[live]
+                masks64 = viable[live]
+                for j in range(num_assignments):
+                    wants = ((masks64 >> np.uint64(j)) & one) == one
+                    if not wants.any():
+                        continue
+                    candidates = [int(low) for low in lows[wants]]
+                    if screens is not None:
+                        survivors: list[int] = []
+                        for low in candidates:
+                            reachable = reachable_cache.get(low)
+                            if reachable is None:
+                                reachable = screens.reachable_ports(ext_base_block | low)
+                                reachable_cache[low] = reachable
+                            if screens.connectivity_screened(assignments[j], reachable):
+                                stats.screened += 1
+                            else:
+                                survivors.append(low)
+                        candidates = survivors
+                    if not candidates:
+                        continue
+                    full_masks = [ext_base_block | low for low in candidates]
+                    if incremental:
+                        engine = incremental_engine(j)
+                        calls_before = engine.solver_calls
+                        values = engine.goto_batch(full_masks)
+                        stats.flow_calls += engine.solver_calls - calls_before
+                    else:
+                        values = []
+                        for full in full_masks:
+                            graph = template.configure(
+                                alive=full, virtual_capacities=caps_by_assignment[j]
+                            )
+                            stats.flow_calls += 1
+                            values.append(solver.solve(graph, s_idx, t_idx, limit=demand))
+                    realized = np.asarray(values, dtype=np.int64) >= demand
+                    if realized.any():
+                        targets = block_base + np.asarray(candidates, dtype=np.int64)[realized]
+                        rows[targets] = rows[targets] | (one << np.uint64(j))
+        if tick is not None:
+            tick(bsize * num_assignments)
+        stats.blocks += 1
+
+    for engine in engines:
+        if engine is not None:
+            stats.repairs += engine.repairs
+            stats.paths_saved += engine.paths_saved
+    return rows, stats
+
+
+def build_side_array_blocked(
+    side: SubnetworkView,
+    *,
+    role: str,
+    terminal: Node,
+    ports: Sequence[Node],
+    assignments: Sequence[Sequence[int]],
+    demand: int,
+    solver: str | MaxFlowSolver | None = None,
+    prune: bool = True,
+    screen: bool = True,
+    incremental: bool | None = None,
+    block_bits: int = DEFAULT_BLOCK_BITS,
+) -> RealizationArray:
+    """Bit-parallel drop-in for :func:`repro.core.arrays.build_side_array`.
+
+    Masks, probabilities and ``num_assignments`` are bit-identical to
+    the serial builder (and therefore to the engine at every worker
+    count); only ``flow_calls`` differs, because block-local pruning,
+    the vectorized screens and the incremental engines each change how
+    many entries reach the solver — never what the entries say.
+    """
+    net = side.network
+    m = net.num_links
+    check_enumerable(m)
+    _validate_side_request(
+        net, role=role, assignments=assignments, ports=ports, demand=demand
+    )
+    template, port_names, s_idx, t_idx = _side_template(
+        net, role=role, terminal=terminal, ports=ports, demand=demand
+    )
+    engine = get_solver(solver)
+    use_incremental = resolve_incremental(engine, incremental)
+    num_assignments = len(assignments)
+    size = 1 << m
+
+    # A literal ticker label per role (RR111 closes the label vocabulary).
+    ticker_label = "arrays.source" if role == "source" else "arrays.sink"
+    with progress_ticker(ticker_label, total=num_assignments * size) as ticker:
+        rows, stats = blocked_side_masks(
+            net,
+            template,
+            port_names,
+            s_idx,
+            t_idx,
+            role=role,
+            terminal=terminal,
+            ports=ports,
+            assignments=assignments,
+            demand=demand,
+            solver=engine,
+            prune=prune,
+            screen=screen,
+            incremental=use_incremental,
+            n_bits=m,
+            external_base=0,
+            block_bits=block_bits,
+            tick=ticker.tick,
+        )
+    count(FLOW_SOLVES, stats.flow_calls)
+    if stats.screened:
+        count(SCREENED_SOLVES, stats.screened)
+    if stats.block_screened:
+        count(BLOCK_SCREENED, stats.block_screened)
+    if stats.repairs:
+        count(FLOW_REPAIRS, stats.repairs)
+    if stats.paths_saved:
+        count(AUGMENTING_PATHS_SAVED, stats.paths_saved)
+    count(ARRAY_ENTRIES_BUILT, num_assignments * size)
+    return RealizationArray(
+        masks=rows,  # already the packed uint64 masks
+        probabilities=configuration_probabilities(net),
+        num_assignments=num_assignments,
+        flow_calls=stats.flow_calls,
+    )

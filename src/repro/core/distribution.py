@@ -152,7 +152,7 @@ def sampled_flow_value_distribution(
     masks = sample_alive_masks(net, num_samples, rng=rng)
     cache: dict[int, int] = {}
     tally: dict[int, int] = {}
-    for mask_np in masks:
+    for mask_np in masks:  # repro: noqa[RR112] one max-flow solve per sample
         mask = int(mask_np)
         value = cache.get(mask)
         if value is None:

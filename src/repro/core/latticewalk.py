@@ -25,10 +25,23 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.probability.bitset import gray_lattice
+from repro.probability.bitset import gray_lattice, popcount_array
 from repro.probability.enumeration import check_enumerable
 
-__all__ = ["gray_walk_table"]
+__all__ = ["gray_walk_table", "popcount_descending_order"]
+
+
+def popcount_descending_order(n_bits: int) -> np.ndarray:
+    """Every mask of the ``2^n_bits`` lattice, most-alive first.
+
+    The visiting order that makes the *doom* half of monotone pruning
+    complete: every immediate superset of a mask precedes it, so an
+    unrealized superset settles the mask without a solve.  Stable within
+    a popcount level (ascending numeric order), which is what keeps the
+    cold scans and the block kernel enumerating identically.
+    """
+    counts = popcount_array(n_bits)
+    return np.argsort(-counts.astype(np.int16), kind="stable")
 
 
 def gray_walk_table(

@@ -91,7 +91,7 @@ def montecarlo_reliability(
             while drawn < num_samples:
                 batch = min(batch_size, num_samples - drawn)
                 masks = sample_alive_masks(net, batch, rng=rng)
-                for mask_np in masks:
+                for mask_np in masks:  # repro: noqa[RR112] one solve per sample
                     mask = int(mask_np)
                     verdict = cache.get(mask)
                     if verdict is None:

@@ -1,0 +1,329 @@
+"""Share-nothing sharded realization-array builds.
+
+The chunked engine (:mod:`repro.core.engine`) parallelises one build by
+slicing each side's lattice and shipping chunk results back through a
+process pool — workers and parent share a Python queue.  This module
+parallelises the *sweep* build with no shared Python state at all: the
+content-addressed :class:`~repro.core.sweep.ArrayCache` **disk tier is
+the work queue**.
+
+The unit of work is one realization *column* — one ``(side,
+assignment)`` pair's bool vector over the side lattice, exactly the
+unit the cache stores.  Every shard worker runs the same loop over the
+same deterministically-ordered column list (rotated by its shard index
+so shards start at different units):
+
+1. **skip** — the column's ``.npy`` is already published;
+2. **claim** — atomically create ``<key>.claim``
+   (:meth:`~repro.core.sweep.ArrayCache.try_claim`, ``O_CREAT|O_EXCL``:
+   the filesystem arbitrates, exactly one winner); losers move on;
+3. **build** — fill the column through the shared chunk kernel
+   (:func:`repro.core.engine._build_chunk_masks`, scalar or
+   bit-parallel per ``block_bits``) and **publish** it as an atomic
+   ``.npy`` (temp file + ``os.replace``), then drop the claim.
+
+Workers exchange nothing but cache files, so any worker count — and
+any number of *independent CLI runs* against the same directory —
+composes.  Claims are advisory work-distribution only: a stale claim
+from a crashed worker never blocks correctness, because the parent's
+final warm sweep builds whatever is still missing itself and
+publication is idempotent (every build path produces bit-identical
+columns; the property suites pin this).
+
+Observability follows the engine discipline: workers count nothing
+in-process, self-time through :func:`repro.obs.wallclock`, and report
+totals the parent replays under one ``shard.build`` span per shard
+(``shard_claims``, ``flow_solves``, …) — so summing worker telemetry
+streams reproduces the parent's replayed totals exactly and
+``flow_solves`` keeps partitioning across spans.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.assignments import enumerate_assignments
+from repro.core.demand import FlowDemand
+from repro.core.engine import _build_chunk_masks, _solver_token, run_chunked
+from repro.core.sweep import (
+    ArrayCache,
+    SweepResult,
+    SweepSpec,
+    _column_key,
+    _resolve_split,
+    compute_reliability_sweep,
+    side_fingerprint,
+)
+from repro.exceptions import ReproValueError
+from repro.flow.base import MaxFlowSolver
+from repro.flow.incremental import resolve_incremental
+from repro.graph.io import from_dict, to_dict
+from repro.graph.network import FlowNetwork
+from repro.obs.recorder import (
+    ARRAY_ENTRIES_BUILT,
+    AUGMENTING_PATHS_SAVED,
+    BLOCK_SCREENED,
+    FLOW_REPAIRS,
+    FLOW_SOLVES,
+    SCREENED_SOLVES,
+    SHARD_CLAIMS,
+    count,
+    span,
+    wallclock,
+)
+from repro.obs.telemetry import current_spool_dir, spool_chunk_events
+
+__all__ = ["plan_columns", "sharded_sweep"]
+
+
+def plan_columns(
+    net: FlowNetwork,
+    demand: FlowDemand,
+    *,
+    sweep: SweepSpec,
+    cut: Sequence[int] | None = None,
+    max_cut_size: int = 3,
+) -> tuple[list[dict[str, Any]], list[dict[str, Any]]]:
+    """The sharded build's work list: ``(sides, units)``.
+
+    ``sides`` holds one spawn-safe descriptor per split side (network
+    dict, role, terminal, ports); ``units`` one entry per distinct
+    realization column the sweep will need — ``(side index, assignment,
+    demand, cache key)`` — in deterministic order, deduplicated by key
+    (demand sweeps share columns across rates when assignment tuples
+    repeat).
+    """
+    split = _resolve_split(net, demand, cut, max_cut_size)
+    cut_links = split.cut
+    capacities = [net.link(i).capacity for i in cut_links]
+    rates = list(sweep.values) if sweep.kind == "demand" else [demand.rate]
+    sides = [
+        {
+            "net": to_dict(split.source_side.network),
+            "role": "source",
+            "terminal": demand.source,
+            "ports": tuple(split.source_ports),
+            "digest": side_fingerprint(
+                split.source_side.network,
+                role="source",
+                terminal=demand.source,
+                ports=split.source_ports,
+            ),
+        },
+        {
+            "net": to_dict(split.sink_side.network),
+            "role": "sink",
+            "terminal": demand.sink,
+            "ports": tuple(split.sink_ports),
+            "digest": side_fingerprint(
+                split.sink_side.network,
+                role="sink",
+                terminal=demand.sink,
+                ports=split.sink_ports,
+            ),
+        },
+    ]
+    units: list[dict[str, Any]] = []
+    seen: set[str] = set()
+    for rate in rates:
+        for assignment in enumerate_assignments(capacities, int(rate)):
+            for index, side in enumerate(sides):
+                key = _column_key(side["digest"], assignment)
+                if key in seen:
+                    continue
+                seen.add(key)
+                units.append(
+                    {
+                        "side": index,
+                        "assignment": tuple(int(a) for a in assignment),
+                        "demand": int(rate),
+                        "key": key,
+                    }
+                )
+    return sides, units
+
+
+def _shard_worker(payload: dict[str, Any]) -> dict[str, Any]:
+    """One shard's claim-build-publish loop (spawn-safe entry point).
+
+    Walks the shared unit list rotated by the shard index, claims what
+    it can, builds each won column through the chunk kernel (counting
+    nothing in-process — the parent replays the returned totals), and
+    publishes via the cache's atomic disk tier.  Crashing mid-column at
+    worst leaves a stale ``.claim``, which no reader ever waits on.
+    """
+    start = wallclock()
+    cache = ArrayCache(payload["cache_dir"])
+    sides = payload["sides"]
+    nets: list[FlowNetwork | None] = [None] * len(sides)
+    units = payload["units"]
+    shard = int(payload["shard"])
+    rotated = units[shard:] + units[:shard]
+    claims = flow_calls = screened = block_screened = 0
+    repairs = paths_saved = entries = 0
+    for unit in rotated:
+        key = unit["key"]
+        if cache.contains(key) or not cache.try_claim(key):
+            continue
+        try:
+            index = unit["side"]
+            net = nets[index]
+            if net is None:
+                net = nets[index] = from_dict(sides[index]["net"])
+            masks, calls, scr, blk, rep, saved = _build_chunk_masks(
+                net,
+                role=sides[index]["role"],
+                terminal=sides[index]["terminal"],
+                ports=sides[index]["ports"],
+                assignments=[unit["assignment"]],
+                demand=unit["demand"],
+                solver=payload["solver"],
+                prune=payload["prune"],
+                screen=payload["screen"],
+                low_bits=net.num_links,
+                high_pattern=0,
+                incremental=payload["incremental"],
+                block_bits=payload["block_bits"],
+            )
+            cache.put(key, (masks & 1).astype(bool))
+        finally:
+            cache.release_claim(key)
+        claims += 1
+        flow_calls += calls
+        screened += scr
+        block_screened += blk
+        repairs += rep
+        paths_saved += saved
+        entries += len(masks)
+    result = {
+        "shard": shard,
+        "claims": claims,
+        "flow_calls": flow_calls,
+        "screened": screened,
+        "block_screened": block_screened,
+        "repairs": repairs,
+        "paths_saved": paths_saved,
+        "entries": entries,
+        "seconds": wallclock() - start,
+    }
+    spool_dir = payload.get("spool_dir")
+    if spool_dir:
+        # Mirror the parent's replay exactly (same names, same
+        # zero-suppression) so summing the worker streams reproduces
+        # the replayed totals bit-for-bit, like the engine's chunks.
+        counters: dict[str, int | float] = {
+            SHARD_CLAIMS: claims,
+            FLOW_SOLVES: flow_calls,
+            SCREENED_SOLVES: screened,
+            ARRAY_ENTRIES_BUILT: entries,
+        }
+        if block_screened:
+            counters[BLOCK_SCREENED] = block_screened
+        if repairs:
+            counters[FLOW_REPAIRS] = repairs
+        if paths_saved:
+            counters[AUGMENTING_PATHS_SAVED] = paths_saved
+        spool_chunk_events(
+            spool_dir,
+            "shard.build",
+            attrs={"shard": shard},
+            seconds=result["seconds"],
+            counters=counters,
+        )
+    return result
+
+
+def sharded_sweep(
+    net: FlowNetwork,
+    demand: FlowDemand,
+    *,
+    sweep: SweepSpec,
+    shards: int,
+    cache_dir: str,
+    cut: Sequence[int] | None = None,
+    solver: str | MaxFlowSolver | None = None,
+    strategy: str = "auto",
+    prune: bool = True,
+    max_cut_size: int = 3,
+    screen: bool = True,
+    incremental: bool | None = None,
+    block_bits: int | None = None,
+) -> SweepResult:
+    """A :func:`~repro.core.sweep.compute_reliability_sweep` built by shards.
+
+    Phase one fans the sweep's column work list out to ``shards``
+    processes that coordinate *only* through ``cache_dir`` (claim
+    files + atomic ``.npy`` publication); phase two runs the ordinary
+    sweep against the now-warm cache in the parent — which also builds
+    any column a crashed shard left behind, so the result never depends
+    on every shard surviving.  Values and ``details`` are bit-identical
+    to the unsharded sweep at every shard count (the columns are ground
+    truth); a repeat run against the same directory performs zero
+    max-flow solves.
+    """
+    if shards < 1:
+        raise ReproValueError(f"shards must be >= 1, got {shards}")
+    sides, units = plan_columns(
+        net, demand, sweep=sweep, cut=cut, max_cut_size=max_cut_size
+    )
+    use_incremental = resolve_incremental(solver, incremental)
+    spool = current_spool_dir()
+    payloads = [
+        {
+            "shard": shard,
+            "spool_dir": str(spool) if spool is not None else None,
+            "cache_dir": str(cache_dir),
+            "sides": sides,
+            "units": units,
+            "solver": _solver_token(solver),
+            "prune": prune,
+            "screen": screen,
+            "incremental": use_incremental,
+            "block_bits": block_bits,
+        }
+        for shard in range(shards)
+    ]
+    with span("sweep.run", kind="sharded", points=len(sweep)):
+        results = run_chunked(
+            _shard_worker, [(p,) for p in payloads], workers=shards
+        )
+        for r in sorted(results, key=lambda r: int(r["shard"])):
+            with span(
+                "shard.build",
+                shard=int(r["shard"]),
+                columns=int(r["claims"]),
+                worker_seconds=float(r["seconds"]),
+            ):
+                count(SHARD_CLAIMS, int(r["claims"]))
+                count(FLOW_SOLVES, int(r["flow_calls"]))
+                count(SCREENED_SOLVES, int(r["screened"]))
+                count(ARRAY_ENTRIES_BUILT, int(r["entries"]))
+                if r.get("block_screened"):
+                    count(BLOCK_SCREENED, int(r["block_screened"]))
+                if r.get("repairs"):
+                    count(FLOW_REPAIRS, int(r["repairs"]))
+                if r.get("paths_saved"):
+                    count(AUGMENTING_PATHS_SAVED, int(r["paths_saved"]))
+        swept = compute_reliability_sweep(
+            net,
+            demand,
+            sweep=sweep,
+            cut=cut,
+            solver=solver,
+            strategy=strategy,
+            prune=prune,
+            max_cut_size=max_cut_size,
+            workers=None,
+            screen=screen,
+            incremental=incremental,
+            block_bits=block_bits,
+            cache=ArrayCache(cache_dir),
+        )
+    built = sum(int(r["flow_calls"]) for r in results)
+    return SweepResult(
+        kind=swept.kind,
+        xs=swept.xs,
+        results=swept.results,
+        flow_calls=built + swept.flow_calls,
+        cache_stats=swept.cache_stats,
+    )

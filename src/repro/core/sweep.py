@@ -76,7 +76,7 @@ from repro.obs.recorder import (
     count,
     span,
 )
-from repro.probability.bitset import parity_array
+from repro.probability.bitset import pack_bitplanes, parity_array
 from repro.probability.enumeration import check_enumerable, configuration_probabilities
 from repro.probability.zeta import superset_zeta_rows
 
@@ -179,6 +179,46 @@ class ArrayCache:
         assert self.directory is not None
         return self.directory / f"{key}.npy"
 
+    def _claim_path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.claim"
+
+    def contains(self, key: str) -> bool:
+        """Whether ``key``'s column is already available (memory or disk).
+
+        Unlike :meth:`get` this never loads, unpacks or counts — it is
+        the cheap pre-claim test of the sharded build loop.
+        """
+        if key in self._memory:
+            return True
+        return self.directory is not None and self._path(key).is_file()
+
+    def try_claim(self, key: str) -> bool:
+        """Atomically claim ``key`` for building (sharded builds).
+
+        Creates ``<key>.claim`` with ``O_CREAT | O_EXCL`` — the
+        filesystem arbitrates, so exactly one process wins no matter how
+        many race.  Claims are advisory work-distribution only: a stale
+        claim (crashed worker) never blocks correctness, because every
+        reader falls back to building unclaimed-but-missing columns
+        itself and publication (:meth:`put`) is idempotent.  Requires a
+        ``directory`` (share-nothing workers have no other channel).
+        """
+        if self.directory is None:
+            raise ReproValueError("claims require a cache directory")
+        try:
+            fd = os.open(self._claim_path(key), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+    def release_claim(self, key: str) -> None:
+        """Drop a claim taken with :meth:`try_claim` (idempotent)."""
+        if self.directory is None:
+            raise ReproValueError("claims require a cache directory")
+        self._claim_path(key).unlink(missing_ok=True)
+
     def get(self, key: str, num_configurations: int) -> np.ndarray | None:
         """The bool column for ``key`` (length ``num_configurations``), or None.
 
@@ -239,9 +279,26 @@ def _build_missing(
     screen: bool,
     workers: int | None,
     incremental: bool | None,
+    block_bits: int | None = None,
 ) -> RealizationArray:
     """Build a (possibly partial) assignment subset through the usual builders."""
     if workers is None:
+        if block_bits is not None:
+            from repro.core.bitplane import build_side_array_blocked  # local: cycle
+
+            return build_side_array_blocked(
+                side,
+                role=role,
+                terminal=terminal,
+                ports=ports,
+                assignments=assignments,
+                demand=demand,
+                solver=solver,
+                prune=prune,
+                screen=screen,
+                incremental=incremental,
+                block_bits=block_bits,
+            )
         return build_side_array(
             side,
             role=role,
@@ -267,6 +324,7 @@ def _build_missing(
         screen=screen,
         workers=workers,
         incremental=incremental,
+        block_bits=block_bits,
     )
 
 
@@ -283,6 +341,7 @@ def cached_side_array(
     screen: bool = True,
     workers: int | None = None,
     incremental: bool | None = None,
+    block_bits: int | None = None,
     cache: ArrayCache | None = None,
 ) -> RealizationArray:
     """§III-C side array with per-assignment column caching.
@@ -293,7 +352,7 @@ def cached_side_array(
     then the full matrix is packed exactly like the direct builders.
     ``flow_calls`` counts only the solves spent on misses — a fully warm
     call reports 0.  With ``cache=None`` this is a plain dispatch to the
-    serial or parallel builder.
+    serial, blocked (``block_bits``) or parallel builder.
     """
     if cache is None:
         return _build_missing(
@@ -308,6 +367,7 @@ def cached_side_array(
             screen=screen,
             workers=workers,
             incremental=incremental,
+            block_bits=block_bits,
         )
     net = side.network
     m = net.num_links
@@ -342,6 +402,7 @@ def cached_side_array(
                 screen=screen,
                 workers=workers,
                 incremental=incremental,
+                block_bits=block_bits,
             )
             flow_calls = built.flow_calls
             for local, j in enumerate(missing):
@@ -350,10 +411,7 @@ def cached_side_array(
                 ).astype(bool)
                 realized[:, j] = column
                 cache.put(keys[j], column)
-    weights = (
-        np.uint64(1) << np.arange(num_assignments, dtype=np.uint64)
-    ).astype(np.uint64)
-    masks = (realized.astype(np.uint64) @ weights).astype(np.uint64)
+    masks = pack_bitplanes(realized)
     return RealizationArray(
         masks=masks,
         probabilities=configuration_probabilities(net),
@@ -664,6 +722,7 @@ def compute_reliability_sweep(
     workers: int | None = None,
     screen: bool = True,
     incremental: bool | None = None,
+    block_bits: int | None = None,
     cache: ArrayCache | None = None,
 ) -> SweepResult:
     """Reliability at every sweep point for the cost of ~one array build.
@@ -701,6 +760,7 @@ def compute_reliability_sweep(
                 workers=workers,
                 screen=screen,
                 incremental=incremental,
+                block_bits=block_bits,
                 cache=the_cache,
             )
         else:
@@ -716,6 +776,7 @@ def compute_reliability_sweep(
                 workers=workers,
                 screen=screen,
                 incremental=incremental,
+                block_bits=block_bits,
                 cache=the_cache,
             )
     after = the_cache.stats()
@@ -742,6 +803,7 @@ def _demand_sweep(
     workers: int | None,
     screen: bool,
     incremental: bool | None,
+    block_bits: int | None,
     cache: ArrayCache,
 ) -> SweepResult:
     from repro.core.bottleneck import bottleneck_reliability  # local: avoids cycle
@@ -764,6 +826,7 @@ def _demand_sweep(
             workers=workers,
             screen=screen,
             incremental=incremental,
+            block_bits=block_bits,
             cache=cache,
         )
         flow_calls += point.flow_calls
@@ -790,6 +853,7 @@ def _probability_sweep(
     workers: int | None,
     screen: bool,
     incremental: bool | None,
+    block_bits: int | None,
     cache: ArrayCache,
 ) -> SweepResult:
     demand.validate_against(net)
@@ -847,6 +911,7 @@ def _probability_sweep(
             screen=screen,
             workers=workers,
             incremental=use_incremental,
+            block_bits=block_bits,
             cache=cache,
         )
         sink_array = cached_side_array(
@@ -861,6 +926,7 @@ def _probability_sweep(
             screen=screen,
             workers=workers,
             incremental=use_incremental,
+            block_bits=block_bits,
             cache=cache,
         )
 

@@ -37,7 +37,9 @@ __all__ = [
     "ARRAY_CACHE_MISSES",
     "ASSIGNMENTS_ENUMERATED",
     "ARRAY_ENTRIES_BUILT",
+    "BLOCK_SCREENED",
     "CONFIGURATIONS_ENUMERATED",
+    "SHARD_CLAIMS",
     "FLOW_REPAIRS",
     "FLOW_SOLVES",
     "AUGMENTING_PATHS_SAVED",
@@ -102,6 +104,16 @@ ARRAY_CACHE_MISSES = "array_cache_misses"
 #: Bytes of bit-packed realization columns moved through the cache
 #: (read on hits + written on stores).
 ARRAY_CACHE_BYTES = "array_cache_bytes"
+#: Realization (configuration, assignment) pairs the bit-parallel block
+#: kernel (``repro.core.bitplane``) settled with its vectorized
+#: block-level budget screen — the matmul that disqualifies whole
+#: blocks before any per-entry work.  A subset of ``screened_solves``
+#: (the lazy per-configuration connectivity screen makes up the rest).
+BLOCK_SCREENED = "block_screened"
+#: Realization columns claimed (and then built + published) by this
+#: process during a share-nothing sharded build
+#: (``repro.core.shard``): one per ``.claim`` file won atomically.
+SHARD_CLAIMS = "shard_claims"
 
 #: The catalogue, for documentation and validation in tests.
 KNOWN_COUNTERS = frozenset(
@@ -117,6 +129,8 @@ KNOWN_COUNTERS = frozenset(
         ARRAY_CACHE_HITS,
         ARRAY_CACHE_MISSES,
         ARRAY_CACHE_BYTES,
+        BLOCK_SCREENED,
+        SHARD_CLAIMS,
     }
 )
 
@@ -130,6 +144,7 @@ KNOWN_COUNTERS = frozenset(
 KNOWN_SPANS = frozenset(
     {
         "bench.call",
+        "bitplane.block",
         "bottleneck.accumulate",
         "bottleneck.arrays",
         "bottleneck.assignments",
@@ -148,6 +163,7 @@ KNOWN_SPANS = frozenset(
         "naive.enumerate",
         "parallel.chunk",
         "probability.table",
+        "shard.build",
         "sweep.accumulate",
         "sweep.array_cache",
         "sweep.arrays",

@@ -2,13 +2,17 @@
 subset-lattice transforms, inclusion–exclusion and sampling."""
 
 from repro.probability.bitset import (
+    bitplanes,
     gray_code,
     gray_flip_position,
     gray_lattice,
     indices_from_mask,
     iter_submasks,
     iter_supermasks,
+    lattice_bitplanes,
     mask_from_indices,
+    mask_weights,
+    pack_bitplanes,
     parity_array,
     popcount,
     popcount_array,
@@ -33,13 +37,17 @@ from repro.probability.zeta import (
 )
 
 __all__ = [
+    "bitplanes",
     "gray_code",
     "gray_flip_position",
     "gray_lattice",
     "indices_from_mask",
     "iter_submasks",
     "iter_supermasks",
+    "lattice_bitplanes",
     "mask_from_indices",
+    "mask_weights",
+    "pack_bitplanes",
     "parity_array",
     "popcount",
     "popcount_array",

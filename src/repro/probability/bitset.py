@@ -19,12 +19,25 @@ from repro.exceptions import IntractableError, ReproValueError
 #: agree to materialise a ``2**n_bits``-entry table (uint8, so 256 MiB at 28).
 MAX_TABLE_BITS = 28
 
+#: Widest uint64 bit vocabulary :func:`mask_weights` can address.
+MAX_MASK_BITS = 64
+
+#: Largest ``n_bits`` for which :func:`lattice_bitplanes` materialises the
+#: full ``2**n_bits x n_bits`` alive matrix (bool, so 20 MiB at 20).
+MAX_PLANE_BITS = 20
+
 __all__ = [
+    "MAX_MASK_BITS",
+    "MAX_PLANE_BITS",
     "MAX_TABLE_BITS",
     "mask_from_indices",
     "indices_from_mask",
     "popcount",
     "popcount_array",
+    "mask_weights",
+    "bitplanes",
+    "pack_bitplanes",
+    "lattice_bitplanes",
     "iter_submasks",
     "iter_supermasks",
     "gray_code",
@@ -101,6 +114,88 @@ def popcount_array(n_bits: int) -> np.ndarray:
     if n_bits < 0:
         raise ReproValueError("n_bits must be non-negative")
     return _popcount_table(n_bits)
+
+
+@lru_cache(maxsize=None)
+def _mask_weight_table(n_bits: int) -> np.ndarray:
+    """Memoised, **read-only** ``uint64`` powers of two behind :func:`mask_weights`."""
+    weights = np.uint64(1) << np.arange(n_bits, dtype=np.uint64)
+    weights.setflags(write=False)
+    return weights
+
+
+def mask_weights(n_bits: int) -> np.ndarray:
+    """``uint64`` weight vector ``[1, 2, 4, ...]`` of length ``n_bits``.
+
+    The shared packing vocabulary: every site that turns a boolean
+    bit-plane matrix into uint64 masks (realization arrays, Monte-Carlo
+    samples, class restrictions, the block kernel) multiplies by this
+    vector instead of rebuilding ``1 << arange`` per call.  Cached per
+    width and **read-only**; copy before mutating.
+    """
+    if n_bits < 0:
+        raise ReproValueError("n_bits must be non-negative")
+    if n_bits > MAX_MASK_BITS:
+        raise ReproValueError(
+            f"uint64 masks hold at most {MAX_MASK_BITS} bits, got {n_bits}"
+        )
+    return _mask_weight_table(n_bits)
+
+
+def bitplanes(masks: np.ndarray, bits: Sequence[int]) -> np.ndarray:
+    """Transpose uint64 masks into boolean bit-plane columns.
+
+    Column ``j`` of the output is bit ``bits[j]`` of every mask — the
+    array-at-a-time inverse of :func:`pack_bitplanes`.  ``bits`` may be
+    any subset (or reordering) of positions below :data:`MAX_MASK_BITS`.
+    """
+    positions = np.asarray(bits, dtype=np.int64).reshape(-1)
+    if positions.size and (positions.min() < 0 or positions.max() >= MAX_MASK_BITS):
+        raise ReproValueError(
+            f"bit positions must lie in [0, {MAX_MASK_BITS}), got {bits!r}"
+        )
+    columns = np.asarray(masks, dtype=np.uint64)
+    planes = (columns[:, None] >> positions.astype(np.uint64)[None, :]) & np.uint64(1)
+    return planes.astype(bool)
+
+
+def pack_bitplanes(planes: np.ndarray) -> np.ndarray:
+    """Pack a boolean ``(n, q)`` bit-plane matrix into ``q``-bit uint64 masks.
+
+    One matmul against :func:`mask_weights` — no per-bit Python loop.
+    """
+    matrix = np.asarray(planes)
+    if matrix.ndim != 2:
+        raise ReproValueError(f"planes must be 2-D, got shape {matrix.shape}")
+    weights = mask_weights(matrix.shape[1])
+    return (matrix.astype(np.uint64) @ weights).astype(np.uint64)
+
+
+@lru_cache(maxsize=None)
+def _lattice_plane_table(n_bits: int) -> np.ndarray:
+    """Memoised, **read-only** alive matrix behind :func:`lattice_bitplanes`."""
+    if n_bits > MAX_PLANE_BITS:
+        raise IntractableError(
+            f"a 2^{n_bits} x {n_bits} alive matrix exceeds the budget of 2^{MAX_PLANE_BITS}",
+            required=n_bits,
+            limit=MAX_PLANE_BITS,
+        )
+    codes = np.arange(1 << n_bits, dtype=np.uint64)
+    planes = bitplanes(codes, range(n_bits))
+    planes.setflags(write=False)
+    return planes
+
+
+def lattice_bitplanes(n_bits: int) -> np.ndarray:
+    """Boolean ``(2**n_bits, n_bits)`` matrix: row ``m``, column ``b`` = bit ``b`` of ``m``.
+
+    The alive matrix of the full lattice — the block kernel multiplies
+    it against per-port capacity vectors to get every configuration's
+    screen budget in one matmul.  Cached per width and **read-only**.
+    """
+    if n_bits < 0:
+        raise ReproValueError("n_bits must be non-negative")
+    return _lattice_plane_table(n_bits)
 
 
 def parity_array(n_bits: int) -> np.ndarray:

@@ -14,6 +14,7 @@ import numpy as np
 from repro.exceptions import ReproValueError
 from repro.graph.generators import as_rng
 from repro.graph.network import FlowNetwork
+from repro.probability.bitset import pack_bitplanes
 
 __all__ = ["sample_alive_masks", "sample_alive_matrix"]
 
@@ -53,5 +54,6 @@ def sample_alive_masks(
     if m > 63:
         raise ReproValueError(f"bitmask sampling supports at most 63 links, got {m}")
     alive = sample_alive_matrix(source, num_samples, rng=rng)
-    weights = (np.uint64(1) << np.arange(m, dtype=np.uint64)).astype(np.uint64)
-    return (alive.astype(np.uint64) @ weights).astype(np.uint64)
+    # pack_bitplanes shares the cached weight vector with every other
+    # packing site (and rejects m > 64 on its own).
+    return pack_bitplanes(alive)

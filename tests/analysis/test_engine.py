@@ -26,6 +26,7 @@ EXPECTED_CODES = [
     "RR109",
     "RR110",
     "RR111",
+    "RR112",
     "RR201",
     "RR202",
     "RR203",

@@ -19,6 +19,7 @@ ALL_CODES = (
     "RR109",
     "RR110",
     "RR111",
+    "RR112",
     "RR201",
     "RR202",
     "RR203",
@@ -27,7 +28,7 @@ ALL_CODES = (
 )
 
 #: Dataflow-tier rules ship a second, entirely clean fixture module.
-DATAFLOW_CODES = ("RR201", "RR202", "RR203", "RR204", "RR205")
+DATAFLOW_CODES = ("RR112", "RR201", "RR202", "RR203", "RR204", "RR205")
 
 
 @pytest.mark.parametrize("code", ALL_CODES)
@@ -281,6 +282,51 @@ def test_rr104_scoped_to_repro_tree(tmp_path):
 
     inside = analyze_source(source, str(tmp_path / "repro" / "tool.py"))
     assert [f for f in inside if f.code == "RR104"]
+
+
+def test_rr112_counts_and_messages():
+    findings = fixture_findings("RR112")
+    # bad_direct_loop, bad_enumerate_loop, bad_index_loop,
+    # bad_comprehension, bad_cast_loop.
+    assert len(findings) == 5
+    assert sum("for loop over" in f.message for f in findings) == 2
+    assert sum("enumerate() over" in f.message for f in findings) == 1
+    assert sum("range(len()) over" in f.message for f in findings) == 1
+    assert sum("comprehension over" in f.message for f in findings) == 1
+    assert all("bitset primitives" in f.message for f in findings)
+
+
+def test_rr112_kills_rebound_names(tmp_path):
+    """Rebinding a tracked name to a non-mask value ends the track."""
+    from repro.analysis import analyze_source
+
+    source = (
+        "def f(realization, items):\n"
+        "    masks = realization.masks\n"
+        "    masks = sorted(items)\n"
+        "    return [len(m) for m in masks]\n"
+    )
+    path = str(tmp_path / "repro" / "core" / "mod.py")
+    assert not [f for f in analyze_source(source, path) if f.code == "RR112"]
+
+
+def test_rr112_exempts_bitset_itself(tmp_path):
+    """The bitset module's own per-bit assembly loops are the vocabulary."""
+    from repro.analysis import analyze_source
+
+    source = (
+        "def f(realization):\n"
+        "    return [int(m) for m in realization.masks]\n"
+    )
+    inside = analyze_source(
+        source, str(tmp_path / "repro" / "probability" / "bitset.py")
+    )
+    assert not [f for f in inside if f.code == "RR112"]
+
+    outside = analyze_source(
+        source, str(tmp_path / "repro" / "probability" / "sampling.py")
+    )
+    assert [f for f in outside if f.code == "RR112"]
 
 
 def test_rr201_counts_and_messages():

@@ -70,6 +70,7 @@ def test_fixture_tree_is_deliberately_dirty():
         "RR109",
         "RR110",
         "RR111",
+        "RR112",
         "RR201",
         "RR202",
         "RR203",

@@ -1,0 +1,218 @@
+"""Unit tests for the bit-parallel block kernel and the sharded builds."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignments import enumerate_assignments
+from repro.core.bitplane import (
+    DEFAULT_BLOCK_BITS,
+    blocked_side_masks,
+    build_side_array_blocked,
+    resolve_block_bits,
+)
+from repro.core.demand import FlowDemand
+from repro.core.engine import build_realization_arrays
+from repro.core.shard import plan_columns, sharded_sweep
+from repro.core.sweep import ArrayCache, SweepSpec
+from repro.exceptions import ReproValueError
+from repro.graph.builders import fujita_fig4
+from repro.graph.cuts import find_bottleneck
+from repro.obs import Recorder, record
+
+
+def _fig4_split():
+    net = fujita_fig4()
+    split = find_bottleneck(net, "s", "t", max_size=3)
+    assert split is not None
+    capacities = [net.link(i).capacity for i in split.cut]
+    return net, split, enumerate_assignments(capacities, 2)
+
+
+class TestResolveBlockBits:
+    def test_none_passes_through(self):
+        assert resolve_block_bits(None) is None
+
+    def test_valid_range(self):
+        assert resolve_block_bits(1) == 1
+        assert resolve_block_bits(DEFAULT_BLOCK_BITS) == DEFAULT_BLOCK_BITS
+        assert resolve_block_bits(20) == 20
+
+    @pytest.mark.parametrize("bad", [0, -3, 21, 64])
+    def test_out_of_range_rejected(self, bad):
+        with pytest.raises(ReproValueError, match="block_bits"):
+            resolve_block_bits(bad)
+
+
+class TestBlockedSideArray:
+    def test_matches_scalar_engine_arrays(self):
+        net, split, assignments = _fig4_split()
+        source, sink, _stats = build_realization_arrays(
+            split,
+            source="s",
+            sink="t",
+            assignments=assignments,
+            demand=2,
+            workers=1,
+        )
+        blocked_source = build_side_array_blocked(
+            split.source_side,
+            role="source",
+            terminal="s",
+            ports=split.source_ports,
+            assignments=assignments,
+            demand=2,
+            block_bits=6,
+        )
+        assert np.array_equal(source.masks, blocked_source.masks)
+        assert source.num_assignments == blocked_source.num_assignments
+
+    def test_counts_once_under_recorder(self):
+        """The serial wrapper owns the counting; totals must partition
+        exactly like the scalar path's (no double count via replay)."""
+        _net, split, assignments = _fig4_split()
+        rec = Recorder()
+        with record(rec):
+            build_side_array_blocked(
+                split.source_side,
+                role="source",
+                terminal="s",
+                ports=split.source_ports,
+                assignments=assignments,
+                demand=2,
+                block_bits=6,
+            )
+        totals = rec.counter_totals()
+        size = 1 << len(split.source_side.link_map)
+        assert totals["array_entries_built"] == size * len(assignments)
+        solved = totals["flow_solves"]
+        assert 0 < solved <= size * len(assignments)
+        assert totals.get("block_screened", 0) > 0
+
+    def test_screens_do_not_change_masks(self):
+        _net, split, assignments = _fig4_split()
+        kwargs = dict(
+            role="sink",
+            terminal="t",
+            ports=split.sink_ports,
+            assignments=assignments,
+            demand=2,
+            block_bits=4,
+        )
+        screened = build_side_array_blocked(split.sink_side, **kwargs)
+        unscreened = build_side_array_blocked(
+            split.sink_side, screen=False, **kwargs
+        )
+        assert np.array_equal(screened.masks, unscreened.masks)
+
+    def test_engine_stats_carry_block_accounting(self):
+        _net, split, assignments = _fig4_split()
+        _source, _sink, stats = build_realization_arrays(
+            split,
+            source="s",
+            sink="t",
+            assignments=assignments,
+            demand=2,
+            workers=2,
+            block_bits=5,
+        )
+        assert stats["block_bits"] == 5
+        assert stats["block_screened"] > 0
+        assert stats["screened_solves"] >= stats["block_screened"]
+
+
+class TestBlockedKernelErrors:
+    def test_bad_block_bits_rejected(self):
+        _net, split, assignments = _fig4_split()
+        with pytest.raises(ReproValueError, match="block_bits"):
+            build_side_array_blocked(
+                split.source_side,
+                role="source",
+                terminal="s",
+                ports=split.source_ports,
+                assignments=assignments,
+                demand=2,
+                block_bits=0,
+            )
+
+
+class TestShardPlan:
+    def test_two_sides_and_unique_keys(self):
+        net = fujita_fig4()
+        sides, units = plan_columns(
+            net,
+            FlowDemand("s", "t", 2),
+            sweep=SweepSpec.availability([0.8, 0.9]),
+        )
+        assert [s["role"] for s in sides] == ["source", "sink"]
+        keys = [u["key"] for u in units]
+        assert len(keys) == len(set(keys))
+        # availability sweeps share one demand: columns = assignments x sides
+        assert all(u["demand"] == 2 for u in units)
+
+    def test_sharded_sweep_rejects_zero_shards(self, tmp_path):
+        with pytest.raises(ReproValueError, match="shards"):
+            sharded_sweep(
+                fujita_fig4(),
+                FlowDemand("s", "t", 2),
+                sweep=SweepSpec.availability([0.8]),
+                shards=0,
+                cache_dir=str(tmp_path),
+            )
+
+
+class TestClaims:
+    def test_memory_only_cache_refuses_claims(self):
+        cache = ArrayCache()
+        with pytest.raises(ReproValueError, match="directory"):
+            cache.try_claim("k")
+        with pytest.raises(ReproValueError, match="directory"):
+            cache.release_claim("k")
+
+    def test_release_is_idempotent(self, tmp_path):
+        cache = ArrayCache(tmp_path)
+        assert cache.try_claim("k")
+        cache.release_claim("k")
+        cache.release_claim("k")  # no claim file left — still fine
+        assert cache.try_claim("k")
+
+
+class TestKernelInternals:
+    def test_blocked_masks_bit_identical_to_wrapper(self):
+        """``blocked_side_masks`` (uncounted kernel) and the counting
+        wrapper agree — the engine dispatch path returns the same rows."""
+        from repro.core.arrays import _side_template
+        from repro.flow.base import get_solver
+
+        _net, split, assignments = _fig4_split()
+        view = split.source_side
+        net = view.network
+        ports = list(split.source_ports)
+        template, port_names, s_idx, t_idx = _side_template(
+            net, role="source", terminal="s", ports=ports, demand=2
+        )
+        rows, stats = blocked_side_masks(
+            net,
+            template,
+            port_names,
+            s_idx,
+            t_idx,
+            role="source",
+            terminal="s",
+            ports=ports,
+            assignments=assignments,
+            demand=2,
+            solver=get_solver(None),
+            n_bits=net.num_links,
+            block_bits=6,
+        )
+        wrapped = build_side_array_blocked(
+            view,
+            role="source",
+            terminal="s",
+            ports=ports,
+            assignments=assignments,
+            demand=2,
+            block_bits=6,
+        )
+        assert stats.flow_calls > 0
+        assert np.array_equal(rows, wrapped.masks)

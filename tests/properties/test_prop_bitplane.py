@@ -1,0 +1,276 @@
+"""Property: the bit-parallel block kernel is a pure performance layer.
+
+The blocked kernel (:mod:`repro.core.bitplane`) and the share-nothing
+sharded build (:mod:`repro.core.shard`) exist only to reach the same
+§III-C realization bits faster.  These tests pin the acceptance bar:
+for every seed, block size, worker count and knob combination, the
+masks, the reliability value *and* the result ``details`` must be
+bit-identical to the serial scalar path — and a cache directory
+populated by any number of contending shard processes must serve a
+repeat sweep with zero max-flow solves.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.arrays import build_side_array
+from repro.core.assignments import enumerate_assignments
+from repro.core.bitplane import build_side_array_blocked
+from repro.core.bottleneck import bottleneck_reliability
+from repro.core.demand import FlowDemand
+from repro.core.shard import plan_columns, sharded_sweep
+from repro.core.sweep import ArrayCache, SweepSpec, compute_reliability_sweep
+from repro.graph.cuts import find_bottleneck
+from repro.graph.generators import bottlenecked_network
+from repro.graph.io import save
+
+SEEDS = [0, 7, 23]
+BLOCK_BITS = [4, 8, 14]
+WORKERS = [1, 2, 4]
+
+#: details keys that describe *how the solves were accounted*, not what
+#: was computed (same contract as the sweep property suite).
+ACCOUNTING_KEYS = ("engine", "array_cache", "obs")
+
+
+def _scrub(details):
+    return {k: v for k, v in details.items() if k not in ACCOUNTING_KEYS}
+
+
+def _instance(seed):
+    return bottlenecked_network(
+        source_side_links=5,
+        sink_side_links=4,
+        num_bottlenecks=2,
+        demand=2,
+        seed=seed,
+    )
+
+
+def _split(net):
+    split = find_bottleneck(net, "s", "t", max_size=3)
+    assert split is not None
+    capacities = [net.link(i).capacity for i in split.cut]
+    return split, enumerate_assignments(capacities, 2)
+
+
+class TestBlockedMasksBitIdentity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("block_bits", BLOCK_BITS)
+    @pytest.mark.parametrize("screen", [False, True])
+    def test_source_side_masks(self, seed, block_bits, screen):
+        net = _instance(seed)
+        split, assignments = _split(net)
+        scalar = build_side_array(
+            split.source_side,
+            role="source",
+            terminal="s",
+            ports=split.source_ports,
+            assignments=assignments,
+            demand=2,
+        )
+        blocked = build_side_array_blocked(
+            split.source_side,
+            role="source",
+            terminal="s",
+            ports=split.source_ports,
+            assignments=assignments,
+            demand=2,
+            screen=screen,
+            block_bits=block_bits,
+        )
+        assert np.array_equal(scalar.masks, blocked.masks)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("prune", [False, True])
+    @pytest.mark.parametrize("incremental", [False, True])
+    def test_knob_combinations(self, seed, prune, incremental):
+        net = _instance(seed)
+        split, assignments = _split(net)
+        kwargs = dict(
+            role="sink",
+            terminal="t",
+            ports=split.sink_ports,
+            assignments=assignments,
+            demand=2,
+            prune=prune,
+            incremental=incremental,
+        )
+        scalar = build_side_array(split.sink_side, **kwargs)
+        blocked = build_side_array_blocked(
+            split.sink_side, block_bits=6, **kwargs
+        )
+        assert np.array_equal(scalar.masks, blocked.masks)
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=300),
+        block_bits=st.integers(min_value=1, max_value=14),
+        screen=st.booleans(),
+        prune=st.booleans(),
+    )
+    def test_arbitrary_block_sizes(self, seed, block_bits, screen, prune):
+        """Any block size from single-entry to bigger-than-the-lattice."""
+        net = bottlenecked_network(
+            source_side_links=4,
+            sink_side_links=3,
+            num_bottlenecks=2,
+            demand=2,
+            seed=seed,
+        )
+        split, assignments = _split(net)
+        kwargs = dict(
+            role="source",
+            terminal="s",
+            ports=split.source_ports,
+            assignments=assignments,
+            demand=2,
+            prune=prune,
+        )
+        scalar = build_side_array(split.source_side, **kwargs)
+        blocked = build_side_array_blocked(
+            split.source_side, block_bits=block_bits, screen=screen, **kwargs
+        )
+        assert np.array_equal(scalar.masks, blocked.masks)
+
+
+class TestBlockedValueBitIdentity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("block_bits", BLOCK_BITS)
+    def test_serial_blocked_point(self, seed, block_bits):
+        net = _instance(seed)
+        demand = FlowDemand("s", "t", 2)
+        scalar = bottleneck_reliability(net, demand)
+        blocked = bottleneck_reliability(net, demand, block_bits=block_bits)
+        assert blocked.value == scalar.value
+        assert _scrub(blocked.details) == _scrub(scalar.details)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("workers", WORKERS)
+    def test_chunked_blocked_point(self, seed, workers):
+        """``--workers`` (high-bit chunks) composes with ``--block-bits``
+        (in-chunk vector blocks); the pair must still be bit-identical
+        to the plain scalar build."""
+        net = _instance(seed)
+        demand = FlowDemand("s", "t", 2)
+        scalar = bottleneck_reliability(net, demand, workers=workers)
+        blocked = bottleneck_reliability(
+            net, demand, workers=workers, block_bits=4
+        )
+        assert blocked.value == scalar.value
+        assert _scrub(blocked.details) == _scrub(scalar.details)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_blocked_sweep_matches_pointwise(self, seed):
+        net = _instance(seed)
+        demand = FlowDemand("s", "t", 2)
+        spec = SweepSpec.availability(list(np.linspace(0.7, 0.99, 4)))
+        swept = compute_reliability_sweep(
+            net, demand, sweep=spec, block_bits=5
+        )
+        for i, result in enumerate(swept):
+            point = bottleneck_reliability(spec.point_network(net, i), demand)
+            assert result.value == point.value
+            assert _scrub(result.details) == _scrub(point.details)
+
+
+class TestShardedBuilds:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_sharded_sweep_bit_identity(self, tmp_path, seed, shards):
+        net = _instance(seed)
+        demand = FlowDemand("s", "t", 2)
+        spec = SweepSpec.availability([0.8, 0.9, 0.95])
+        plain = compute_reliability_sweep(net, demand, sweep=spec)
+        sharded = sharded_sweep(
+            net,
+            demand,
+            sweep=spec,
+            shards=shards,
+            cache_dir=str(tmp_path / f"cache{shards}"),
+        )
+        assert sharded.values == plain.values
+        for mine, theirs in zip(sharded, plain):
+            assert _scrub(mine.details) == _scrub(theirs.details)
+
+    @pytest.mark.parametrize("block_bits", [None, 5])
+    def test_warm_rerun_solves_nothing(self, tmp_path, block_bits):
+        net = _instance(0)
+        demand = FlowDemand("s", "t", 2)
+        spec = SweepSpec.availability([0.8, 0.95])
+        cache_dir = str(tmp_path / "cache")
+        cold = sharded_sweep(
+            net, demand, sweep=spec, shards=2,
+            cache_dir=cache_dir, block_bits=block_bits,
+        )
+        assert cold.flow_calls > 0
+        warm = sharded_sweep(
+            net, demand, sweep=spec, shards=2,
+            cache_dir=cache_dir, block_bits=block_bits,
+        )
+        assert warm.flow_calls == 0
+        assert warm.values == cold.values
+        assert not list(Path(cache_dir).glob("*.claim"))
+
+    def test_shard_contention_two_processes(self, tmp_path):
+        """Two *independent CLI runs* race on one cache directory: the
+        claim files distribute the columns, both runs report the same
+        curve, and no stale claims survive."""
+        net = _instance(0)
+        save(net, tmp_path / "net.json")
+        cache_dir = tmp_path / "cache"
+        argv = [
+            sys.executable, "-m", "repro", "sweep", str(tmp_path / "net.json"),
+            "-s", "s", "-t", "t", "-d", "2",
+            "--availability", "0.8:0.95:3",
+            "--cache-dir", str(cache_dir),
+            "--shard", "2", "--block-bits", "5",
+            "--no-ledger", "--json",
+        ]
+        procs = [
+            subprocess.Popen(argv, stdout=subprocess.PIPE, text=True)
+            for _ in range(2)
+        ]
+        outputs = [json.loads(p.communicate(timeout=300)[0]) for p in procs]
+        assert all(p.returncode == 0 for p in procs)
+        assert outputs[0]["points"] == outputs[1]["points"]
+        _, units = plan_columns(
+            net, FlowDemand("s", "t", 2),
+            sweep=SweepSpec.availability([0.8, 0.875, 0.95]),
+        )
+        assert len(list(cache_dir.glob("*.npy"))) == len(units)
+        assert not list(cache_dir.glob("*.claim"))
+
+
+class TestClaimProtocol:
+    def test_claim_is_exclusive_until_released(self, tmp_path):
+        cache = ArrayCache(tmp_path)
+        assert cache.try_claim("k") is True
+        assert cache.try_claim("k") is False
+        cache.release_claim("k")
+        assert cache.try_claim("k") is True
+
+    def test_contains_sees_disk_and_memory(self, tmp_path):
+        cache = ArrayCache(tmp_path)
+        assert not cache.contains("k")
+        cache.put("k", np.zeros(4, dtype=bool))
+        assert cache.contains("k")
+        fresh = ArrayCache(tmp_path)
+        assert fresh.contains("k")
+
+    def test_plan_columns_dedupes_across_rates(self):
+        net = _instance(0)
+        demand = FlowDemand("s", "t", 2)
+        sides, units = plan_columns(
+            net, demand, sweep=SweepSpec.demand_rates([1, 2])
+        )
+        assert len(sides) == 2
+        keys = [u["key"] for u in units]
+        assert len(keys) == len(set(keys))
