@@ -12,6 +12,7 @@ Syntax tier (per-node):
 * :mod:`~repro.analysis.rules.parallelism` — RR108
 * :mod:`~repro.analysis.rules.lattices` — RR109
 * :mod:`~repro.analysis.rules.caching` — RR110
+* :mod:`~repro.analysis.rules.serving` — RR113
 
 Dataflow tier (flow-sensitive, CFG + fixpoint):
 
@@ -39,6 +40,7 @@ from repro.analysis.rules import (
     numerics,
     parallelism,
     randomness,
+    serving,
 )
 
 __all__ = [
@@ -55,4 +57,5 @@ __all__ = [
     "numerics",
     "parallelism",
     "randomness",
+    "serving",
 ]

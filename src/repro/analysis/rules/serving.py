@@ -1,0 +1,164 @@
+"""RR113 — blocking calls inside the serving daemon's handler paths.
+
+:mod:`repro.serve` is a single-threaded ``select()`` event loop: one
+blocked call stalls *every* connected client at once, and the request
+coalescing that makes warm answers cheap (one batch per wake) degrades
+into serial head-of-line blocking.  This rule statically rejects the
+three ways that has actually gone wrong in servers like this:
+
+* ``time.sleep`` — pacing belongs in the ``select`` timeout, never in
+  a handler;
+* ``subprocess`` / ``os.system`` / ``os.popen`` — a child process is
+  an unbounded synchronous wait (and the daemon answers queries from
+  its own in-process cache by design);
+* blocking socket reads (``recv`` / ``accept`` / ``makefile`` / ...)
+  outside the two modules sanctioned to touch sockets: ``server.py``
+  (whose loop only calls them on ``select``-ready non-blocking
+  sockets) and ``client.py`` (which runs in the *caller's* process).
+
+Scoped to ``serve`` package paths, so planner/protocol helpers are
+covered wherever they grow, and fixture trees scope like the source.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register_rule
+
+__all__ = ["BlockingCallInServeLoop"]
+
+#: Socket methods that block the calling thread until the peer acts.
+_BLOCKING_SOCKET_OPS = frozenset(
+    {
+        "accept",
+        "connect",
+        "create_connection",
+        "makefile",
+        "recv",
+        "recv_into",
+        "recvfrom",
+        "recvfrom_into",
+        "recvmsg",
+        "sendall",
+    }
+)
+
+#: ``os`` helpers that spawn a child and wait for it.
+_OS_SPAWN_CALLS = frozenset({"system", "popen", "spawnl", "spawnv"})
+
+#: Modules allowed to perform socket I/O: the event loop itself (which
+#: only touches ``select``-ready non-blocking sockets) and the blocking
+#: client (which runs outside the daemon process).
+_SOCKET_SANCTIONED = frozenset({"server.py", "client.py"})
+
+
+@register_rule
+class BlockingCallInServeLoop(Rule):
+    code = "RR113"
+    name = "blocking-call-in-serve-loop"
+    rationale = (
+        "repro.serve is a single-threaded select() loop; a time.sleep, "
+        "subprocess wait or blocking socket read in a handler path stalls "
+        "every connected client and defeats request coalescing"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_package("serve")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        socket_sanctioned = (
+            bool(ctx.parts) and ctx.parts[-1] in _SOCKET_SANCTIONED
+        )
+        time_aliases = _module_aliases(ctx.tree, "time")
+        os_aliases = _module_aliases(ctx.tree, "os")
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                yield from self._check_import(ctx, node)
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            receiver = func.value
+            if (
+                func.attr == "sleep"
+                and isinstance(receiver, ast.Name)
+                and receiver.id in time_aliases
+            ):
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    "time.sleep() in a serve handler path stalls every "
+                    "connected client; pace the loop with the select() "
+                    "timeout instead",
+                )
+            elif (
+                func.attr in _OS_SPAWN_CALLS
+                and isinstance(receiver, ast.Name)
+                and receiver.id in os_aliases
+            ):
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"os.{func.attr}() spawns a child and waits for it; "
+                    "the daemon must answer from its in-process cache",
+                )
+            elif func.attr in _BLOCKING_SOCKET_OPS and not socket_sanctioned:
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"blocking socket call .{func.attr}() outside the "
+                    "select() loop (server.py) or the out-of-process "
+                    "client (client.py)",
+                )
+
+    def _check_import(
+        self, ctx: ModuleContext, node: ast.Import | ast.ImportFrom
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".", 1)[0]
+                if root == "subprocess":
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        "import of subprocess in repro.serve; a child "
+                        "process is an unbounded synchronous wait inside "
+                        "the event loop",
+                    )
+            return
+        if node.module is None:
+            return
+        root = node.module.split(".", 1)[0]
+        if root == "subprocess":
+            yield ctx.finding(
+                node,
+                self.code,
+                "import from subprocess in repro.serve; a child process "
+                "is an unbounded synchronous wait inside the event loop",
+            )
+        elif root == "time":
+            offending = [a.name for a in node.names if a.name == "sleep"]
+            if offending:
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    "import of sleep from the time module in repro.serve; "
+                    "pace the loop with the select() timeout instead",
+                )
+
+
+def _module_aliases(tree: ast.Module, module: str) -> set[str]:
+    """Names bound to stdlib ``module`` by plain import statements."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module:
+                    aliases.add(alias.asname or module)
+    return aliases

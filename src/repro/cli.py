@@ -8,6 +8,8 @@ Usage::
     python -m repro compute network.json -s s -t t -d 2 --trace
     python -m repro sweep network.json -s s -t t -d 2 --availability 0.7:0.99:9 \
         --metrics-port 0 --events telemetry/
+    python -m repro serve --port 0 --cache-dir cache/ --warm network.json \
+        -s s -t t -d 2 --metrics-port 0
     python -m repro profile network.json -s s -t t -d 2 --method naive
     python -m repro distribution network.json -s s -t t
     python -m repro bounds network.json -s s -t t -d 2
@@ -290,6 +292,15 @@ def build_parser() -> argparse.ArgumentParser:
         "run against the same DIR performs zero max-flow solves",
     )
     sweep.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="bound the array cache: least-recently-used columns are "
+        "evicted (memory + disk, never racing a sharded builder's "
+        ".claim) once tracked bytes exceed BYTES",
+    )
+    sweep.add_argument(
         "--shard",
         type=int,
         default=None,
@@ -301,6 +312,70 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--json", action="store_true", help="machine-readable output")
     _add_telemetry_flags(sweep)
+
+    serve = sub.add_parser(
+        "serve",
+        help="reliability-as-a-service: a query daemon that coalesces "
+        "concurrent requests into shared sweep batches (newline-delimited "
+        "JSON over local TCP; see docs/SERVING.md)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: loopback)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port for the query protocol (0 = ephemeral; the bound "
+        "address is printed to stderr)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent realization-array cache shared with `repro sweep "
+        "--cache-dir`; queries on topologies already present answer with "
+        "zero max-flow solves",
+    )
+    serve.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="bound the array cache: least-recently-used columns are "
+        "evicted (memory + disk, never racing a sharded builder's "
+        ".claim) once tracked bytes exceed BYTES",
+    )
+    serve.add_argument(
+        "--warm",
+        action="append",
+        default=[],
+        metavar="NETWORK",
+        help="pre-build the realization arrays for this network JSON at "
+        "startup (repeatable; requires -s/-t/-d for the demand)",
+    )
+    serve.add_argument("--source", "-s", default=None, help="warm-demand source node")
+    serve.add_argument("--sink", "-t", default=None, help="warm-demand sink node")
+    serve.add_argument(
+        "--rate", "-d", type=int, default=None, help="warm-demand rate d"
+    )
+    serve.add_argument(
+        "--coalesce-window",
+        type=float,
+        default=0.005,
+        metavar="SECONDS",
+        help="after the first query of a round arrives, keep draining "
+        "newly-readable sockets this long so near-simultaneous queries "
+        "merge into one batch (default: 0.005)",
+    )
+    serve.add_argument(
+        "--solver",
+        default=None,
+        help=f"max-flow solver (default: {DEFAULT_SOLVER})",
+    )
+    _add_telemetry_flags(serve)
 
     runs = sub.add_parser("runs", help="inspect and compare the run ledger")
     # Shared by every runs subcommand so the flag may appear after the
@@ -435,8 +510,9 @@ class _ObsSession:
         args: argparse.Namespace,
         *,
         command: str,
-        net: FlowNetwork,
-        demand: FlowDemand,
+        net: FlowNetwork | None = None,
+        demand: FlowDemand | None = None,
+        input_payload: dict[str, Any] | None = None,
         params: dict[str, Any],
     ) -> None:
         self.args = args
@@ -454,15 +530,19 @@ class _ObsSession:
         self._completed = False
         # The input fingerprint covers the network and the demand, not
         # the method/options: diffing "same computation, different
-        # engine" is exactly what the ledger is for.
-        self._input_fp = content_hash(
-            {
+        # engine" is exactly what the ledger is for.  Commands without a
+        # single input network (``serve``) fingerprint their
+        # configuration via ``input_payload`` instead.
+        if input_payload is None:
+            if net is None or demand is None:
+                raise ReproValueError("session needs net+demand or input_payload")
+            input_payload = {
                 "net": to_dict(net),
                 "source": demand.source,
                 "sink": demand.sink,
                 "rate": demand.rate,
             }
-        )
+        self._input_fp = content_hash(input_payload)
 
     @property
     def active(self) -> bool:
@@ -476,6 +556,17 @@ class _ObsSession:
     def __enter__(self) -> "_ObsSession":
         if not self.active:
             return self
+        if self.args.metrics_port is not None:
+            # Bind *before* the telemetry session opens so the ephemeral
+            # port (``--metrics-port 0``) rides the ``start`` event's
+            # meta and the ledger params; the real recorder is swapped
+            # in below (handlers read ``server.recorder`` per request).
+            self.server = MetricsServer(
+                Recorder(),
+                port=self.args.metrics_port,
+                spool_dir=self.args.events,
+            )
+            self.params["metrics_port"] = self.server.port
         if self.args.events is not None:
             self._record_cm = telemetry_session(
                 self.args.events,
@@ -484,12 +575,8 @@ class _ObsSession:
         else:
             self._record_cm = record()
         self.recorder = self._record_cm.__enter__()
-        if self.args.metrics_port is not None:
-            self.server = MetricsServer(
-                self.recorder,
-                port=self.args.metrics_port,
-                spool_dir=self.args.events,
-            )
+        if self.server is not None:
+            self.server.recorder = self.recorder
             print(f"metrics endpoint: {self.server.url}", file=sys.stderr, flush=True)
         try:
             self._old_sigterm = signal.signal(signal.SIGTERM, _raise_terminated)
@@ -721,11 +808,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         except ValueError as exc:
             raise ReproValueError(f"cannot parse --rates list {args.rates!r}") from exc
         spec = SweepSpec.demand_rates(rates)
+    if args.cache_max_bytes is not None and args.cache_dir is None:
+        raise ReproValueError("--cache-max-bytes requires --cache-dir")
     net = load(args.network)
     if overrides:
         net = net.with_failure_probabilities(overrides)
     demand = FlowDemand(args.source, args.sink, args.rate)
-    cache = ArrayCache(args.cache_dir) if args.cache_dir is not None else None
+    cache = (
+        ArrayCache(args.cache_dir, max_bytes=args.cache_max_bytes)
+        if args.cache_dir is not None
+        else None
+    )
     session = _ObsSession(
         args,
         command="sweep",
@@ -739,6 +832,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "shard": args.shard,
             "incremental": args.incremental,
             "cache_dir": args.cache_dir,
+            "cache_max_bytes": args.cache_max_bytes,
         },
     )
     with session:
@@ -795,6 +889,75 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"array cache: {stats['hits']} hits, {stats['misses']} misses, "
             f"{stats['bytes_read'] + stats['bytes_written']} bytes"
         )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import ReliabilityServer  # local: daemon-only path
+
+    if args.cache_max_bytes is not None and args.cache_dir is None:
+        raise ReproValueError("--cache-max-bytes requires --cache-dir")
+    if args.warm and (args.source is None or args.sink is None or args.rate is None):
+        raise ReproValueError("--warm requires --source/--sink/--rate")
+    warm_nets = [load(path) for path in args.warm]
+    cache = ArrayCache(args.cache_dir, max_bytes=args.cache_max_bytes)
+    # Bind before the session opens so the bound (possibly ephemeral)
+    # port rides the telemetry ``start`` event and the ledger params.
+    server = ReliabilityServer(
+        host=args.host,
+        port=args.port,
+        cache=cache,
+        solver=args.solver,
+        coalesce_window=args.coalesce_window,
+    )
+    session = _ObsSession(
+        args,
+        command="serve",
+        input_payload={
+            "serve": {
+                "host": args.host,
+                "cache_dir": args.cache_dir,
+                "cache_max_bytes": args.cache_max_bytes,
+                "solver": args.solver,
+                "warm": sorted(args.warm),
+            }
+        },
+        params={
+            "host": server.host,
+            "port": server.port,
+            "cache_dir": args.cache_dir,
+            "cache_max_bytes": args.cache_max_bytes,
+            "coalesce_window": args.coalesce_window,
+            "warm": len(args.warm) or None,
+        },
+    )
+    try:
+        with session:
+            print(f"serving on {server.address}", file=sys.stderr, flush=True)
+            for path, warm_net in zip(args.warm, warm_nets):
+                demand = FlowDemand(args.source, args.sink, args.rate)
+                solves = server.warm(warm_net, demand)
+                print(
+                    f"warmed {path}: {solves} max-flow solves",
+                    file=sys.stderr,
+                    flush=True,
+                )
+            # Runs until a protocol ``shutdown`` op (ledger: completed)
+            # or SIGTERM, which unwinds through select() as _Terminated
+            # (ledger: interrupted) — the same kill-safety contract as
+            # compute/sweep.
+            server.serve_forever()
+            session.complete(value=server.queries_served)
+    finally:
+        server.close()
+    stats = server.cache.stats()
+    print(
+        f"served {server.queries_served} queries in {server.rounds} "
+        f"batch rounds ({server.torn_requests} torn); array cache: "
+        f"{stats['hits']} hits, {stats['misses']} misses, "
+        f"{stats['evictions']} evictions",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -1061,6 +1224,7 @@ _COMMANDS = {
     "compute": _cmd_compute,
     "profile": _cmd_profile,
     "sweep": _cmd_sweep,
+    "serve": _cmd_serve,
     "runs": _cmd_runs,
     "top": _cmd_top,
     "bounds": _cmd_bounds,

@@ -36,7 +36,20 @@ from repro.graph.network import FlowNetwork, Node
 from repro.obs.export import phase_summary
 from repro.obs.recorder import current_recorder
 
-__all__ = ["compute_reliability", "available_methods"]
+__all__ = [
+    "COALESCIBLE_METHODS",
+    "available_methods",
+    "compute_reliability",
+    "dispatch_query",
+    "is_coalescible",
+]
+
+#: Methods the serving daemon (:mod:`repro.serve`) may merge into one
+#: coalesced sweep batch: only the bottleneck pipeline separates the
+#: combinatorial phase (cacheable realization arrays) from the
+#: probability phase, which is what :func:`repro.core.sweep.plan_batch`
+#: exploits.  ``None`` (no explicit method) coalesces as ``"auto"``.
+COALESCIBLE_METHODS = frozenset({"auto", "bottleneck"})
 
 #: "auto" only picks naive below this many links (it is never *better*
 #: than factoring, just simpler to predict).
@@ -116,6 +129,35 @@ def compute_reliability(
         # benches and dashboards read it off the result directly.
         result.details["obs"] = phase_summary(recorder)
     return result
+
+
+def is_coalescible(method: str | None) -> bool:
+    """Whether a served query with ``method`` may join a coalesced batch.
+
+    The daemon routes everything else (explicit naive, factoring,
+    Monte-Carlo, ...) through :func:`dispatch_query` individually.
+    """
+    return method is None or method in COALESCIBLE_METHODS
+
+
+def dispatch_query(
+    net: FlowNetwork,
+    demand: FlowDemand,
+    *,
+    method: str | None = None,
+    **options: Any,
+) -> ReliabilityResult | EstimateResult:
+    """Engine dispatch for one served query.
+
+    The per-query back door of the serving daemon: queries that cannot
+    ride a coalesced sweep batch — an explicit non-bottleneck method, or
+    a topology with no admissible bottleneck cut — are answered here,
+    through exactly the same dispatch chain as the CLI's ``repro
+    compute`` (so served values stay pinned to the pointwise path).
+    """
+    return compute_reliability(
+        net, demand=demand, method=method if method is not None else "auto", **options
+    )
 
 
 def _dispatch(

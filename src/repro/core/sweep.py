@@ -70,6 +70,8 @@ from repro.graph.network import FlowNetwork, Node
 from repro.graph.transforms import SideSplit, SubnetworkView
 from repro.obs.recorder import (
     ARRAY_CACHE_BYTES,
+    ARRAY_CACHE_EVICTED_BYTES,
+    ARRAY_CACHE_EVICTIONS,
     ARRAY_CACHE_HITS,
     ARRAY_CACHE_MISSES,
     ASSIGNMENTS_ENUMERATED,
@@ -82,10 +84,15 @@ from repro.probability.zeta import superset_zeta_rows
 
 __all__ = [
     "ArrayCache",
+    "BatchPlan",
+    "BatchResult",
     "SweepSpec",
     "SweepResult",
     "cached_side_array",
     "compute_reliability_sweep",
+    "evaluate_batch",
+    "network_fingerprint",
+    "plan_batch",
     "probability_grid",
     "side_fingerprint",
 ]
@@ -126,6 +133,29 @@ def side_fingerprint(
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+def network_fingerprint(net: FlowNetwork) -> str:
+    """Canonical digest of a whole network's topology.
+
+    The full-network twin of :func:`side_fingerprint`: node list plus
+    every link's endpoints, capacity and directedness in link-index
+    order.  Failure probabilities are deliberately excluded — two
+    networks with the same fingerprint share every realization column,
+    which is exactly the merge test :func:`plan_batch` groups queries
+    by (a probability difference is expressible as an ``overrides``
+    sweep point on either network).
+    """
+    payload = {
+        "v": _FINGERPRINT_VERSION,
+        "nodes": [repr(n) for n in net.nodes()],
+        "links": [
+            [repr(link.tail), repr(link.head), int(link.capacity), bool(link.directed)]
+            for link in net.links()
+        ],
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
 def _column_key(side_digest: str, assignment: Sequence[int]) -> str:
     """Key of one realization column: the side digest + the assignment.
 
@@ -149,21 +179,54 @@ class ArrayCache:
     because the columns are ground truth and those knobs are pinned
     bit-identical by the property suites; none of them is part of the
     key.
+
+    ``max_bytes`` bounds the resident bytes of tracked columns (packed
+    payload; on-disk entries by file size).  When a :meth:`put` or
+    :meth:`get` pushes the total past the bound, least-recently-used
+    keys are evicted — dropped from memory *and* unlinked from the disk
+    tier — until the total fits again.  Eviction is claim-file-aware:
+    a key with a live ``<key>.claim`` (a PR 8 sharded builder is about
+    to publish or depend on it) is never evicted, so bounded caches and
+    share-nothing sharded builds compose.  The just-touched key is
+    likewise protected, so a single column larger than the bound still
+    serves (the cache degrades to holding one column, it never
+    thrashes the working item).
     """
 
-    def __init__(self, directory: str | os.PathLike[str] | None = None) -> None:
+    def __init__(
+        self,
+        directory: str | os.PathLike[str] | None = None,
+        *,
+        max_bytes: int | None = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ReproValueError("max_bytes must be a positive byte count")
         self._memory: dict[str, np.ndarray] = {}
         self.directory = Path(directory) if directory is not None else None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        #: Insertion order is recency order (oldest first); values are
+        #: the accounted byte size per key.
+        self._sizes: dict[str, int] = {}
+        self._total_bytes = 0
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        self.evictions = 0
+        self.evicted_bytes = 0
+        if self.max_bytes is not None and self.directory is not None:
+            self._adopt_disk_tier()
 
     def __len__(self) -> int:
         return len(self._memory)
+
+    @property
+    def total_bytes(self) -> int:
+        """Accounted bytes of every tracked column (memory + disk)."""
+        return self._total_bytes
 
     def stats(self) -> dict[str, int]:
         """Cumulative counters since construction."""
@@ -173,7 +236,70 @@ class ArrayCache:
             "stores": self.stores,
             "bytes_read": self.bytes_read,
             "bytes_written": self.bytes_written,
+            "evictions": self.evictions,
+            "evicted_bytes": self.evicted_bytes,
         }
+
+    # -- the LRU bound ------------------------------------------------------
+
+    def _adopt_disk_tier(self) -> None:
+        """Track pre-existing ``.npy`` files so the bound covers them.
+
+        Ordered oldest-modified first: files from earlier runs are the
+        least recently used until something touches them again.
+        """
+        assert self.directory is not None
+        entries: list[tuple[float, str, int]] = []
+        for path in self.directory.glob("*.npy"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, path.stem, int(stat.st_size)))
+        for _, key, size in sorted(entries):
+            self._sizes[key] = size
+            self._total_bytes += size
+        self._enforce_bound(protect=None)
+
+    def _touch(self, key: str, size: int) -> None:
+        """Record ``key`` as most recently used (and its accounted size)."""
+        if self.max_bytes is None:
+            return
+        previous = self._sizes.pop(key, None)
+        if previous is not None:
+            self._total_bytes -= previous
+        self._sizes[key] = size
+        self._total_bytes += size
+        self._enforce_bound(protect=key)
+
+    def _enforce_bound(self, protect: str | None) -> None:
+        if self.max_bytes is None:
+            return
+        while self._total_bytes > self.max_bytes:
+            victim = self._pick_victim(protect)
+            if victim is None:
+                return
+            self._evict(victim)
+
+    def _pick_victim(self, protect: str | None) -> str | None:
+        for key in self._sizes:  # insertion order == recency order
+            if key == protect:
+                continue
+            if self.directory is not None and self._claim_path(key).exists():
+                continue  # a sharded builder holds this key — never race it
+            return key
+        return None
+
+    def _evict(self, key: str) -> None:
+        size = self._sizes.pop(key)
+        self._total_bytes -= size
+        self._memory.pop(key, None)
+        if self.directory is not None:
+            self._path(key).unlink(missing_ok=True)
+        self.evictions += 1
+        self.evicted_bytes += size
+        count(ARRAY_CACHE_EVICTIONS, 1)
+        count(ARRAY_CACHE_EVICTED_BYTES, size)
 
     def _path(self, key: str) -> Path:
         assert self.directory is not None
@@ -243,6 +369,7 @@ class ArrayCache:
         self.bytes_read += int(packed.nbytes)
         count(ARRAY_CACHE_HITS, 1)
         count(ARRAY_CACHE_BYTES, int(packed.nbytes))
+        self._touch(key, int(packed.nbytes))
         column = np.unpackbits(
             packed, count=num_configurations, bitorder="little"
         ).astype(bool)
@@ -264,6 +391,7 @@ class ArrayCache:
                 with open(tmp, "wb") as handle:
                     np.save(handle, packed)
                 os.replace(tmp, path)
+        self._touch(key, int(packed.nbytes))
 
 
 def _build_missing(
@@ -996,4 +1124,165 @@ def _probability_sweep(
         results=tuple(results),
         flow_calls=source_array.flow_calls + sink_array.flow_calls,
         cache_stats={},
+    )
+
+
+# -- request coalescing: the batch planner ---------------------------------
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """One merged sweep covering several submitted query points.
+
+    ``net`` is the first member's network; every member is expressed as
+    one ``overrides`` sweep point carrying its *full* failure vector, so
+    :meth:`SweepSpec.point_network` reconstructs each member's network
+    exactly (the topologies are fingerprint-identical by construction).
+    """
+
+    #: Base network of the group (first member's).
+    net: FlowNetwork
+    #: Shared demand (same source, sink and rate for every member).
+    demand: FlowDemand
+    #: ``kind="overrides"`` spec with one point per member, in
+    #: ``indices`` order.
+    spec: SweepSpec
+    #: Positions of the members in the submitted query sequence.
+    indices: tuple[int, ...]
+    #: The merge key: topology fingerprint + terminals + rate.
+    key: str
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """An evaluated batch, scattered back to submission order."""
+
+    #: One result per submitted query, aligned with the input sequence.
+    results: tuple[ReliabilityResult, ...]
+    #: Max-flow solves spent by the whole batch (0 on a warm cache).
+    flow_calls: int
+    #: The merged plans, in first-appearance order.
+    plans: tuple[BatchPlan, ...]
+    #: Solves spent per plan (aligned with ``plans``).
+    plan_flow_calls: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+def _batch_key(net: FlowNetwork, demand: FlowDemand) -> str:
+    return "|".join(
+        (
+            network_fingerprint(net),
+            repr(demand.source),
+            repr(demand.sink),
+            str(int(demand.rate)),
+        )
+    )
+
+
+def plan_batch(
+    queries: Sequence[tuple[FlowNetwork, FlowDemand]],
+) -> list[BatchPlan]:
+    """Merge query points into per-topology sweep plans.
+
+    Queries sharing a topology fingerprint, terminals and demand rate
+    collapse into **one** plan — one cut search, one cached array
+    build, one vectorized Eq. 2/3 grid — no matter how their failure
+    probabilities differ: each member becomes one ``overrides`` sweep
+    point carrying its full failure vector.  This is the serving
+    daemon's coalescing mechanism, exposed as a plain function so the
+    merge is unit-testable without sockets.
+
+    Plans appear in first-appearance order; ``BatchPlan.indices`` maps
+    each plan's sweep points back to positions in ``queries``.
+    """
+    if not queries:
+        return []
+    with span("sweep.plan", queries=len(queries)):
+        groups: dict[str, list[int]] = {}
+        for index, (net, demand) in enumerate(queries):
+            demand.validate_against(net)
+            groups.setdefault(_batch_key(net, demand), []).append(index)
+        plans: list[BatchPlan] = []
+        for key, indices in groups.items():
+            base_net, base_demand = queries[indices[0]]
+            rows: list[dict[int, float]] = []
+            for index in indices:
+                member_net, _ = queries[index]
+                rows.append(
+                    {
+                        i: float(p)
+                        for i, p in enumerate(member_net.failure_probabilities())
+                    }
+                )
+            plans.append(
+                BatchPlan(
+                    net=base_net,
+                    demand=base_demand,
+                    spec=SweepSpec.overrides(rows),
+                    indices=tuple(indices),
+                    key=key,
+                )
+            )
+    return plans
+
+
+def evaluate_batch(
+    queries: Sequence[tuple[FlowNetwork, FlowDemand]],
+    *,
+    cut: Sequence[int] | None = None,
+    solver: str | MaxFlowSolver | None = None,
+    strategy: str = "auto",
+    prune: bool = True,
+    max_cut_size: int = 3,
+    workers: int | None = None,
+    screen: bool = True,
+    incremental: bool | None = None,
+    block_bits: int | None = None,
+    cache: ArrayCache | None = None,
+) -> BatchResult:
+    """Answer every query through the merged plans of :func:`plan_batch`.
+
+    One :func:`compute_reliability_sweep` runs per plan against the
+    shared ``cache``; results are scattered back to submission order,
+    each bit-identical to a fresh :func:`bottleneck_reliability` call on
+    the member's own network (the sweep engine's pinned property).  A
+    plan that cannot decompose raises — callers needing per-query
+    isolation (the serving planner) run plans individually.
+    """
+    plans = plan_batch(queries)
+    the_cache = cache if cache is not None else ArrayCache()
+    scattered: list[ReliabilityResult | None] = [None] * len(queries)
+    plan_flow_calls: list[int] = []
+    total = 0
+    with span("sweep.batch", queries=len(queries), plans=len(plans)):
+        for plan in plans:
+            swept = compute_reliability_sweep(
+                plan.net,
+                plan.demand,
+                sweep=plan.spec,
+                cut=cut,
+                solver=solver,
+                strategy=strategy,
+                prune=prune,
+                max_cut_size=max_cut_size,
+                workers=workers,
+                screen=screen,
+                incremental=incremental,
+                block_bits=block_bits,
+                cache=the_cache,
+            )
+            plan_flow_calls.append(swept.flow_calls)
+            total += swept.flow_calls
+            for position, result in zip(plan.indices, swept.results):
+                scattered[position] = result
+    results = tuple(r for r in scattered if r is not None)
+    if len(results) != len(queries):  # pragma: no cover - plan_batch covers all
+        raise ReproValueError("batch planning failed to cover every query")
+    return BatchResult(
+        results=results,
+        flow_calls=total,
+        plans=tuple(plans),
+        plan_flow_calls=tuple(plan_flow_calls),
     )

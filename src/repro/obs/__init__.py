@@ -46,6 +46,9 @@ from repro.obs.recorder import (
     KNOWN_TICKER_LABELS,
     MC_SAMPLES,
     SCREENED_SOLVES,
+    SERVE_COALESCED,
+    SERVE_QUERIES,
+    SERVE_WARM_HITS,
     Recorder,
     SpanRecord,
     count,
@@ -84,6 +87,9 @@ __all__ = [
     "RunDiff",
     "RunLedger",
     "SCREENED_SOLVES",
+    "SERVE_COALESCED",
+    "SERVE_QUERIES",
+    "SERVE_WARM_HITS",
     "SpanRecord",
     "SpoolSummary",
     "SpoolTailer",

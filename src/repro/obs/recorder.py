@@ -33,6 +33,8 @@ from repro.exceptions import ReproValueError
 
 __all__ = [
     "ARRAY_CACHE_BYTES",
+    "ARRAY_CACHE_EVICTED_BYTES",
+    "ARRAY_CACHE_EVICTIONS",
     "ARRAY_CACHE_HITS",
     "ARRAY_CACHE_MISSES",
     "ASSIGNMENTS_ENUMERATED",
@@ -40,6 +42,9 @@ __all__ = [
     "BLOCK_SCREENED",
     "CONFIGURATIONS_ENUMERATED",
     "SHARD_CLAIMS",
+    "SERVE_COALESCED",
+    "SERVE_QUERIES",
+    "SERVE_WARM_HITS",
     "FLOW_REPAIRS",
     "FLOW_SOLVES",
     "AUGMENTING_PATHS_SAVED",
@@ -114,6 +119,21 @@ BLOCK_SCREENED = "block_screened"
 #: process during a share-nothing sharded build
 #: (``repro.core.shard``): one per ``.claim`` file won atomically.
 SHARD_CLAIMS = "shard_claims"
+#: Columns evicted from a bounded :class:`~repro.core.sweep.ArrayCache`
+#: (``max_bytes`` LRU): dropped from memory and unlinked from disk.
+ARRAY_CACHE_EVICTIONS = "array_cache_evictions"
+#: Accounted bytes reclaimed by those evictions.
+ARRAY_CACHE_EVICTED_BYTES = "array_cache_evicted_bytes"
+#: Queries decoded and answered by the serving daemon
+#: (``repro.serve``): one per protocol ``query`` op.
+SERVE_QUERIES = "serve_queries"
+#: Queries answered by a merged batch beyond the first member — for a
+#: plan covering ``n`` queries, ``n - 1`` of them rode along on one cut
+#: search / array build / Eq. 2-3 grid.
+SERVE_COALESCED = "serve_coalesced"
+#: Queries answered with **zero** max-flow solves (every realization
+#: column came from the warm :class:`~repro.core.sweep.ArrayCache`).
+SERVE_WARM_HITS = "serve_warm_hits"
 
 #: The catalogue, for documentation and validation in tests.
 KNOWN_COUNTERS = frozenset(
@@ -129,8 +149,13 @@ KNOWN_COUNTERS = frozenset(
         ARRAY_CACHE_HITS,
         ARRAY_CACHE_MISSES,
         ARRAY_CACHE_BYTES,
+        ARRAY_CACHE_EVICTIONS,
+        ARRAY_CACHE_EVICTED_BYTES,
         BLOCK_SCREENED,
         SHARD_CLAIMS,
+        SERVE_QUERIES,
+        SERVE_COALESCED,
+        SERVE_WARM_HITS,
     }
 )
 
@@ -163,12 +188,17 @@ KNOWN_SPANS = frozenset(
         "naive.enumerate",
         "parallel.chunk",
         "probability.table",
+        "serve.batch",
+        "serve.query",
+        "serve.warm",
         "shard.build",
         "sweep.accumulate",
         "sweep.array_cache",
         "sweep.arrays",
         "sweep.assignments",
+        "sweep.batch",
         "sweep.cut_search",
+        "sweep.plan",
         "sweep.run",
     }
 )

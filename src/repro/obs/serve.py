@@ -24,8 +24,10 @@ Routes
       progress.
 
 ``/trace.json``
-    The full live trace (:func:`repro.obs.export.trace_to_dict`) plus a
-    ``workers`` snapshot — the feed ``repro top`` renders.
+    The full live trace (:func:`repro.obs.export.trace_to_dict`) plus
+    an ``endpoint`` block (bound host/port — the ephemeral-port
+    contract of ``--metrics-port 0``) and a ``workers`` snapshot — the
+    feed ``repro top`` renders.
 
 Counter/gauge names are sanitised for Prometheus by mapping every
 non-``[a-zA-Z0-9_]`` character to ``_`` (so ``array_cache_hits`` stays
@@ -135,18 +137,38 @@ class MetricsServer:
         spool_dir: str | Path | None = None,
         host: str = "127.0.0.1",
     ) -> None:
+        #: Mutable on purpose: the CLI binds the socket *before* the
+        #: telemetry session exists (so the ephemeral port can ride the
+        #: ``start`` event) and swaps the real recorder in afterwards.
+        #: Handlers read this attribute per request.
         self.recorder = recorder
         self.tailer = SpoolTailer(spool_dir) if spool_dir is not None else None
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._drained = threading.Event()
+        self._drained.set()
         server = self
 
         class _Handler(BaseHTTPRequestHandler):
             def do_GET(self) -> None:  # noqa: N802 - http.server API
+                server._enter_request()
+                try:
+                    self._do_GET_inner()
+                finally:
+                    server._exit_request()
+
+            def _do_GET_inner(self) -> None:
                 path = self.path.split("?", 1)[0]
                 if path in ("/", "/metrics"):
                     body = render_prometheus(server.recorder, server.tailer)
                     self._reply(body, "text/plain; version=0.0.4; charset=utf-8")
                 elif path == "/trace.json":
                     payload = trace_to_dict(server.recorder)
+                    payload["endpoint"] = {
+                        "host": server._httpd.server_address[0],
+                        "port": server.port,
+                        "url": server.url,
+                    }
                     if server.tailer is not None:
                         server.tailer.poll()
                         payload["workers"] = server.tailer.snapshot()
@@ -187,9 +209,28 @@ class MetricsServer:
         host = self._httpd.server_address[0]
         return f"http://{host}:{self.port}"
 
-    def stop(self) -> None:
-        """Shut the server down and join its thread (idempotent)."""
+    def _enter_request(self) -> None:
+        with self._inflight_lock:
+            self._inflight += 1
+            self._drained.clear()
+
+    def _exit_request(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._drained.set()
+
+    def stop(self, *, drain_timeout: float = 5.0) -> None:
+        """Shut the server down gracefully (idempotent).
+
+        Stops accepting new scrapes, then **waits for in-flight
+        requests to finish** (up to ``drain_timeout`` seconds) before
+        closing the socket — ``daemon_threads`` means ``server_close``
+        alone would abandon a handler mid-reply, which is exactly what
+        a scraper sees as a torn response on SIGTERM.
+        """
         self._httpd.shutdown()
+        self._drained.wait(timeout=drain_timeout)
         self._httpd.server_close()
         if self._thread.is_alive():
             self._thread.join(timeout=5.0)

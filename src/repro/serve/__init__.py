@@ -1,0 +1,49 @@
+"""repro.serve — reliability-as-a-service for ROADMAP item 1.
+
+A long-lived, single-threaded daemon answering reliability queries over
+local TCP (newline-delimited JSON, schema ``repro.serve/query/v1``),
+built on the PR 5/8 sweep cache so the paper's §III-C realization
+arrays are built once and shared by every query on the same topology:
+
+* :mod:`repro.serve.protocol` — the wire codec and error vocabulary;
+* :mod:`repro.serve.planner` — request coalescing: a round of queries
+  merges through :func:`repro.core.sweep.plan_batch` into one cut
+  search / array build / vectorized Eq. 2-3 grid per topology;
+* :mod:`repro.serve.server` — the ``select()`` event loop
+  (:class:`ReliabilityServer`);
+* :mod:`repro.serve.client` — a small blocking client
+  (:class:`ReliabilityClient`) for tests, benches and scripts.
+
+Warm-cache queries answer with **zero** max-flow solves, bit-identical
+to a fresh :func:`~repro.core.bottleneck.bottleneck_reliability` call —
+the serving twin of the sweep engine's pinned property.  Start one with
+``repro serve`` (see ``docs/SERVING.md``).
+"""
+
+from __future__ import annotations
+
+from repro.serve.client import ReliabilityClient
+from repro.serve.planner import answer_queries
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    QUERY_SCHEMA,
+    RESPONSE_SCHEMA,
+    Query,
+    decode_query,
+    encode_line,
+)
+from repro.serve.server import ReliabilityServer
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "ProtocolError",
+    "QUERY_SCHEMA",
+    "Query",
+    "RESPONSE_SCHEMA",
+    "ReliabilityClient",
+    "ReliabilityServer",
+    "answer_queries",
+    "decode_query",
+    "encode_line",
+]

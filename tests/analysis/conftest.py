@@ -6,9 +6,21 @@ from pathlib import Path
 
 import pytest
 
-FIXTURES = Path(__file__).parent / "fixtures" / "repro" / "core"
+FIXTURE_ROOT = Path(__file__).parent / "fixtures" / "repro"
+FIXTURES = FIXTURE_ROOT / "core"
 REPO_ROOT = Path(__file__).resolve().parents[2]
 SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+#: Rules whose fixtures must live under a different package component
+#: because their ``applies_to`` scoping demands it (RR113 only fires on
+#: ``serve`` paths).  Everything else defaults to ``core``.
+_FIXTURE_PACKAGE = {"RR113": "serve"}
+
+
+def fixture_path(rule_code: str) -> Path:
+    """The fixture module for ``rule_code`` (package-scoped per rule)."""
+    package = _FIXTURE_PACKAGE.get(rule_code, "core")
+    return FIXTURE_ROOT / package / f"{rule_code.lower()}.py"
 
 
 @pytest.fixture
@@ -20,7 +32,7 @@ def fixture_findings(rule_code: str):
     """Run exactly one rule over its fixture module."""
     from repro.analysis import analyze_paths
 
-    path = FIXTURES / f"{rule_code.lower()}.py"
+    path = fixture_path(rule_code)
     assert path.is_file(), f"missing fixture {path}"
     report = analyze_paths([str(path)], select=[rule_code])
     assert not report.parse_errors, report.parse_errors

@@ -1,0 +1,67 @@
+"""RR113 fixture — blocking calls inside repro.serve handler paths.
+
+This file lives under a ``serve`` path component on purpose: the rule
+scopes by package exactly like the real ``src/repro/serve`` tree.  It
+is *not* ``server.py`` or ``client.py``, so the socket-op exemption
+does not apply here.
+"""
+
+
+def bad_sleep_in_handler(queries):
+    import time
+
+    time.sleep(0.01)
+    return queries
+
+
+def bad_sleep_from_import():
+    from time import sleep
+
+    return sleep
+
+
+def bad_subprocess_import(cmd):
+    import subprocess
+
+    return subprocess.run(cmd)
+
+
+def bad_subprocess_from_import():
+    from subprocess import check_output
+
+    return check_output
+
+
+def bad_os_system(cmd):
+    import os
+
+    return os.system(cmd)
+
+
+def bad_blocking_recv(sock):
+    return sock.recv(65536)
+
+
+def bad_blocking_accept(listener):
+    conn, _ = listener.accept()
+    return conn
+
+
+def ok_select_timeout(loop, interval):
+    # Pacing belongs in the select() timeout, not in a handler.
+    return loop.step(timeout=interval)
+
+
+def ok_nonblocking_send(conn, payload):
+    # .send() on a select-ready non-blocking socket does not block.
+    return conn.sock.send(payload)
+
+
+def ok_time_formatting():
+    import time
+
+    return time.strftime("%H:%M")
+
+
+def suppressed(sock):
+    return sock.recv(65536)  # repro: noqa[RR113]

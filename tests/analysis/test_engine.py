@@ -27,6 +27,7 @@ EXPECTED_CODES = [
     "RR110",
     "RR111",
     "RR112",
+    "RR113",
     "RR201",
     "RR202",
     "RR203",

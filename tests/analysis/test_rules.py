@@ -5,7 +5,12 @@ from __future__ import annotations
 
 import pytest
 
-from tests.analysis.conftest import FIXTURES, fixture_findings, flagged_functions
+from tests.analysis.conftest import (
+    FIXTURES,
+    fixture_findings,
+    fixture_path,
+    flagged_functions,
+)
 
 ALL_CODES = (
     "RR101",
@@ -20,6 +25,7 @@ ALL_CODES = (
     "RR110",
     "RR111",
     "RR112",
+    "RR113",
     "RR201",
     "RR202",
     "RR203",
@@ -39,7 +45,7 @@ def test_every_rule_catches_its_seeded_violations(code):
     assert findings, f"{code} caught nothing in its fixture"
     assert all(f.code == code for f in findings)
 
-    names = flagged_functions(findings, FIXTURES / f"{code.lower()}.py")
+    names = flagged_functions(findings, fixture_path(code))
     assert names, f"{code} findings did not land inside any fixture function"
     offenders = {n for n in names if not n.startswith("bad_")}
     assert not offenders, f"{code} flagged non-positive fixtures: {sorted(offenders)}"
@@ -327,6 +333,52 @@ def test_rr112_exempts_bitset_itself(tmp_path):
         source, str(tmp_path / "repro" / "probability" / "sampling.py")
     )
     assert [f for f in outside if f.code == "RR112"]
+
+
+def test_rr113_counts_and_messages():
+    findings = fixture_findings("RR113")
+    # bad_sleep_in_handler, bad_sleep_from_import, bad_subprocess_import,
+    # bad_subprocess_from_import, bad_os_system, bad_blocking_recv,
+    # bad_blocking_accept.
+    assert len(findings) == 7
+    assert sum("time.sleep()" in f.message for f in findings) == 1
+    assert sum("import of sleep" in f.message for f in findings) == 1
+    assert sum("import of subprocess" in f.message for f in findings) == 1
+    assert sum("import from subprocess" in f.message for f in findings) == 1
+    assert sum("os.system()" in f.message for f in findings) == 1
+    assert sum(".recv()" in f.message for f in findings) == 1
+    assert sum(".accept()" in f.message for f in findings) == 1
+
+
+def test_rr113_scoped_to_serve(tmp_path):
+    """Outside a ``serve`` package, blocking reads are other rules'
+    business (or nobody's)."""
+    from repro.analysis import analyze_source
+
+    source = "def f(sock):\n    return sock.recv(4096)\n"
+    outside = analyze_source(source, str(tmp_path / "repro" / "core" / "mod.py"))
+    assert not [f for f in outside if f.code == "RR113"]
+
+    inside = analyze_source(source, str(tmp_path / "repro" / "serve" / "mod.py"))
+    assert [f for f in inside if f.code == "RR113"]
+
+
+def test_rr113_exempts_the_loop_and_the_client(tmp_path):
+    """server.py owns the select() loop, client.py runs out-of-process —
+    their socket calls are the sanctioned vocabulary.  time.sleep stays
+    banned even there."""
+    from repro.analysis import analyze_source
+
+    socket_source = "def f(sock):\n    return sock.recv(4096)\n"
+    for sanctioned in ("server.py", "client.py"):
+        path = str(tmp_path / "repro" / "serve" / sanctioned)
+        assert not [
+            f for f in analyze_source(socket_source, path) if f.code == "RR113"
+        ]
+
+    sleep_source = "import time\n\ndef f():\n    time.sleep(1)\n"
+    path = str(tmp_path / "repro" / "serve" / "server.py")
+    assert [f for f in analyze_source(sleep_source, path) if f.code == "RR113"]
 
 
 def test_rr201_counts_and_messages():

@@ -71,6 +71,7 @@ def test_fixture_tree_is_deliberately_dirty():
         "RR110",
         "RR111",
         "RR112",
+        "RR113",
         "RR201",
         "RR202",
         "RR203",

@@ -2,6 +2,8 @@
 the cache-aware side-array builder and the vectorized multi-point
 accumulation (`repro.core.sweep`)."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -141,6 +143,88 @@ class TestArrayCache:
             got[:2] = False
         again = warm.get("k", 8)
         assert again is not None and np.array_equal(again, column)
+
+
+def _column(packed_bytes: int, phase: int = 0) -> np.ndarray:
+    """A bool column whose packbits payload is exactly ``packed_bytes``."""
+    return (np.arange(packed_bytes * 8) + phase) % 3 == 0
+
+
+class TestArrayCacheBound:
+    def test_max_bytes_must_be_positive(self):
+        with pytest.raises(ReproValueError):
+            ArrayCache(max_bytes=0)
+        with pytest.raises(ReproValueError):
+            ArrayCache(max_bytes=-1)
+
+    def test_unbounded_cache_never_evicts(self):
+        cache = ArrayCache()
+        for i in range(8):
+            cache.put(f"k{i}", _column(16, i))
+        assert cache.stats()["evictions"] == 0
+        assert cache.total_bytes == 0  # accounting only runs when bounded
+
+    def test_lru_eviction_prefers_least_recently_used(self):
+        cache = ArrayCache(max_bytes=32)
+        cache.put("a", _column(16))
+        cache.put("b", _column(16, 1))
+        assert cache.get("a", 128) is not None  # a becomes most recent
+        cache.put("c", _column(16, 2))  # 48 bytes tracked: evict b, not a
+        assert cache.get("b", 128) is None
+        assert cache.get("a", 128) is not None
+        assert cache.get("c", 128) is not None
+        stats = cache.stats()
+        assert stats["evictions"] == 1 and stats["evicted_bytes"] == 16
+        assert cache.total_bytes <= 32
+
+    def test_eviction_unlinks_the_disk_file(self, tmp_path):
+        cache = ArrayCache(tmp_path, max_bytes=32)
+        cache.put("a", _column(16))
+        cache.put("b", _column(16, 1))
+        cache.put("c", _column(16, 2))
+        assert not (tmp_path / "a.npy").exists()
+        assert (tmp_path / "b.npy").is_file() and (tmp_path / "c.npy").is_file()
+
+    def test_adopts_preexisting_disk_tier_oldest_first(self, tmp_path):
+        unbounded = ArrayCache(tmp_path)
+        for i, key in enumerate(("old", "mid", "new")):
+            unbounded.put(key, _column(16, i))
+        sizes = {p.stem: p.stat().st_size for p in tmp_path.glob("*.npy")}
+        for i, key in enumerate(("old", "mid", "new")):
+            os.utime(tmp_path / f"{key}.npy", (1000 + i, 1000 + i))
+        bound = sizes["mid"] + sizes["new"]
+        bounded = ArrayCache(tmp_path, max_bytes=bound)
+        assert not (tmp_path / "old.npy").exists()
+        assert (tmp_path / "new.npy").is_file()
+        assert bounded.stats()["evictions"] == 1
+
+    def test_claimed_keys_are_never_evicted(self, tmp_path):
+        cache = ArrayCache(tmp_path, max_bytes=32)
+        cache.put("claimed", _column(16))
+        assert cache.try_claim("claimed")
+        cache.put("b", _column(16, 1))
+        cache.put("c", _column(16, 2))  # over budget; claimed is immune
+        assert (tmp_path / "claimed.npy").is_file()
+        assert not (tmp_path / "b.npy").exists()
+        cache.release_claim("claimed")
+        cache.put("d", _column(16, 3))  # claim released: now evictable
+        assert not (tmp_path / "claimed.npy").exists()
+
+    def test_single_oversized_column_still_serves(self):
+        # The just-touched key is protected: a column larger than the
+        # bound degrades the cache to one entry, it never thrashes it.
+        cache = ArrayCache(max_bytes=8)
+        cache.put("big", _column(16))
+        assert cache.get("big", 128) is not None
+        assert cache.stats()["evictions"] == 0
+
+    def test_evicted_key_rebuilds_on_demand(self, tmp_path):
+        cache = ArrayCache(tmp_path, max_bytes=16)
+        cache.put("a", _column(16))
+        cache.put("b", _column(16, 1))  # evicts a
+        assert cache.get("a", 128) is None
+        cache.put("a", _column(16))  # rebuild and re-publish
+        assert cache.get("a", 128) is not None
 
 
 class TestCachedSideArray:

@@ -119,6 +119,56 @@ class TestMetricsServer:
         with pytest.raises((urllib.error.URLError, ConnectionError, OSError)):
             _get(url + "/metrics")
 
+    def test_trace_reports_its_own_bound_endpoint(self):
+        """The ephemeral-port contract: --metrics-port 0 must be
+        discoverable from the endpoint itself, not only from stderr."""
+        with MetricsServer(Recorder(), port=0) as server:
+            _, _, body = _get(server.url + "/trace.json")
+        endpoint = json.loads(body)["endpoint"]
+        assert endpoint["port"] == server.port
+        assert endpoint["host"] == "127.0.0.1"
+        assert endpoint["url"] == server.url
+
+    def test_recorder_is_swappable_after_bind(self):
+        """The CLI binds the socket first (to learn the port), then swaps
+        the real session recorder in; scrapes must follow the attribute."""
+        server = MetricsServer(Recorder())
+        try:
+            real = Recorder()
+            with obs.record(real):
+                with obs.span("sweep.run"):
+                    obs.count(FLOW_SOLVES, 7)
+            server.recorder = real
+            _, _, body = _get(server.url + "/metrics")
+            assert "repro_flow_solves_total 7" in body
+        finally:
+            server.stop()
+
+    def test_stop_waits_for_inflight_scrapes(self):
+        """Graceful drain: stop() blocks until in-flight requests exit
+        (daemon handler threads would otherwise be abandoned mid-reply)."""
+        import threading
+        import time
+
+        server = MetricsServer(Recorder())
+        server._enter_request()  # simulate a scrape that is mid-handler
+        stopper = threading.Thread(target=server.stop, daemon=True)
+        stopper.start()
+        time.sleep(0.1)
+        assert stopper.is_alive(), "stop() must wait for the in-flight scrape"
+        server._exit_request()
+        stopper.join(timeout=5)
+        assert not stopper.is_alive()
+
+    def test_stop_drain_timeout_bounds_the_wait(self):
+        import time
+
+        server = MetricsServer(Recorder())
+        server._enter_request()  # a scrape that never finishes
+        start = time.monotonic()
+        server.stop(drain_timeout=0.2)
+        assert time.monotonic() - start < 5.0
+
     def test_serves_while_recorder_still_recording(self):
         rec = Recorder()
         with obs.record(rec):

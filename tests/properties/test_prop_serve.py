@@ -1,0 +1,115 @@
+"""Property: served answers are pinned to the pointwise path.
+
+The serving twin of ``test_prop_sweep``: for any round of queries, the
+planner must (a) answer every query bit-identically to a fresh
+:func:`bottleneck_reliability` call on the point network, (b) merge
+N concurrent identical queries into **one** array build, and (c) emit
+byte-identical response lines for identical queries — the canonical-
+encoding invariant the protocol promises.
+"""
+
+import json
+
+import pytest
+
+from repro.core.bottleneck import bottleneck_reliability
+from repro.core.demand import FlowDemand
+from repro.core.sweep import ArrayCache
+from repro.graph.builders import fujita_fig4
+from repro.graph.generators import bottlenecked_network
+from repro.graph.io import to_dict
+from repro.serve.planner import answer_queries
+from repro.serve.protocol import QUERY_SCHEMA, decode_query, encode_line
+
+SEEDS = [0, 1, 7, 23]
+
+
+def _instance(seed):
+    return bottlenecked_network(
+        source_side_links=5,
+        sink_side_links=4,
+        num_bottlenecks=2,
+        demand=2,
+        seed=seed,
+    )
+
+
+def _query(net, qid=None, **extra):
+    payload = {
+        "schema": QUERY_SCHEMA,
+        "op": "query",
+        "network": to_dict(net),
+        "source": "s",
+        "sink": "t",
+        "rate": 2,
+    }
+    if qid is not None:
+        payload["id"] = qid
+    payload.update(extra)
+    return decode_query(json.dumps(payload).encode("utf-8"))
+
+
+class TestCoalescingInvariants:
+    @pytest.mark.parametrize("n", [2, 8, 32])
+    def test_n_identical_queries_build_arrays_exactly_once(self, n):
+        """The tentpole invariant: concurrency must not multiply work."""
+        solo_cache = ArrayCache()
+        answer_queries([_query(fujita_fig4())], cache=solo_cache)
+
+        batch_cache = ArrayCache()
+        queries = [_query(fujita_fig4()) for _ in range(n)]
+        payloads = answer_queries(queries, cache=batch_cache)
+
+        assert batch_cache.stats()["stores"] == solo_cache.stats()["stores"]
+        assert all(p["batch"]["queries"] == n for p in payloads)
+
+    @pytest.mark.parametrize("n", [2, 8])
+    def test_identical_queries_get_byte_identical_responses(self, n):
+        cache = ArrayCache()
+        queries = [_query(fujita_fig4(), availability=[0.9, 0.99]) for _ in range(n)]
+        lines = {encode_line(p) for p in answer_queries(queries, cache=cache)}
+        assert len(lines) == 1
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_batched_values_bit_identical_to_pointwise(self, seed):
+        net = _instance(seed)
+        demand = FlowDemand("s", "t", 2)
+        cache = ArrayCache()
+        grid = [0.85, 0.9, 0.95, 0.99]
+        # Two riders on the same topology plus a no-axis point query.
+        queries = [
+            _query(net, qid="grid", availability=grid),
+            _query(net, qid="scale", failure_scale=[0.5, 1.0]),
+            _query(net, qid="point"),
+        ]
+        by_id = {p["id"]: p for p in answer_queries(queries, cache=cache)}
+
+        for query, payload in ((queries[0], by_id["grid"]),):
+            for index, point in enumerate(payload["points"]):
+                fresh = bottleneck_reliability(
+                    query.spec.point_network(net, index), demand
+                )
+                assert point["reliability"] == fresh.value
+
+        scale_query = queries[1]
+        for index, point in enumerate(by_id["scale"]["points"]):
+            fresh = bottleneck_reliability(
+                scale_query.spec.point_network(net, index), demand
+            )
+            assert point["reliability"] == fresh.value
+
+        fresh = bottleneck_reliability(net, demand)
+        assert by_id["point"]["points"][0]["reliability"] == fresh.value
+
+    @pytest.mark.parametrize("seed", SEEDS[:2])
+    def test_warm_round_spends_zero_solves_and_stays_identical(self, seed):
+        net = _instance(seed)
+        cache = ArrayCache()
+        cold = answer_queries([_query(net, availability=[0.9, 0.95])], cache=cache)
+        warm = answer_queries([_query(net, availability=[0.9, 0.95])], cache=cache)
+        again = answer_queries([_query(net, availability=[0.9, 0.95])], cache=cache)
+        assert warm[0]["flow_calls"] == 0 and warm[0]["warm"]
+        # Values never drift between cold and warm serving...
+        assert warm[0]["points"] == cold[0]["points"]
+        # ...and two warm rounds are byte-identical end to end.
+        assert encode_line(warm[0]) == encode_line(again[0])
