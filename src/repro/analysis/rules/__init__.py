@@ -13,6 +13,7 @@ Syntax tier (per-node):
 * :mod:`~repro.analysis.rules.lattices` — RR109
 * :mod:`~repro.analysis.rules.caching` — RR110
 * :mod:`~repro.analysis.rules.serving` — RR113
+* :mod:`~repro.analysis.rules.estimators` — RR114
 
 Dataflow tier (flow-sensitive, CFG + fixpoint):
 
@@ -34,6 +35,7 @@ from repro.analysis.rules import (
     df_masks,
     df_payloads,
     df_spans,
+    estimators,
     hygiene,
     instrumentation,
     lattices,
@@ -51,6 +53,7 @@ __all__ = [
     "df_masks",
     "df_payloads",
     "df_spans",
+    "estimators",
     "hygiene",
     "instrumentation",
     "lattices",

@@ -1,0 +1,129 @@
+"""RR114 — no scalar per-sample RNG draws in estimator loops.
+
+The estimator tier's vectorization contract (see
+:mod:`repro.core.rare`): randomness is drawn array-at-a-time —
+``rng.standard_exponential((batch, m))``, ``rng.random(size=...)`` —
+never one scalar per sample inside a Python loop.  A scalar
+``rng.random()`` in a sample loop costs a Generator round-trip per
+sample (three orders of magnitude over a batched draw at typical
+budgets) and couples the stream consumption order to Python control
+flow, which makes batched refactors silently change replays.
+
+The rule flags calls of known ``numpy.random.Generator`` drawing
+methods on an RNG-named receiver (``rng``, ``*_rng``, ``generator``)
+inside a ``for``/``while`` loop in :mod:`repro.core` modules, unless
+the call is batched — a ``size=`` keyword, or a positional shape for
+the methods whose first parameter is the shape.  Loops that *must*
+draw per item (e.g. a sequential DP walk whose conditional
+probabilities depend on earlier draws) carry a
+``# repro: noqa[RR114] <why>`` with the justification inline.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register_rule
+
+__all__ = ["ScalarSampleDraw"]
+
+#: Generator methods whose *first positional* parameter is the output
+#: shape — any positional argument (or ``size=``) means a batched draw.
+_SIZE_FIRST = frozenset(
+    {
+        "random",
+        "standard_exponential",
+        "standard_normal",
+        "standard_gamma",
+        "exponential",
+        "bytes",
+    }
+)
+
+#: Generator methods whose shape only arrives via the ``size=`` keyword;
+#: positional arguments are distribution parameters, not shapes.
+_SIZE_KW = frozenset(
+    {
+        "integers",
+        "uniform",
+        "normal",
+        "choice",
+        "binomial",
+        "poisson",
+        "geometric",
+        "gamma",
+        "beta",
+        "permutation",
+        "permuted",
+    }
+)
+
+#: Receiver names treated as a ``numpy.random.Generator``.
+_RNG_NAMES = ("rng", "generator")
+
+
+def _is_rng_receiver(node: ast.AST) -> bool:
+    name = Rule.terminal_name(node)
+    if name is None:
+        return False
+    lowered = name.lower()
+    return lowered in _RNG_NAMES or lowered.endswith("_rng")
+
+
+def _is_batched(call: ast.Call) -> bool:
+    if any(kw.arg == "size" for kw in call.keywords):
+        return True
+    method = call.func.attr if isinstance(call.func, ast.Attribute) else ""
+    if method in _SIZE_FIRST:
+        return bool(call.args)
+    return False
+
+
+def _scalar_draws(loop: ast.For | ast.While) -> Iterator[ast.Call]:
+    """Scalar RNG drawing calls anywhere in ``loop``'s own scope."""
+    for node in Rule.walk_scope(loop.body + loop.orelse):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        if func.attr not in _SIZE_FIRST and func.attr not in _SIZE_KW:
+            continue
+        if not _is_rng_receiver(func.value):
+            continue
+        if not _is_batched(node):
+            yield node
+
+
+@register_rule
+class ScalarSampleDraw(Rule):
+    code = "RR114"
+    name = "scalar-sample-draw"
+    rationale = (
+        "a per-sample rng.<draw>() inside a loop defeats the estimator "
+        "tier's array-at-a-time contract; hoist one batched draw "
+        "(size=...) out of the loop (or noqa with justification)"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_package("core")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        seen: set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.For, ast.While)):
+                continue
+            for call in _scalar_draws(node):
+                if id(call) in seen:  # nested loops walk the same body
+                    continue
+                seen.add(id(call))
+                method = call.func.attr  # type: ignore[union-attr]
+                yield ctx.finding(
+                    call,
+                    self.code,
+                    f"scalar rng.{method}() drawn once per loop iteration; "
+                    "hoist a single batched draw (size=...) out of the loop",
+                )

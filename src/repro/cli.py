@@ -6,6 +6,8 @@ Usage::
     python -m repro compute network.json --source s --sink t --rate 2
     python -m repro compute network.json -s s -t t -d 2 --method bottleneck
     python -m repro compute network.json -s s -t t -d 2 --trace
+    python -m repro estimate network.json -s s -t t -d 2 --budget 20000 \
+        --target-relative-error 0.05 --seed 7
     python -m repro sweep network.json -s s -t t -d 2 --availability 0.7:0.99:9 \
         --metrics-port 0 --events telemetry/
     python -m repro serve --port 0 --cache-dir cache/ --warm network.json \
@@ -30,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
 import signal
 import sys
@@ -202,6 +205,78 @@ def build_parser() -> argparse.ArgumentParser:
         help="record the computation and write the JSON trace to FILE ('-' = stdout)",
     )
     _add_telemetry_flags(compute)
+
+    estimate = sub.add_parser(
+        "estimate",
+        help="rare-event reliability estimation (permutation MC / splitting)",
+    )
+    add_demand_args(estimate)
+    estimate.add_argument(
+        "--variant",
+        default="auto",
+        choices=["auto", "permutation", "spectrum", "splitting"],
+        help="estimator variant (default: auto = permutation)",
+    )
+    estimate.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="sample budget: permutations for the spectrum estimator, "
+        "per-level population for splitting (default: variant-specific)",
+    )
+    estimate.add_argument(
+        "--target-relative-error",
+        type=float,
+        default=None,
+        metavar="RE",
+        help="stop early once the unreliability's relative error at the "
+        "chosen confidence reaches RE (permutation variant; budget "
+        "permitting)",
+    )
+    estimate.add_argument(
+        "--confidence",
+        type=float,
+        default=0.95,
+        help="confidence level for the reported interval (default: 0.95)",
+    )
+    estimate.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="root seed of the hierarchical random streams (default: 0); "
+        "the same seed + inputs replays the estimate bit-for-bit",
+    )
+    estimate.add_argument(
+        "--batch-size",
+        type=int,
+        default=2048,
+        metavar="N",
+        help="permutations drawn per vectorized batch (default: 2048)",
+    )
+    estimate.add_argument(
+        "--levels",
+        type=int,
+        default=None,
+        metavar="L",
+        help="splitting levels (default: auto from the time ladder)",
+    )
+    _add_incremental_flags(estimate)
+    estimate.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    estimate.add_argument(
+        "--trace",
+        action="store_true",
+        help="record the estimation and print the phase tree to stderr",
+    )
+    estimate.add_argument(
+        "--trace-json",
+        metavar="FILE",
+        default=None,
+        help="record the estimation and write the JSON trace to FILE ('-' = stdout)",
+    )
+    _add_telemetry_flags(estimate)
 
     profile = sub.add_parser(
         "profile",
@@ -707,6 +782,93 @@ def _cmd_compute(args: argparse.Namespace) -> int:
         elif result.flow_calls:
             print(f"max-flow calls: {result.flow_calls}")
     return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    from repro.core.rare import rare_reliability
+
+    # Eager option validation before load(), like compute.
+    if args.budget is not None and args.budget < 1:
+        raise ReproValueError("--budget must be positive")
+    if args.target_relative_error is not None and args.variant == "splitting":
+        raise ReproValueError(
+            "--target-relative-error applies to the permutation variant only"
+        )
+    options: dict[str, Any] = dict(
+        variant=args.variant,
+        num_samples=args.budget,
+        confidence=args.confidence,
+        seed=args.seed,
+        batch_size=args.batch_size,
+        num_levels=args.levels,
+    )
+    if args.target_relative_error is not None:
+        options["target_relative_error"] = args.target_relative_error
+    options.update(_incremental_option(args))
+    net = load(args.network)
+    demand = FlowDemand(args.source, args.sink, args.rate)
+    session = _ObsSession(
+        args,
+        command="estimate",
+        net=net,
+        demand=demand,
+        params={
+            "variant": args.variant,
+            "budget": args.budget,
+            "target_relative_error": args.target_relative_error,
+            "confidence": args.confidence,
+            "seed": args.seed,
+            "incremental": args.incremental,
+        },
+    )
+    with session:
+        result = rare_reliability(net, demand, **options)
+        session.complete(
+            value=result.value, flow_calls=result.details.get("flow_calls")
+        )
+    recorder = session.recorder
+    if args.trace and recorder is not None:
+        print(format_tree(recorder, title=f"phases ({result.method})"), file=sys.stderr)
+    if args.trace_json is not None and recorder is not None:
+        _write_trace_json(recorder, args.trace_json)
+    details = result.details
+    if args.json:
+        payload = {
+            "reliability": result.value,
+            "interval": [result.low, result.high],
+            "confidence": result.confidence,
+            "method": result.method,
+            "unreliability": details.get("unreliability"),
+            "relative_error": _json_safe(details.get("relative_error")),
+            "num_samples": result.num_samples,
+            "seed": details.get("seed"),
+            "flow_calls": details.get("flow_calls"),
+            "source": args.source,
+            "sink": args.sink,
+            "rate": args.rate,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"reliability = {result.value:.10f}  (method: {result.method})")
+        print(
+            f"{result.confidence:.0%} interval: "
+            f"[{result.low:.10f}, {result.high:.10f}]"
+        )
+        unreliability = details.get("unreliability")
+        if unreliability is not None:
+            print(f"unreliability = {unreliability:.6e}")
+        relative_error = details.get("relative_error")
+        if relative_error is not None and relative_error == relative_error:
+            print(f"relative error = {relative_error:.2%}")
+        print(f"samples: {result.num_samples}  seed: {details.get('seed')}")
+    return 0
+
+
+def _json_safe(value: Any) -> Any:
+    """JSON has no inf/nan: map non-finite floats to None."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -1222,6 +1384,7 @@ def _incremental_option(args: argparse.Namespace) -> dict[str, bool]:
 _COMMANDS = {
     "describe": _cmd_describe,
     "compute": _cmd_compute,
+    "estimate": _cmd_estimate,
     "profile": _cmd_profile,
     "sweep": _cmd_sweep,
     "serve": _cmd_serve,

@@ -52,7 +52,7 @@ from repro.core.importance import (
     link_importances,
     most_important_link,
 )
-from repro.core.montecarlo import montecarlo_reliability, wilson_interval
+from repro.core.montecarlo import montecarlo_reliability, wilson_interval, z_quantile
 from repro.core.multisink import (
     CoverageReport,
     broadcast_reliability,
@@ -69,12 +69,21 @@ from repro.core.reductions import (
     reduce_for_unit_demand,
     series_parallel_reliability,
 )
+from repro.core.rare import (
+    DestructionSpectrum,
+    destruction_spectrum,
+    permutation_montecarlo_reliability,
+    rare_reliability,
+    splitting_reliability,
+)
 from repro.core.result import EstimateResult, ReliabilityResult
 from repro.core.shard import plan_columns, sharded_sweep
 from repro.core.stratified import (
     poisson_binomial,
+    poisson_binomial_suffix,
     sample_with_alive_count,
     stratified_montecarlo_reliability,
+    validate_probabilities,
 )
 from repro.core.sweep import (
     ArrayCache,
@@ -102,6 +111,12 @@ __all__ = [
     "factoring_reliability",
     "montecarlo_reliability",
     "wilson_interval",
+    "z_quantile",
+    "DestructionSpectrum",
+    "destruction_spectrum",
+    "permutation_montecarlo_reliability",
+    "rare_reliability",
+    "splitting_reliability",
     "cut_upper_bound",
     "route_lower_bound",
     "reliability_bounds",
@@ -150,8 +165,10 @@ __all__ = [
     "reduce_for_unit_demand",
     "series_parallel_reliability",
     "poisson_binomial",
+    "poisson_binomial_suffix",
     "sample_with_alive_count",
     "stratified_montecarlo_reliability",
+    "validate_probabilities",
     "frontier_reliability",
     "directed_frontier_reliability",
     "LinkImportance",

@@ -4,17 +4,19 @@ Dispatches to the right algorithm:
 
 * ``method="auto"`` — discover a bottleneck cut; if one exists whose
   sides are enumerable, run the paper's algorithm; otherwise fall back
-  to factoring (exact on any network), and to naive only for tiny
-  instances where it is just as cheap.
+  to factoring (exact on any network) for moderate link counts, to the
+  rare-event estimator tier (:mod:`repro.core.rare`) once the network
+  outgrows every exact engine's enumeration guard, and to naive only
+  for tiny instances where it is just as cheap.
 * explicit ``method`` — any name from :func:`available_methods`:
   the exact engines (``naive``, ``naive-parallel``, ``bottleneck``,
   ``bridge``, ``chain``, ``factoring``, ``series-parallel``,
   ``frontier``, ``frontier-directed``, ``minpaths``) and the
-  estimators (``montecarlo``, ``montecarlo-stratified``).
+  estimators (``montecarlo``, ``montecarlo-stratified``, ``rare``).
 
 All exact methods return a
-:class:`~repro.core.result.ReliabilityResult`; ``"montecarlo"`` returns
-an :class:`~repro.core.result.EstimateResult` (same ``float(...)``
+:class:`~repro.core.result.ReliabilityResult`; the estimators return an
+:class:`~repro.core.result.EstimateResult` (same ``float(...)``
 protocol).
 """
 
@@ -57,6 +59,14 @@ _AUTO_NAIVE_BITS = 12
 #: "auto" only accepts a bottleneck split whose larger side stays below
 #: this many links.
 _AUTO_SIDE_BITS = 20
+#: Past this many links (with no enumerable bottleneck split) "auto"
+#: stops pretending an exact answer is reachable and hands the query to
+#: the rare-event estimator tier instead of factoring.
+_AUTO_ESTIMATE_LINKS = 24
+#: The estimator tier's bitmask-packing ceiling (shared with
+#: ``repro.probability.bitset``); beyond it "auto" has no path and the
+#: explicit engines' own guards apply.
+_AUTO_ESTIMATE_MAX_LINKS = 63
 
 
 def available_methods() -> list[str]:
@@ -75,6 +85,7 @@ def available_methods() -> list[str]:
         "minpaths",
         "montecarlo",
         "montecarlo-stratified",
+        "rare",
     ]
 
 
@@ -200,6 +211,10 @@ def _dispatch(
         from repro.core.stratified import stratified_montecarlo_reliability
 
         return stratified_montecarlo_reliability(net, demand, **options)
+    if method == "rare":
+        from repro.core.rare import rare_reliability
+
+        return rare_reliability(net, demand, **options)
     if method == "chain":
         cuts: Sequence[Sequence[int]] | None = options.pop("cuts", None)
         if cuts is None:
@@ -240,4 +255,19 @@ def _dispatch(
                 pass
     if net.num_links <= _AUTO_NAIVE_BITS:
         return naive_reliability(net, demand, solver=solver, incremental=incremental)
+    if _AUTO_ESTIMATE_LINKS < net.num_links <= _AUTO_ESTIMATE_MAX_LINKS:
+        # No enumerable bottleneck split and a state space past every
+        # exact engine's guard: estimate instead of grinding factoring
+        # through an exponential recursion.  Bounded relative error even
+        # at five-nines availability, bit-replayable via seed=.
+        from repro.core.rare import rare_reliability
+
+        return rare_reliability(
+            net,
+            demand,
+            solver=solver,
+            incremental=incremental,
+            seed=options.get("seed", 0),
+            num_samples=options.get("num_samples"),
+        )
     return factoring_reliability(net, demand, solver=solver)

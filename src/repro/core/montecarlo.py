@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.core.demand import FlowDemand
 from repro.core.feasibility import FeasibilityOracle
 from repro.core.result import EstimateResult
@@ -25,7 +27,7 @@ from repro.obs.progress import progress_ticker
 from repro.obs.recorder import MC_SAMPLES, count, span
 from repro.probability.sampling import sample_alive_masks
 
-__all__ = ["montecarlo_reliability", "wilson_interval"]
+__all__ = ["montecarlo_reliability", "wilson_interval", "z_quantile"]
 
 # Two-sided z quantiles for the confidence levels we support without
 # scipy at runtime.
@@ -38,6 +40,22 @@ _Z_TABLE = {
 }
 
 
+def z_quantile(confidence: float) -> float:
+    """Two-sided normal quantile for a supported confidence level.
+
+    The shared lookup behind every normal-theory interval in the
+    estimator tier (Wilson here, the rare-event intervals in
+    :mod:`repro.core.rare`); raising on unsupported levels keeps the
+    no-scipy promise honest instead of silently approximating.
+    """
+    try:
+        return _Z_TABLE[round(confidence, 2)]
+    except KeyError as exc:
+        raise EstimationError(
+            f"unsupported confidence {confidence}; choose one of {sorted(_Z_TABLE)}"
+        ) from exc
+
+
 def wilson_interval(hits: int, n: int, confidence: float = 0.95) -> tuple[float, float]:
     """Wilson score interval for a binomial proportion.
 
@@ -48,12 +66,7 @@ def wilson_interval(hits: int, n: int, confidence: float = 0.95) -> tuple[float,
         raise EstimationError("need at least one sample")
     if not 0 <= hits <= n:
         raise EstimationError(f"hits {hits} outside [0, {n}]")
-    try:
-        z = _Z_TABLE[round(confidence, 2)]
-    except KeyError as exc:
-        raise EstimationError(
-            f"unsupported confidence {confidence}; choose one of {sorted(_Z_TABLE)}"
-        ) from exc
+    z = z_quantile(confidence)
     phat = hits / n
     denom = 1.0 + z * z / n
     center = (phat + z * z / (2 * n)) / denom
@@ -91,14 +104,20 @@ def montecarlo_reliability(
             while drawn < num_samples:
                 batch = min(batch_size, num_samples - drawn)
                 masks = sample_alive_masks(net, batch, rng=rng)
-                for mask_np in masks:  # repro: noqa[RR112] one solve per sample
+                # One solve per *distinct* mask per batch: dedup first,
+                # then scatter the verdicts back over the samples.  The
+                # hit count (hence the Wilson interval) is bit-identical
+                # to the one-solve-per-sample loop for a fixed seed.
+                distinct, inverse = np.unique(masks, return_inverse=True)
+                verdicts = np.empty(distinct.shape[0], dtype=bool)
+                for idx, mask_np in enumerate(distinct):
                     mask = int(mask_np)
                     verdict = cache.get(mask)
                     if verdict is None:
                         verdict = oracle.feasible(mask)
                         cache[mask] = verdict
-                    if verdict:
-                        hits += 1
+                    verdicts[idx] = verdict
+                hits += int(np.count_nonzero(verdicts[inverse]))
                 drawn += batch
                 ticker.tick(batch)
         count(MC_SAMPLES, drawn)

@@ -20,6 +20,8 @@ reliability is extreme — the regime streaming systems live in.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.core.demand import FlowDemand
@@ -27,22 +29,53 @@ from repro.core.feasibility import FeasibilityOracle
 from repro.core.result import EstimateResult
 from repro.core.montecarlo import wilson_interval
 from repro.core.summation import KahanSum
-from repro.exceptions import EstimationError
+from repro.exceptions import EstimationError, ReproValueError
 from repro.flow.base import MaxFlowSolver
 from repro.graph.generators import as_rng
 from repro.graph.network import FlowNetwork
 
-__all__ = ["poisson_binomial", "sample_with_alive_count", "stratified_montecarlo_reliability"]
+__all__ = [
+    "poisson_binomial",
+    "poisson_binomial_suffix",
+    "sample_with_alive_count",
+    "stratified_montecarlo_reliability",
+    "validate_probabilities",
+]
 
 
-def poisson_binomial(failure_probabilities: list[float]) -> np.ndarray:
+def validate_probabilities(values: Sequence[float] | np.ndarray) -> np.ndarray:
+    """Coerce ``values`` to a float64 vector and enforce the ``[0, 1]`` domain.
+
+    The single validation gate shared by the Poisson-binomial machinery
+    below and the rare-event spectrum conditioning
+    (:mod:`repro.core.rare`) — one code path, so the RR204 domain
+    discipline holds wherever raw probabilities enter Eq. 2/3-style
+    accumulation.  Raises :class:`~repro.exceptions.ReproValueError` on
+    any entry outside ``[0, 1]`` (NaN included).
+    """
+    probs = np.asarray(values, dtype=np.float64)
+    if probs.ndim != 1:
+        raise ReproValueError(
+            f"probability vector must be one-dimensional, got shape {probs.shape}"
+        )
+    if probs.size and not bool(np.all((probs >= 0.0) & (probs <= 1.0))):
+        bad = probs[~((probs >= 0.0) & (probs <= 1.0))][:3]
+        raise ReproValueError(
+            f"probabilities outside [0, 1]: {bad.tolist()} ..."
+        )
+    return probs
+
+
+def poisson_binomial(failure_probabilities: Sequence[float] | np.ndarray) -> np.ndarray:
     """Exact distribution of the number of *alive* links.
 
     ``result[j] = P(exactly j of the m links are up)``; standard
-    ``O(m^2)`` convolution DP.
+    ``O(m^2)`` convolution DP.  Inputs are validated to ``[0, 1]``
+    (:class:`~repro.exceptions.ReproValueError` otherwise).
     """
+    probs = validate_probabilities(failure_probabilities)
     dist = np.array([1.0])
-    for p in failure_probabilities:
+    for p in probs:
         alive = 1.0 - p
         new = np.zeros(len(dist) + 1)
         new[: len(dist)] += dist * p
@@ -51,17 +84,31 @@ def poisson_binomial(failure_probabilities: list[float]) -> np.ndarray:
     return dist
 
 
-def _suffix_counts(failure_probabilities: list[float]) -> np.ndarray:
-    """``T[i, c] = P(exactly c alive among links i..m-1)``."""
-    m = len(failure_probabilities)
+def poisson_binomial_suffix(
+    failure_probabilities: Sequence[float] | np.ndarray,
+) -> np.ndarray:
+    """Suffix table ``T[i, c] = P(exactly c alive among links i..m-1)``.
+
+    The reusable half of the Poisson-binomial DP: row 0 is the full
+    distribution (``T[0, c] == poisson_binomial(p)[c]``), and the inner
+    rows drive the exact conditional sampler
+    (:func:`sample_with_alive_count`) and the rare-event spectrum
+    conditioning.  Inputs are validated to ``[0, 1]``.
+    """
+    probs = validate_probabilities(failure_probabilities)
+    m = len(probs)
     table = np.zeros((m + 1, m + 1))
     table[m, 0] = 1.0
     for i in range(m - 1, -1, -1):
-        p = failure_probabilities[i]
+        p = probs[i]
         table[i, 0] = p * table[i + 1, 0]
         for c in range(1, m - i + 1):
             table[i, c] = p * table[i + 1, c] + (1.0 - p) * table[i + 1, c - 1]
     return table
+
+
+# Backwards-compatible private alias (pre-public name).
+_suffix_counts = poisson_binomial_suffix
 
 
 def sample_with_alive_count(
@@ -87,7 +134,9 @@ def sample_with_alive_count(
             break
         p = failure_probabilities[i]
         p_alive_given = (1.0 - p) * suffix[i + 1, remaining - 1] / suffix[i, remaining]
-        if rng.random() < p_alive_given:
+        # Each draw's conditional law depends on the alive-count left by
+        # earlier draws — batching would change the replay stream.
+        if rng.random() < p_alive_given:  # repro: noqa[RR114] sequential DP
             mask |= 1 << i
             remaining -= 1
     return mask

@@ -45,10 +45,12 @@ from repro.obs.recorder import (
     KNOWN_SPANS,
     KNOWN_TICKER_LABELS,
     MC_SAMPLES,
+    SAMPLES_VECTORIZED,
     SCREENED_SOLVES,
     SERVE_COALESCED,
     SERVE_QUERIES,
     SERVE_WARM_HITS,
+    SPECTRUM_SOLVES,
     Recorder,
     SpanRecord,
     count,
@@ -86,10 +88,12 @@ __all__ = [
     "Recorder",
     "RunDiff",
     "RunLedger",
+    "SAMPLES_VECTORIZED",
     "SCREENED_SOLVES",
     "SERVE_COALESCED",
     "SERVE_QUERIES",
     "SERVE_WARM_HITS",
+    "SPECTRUM_SOLVES",
     "SpanRecord",
     "SpoolSummary",
     "SpoolTailer",

@@ -49,7 +49,9 @@ __all__ = [
     "FLOW_SOLVES",
     "AUGMENTING_PATHS_SAVED",
     "MC_SAMPLES",
+    "SAMPLES_VECTORIZED",
     "SCREENED_SOLVES",
+    "SPECTRUM_SOLVES",
     "KNOWN_COUNTERS",
     "KNOWN_SPANS",
     "KNOWN_TICKER_LABELS",
@@ -134,6 +136,16 @@ SERVE_COALESCED = "serve_coalesced"
 #: Queries answered with **zero** max-flow solves (every realization
 #: column came from the warm :class:`~repro.core.sweep.ArrayCache`).
 SERVE_WARM_HITS = "serve_warm_hits"
+#: Feasibility queries spent on the rare-event tier's critical-point
+#: searches (``repro.core.rare``): one per kill walked along a sampled
+#: failure order.  A subset of ``flow_solves`` territory but counted
+#: separately so benches can report solves-per-permutation.
+SPECTRUM_SOLVES = "spectrum_solves"
+#: Samples produced by a single array-at-a-time draw in the estimator
+#: tier (permutation batches, splitting populations/refreshes) — the
+#: vectorization contract's observable: ``samples_vectorized`` should
+#: track ``mc_samples`` without a per-sample Python draw in sight.
+SAMPLES_VECTORIZED = "samples_vectorized"
 
 #: The catalogue, for documentation and validation in tests.
 KNOWN_COUNTERS = frozenset(
@@ -156,6 +168,8 @@ KNOWN_COUNTERS = frozenset(
         SERVE_QUERIES,
         SERVE_COALESCED,
         SERVE_WARM_HITS,
+        SPECTRUM_SOLVES,
+        SAMPLES_VECTORIZED,
     }
 )
 
@@ -188,6 +202,8 @@ KNOWN_SPANS = frozenset(
         "naive.enumerate",
         "parallel.chunk",
         "probability.table",
+        "rare.spectrum",
+        "rare.split",
         "serve.batch",
         "serve.query",
         "serve.warm",
@@ -213,6 +229,7 @@ KNOWN_TICKER_LABELS = frozenset(
         "arrays.source",
         "montecarlo.samples",
         "naive.configurations",
+        "rare.permutations",
     }
 )
 

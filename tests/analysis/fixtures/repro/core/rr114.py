@@ -1,0 +1,80 @@
+"""RR114 fixture: scalar per-sample RNG draws — positives, negatives, noqa."""
+
+
+def bad_scalar_random(rng, n: int) -> float:
+    total = 0.0
+    for _ in range(n):
+        total += rng.random()
+    return total
+
+
+def bad_scalar_integers_while(rng, n: int) -> int:
+    total = 0
+    drawn = 0
+    while drawn < n:
+        total += rng.integers(0, 10)
+        drawn += 1
+    return total
+
+
+def bad_scalar_choice(rng, items: list, n: int) -> list:
+    picks = []
+    for _ in range(n):
+        picks.append(rng.choice(items))
+    return picks
+
+
+def bad_named_stream(refresh_rng, n: int) -> float:
+    total = 0.0
+    for _ in range(n):
+        total += refresh_rng.standard_exponential()
+    return total
+
+
+def bad_nested_loop(rng, n: int, m: int) -> float:
+    total = 0.0
+    for _ in range(n):
+        for _ in range(m):
+            total += rng.random()
+    return total
+
+
+def ok_batched_size_kw(rng, n: int) -> list:
+    out = []
+    for _ in range(n):
+        out.append(rng.integers(0, 10, size=64))
+    return out
+
+
+def ok_batched_positional_shape(rng, n: int, m: int):
+    rows = []
+    for _ in range(n):
+        rows.append(rng.standard_exponential((64, m)))
+    return rows
+
+
+def ok_hoisted_draw(rng, n: int) -> float:
+    draws = rng.random(n)
+    total = 0.0
+    for value in draws:
+        total += value
+    return total
+
+
+def ok_not_an_rng(counter, n: int) -> float:
+    total = 0.0
+    for _ in range(n):
+        total += counter.random()  # receiver is not RNG-named
+    return total
+
+
+def ok_outside_loop(rng) -> float:
+    return rng.random()
+
+
+def suppressed(rng, probs: list, n: int) -> int:
+    mask = 0
+    for i in range(n):
+        if rng.random() < probs[i]:  # repro: noqa[RR114] fixture: sequential DP
+            mask |= 1 << i
+    return mask

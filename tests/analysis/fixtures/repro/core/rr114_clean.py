@@ -1,0 +1,18 @@
+"""RR114 clean fixture: the batched idioms the rule must not flag."""
+
+
+def estimate(rng, n: int, m: int) -> float:
+    clocks = rng.standard_exponential((n, m))
+    uniforms = rng.random(size=(n, m))
+    picks = rng.integers(0, n, size=n)
+    total = 0.0
+    for row in range(n):
+        total += float(clocks[row].sum() + uniforms[row].sum()) + picks[row]
+    return total
+
+
+def resample(resample_rng, population: int) -> list:
+    rounds = []
+    for _ in range(4):
+        rounds.append(resample_rng.integers(0, population, size=population))
+    return rounds

@@ -28,6 +28,7 @@ EXPECTED_CODES = [
     "RR111",
     "RR112",
     "RR113",
+    "RR114",
     "RR201",
     "RR202",
     "RR203",

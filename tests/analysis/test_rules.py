@@ -26,6 +26,7 @@ ALL_CODES = (
     "RR111",
     "RR112",
     "RR113",
+    "RR114",
     "RR201",
     "RR202",
     "RR203",
@@ -379,6 +380,40 @@ def test_rr113_exempts_the_loop_and_the_client(tmp_path):
     sleep_source = "import time\n\ndef f():\n    time.sleep(1)\n"
     path = str(tmp_path / "repro" / "serve" / "server.py")
     assert [f for f in analyze_source(sleep_source, path) if f.code == "RR113"]
+
+
+def test_rr114_counts_and_messages():
+    findings = fixture_findings("RR114")
+    # bad_scalar_random, bad_scalar_integers_while, bad_scalar_choice,
+    # bad_named_stream, bad_nested_loop (deduped across the two loops).
+    assert len(findings) == 5
+    assert sum("rng.random()" in f.message for f in findings) == 2
+    assert sum("rng.integers()" in f.message for f in findings) == 1
+    assert sum("rng.choice()" in f.message for f in findings) == 1
+    assert sum("rng.standard_exponential()" in f.message for f in findings) == 1
+
+
+def test_rr114_clean_fixture_stays_silent():
+    """The batched idioms of the estimator tier must not be flagged."""
+    from repro.analysis import analyze_paths
+
+    path = FIXTURES / "rr114_clean.py"
+    report = analyze_paths([str(path)], select=["RR114"])
+    assert not report.parse_errors, report.parse_errors
+    assert not report.findings, [f.render() for f in report.findings]
+
+
+def test_rr114_scoped_to_core(tmp_path):
+    """Outside ``repro.core`` (e.g. the p2p simulator) scalar draws are
+    legitimate sequential logic."""
+    from repro.analysis import analyze_source
+
+    source = "def f(rng, n):\n    for _ in range(n):\n        rng.random()\n"
+    outside = analyze_source(source, str(tmp_path / "repro" / "p2p" / "mod.py"))
+    assert not [f for f in outside if f.code == "RR114"]
+
+    inside = analyze_source(source, str(tmp_path / "repro" / "core" / "mod.py"))
+    assert [f for f in inside if f.code == "RR114"]
 
 
 def test_rr201_counts_and_messages():

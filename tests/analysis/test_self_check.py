@@ -72,6 +72,7 @@ def test_fixture_tree_is_deliberately_dirty():
         "RR111",
         "RR112",
         "RR113",
+        "RR114",
         "RR201",
         "RR202",
         "RR203",

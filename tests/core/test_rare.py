@@ -1,0 +1,355 @@
+"""Unit tests for the rare-event estimation engine (`repro.core.rare`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.api import compute_reliability
+from repro.core.demand import FlowDemand
+from repro.core.montecarlo import montecarlo_reliability, z_quantile
+from repro.core.naive import naive_reliability
+from repro.core.rare import (
+    STREAM_NAMES,
+    destruction_spectrum,
+    permutation_montecarlo_reliability,
+    rare_reliability,
+    sample_failure_orders,
+    spawn_streams,
+    splitting_reliability,
+)
+from repro.core.result import EstimateResult
+from repro.exceptions import EstimationError
+from repro.graph.builders import fujita_fig4, parallel_links
+from repro.graph.network import FlowNetwork
+
+
+class TestSpawnStreams:
+    def test_streams_named_and_deterministic(self):
+        streams, entropy = spawn_streams(42)
+        again, entropy2 = spawn_streams(42)
+        assert tuple(streams) == STREAM_NAMES
+        assert entropy == entropy2 == 42
+        for name in STREAM_NAMES:
+            assert streams[name].random() == again[name].random()
+
+    def test_streams_are_independent(self):
+        streams, _ = spawn_streams(0)
+        draws = {name: streams[name].random() for name in STREAM_NAMES}
+        assert len(set(draws.values())) == len(STREAM_NAMES)
+
+    def test_none_seed_records_replayable_entropy(self):
+        streams, entropy = spawn_streams(None)
+        replay, _ = spawn_streams(entropy)
+        name = STREAM_NAMES[0]
+        assert streams[name].random() == replay[name].random()
+
+
+class TestFailureOrders:
+    def test_shape_and_permutation(self):
+        rng = np.random.default_rng(3)
+        orders = sample_failure_orders(7, 50, rng)
+        assert orders.shape == (50, 7)
+        expected = np.arange(7)
+        for row in np.sort(orders, axis=1):
+            assert np.array_equal(row, expected)
+
+    def test_rejects_degenerate_inputs(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(EstimationError):
+            sample_failure_orders(0, 10, rng)
+        with pytest.raises(EstimationError):
+            sample_failure_orders(5, 0, rng)
+
+
+class TestDestructionSpectrum:
+    def test_pmf_sums_to_one_and_cdf_monotone(self, fig4_net):
+        spec = destruction_spectrum(
+            fig4_net, FlowDemand("s", "t", 2), num_permutations=400, seed=11
+        )
+        assert spec.pmf().sum() == pytest.approx(1.0)
+        cdf = spec.cdf()
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_spectrum_is_probability_free(self, fig4_net):
+        """The spectrum is combinatorial: changing link probabilities
+        must not change it (same topology, same seed)."""
+        demand = FlowDemand("s", "t", 2)
+        a = destruction_spectrum(fig4_net, demand, num_permutations=200, seed=5)
+        hi = fujita_fig4(failure_probability=1e-5)
+        b = destruction_spectrum(hi, demand, num_permutations=200, seed=5)
+        assert np.array_equal(a.counts, b.counts)
+
+    def test_critical_numbers_at_least_min_cut(self):
+        """parallel_links(3) with demand 1 dies only after all 3 links
+        fail: every critical number is exactly 3."""
+        net = parallel_links(3, capacity=1, failure_probability=0.3)
+        spec = destruction_spectrum(
+            net, FlowDemand("s", "t", 1), num_permutations=100, seed=2
+        )
+        assert spec.counts[3] == 100
+        assert spec.counts[:3].sum() == 0
+
+
+class TestPermutationEstimator:
+    @pytest.mark.parametrize("seed", [0, 7, 23])
+    def test_matches_exact_within_interval(self, fig4_net, seed):
+        demand = FlowDemand("s", "t", 2)
+        exact = naive_reliability(fig4_net, demand).value
+        est = permutation_montecarlo_reliability(
+            fig4_net, demand, num_samples=4000, seed=seed
+        )
+        assert est.low <= exact <= est.high
+        assert est.method == "rare-permutation"
+
+    def test_heterogeneous_probabilities_unbiased(self):
+        """The IS-weighted estimator stays correct when links are not
+        identically distributed (the PB-tail fast path must not fire)."""
+        net = FlowNetwork()
+        net.add_link("s", "a", 1, 0.05)
+        net.add_link("s", "b", 1, 0.2)
+        net.add_link("a", "t", 1, 0.1)
+        net.add_link("b", "t", 1, 0.3)
+        demand = FlowDemand("s", "t", 1)
+        exact = naive_reliability(net, demand).value
+        est = permutation_montecarlo_reliability(net, demand, num_samples=6000, seed=1)
+        assert est.details["homogeneous"] is False
+        assert est.low <= exact <= est.high
+
+    def test_five_nines_relative_error(self):
+        """The headline: bounded relative error where crude MC sees
+        nothing at all."""
+        net = fujita_fig4(failure_probability=1e-5)
+        demand = FlowDemand("s", "t", 2)
+        exact_u = 1.0 - naive_reliability(net, demand).value
+        est = permutation_montecarlo_reliability(net, demand, num_samples=4000, seed=7)
+        u = est.details["unreliability"]
+        assert abs(u - exact_u) / exact_u < 0.10
+        assert est.details["relative_error"] < 0.10
+
+    def test_replay_is_bit_identical(self, fig4_net):
+        demand = FlowDemand("s", "t", 2)
+        a = permutation_montecarlo_reliability(fig4_net, demand, num_samples=1500, seed=9)
+        b = permutation_montecarlo_reliability(fig4_net, demand, num_samples=1500, seed=9)
+        assert a.value == b.value
+        assert a.low == b.low and a.high == b.high
+        assert a.details == b.details
+
+    def test_target_relative_error_stops_early(self, fig4_net):
+        demand = FlowDemand("s", "t", 2)
+        est = permutation_montecarlo_reliability(
+            fig4_net,
+            demand,
+            num_samples=50_000,
+            target_relative_error=0.25,
+            batch_size=512,
+            seed=3,
+        )
+        assert est.details["stopped_early"] is True
+        assert est.num_samples < 50_000
+        assert est.details["relative_error"] <= 0.25
+
+    def test_infeasible_demand_short_circuits(self):
+        net = parallel_links(2, capacity=1, failure_probability=0.1)
+        est = permutation_montecarlo_reliability(
+            net, FlowDemand("s", "t", 3), num_samples=100, seed=0
+        )
+        assert est.value == 0.0
+        assert est.details["degenerate"] == "infeasible-at-full-capacity"
+
+    def test_input_validation(self, fig4_net):
+        demand = FlowDemand("s", "t", 2)
+        with pytest.raises(EstimationError):
+            permutation_montecarlo_reliability(fig4_net, demand, num_samples=0)
+        with pytest.raises(EstimationError):
+            permutation_montecarlo_reliability(
+                fig4_net, demand, target_relative_error=-0.1
+            )
+        with pytest.raises(EstimationError):
+            permutation_montecarlo_reliability(fig4_net, demand, batch_size=0)
+
+
+class TestSplittingEstimator:
+    @pytest.mark.parametrize("seed", [0, 7, 23])
+    def test_matches_exact_within_interval(self, fig4_net, seed):
+        demand = FlowDemand("s", "t", 2)
+        exact = naive_reliability(fig4_net, demand).value
+        est = splitting_reliability(fig4_net, demand, num_samples=800, seed=seed)
+        assert est.method == "rare-splitting"
+        assert est.low <= exact <= est.high
+
+    def test_five_nines_reaches_the_event(self):
+        net = fujita_fig4(failure_probability=1e-5)
+        demand = FlowDemand("s", "t", 2)
+        exact_u = 1.0 - naive_reliability(net, demand).value
+        est = splitting_reliability(net, demand, num_samples=1500, seed=4)
+        u = est.details["unreliability"]
+        assert u > 0.0  # crude MC at this budget would see nothing
+        assert est.details["unreliability_low"] <= exact_u
+        assert exact_u <= est.details["unreliability_high"]
+
+    def test_replay_is_bit_identical(self, fig4_net):
+        demand = FlowDemand("s", "t", 2)
+        a = splitting_reliability(fig4_net, demand, num_samples=400, seed=8)
+        b = splitting_reliability(fig4_net, demand, num_samples=400, seed=8)
+        assert a.value == b.value
+        assert a.details == b.details
+
+    def test_level_conditionals_multiply_to_estimate(self, fig4_net):
+        demand = FlowDemand("s", "t", 2)
+        est = splitting_reliability(fig4_net, demand, num_samples=500, seed=6)
+        product = 1.0
+        for level in est.details["levels"]:
+            product *= level["conditional"]
+        assert est.details["unreliability"] == pytest.approx(product)
+
+    def test_explicit_level_count(self, fig4_net):
+        demand = FlowDemand("s", "t", 2)
+        est = splitting_reliability(
+            fujita_fig4(failure_probability=1e-4), demand, num_samples=400,
+            num_levels=5, seed=2,
+        )
+        assert len(est.details["levels"]) <= 6  # L+1 evaluations, early stop allowed
+
+
+class TestFrontDoor:
+    def test_variant_aliases(self, fig4_net):
+        demand = FlowDemand("s", "t", 2)
+        perm = rare_reliability(fig4_net, demand, num_samples=300, seed=1)
+        spec = rare_reliability(
+            fig4_net, demand, variant="spectrum", num_samples=300, seed=1
+        )
+        assert perm.value == spec.value
+        split = rare_reliability(
+            fig4_net, demand, variant="splitting", num_samples=300, seed=1
+        )
+        assert split.method == "rare-splitting"
+
+    def test_unknown_variant_rejected(self, fig4_net):
+        with pytest.raises(EstimationError, match="variant"):
+            rare_reliability(fig4_net, FlowDemand("s", "t", 2), variant="quantum")
+
+    def test_splitting_rejects_target_relative_error(self, fig4_net):
+        with pytest.raises(EstimationError, match="permutation-variant"):
+            rare_reliability(
+                fig4_net,
+                FlowDemand("s", "t", 2),
+                variant="splitting",
+                target_relative_error=0.1,
+            )
+
+    def test_too_many_links_rejected(self):
+        net = parallel_links(64, capacity=1, failure_probability=0.1)
+        with pytest.raises(EstimationError, match="at most 63"):
+            rare_reliability(net, FlowDemand("s", "t", 1), num_samples=10)
+
+
+class TestApiDispatch:
+    def test_explicit_method_rare(self, fig4_net):
+        result = compute_reliability(
+            fig4_net, "s", "t", 2, method="rare", num_samples=500, seed=3
+        )
+        assert isinstance(result, EstimateResult)
+        assert result.method == "rare-permutation"
+
+    def test_rare_listed_in_available_methods(self):
+        from repro.core.api import available_methods
+
+        assert "rare" in available_methods()
+
+    def test_auto_escalates_to_rare_beyond_enumeration_guard(self):
+        """30 parallel links: no admissible bottleneck cut, past the
+        naive guard — auto must estimate rather than grind factoring."""
+        net = parallel_links(30, capacity=1, failure_probability=0.05)
+        result = compute_reliability(net, "s", "t", 1, num_samples=400, seed=5)
+        assert isinstance(result, EstimateResult)
+        assert result.method == "rare-permutation"
+        # All 30 links must fail: U = 0.05^30 ~ 1e-39; the estimate is
+        # exact here because every permutation has critical number 30.
+        assert result.details["unreliability"] == pytest.approx(0.05**30, rel=1e-9)
+
+    def test_auto_still_exact_on_small_networks(self, fig4_net):
+        result = compute_reliability(fig4_net, "s", "t", 2)
+        assert result.method != "rare-permutation"
+
+
+class TestMonteCarloDedup:
+    def test_hit_count_identical_to_per_sample_loop(self, fig4_net):
+        """The np.unique dedup is pure mechanics: same masks, same
+        verdicts, same Wilson interval for a fixed seed."""
+        from repro.core.feasibility import FeasibilityOracle
+        from repro.probability.sampling import sample_alive_masks
+
+        demand = FlowDemand("s", "t", 2)
+        est = montecarlo_reliability(fig4_net, demand, num_samples=3000, seed=17)
+
+        rng = np.random.default_rng(17)
+        oracle = FeasibilityOracle(fig4_net, "s", "t", 2)
+        cache: dict[int, bool] = {}
+        hits = 0
+        drawn = 0
+        while drawn < 3000:
+            batch = min(4096, 3000 - drawn)
+            masks = sample_alive_masks(fig4_net, batch, rng=rng)
+            for mask_np in masks:  # the reference per-sample loop
+                mask = int(mask_np)
+                verdict = cache.get(mask)
+                if verdict is None:
+                    verdict = oracle.feasible(mask)
+                    cache[mask] = verdict
+                if verdict:
+                    hits += 1
+            drawn += batch
+        assert est.hits == hits
+        assert est.details["distinct_configurations"] == len(cache)
+
+    def test_solves_bounded_by_distinct_masks(self, fig4_net):
+        demand = FlowDemand("s", "t", 2)
+        est = montecarlo_reliability(fig4_net, demand, num_samples=5000, seed=1)
+        assert est.details["flow_calls"] == est.details["distinct_configurations"]
+        assert est.details["flow_calls"] < 5000
+
+
+class TestZQuantile:
+    def test_known_value(self):
+        assert z_quantile(0.95) == pytest.approx(1.959963984540054)
+
+    def test_unsupported_confidence(self):
+        with pytest.raises(EstimationError, match="unsupported confidence"):
+            z_quantile(0.5)
+
+
+class TestObservability:
+    def test_counters_and_spans_recorded(self, fig4_net):
+        from repro.obs import record
+
+        demand = FlowDemand("s", "t", 2)
+        with record() as rec:
+            est = permutation_montecarlo_reliability(
+                fig4_net, demand, num_samples=600, seed=0
+            )
+        totals = rec.counter_totals()
+        assert totals["mc_samples"] == 600
+        assert totals["samples_vectorized"] == 600
+        assert totals["spectrum_solves"] == est.details["spectrum_solves"]
+        assert any(child.name == "rare.spectrum" for child in rec.root.children)
+
+    def test_split_span_recorded(self, fig4_net):
+        from repro.obs import record
+
+        demand = FlowDemand("s", "t", 2)
+        with record() as rec:
+            splitting_reliability(fig4_net, demand, num_samples=300, seed=0)
+        assert any(child.name == "rare.split" for child in rec.root.children)
+
+    def test_flow_calls_match_oracle_accounting(self, fig4_net):
+        demand = FlowDemand("s", "t", 2)
+        est = permutation_montecarlo_reliability(
+            fig4_net, demand, num_samples=400, seed=0, incremental=False
+        )
+        # Cold oracle: one solve per critical-point query, +1 for the
+        # feasible-at-full-capacity pre-check.  (The incremental oracle
+        # counts repair-engine solver invocations instead, which can
+        # exceed or undercut the query count.)
+        assert est.details["flow_calls"] == est.details["spectrum_solves"] + 1

@@ -7,10 +7,12 @@ from repro.core.demand import FlowDemand
 from repro.core.naive import naive_reliability
 from repro.core.stratified import (
     poisson_binomial,
+    poisson_binomial_suffix,
     sample_with_alive_count,
     stratified_montecarlo_reliability,
+    validate_probabilities,
 )
-from repro.exceptions import EstimationError
+from repro.exceptions import EstimationError, ReproValueError
 from repro.graph.builders import diamond, fujita_fig4, parallel_links
 from repro.probability.bitset import popcount
 
@@ -36,6 +38,41 @@ class TestPoissonBinomial:
 
     def test_empty(self):
         assert poisson_binomial([]).tolist() == [1.0]
+
+
+class TestValidateProbabilities:
+    def test_passes_through_valid_vectors(self):
+        out = validate_probabilities([0.0, 0.5, 1.0])
+        assert out.dtype == np.float64
+        assert out.tolist() == [0.0, 0.5, 1.0]
+        assert validate_probabilities([]).shape == (0,)
+
+    @pytest.mark.parametrize("bad", [[1.5], [-0.1], [0.2, float("nan")], [2.0, 0.5]])
+    def test_rejects_out_of_domain(self, bad):
+        with pytest.raises(ReproValueError, match=r"outside \[0, 1\]"):
+            validate_probabilities(bad)
+
+    def test_rejects_non_vector(self):
+        with pytest.raises(ReproValueError, match="one-dimensional"):
+            validate_probabilities([[0.1, 0.2]])
+
+    @pytest.mark.parametrize("func", [poisson_binomial, poisson_binomial_suffix])
+    def test_machinery_shares_the_gate(self, func):
+        with pytest.raises(ReproValueError):
+            func([0.1, 1.0001])
+
+
+class TestPoissonBinomialSuffix:
+    def test_row_zero_is_the_full_distribution(self):
+        probs = [0.1, 0.35, 0.6, 0.25]
+        table = poisson_binomial_suffix(probs)
+        np.testing.assert_allclose(table[0, : len(probs) + 1], poisson_binomial(probs))
+
+    def test_rows_are_distributions(self):
+        probs = [0.3, 0.7, 0.2]
+        table = poisson_binomial_suffix(probs)
+        for i in range(len(probs) + 1):
+            assert table[i].sum() == pytest.approx(1.0)
 
 
 class TestConditionalSampling:
